@@ -1,0 +1,119 @@
+// §6.3/§6.5 microbenchmarks (google-benchmark, wall-clock): the in-network
+// dirty set's register-level operations, utilization/overflow behaviour of
+// the set-associative layout, and the resource footprint the paper quotes
+// (1,310,720 32-bit registers = 5 MiB across 10 stages).
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/pswitch/data_plane.h"
+#include "src/pswitch/dirty_set.h"
+
+namespace switchfs::psw {
+namespace {
+
+void BM_DirtySetInsert(benchmark::State& state) {
+  DirtySet ds{DirtySetConfig{}};
+  Rng rng(1);
+  std::vector<Fingerprint> fps;
+  for (int i = 0; i < 1 << 16; ++i) {
+    fps.push_back(FingerprintFromHash(rng.Next()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.Insert(fps[i & 0xffff]));
+    if ((++i & 0xffff) == 0) {
+      state.PauseTiming();
+      ds.Clear();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_DirtySetInsert);
+
+void BM_DirtySetQuery(benchmark::State& state) {
+  DirtySet ds{DirtySetConfig{}};
+  Rng rng(1);
+  std::vector<Fingerprint> fps;
+  for (int i = 0; i < 1 << 16; ++i) {
+    fps.push_back(FingerprintFromHash(rng.Next()));
+    ds.Insert(fps.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.Query(fps[i++ & 0xffff]));
+  }
+}
+BENCHMARK(BM_DirtySetQuery);
+
+void BM_DirtySetRemoveInsertCycle(benchmark::State& state) {
+  DirtySet ds{DirtySetConfig{}};
+  Rng rng(1);
+  std::vector<Fingerprint> fps;
+  for (int i = 0; i < 1 << 12; ++i) {
+    fps.push_back(FingerprintFromHash(rng.Next()));
+  }
+  size_t i = 0;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    const Fingerprint fp = fps[i++ & 0xfff];
+    ds.Insert(fp);
+    ds.Remove(fp, /*origin=*/1, ++seq);
+  }
+}
+BENCHMARK(BM_DirtySetRemoveInsertCycle);
+
+// Utilization sweep: overflow rate at increasing fill factors (the paper's
+// "high memory utilization and low conflict rate" claim, §6.3).
+void BM_DirtySetFillFactor(benchmark::State& state) {
+  const double fill = static_cast<double>(state.range(0)) / 100.0;
+  uint64_t overflows = 0;
+  uint64_t inserts = 0;
+  for (auto _ : state) {
+    DirtySetConfig cfg;
+    cfg.num_stages = 10;
+    cfg.registers_per_stage = 4096;
+    DirtySet ds(cfg);
+    Rng rng(42);
+    const auto n = static_cast<uint64_t>(10 * 4096 * fill);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!ds.Insert(FingerprintFromHash(rng.Next()))) {
+        overflows++;
+      }
+      inserts++;
+    }
+  }
+  state.counters["overflow_pct"] =
+      100.0 * static_cast<double>(overflows) / static_cast<double>(inserts);
+}
+BENCHMARK(BM_DirtySetFillFactor)->Arg(25)->Arg(50)->Arg(75)->Arg(90)->Arg(100);
+
+void BM_DataPlaneProcessInsert(benchmark::State& state) {
+  DataPlane dp;
+  dp.SetServerGroup({1, 2, 3, 4, 5, 6, 7, 8});
+  Rng rng(1);
+  for (auto _ : state) {
+    net::Packet p;
+    p.src = 1;
+    p.dst = 9;
+    p.ds.op = net::DsOp::kInsert;
+    p.ds.fingerprint = FingerprintFromHash(rng.Next());
+    p.ds.origin = 1;
+    benchmark::DoNotOptimize(dp.Process(std::move(p)));
+  }
+}
+BENCHMARK(BM_DataPlaneProcessInsert);
+
+void BM_MemoryFootprint(benchmark::State& state) {
+  for (auto _ : state) {
+    DirtySet ds{DirtySetConfig{}};
+    benchmark::DoNotOptimize(ds.MemoryBytes());
+    state.counters["MiB"] =
+        static_cast<double>(ds.MemoryBytes()) / (1024.0 * 1024.0);
+  }
+}
+BENCHMARK(BM_MemoryFootprint)->Iterations(1);
+
+}  // namespace
+}  // namespace switchfs::psw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Fig 2 (motivation): throughput scalability and latency of metadata
+// operations on the two emulated state-of-the-art baselines.
+//  (a) stat throughput vs #servers, uniform files in one shared directory —
+//      E-CFS scales (per-file hashing), E-InfiniFS is pinned to one server.
+//  (b) latency breakdown (network / storage / software) of stat and create.
+//  (c) create throughput vs #servers in a shared directory — neither scales
+//      (directory-update serialization).
+//  (d) create throughput vs cores per server — neither scales.
+#include <cinttypes>
+
+#include "bench/bench_util.h"
+
+namespace switchfs::bench {
+namespace {
+
+using baselines::SystemKind;
+
+void ThroughputVsServers(core::OpType op, bool fresh_names) {
+  std::printf("%-20s %8s %8s\n", "system", "servers", "Kops/s");
+  for (SystemKind kind : {SystemKind::kEInfiniFS, SystemKind::kECfs}) {
+    for (uint32_t servers : {4u, 8u, 12u, 16u}) {
+      auto world = MakeBaseline(kind, servers);
+      auto dirs = wl::PreloadDirs(*world, 1, "/shared");
+      std::unique_ptr<wl::OpStream> stream;
+      if (fresh_names) {
+        stream = std::make_unique<wl::FreshNameStream>(op, dirs, "n");
+      } else {
+        auto files = wl::PreloadFiles(*world, dirs, 4000);
+        stream = std::make_unique<wl::RandomChoiceStream>(op, files);
+      }
+      wl::RunnerConfig rc;
+      rc.workers = 256;
+      rc.total_ops = ScaledOps(op == core::OpType::kStat ? 60000 : 25000);
+      rc.warmup_ops = rc.total_ops / 10;
+      wl::RunResult r = wl::RunWorkload(*world, *stream, rc);
+      std::printf("%-20s %8u %8.1f\n", baselines::SystemName(kind), servers,
+                  r.ThroughputOpsPerSec() / 1e3);
+    }
+  }
+}
+
+void LatencyBreakdown() {
+  // Single-client latency plus its decomposition per the calibrated cost
+  // model (network = link/switch traversals, storage = KV + WAL, software =
+  // everything else). The decomposition is analytic; the total is measured.
+  std::printf("%-20s %-8s %10s %9s %9s %9s\n", "system", "op", "total(us)",
+              "net(us)", "store(us)", "sw(us)");
+  for (SystemKind kind : {SystemKind::kEInfiniFS, SystemKind::kECfs}) {
+    auto world = MakeBaseline(kind, 8);
+    auto dirs = wl::PreloadDirs(*world, 1, "/shared");
+    auto files = wl::PreloadFiles(*world, dirs, 1000);
+    const sim::CostModel costs;
+
+    for (core::OpType op : {core::OpType::kStat, core::OpType::kCreate}) {
+      std::unique_ptr<wl::OpStream> stream;
+      if (op == core::OpType::kCreate) {
+        stream = std::make_unique<wl::FreshNameStream>(op, dirs, "n");
+      } else {
+        stream = std::make_unique<wl::RandomChoiceStream>(op, files);
+      }
+      wl::RunnerConfig rc;
+      rc.workers = 1;  // one request at a time: pure latency
+      rc.total_ops = ScaledOps(3000);
+      rc.warmup_ops = 200;
+      wl::RunResult r = wl::RunWorkload(*world, *stream, rc);
+
+      const bool create = op == core::OpType::kCreate;
+      // Network: request + response, one RTT each through the plain switch;
+      // E-CFS create adds the cross-server directory-update round trip.
+      double rtts = 1.0;
+      if (create && kind == SystemKind::kECfs) {
+        rtts += 1.0;
+      }
+      const double net_us =
+          rtts * sim::ToMicros(2 * (2 * costs.link_latency +
+                                    costs.plain_switch_delay));
+      const double store_us =
+          create ? sim::ToMicros(costs.kv_get + costs.wal_append +
+                                 costs.kv_put)
+                 : sim::ToMicros(costs.kv_get);
+      const double sw_us = r.MeanLatencyUs() - net_us - store_us;
+      std::printf("%-20s %-8s %10.2f %9.2f %9.2f %9.2f\n",
+                  baselines::SystemName(kind), core::OpTypeName(op),
+                  r.MeanLatencyUs(), net_us, store_us, sw_us);
+    }
+  }
+}
+
+void CreateVsCores() {
+  std::printf("%-20s %8s %8s\n", "system", "cores", "Kops/s");
+  for (SystemKind kind : {SystemKind::kEInfiniFS, SystemKind::kECfs}) {
+    for (int cores : {2, 4, 6}) {
+      auto world = MakeBaseline(kind, 8, cores);
+      auto dirs = wl::PreloadDirs(*world, 1, "/shared");
+      wl::FreshNameStream stream(core::OpType::kCreate, dirs, "n");
+      wl::RunnerConfig rc;
+      rc.workers = 256;
+      rc.total_ops = ScaledOps(25000);
+      rc.warmup_ops = rc.total_ops / 10;
+      wl::RunResult r = wl::RunWorkload(*world, stream, rc);
+      std::printf("%-20s %8d %8.1f\n", baselines::SystemName(kind), cores,
+                  r.ThroughputOpsPerSec() / 1e3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace switchfs::bench
+
+int main() {
+  using namespace switchfs::bench;
+  PrintHeader("Fig 2(a): stat throughput, shared directory (load balance)");
+  ThroughputVsServers(switchfs::core::OpType::kStat, false);
+  PrintHeader("Fig 2(b): latency breakdown, 8 servers");
+  LatencyBreakdown();
+  PrintHeader("Fig 2(c): create throughput in a shared directory vs servers");
+  ThroughputVsServers(switchfs::core::OpType::kCreate, true);
+  PrintHeader("Fig 2(d): create throughput vs cores per server (8 servers)");
+  CreateVsCores();
+  return 0;
+}

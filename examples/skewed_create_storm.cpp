@@ -1,0 +1,72 @@
+// Skewed create storm: the paper's motivating scenario (§1, §3) — many
+// clients bursting file creates into one hot directory — run side by side on
+// SwitchFS and the two emulated state-of-the-art baselines.
+//
+//   $ ./examples/skewed_create_storm
+//
+// SwitchFS spreads the files by (parent, name) hash, defers the parent
+// directory updates into per-server change-logs, and lets the switch's dirty
+// set guarantee that the closing statdir still sees every file.
+#include <cstdio>
+#include <memory>
+
+#include "src/baselines/baseline.h"
+#include "src/core/cluster.h"
+#include "src/workload/generator.h"
+#include "src/workload/runner.h"
+
+using namespace switchfs;
+
+namespace {
+
+void Storm(core::FsWorld& world) {
+  world.PreloadDir("/hot");
+  wl::FreshNameStream stream(core::OpType::kCreate, {"/hot"}, "burst");
+  wl::RunnerConfig rc;
+  rc.workers = 128;
+  rc.total_ops = 8000;
+  rc.warmup_ops = 800;
+  wl::RunResult r = wl::RunWorkload(world, stream, rc);
+  std::printf("%-20s %8.1f Kops/s   mean %6.1f us   p99 %7.1f us\n",
+              world.name().c_str(), r.ThroughputOpsPerSec() / 1e3,
+              r.MeanLatencyUs(), r.PercentileUs(0.99));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("create storm: 128 clients hammering one directory "
+              "(8 servers)\n\n");
+  {
+    core::ClusterConfig cfg;
+    cfg.num_servers = 8;
+    core::Cluster cluster(cfg);
+    Storm(cluster);
+
+    // Prove no update was lost: the directory size must equal the number of
+    // successful creates.
+    auto client = cluster.MakeClient();
+    cluster.WarmClient(*client);
+    uint64_t size = 0;
+    sim::Spawn([](core::SwitchFsClient* c, uint64_t* out) -> sim::Task<void> {
+      auto attr = co_await c->StatDir("/hot");
+      *out = attr.ok() ? attr->size : 0;
+    }(client.get(), &size));
+    cluster.sim().Run();
+    std::printf("%-20s statdir(/hot) reports %llu entries (8000 creates "
+                "issued)\n\n",
+                "SwitchFS", static_cast<unsigned long long>(size));
+  }
+  for (auto kind :
+       {baselines::SystemKind::kEInfiniFS, baselines::SystemKind::kECfs}) {
+    baselines::BaselineConfig cfg;
+    cfg.kind = kind;
+    cfg.num_servers = 8;
+    baselines::BaselineCluster cluster(cfg);
+    Storm(cluster);
+  }
+  std::printf("\nThe baselines serialize every create on the hot directory's "
+              "server;\nSwitchFS absorbs the storm in per-server change-logs "
+              "(§5.3).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fixed-endian binary encoder/decoder used for KV values, WAL records, and
+// schema keys. Little-endian, length-prefixed strings; no varints (simulated
+// storage does not care about byte count beyond the coarse size model, and
+// fixed widths keep decode failure modes simple).
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace switchfs {
+
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { Append(&v, 1); }
+  void PutU16(uint16_t v) { AppendLe(v); }
+  void PutU32(uint32_t v) { AppendLe(v); }
+  void PutU64(uint64_t v) { AppendLe(v); }
+  void PutI64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  const std::string& data() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    // Host is little-endian on every supported platform; memcpy keeps it UB-free.
+    Append(&v, sizeof(T));
+  }
+  void Append(const void* p, size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t GetU8() { return GetLe<uint8_t>(); }
+  uint16_t GetU16() { return GetLe<uint16_t>(); }
+  uint32_t GetU32() { return GetLe<uint32_t>(); }
+  uint64_t GetU64() { return GetLe<uint64_t>(); }
+  int64_t GetI64() { return static_cast<int64_t>(GetLe<uint64_t>()); }
+  bool GetBool() { return GetU8() != 0; }
+
+  std::string GetString() {
+    const uint32_t len = GetU32();
+    if (!ok_ || remaining() < len) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  template <typename T>
+  T GetLe() {
+    if (remaining() < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace switchfs
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,23 @@
+#include "src/common/hash.h"
+
+namespace switchfs {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
+  size_t i = 0;
+  // Consume 8 bytes at a time for speed; hash quality comes from the mixer.
+  while (i + 8 <= len) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p + i, 8);
+    h = (h ^ Mix64(chunk)) * 0x100000001b3ULL;
+    i += 8;
+  }
+  while (i < len) {
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+    ++i;
+  }
+  return Mix64(h ^ len);
+}
+
+}  // namespace switchfs

@@ -1,0 +1,37 @@
+// Hashing utilities. SwitchFS derives both partition placement and switch
+// fingerprints from hashes of (parent-directory id, name) pairs (paper §4.3),
+// so the hash functions here must be stable across runs for reproducibility
+// and have good avalanche behaviour. We use a SplitMix64-based mixer and an
+// FNV-1a style streaming hash over bytes.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace switchfs {
+
+// Finalizer from SplitMix64; a strong 64-bit mixer.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Streaming 64-bit hash over bytes (FNV-1a core with a Mix64 finalizer).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+// Combines two 64-bit hashes (order-dependent).
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace switchfs
+
+#endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,101 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace switchfs {
+
+Histogram::Histogram() : buckets_(kBucketGroups * kSubBuckets, 0) {}
+
+size_t Histogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const auto v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<size_t>(v);
+  }
+  // Group g holds values in [2^(g+kSubBucketBits-1), 2^(g+kSubBucketBits)),
+  // divided into kSubBuckets equal sub-buckets.
+  const int msb = 63 - std::countl_zero(v);
+  const int group = msb - kSubBucketBits + 1;
+  const uint64_t sub = (v >> (msb - kSubBucketBits)) - kSubBuckets;
+  // group >= 1 here; layout: group 0 = identity buckets [0, kSubBuckets).
+  return static_cast<size_t>(group) * kSubBuckets + static_cast<size_t>(sub) +
+         kSubBuckets;
+}
+
+int64_t Histogram::BucketMidpoint(size_t index) {
+  if (index < kSubBuckets) {
+    return static_cast<int64_t>(index);
+  }
+  const size_t adjusted = index - kSubBuckets;
+  const size_t group = adjusted / kSubBuckets + 1;
+  const size_t sub = adjusted % kSubBuckets;
+  const uint64_t base = (static_cast<uint64_t>(kSubBuckets + sub))
+                        << (group - 1);
+  const uint64_t width = 1ULL << (group - 1);
+  return static_cast<int64_t>(base + width / 2);
+}
+
+void Histogram::Record(int64_t value) {
+  const size_t idx = BucketIndex(value);
+  assert(idx < buckets_.size());
+  buckets_[idx]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double quantile) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(quantile * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace switchfs

@@ -1,0 +1,45 @@
+// Latency histogram with log-linear buckets (HdrHistogram-style): relative
+// error is bounded (~1/32) across nine decades, which is plenty for reporting
+// the p25/p50/p75/p90/p99 latencies the paper uses (Fig 13, Fig 16).
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace switchfs {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  // quantile in [0, 1]; returns a representative value for that quantile.
+  int64_t Percentile(double quantile) const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per decade-ish
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketGroups = 40;  // covers > int64 range
+
+  static size_t BucketIndex(int64_t value);
+  static int64_t BucketMidpoint(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace switchfs
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

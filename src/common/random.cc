@@ -1,0 +1,85 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace switchfs {
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+namespace {
+
+double PowApprox(double base, double exp) { return std::pow(base, exp); }
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0 && theta != 1.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - PowApprox(2.0, -theta));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of 1/x^theta.
+  return PowApprox(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  return PowApprox((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (n_ == 1) {
+    return 0;
+  }
+  if (theta_ == 0.0) {
+    return rng.NextBelow(n_);
+  }
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    const auto k = static_cast<uint64_t>(x + 0.5);
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_) {
+      return (k >= 1 ? k : 1) - 1;
+    }
+    if (u >= H(kd + 0.5) - PowApprox(kd, -theta_)) {
+      return (k >= 1 ? k : 1) - 1;
+    }
+  }
+}
+
+DiscreteSampler::DiscreteSampler(std::vector<double> weights) {
+  double total = 0.0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  assert(total > 0.0);
+  for (double& c : cumulative_) {
+    c /= total;
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t DiscreteSampler::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  for (size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) {
+      return i;
+    }
+  }
+  return cumulative_.size() - 1;
+}
+
+}  // namespace switchfs

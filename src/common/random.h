@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation for the simulator and the
+// workload generators. All randomness in the repository flows through Rng so
+// that a (seed, config) pair reproduces a run bit-for-bit.
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace switchfs {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words.
+    for (auto& word : state_) {
+      seed = Mix64(seed + 0x9e3779b97f4a7c15ULL);
+      word = seed;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // bias for bounds << 2^64 is negligible for simulation purposes.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double probability_true) { return NextDouble() < probability_true; }
+
+  // Exponentially distributed with the given mean (for jitter / inter-arrival).
+  double NextExponential(double mean);
+
+  // Splits off an independent generator (for per-component determinism).
+  Rng Fork() { return Rng(Next() ^ 0xf02c9e5a11bdeadULL); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+// Zipf-distributed integers in [0, n). Used to model skewed directory /
+// file popularity (paper §3.1: "datacenter workload is skewed along multiple
+// dimensions"). Uses the rejection-inversion sampler of Hörmann, which is
+// O(1) per sample and needs no O(n) table.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// Weighted discrete sampler over a fixed small set of alternatives (used for
+// operation-mix workloads, Tab 5). Alias-free linear scan is fine for <32
+// entries.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights);
+
+  size_t Next(Rng& rng) const;
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace switchfs
+
+#endif  // SRC_COMMON_RANDOM_H_

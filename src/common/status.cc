@@ -1,0 +1,50 @@
+#include "src/common/status.h"
+
+namespace switchfs {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kNotEmpty:
+      return "NOT_EMPTY";
+    case StatusCode::kNotADirectory:
+      return "NOT_A_DIRECTORY";
+    case StatusCode::kIsADirectory:
+      return "IS_A_DIRECTORY";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kStaleCache:
+      return "STALE_CACHE";
+    case StatusCode::kOverflow:
+      return "OVERFLOW";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+    case StatusCode::kCrossDevice:
+      return "CROSS_DEVICE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace switchfs

@@ -1,0 +1,131 @@
+// Lightweight Status / StatusOr error-handling vocabulary used across the
+// codebase instead of exceptions (protocol code is coroutine-heavy and
+// exception propagation through coroutine frames is both slow and easy to get
+// wrong). Modeled after absl::Status but self-contained.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace switchfs {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,        // ENOENT
+  kAlreadyExists = 2,   // EEXIST
+  kNotEmpty = 3,        // ENOTEMPTY
+  kNotADirectory = 4,   // ENOTDIR
+  kIsADirectory = 5,    // EISDIR
+  kInvalidArgument = 6,
+  kPermissionDenied = 7,
+  kUnavailable = 8,     // server down / recovering
+  kTimeout = 9,         // RPC gave up after retries
+  kStaleCache = 10,     // client must invalidate and retry (internal)
+  kOverflow = 11,       // dirty-set insert failed (internal)
+  kConflict = 12,       // transaction conflict, retry (internal)
+  kCrossDevice = 13,    // EXDEV (rename would create orphaned loop)
+  kInternal = 14,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status NotFoundError(std::string m = "") {
+  return Status(StatusCode::kNotFound, std::move(m));
+}
+inline Status AlreadyExistsError(std::string m = "") {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status NotEmptyError(std::string m = "") {
+  return Status(StatusCode::kNotEmpty, std::move(m));
+}
+inline Status NotADirectoryError(std::string m = "") {
+  return Status(StatusCode::kNotADirectory, std::move(m));
+}
+inline Status IsADirectoryError(std::string m = "") {
+  return Status(StatusCode::kIsADirectory, std::move(m));
+}
+inline Status InvalidArgumentError(std::string m = "") {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status PermissionDeniedError(std::string m = "") {
+  return Status(StatusCode::kPermissionDenied, std::move(m));
+}
+inline Status UnavailableError(std::string m = "") {
+  return Status(StatusCode::kUnavailable, std::move(m));
+}
+inline Status TimeoutError(std::string m = "") {
+  return Status(StatusCode::kTimeout, std::move(m));
+}
+inline Status StaleCacheError(std::string m = "") {
+  return Status(StatusCode::kStaleCache, std::move(m));
+}
+inline Status InternalError(std::string m = "") {
+  return Status(StatusCode::kInternal, std::move(m));
+}
+
+// StatusOr<T>: either an OK status with a value, or a non-OK status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace switchfs
+
+#endif  // SRC_COMMON_STATUS_H_

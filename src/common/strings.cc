@@ -1,0 +1,69 @@
+#include "src/common/strings.h"
+
+namespace switchfs {
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] == '/') {
+      ++i;
+      continue;
+    }
+    size_t j = path.find('/', i);
+    if (j == std::string_view::npos) {
+      j = path.size();
+    }
+    parts.push_back(path.substr(i, j - i));
+    i = j;
+  }
+  return parts;
+}
+
+bool IsValidPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return false;
+  }
+  if (path == "/") {
+    return true;
+  }
+  if (path.back() == '/') {
+    return false;
+  }
+  size_t component_len = 0;
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/') {
+      if (component_len == 0) {
+        return false;  // "//" or "/a//b"
+      }
+      component_len = 0;
+    } else {
+      ++component_len;
+    }
+  }
+  return component_len > 0;
+}
+
+std::string_view ParentPath(std::string_view path) {
+  const size_t pos = path.rfind('/');
+  if (pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+std::string_view Basename(std::string_view path) {
+  const size_t pos = path.rfind('/');
+  return path.substr(pos + 1);
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') {
+    out.push_back('/');
+  }
+  out.append(name);
+  return out;
+}
+
+}  // namespace switchfs

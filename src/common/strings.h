@@ -1,0 +1,31 @@
+// Path manipulation helpers shared by clients of all five systems. Paths are
+// absolute, '/'-separated, and already normalized by callers ("/a/b"; no "."
+// or ".." components — the paper's protocol operates on resolved paths).
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace switchfs {
+
+// "/a/b/c" -> {"a", "b", "c"}; "/" -> {}.
+std::vector<std::string_view> SplitPath(std::string_view path);
+
+// Returns true for "/", "/a", "/a/b" style paths (absolute, no empty or
+// dot components, no trailing slash except the root itself).
+bool IsValidPath(std::string_view path);
+
+// "/a/b/c" -> "/a/b"; "/a" -> "/". Requires a valid non-root path.
+std::string_view ParentPath(std::string_view path);
+
+// "/a/b/c" -> "c". Requires a valid non-root path.
+std::string_view Basename(std::string_view path);
+
+// Joins with a single slash: ("/a", "b") -> "/a/b"; ("/", "b") -> "/b".
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace switchfs
+
+#endif  // SRC_COMMON_STRINGS_H_

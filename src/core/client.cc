@@ -1,0 +1,354 @@
+#include "src/core/client.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/sim/sync.h"
+
+namespace switchfs::core {
+
+SwitchFsClient::SwitchFsClient(sim::Simulator* sim, net::Network* net,
+                               ClusterContext* cluster,
+                               const sim::CostModel* costs, Config config)
+    : sim_(sim),
+      cluster_(cluster),
+      costs_(costs),
+      config_(std::move(config)),
+      rpc_(sim, net) {
+  // The root is always resolvable: its inode is keyed (0, "/").
+  CachedDir root;
+  root.id = RootId();
+  root.fp = FingerprintOf(InodeId{}, "/");
+  root.mode = 0755;
+  root.ancestors = {AncestorRef{RootId(), 0}};
+  cache_.Put("/", root);
+}
+
+const MetaResp* SwitchFsClient::UnwrapResponse(const net::MsgPtr& msg) {
+  if (msg == nullptr) {
+    return nullptr;
+  }
+  if (msg->type == InsertEnvelope::kType) {
+    const auto* env = static_cast<const InsertEnvelope*>(msg.get());
+    return net::MsgAs<MetaResp>(env->client_resp);
+  }
+  return net::MsgAs<MetaResp>(msg);
+}
+
+sim::Task<StatusOr<CachedDir>> SwitchFsClient::ResolveDir(
+    const std::string& path) {
+  co_await sim::Delay(sim_, costs_->cache_lookup);
+  if (const CachedDir* hit = cache_.Get(path)) {
+    cache_.hits++;
+    co_return *hit;
+  }
+  cache_.misses++;
+  if (path == "/") {
+    co_return InternalError("root must be cached");
+  }
+  // Resolve the parent first (recursively through the cache), then look the
+  // final component up at its owner.
+  auto parent = co_await ResolveDir(std::string(ParentPath(path)));
+  if (!parent.ok()) {
+    co_return parent.status();
+  }
+  const std::string name(Basename(path));
+  const psw::Fingerprint fp = FingerprintOf(parent->id, name);
+  auto req = std::make_shared<LookupReq>();
+  req->pid = parent->id;
+  req->name = name;
+  req->ancestors = parent->ancestors;
+  auto r = co_await rpc_.Call(
+      cluster_->ServerNode(cluster_->ring().Owner(fp)), req, config_.call);
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  const auto* resp = net::MsgAs<LookupResp>(*r);
+  if (resp == nullptr) {
+    co_return InternalError("bad lookup response");
+  }
+  if (resp->status == StatusCode::kStaleCache) {
+    for (const InodeId& id : resp->stale_ids) {
+      cache_.InvalidateId(id);
+    }
+    co_return StaleCacheError();
+  }
+  if (resp->status != StatusCode::kOk) {
+    co_return Status(resp->status);
+  }
+  if (!resp->attr.is_dir()) {
+    co_return NotADirectoryError(path);
+  }
+  CachedDir entry;
+  entry.id = resp->attr.id;
+  entry.fp = fp;
+  entry.mode = resp->attr.mode;
+  entry.ancestors = parent->ancestors;
+  entry.ancestors.push_back(AncestorRef{entry.id, resp->read_at});
+  cache_.Put(path, entry);
+  co_return entry;
+}
+
+sim::Task<StatusOr<PathRef>> SwitchFsClient::ResolveParent(
+    const std::string& path) {
+  if (!IsValidPath(path) || path == "/") {
+    co_return InvalidArgumentError(path);
+  }
+  auto parent = co_await ResolveDir(std::string(ParentPath(path)));
+  if (!parent.ok()) {
+    co_return parent.status();
+  }
+  PathRef ref;
+  ref.pid = parent->id;
+  ref.parent_fp = parent->fp;
+  ref.name = std::string(Basename(path));
+  ref.ancestors = parent->ancestors;
+  co_return ref;
+}
+
+sim::Task<SwitchFsClient::OpResult> SwitchFsClient::Issue(
+    OpType op, const std::string& path, bool want_entries) {
+  OpResult out;
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  const bool dir_read = op == OpType::kStatDir || op == OpType::kReaddir;
+
+  for (int attempt = 0; attempt < config_.max_op_retries; ++attempt) {
+    PathRef ref;
+    if (path == "/" && dir_read) {
+      // The root's inode is keyed (0, "/").
+      ref.pid = InodeId{};
+      ref.name = "/";
+      ref.parent_fp = FingerprintOf(InodeId{}, "/");
+      ref.ancestors = {AncestorRef{RootId(), 0}};
+    } else {
+      auto resolved = co_await ResolveParent(path);
+      if (!resolved.ok()) {
+        if (resolved.status().code() == StatusCode::kStaleCache ||
+            resolved.status().code() == StatusCode::kTimeout ||
+            resolved.status().code() == StatusCode::kUnavailable) {
+          co_await sim::Delay(sim_, config_.retry_backoff);
+          continue;
+        }
+        out.status = resolved.status();
+        co_return out;
+      }
+      ref = *std::move(resolved);
+    }
+
+    auto req = std::make_shared<MetaReq>();
+    req->op = op;
+    req->ref = ref;
+    req->want_entries = want_entries;
+
+    const psw::Fingerprint target_fp = FingerprintOf(ref.pid, ref.name);
+    const net::NodeId dst =
+        cluster_->ServerNode(cluster_->ring().Owner(target_fp));
+
+    net::CallOptions opts = config_.call;
+    if (dir_read) {
+      switch (config_.tracker) {
+        case TrackerMode::kSwitch:
+          opts.ds.op = net::DsOp::kQuery;
+          opts.ds.fingerprint = target_fp;
+          break;
+        case TrackerMode::kDedicatedServer: {
+          // Extra RTT to the tracker before the request proper (Fig 15a).
+          auto q = std::make_shared<TrackerOp>();
+          q->op = net::DsOp::kQuery;
+          q->fp = target_fp;
+          auto tr = co_await rpc_.Call(config_.tracker_node, q, config_.call);
+          req->scattered_hint =
+              tr.ok() && net::MsgAs<TrackerResp>(*tr) != nullptr &&
+              net::MsgAs<TrackerResp>(*tr)->present;
+          break;
+        }
+        case TrackerMode::kOwnerServer:
+          break;  // the owner consults its local state
+      }
+    }
+
+    auto r = co_await rpc_.Call(dst, req, opts);
+    if (!r.ok()) {
+      co_await sim::Delay(sim_, config_.retry_backoff);
+      continue;
+    }
+    const MetaResp* resp = UnwrapResponse(*r);
+    if (resp == nullptr) {
+      out.status = InternalError("bad response");
+      co_return out;
+    }
+    if (resp->status == StatusCode::kStaleCache) {
+      for (const InodeId& id : resp->stale_ids) {
+        cache_.InvalidateId(id);
+      }
+      continue;
+    }
+    if (resp->status == StatusCode::kUnavailable) {
+      co_await sim::Delay(sim_, config_.retry_backoff);
+      continue;
+    }
+    out.status = Status(resp->status);
+    out.attr = resp->attr;
+    out.entries = resp->entries;
+    co_return out;
+  }
+  out.status = TimeoutError("op retries exhausted");
+  co_return out;
+}
+
+sim::Task<Status> SwitchFsClient::Create(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kCreate, path, false);
+  co_return r.status;
+}
+
+sim::Task<Status> SwitchFsClient::Unlink(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kUnlink, path, false);
+  co_return r.status;
+}
+
+sim::Task<Status> SwitchFsClient::Mkdir(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kMkdir, path, false);
+  co_return r.status;
+}
+
+sim::Task<Status> SwitchFsClient::Rmdir(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kRmdir, path, false);
+  if (r.status.ok()) {
+    cache_.ErasePath(path);
+  }
+  co_return r.status;
+}
+
+sim::Task<StatusOr<Attr>> SwitchFsClient::Stat(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kStat, path, false);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  co_return r.attr;
+}
+
+sim::Task<StatusOr<Attr>> SwitchFsClient::StatDir(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kStatDir, path, false);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  co_return r.attr;
+}
+
+sim::Task<StatusOr<std::vector<DirEntry>>> SwitchFsClient::Readdir(
+    const std::string& path) {
+  OpResult r = co_await Issue(OpType::kReaddir, path, true);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  co_return r.entries;
+}
+
+sim::Task<StatusOr<Attr>> SwitchFsClient::Open(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kOpen, path, false);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  co_return r.attr;
+}
+
+sim::Task<Status> SwitchFsClient::Close(const std::string& path) {
+  OpResult r = co_await Issue(OpType::kClose, path, false);
+  co_return r.status;
+}
+
+sim::Task<Status> SwitchFsClient::Link(const std::string& src,
+                                       const std::string& dst) {
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  for (int attempt = 0; attempt < config_.max_op_retries; ++attempt) {
+    auto s = co_await ResolveParent(src);
+    if (!s.ok()) {
+      if (s.status().code() == StatusCode::kStaleCache) {
+        continue;
+      }
+      co_return s.status();
+    }
+    auto d = co_await ResolveParent(dst);
+    if (!d.ok()) {
+      if (d.status().code() == StatusCode::kStaleCache) {
+        continue;
+      }
+      co_return d.status();
+    }
+    auto req = std::make_shared<MetaReq>();
+    req->op = OpType::kLink;
+    req->ref = *d;
+    req->ref2 = *s;
+    const psw::Fingerprint target_fp = FingerprintOf(d->pid, d->name);
+    auto r = co_await rpc_.Call(
+        cluster_->ServerNode(cluster_->ring().Owner(target_fp)), req,
+        config_.txn_call);
+    if (!r.ok()) {
+      co_await sim::Delay(sim_, config_.retry_backoff);
+      continue;
+    }
+    const MetaResp* resp = UnwrapResponse(*r);
+    if (resp == nullptr) {
+      co_return InternalError("bad link response");
+    }
+    if (resp->status == StatusCode::kStaleCache) {
+      for (const InodeId& id : resp->stale_ids) {
+        cache_.InvalidateId(id);
+      }
+      continue;
+    }
+    co_return Status(resp->status);
+  }
+  co_return TimeoutError("link retries exhausted");
+}
+
+sim::Task<Status> SwitchFsClient::Rename(const std::string& from,
+                                         const std::string& to) {
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  for (int attempt = 0; attempt < config_.max_op_retries; ++attempt) {
+    auto src = co_await ResolveParent(from);
+    if (!src.ok()) {
+      if (src.status().code() == StatusCode::kStaleCache) {
+        continue;
+      }
+      co_return src.status();
+    }
+    auto dst = co_await ResolveParent(to);
+    if (!dst.ok()) {
+      if (dst.status().code() == StatusCode::kStaleCache) {
+        continue;
+      }
+      co_return dst.status();
+    }
+    auto req = std::make_shared<MetaReq>();
+    req->op = OpType::kRename;
+    req->ref = *src;
+    req->ref2 = *dst;
+    auto r = co_await rpc_.Call(
+        cluster_->ServerNode(config_.rename_coordinator), req,
+        config_.txn_call);
+    if (!r.ok()) {
+      co_await sim::Delay(sim_, config_.retry_backoff);
+      continue;
+    }
+    const MetaResp* resp = UnwrapResponse(*r);
+    if (resp == nullptr) {
+      co_return InternalError("bad rename response");
+    }
+    if (resp->status == StatusCode::kStaleCache) {
+      for (const InodeId& id : resp->stale_ids) {
+        cache_.InvalidateId(id);
+      }
+      continue;
+    }
+    if (resp->status == StatusCode::kOk) {
+      // The moved path (and everything cached beneath a moved directory) is
+      // stale in our own cache too.
+      cache_.ErasePath(from);
+    }
+    co_return Status(resp->status);
+  }
+  co_return TimeoutError("rename retries exhausted");
+}
+
+}  // namespace switchfs::core

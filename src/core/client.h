@@ -1,0 +1,103 @@
+// LibFS: the SwitchFS client library (paper §4.2). Resolves paths through a
+// directory-metadata cache, routes each operation to the owner of the target
+// (pid, name) hash, attaches dirty-set queries to directory reads, unwraps
+// insert-ack envelopes, and retries operations bounced by stale-cache
+// invalidations.
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/client_cache.h"
+#include "src/core/messages.h"
+#include "src/core/metadata_service.h"
+#include "src/core/server.h"
+#include "src/net/rpc.h"
+
+namespace switchfs::core {
+
+class SwitchFsClient : public MetadataService {
+ public:
+  struct Config {
+    TrackerMode tracker = TrackerMode::kSwitch;
+    net::NodeId tracker_node = net::kInvalidNode;
+    uint32_t rename_coordinator = 0;
+    int max_op_retries = 12;
+    sim::SimTime retry_backoff = sim::Microseconds(200);
+    net::CallOptions call = [] {
+      net::CallOptions o;
+      o.timeout = sim::Milliseconds(2);
+      o.max_attempts = 8;
+      return o;
+    }();
+    // Renames are multi-RPC distributed transactions; a premature client
+    // timeout spawns a duplicate transaction that contends with the original
+    // (locks, EEXIST aborts), so their deadline is transaction-scale.
+    net::CallOptions txn_call = [] {
+      net::CallOptions o;
+      o.timeout = sim::Milliseconds(50);
+      o.max_attempts = 3;
+      return o;
+    }();
+  };
+
+  SwitchFsClient(sim::Simulator* sim, net::Network* net,
+                 ClusterContext* cluster, const sim::CostModel* costs,
+                 Config config);
+
+  // MetadataService:
+  sim::Task<Status> Create(const std::string& path) override;
+  sim::Task<Status> Unlink(const std::string& path) override;
+  sim::Task<Status> Mkdir(const std::string& path) override;
+  sim::Task<Status> Rmdir(const std::string& path) override;
+  sim::Task<StatusOr<Attr>> Stat(const std::string& path) override;
+  sim::Task<StatusOr<Attr>> StatDir(const std::string& path) override;
+  sim::Task<StatusOr<std::vector<DirEntry>>> Readdir(
+      const std::string& path) override;
+  sim::Task<StatusOr<Attr>> Open(const std::string& path) override;
+  sim::Task<Status> Close(const std::string& path) override;
+  sim::Task<Status> Rename(const std::string& from,
+                           const std::string& to) override;
+  // Hard link (§5.5): `dst` becomes another name for `src`'s file. Not part
+  // of MetadataService — the baselines do not implement hard links.
+  sim::Task<Status> Link(const std::string& src, const std::string& dst);
+
+  ClientCache& cache() { return cache_; }
+  net::RpcEndpoint& rpc() { return rpc_; }
+
+  // Seeds a cache entry (bench warm-up fast path).
+  void WarmCache(const std::string& path, const CachedDir& entry) {
+    cache_.Put(path, entry);
+  }
+
+ private:
+  struct OpResult {
+    Status status;
+    Attr attr;
+    std::vector<DirEntry> entries;
+  };
+
+  // Resolves the parent directory of `path` into a PathRef. May issue
+  // lookups; bounces stale cache entries internally.
+  sim::Task<StatusOr<PathRef>> ResolveParent(const std::string& path);
+  // Resolves one directory path to a cache entry (see ResolveParent).
+  sim::Task<StatusOr<CachedDir>> ResolveDir(const std::string& path);
+
+  sim::Task<OpResult> Issue(OpType op, const std::string& path,
+                            bool want_entries);
+  // Unwraps InsertEnvelope responses and maps the response message.
+  static const MetaResp* UnwrapResponse(const net::MsgPtr& msg);
+
+  sim::Simulator* sim_;
+  ClusterContext* cluster_;
+  const sim::CostModel* costs_;
+  Config config_;
+  net::RpcEndpoint rpc_;
+  ClientCache cache_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_CLIENT_H_

@@ -1,0 +1,75 @@
+// Client-side metadata cache (paper §4.2): caches only *directory* metadata
+// (id, permissions, fingerprint) keyed by path, to accelerate path
+// resolution. Entries record the full ancestor-id chain so that a server-side
+// invalidation of any ancestor drops every dependent entry.
+#ifndef SRC_CORE_CLIENT_CACHE_H_
+#define SRC_CORE_CLIENT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/messages.h"
+#include "src/core/types.h"
+#include "src/pswitch/fingerprint.h"
+
+namespace switchfs::core {
+
+struct CachedDir {
+  InodeId id;
+  psw::Fingerprint fp = 0;   // fingerprint of the directory's (pid, name)
+  uint32_t mode = 0755;
+  // Every component on the path to this directory, inclusive, with the
+  // server-side read time of each entry (invalidation ordering).
+  std::vector<AncestorRef> ancestors;
+};
+
+class ClientCache {
+ public:
+  const CachedDir* Get(const std::string& path) const {
+    auto it = map_.find(path);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void Put(const std::string& path, CachedDir entry) {
+    map_[path] = std::move(entry);
+  }
+
+  void ErasePath(const std::string& path) { map_.erase(path); }
+
+  // Drops every entry whose ancestor chain contains `id` (the entry itself
+  // included). Returns the number of dropped entries.
+  size_t InvalidateId(const InodeId& id) {
+    size_t dropped = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      bool hit = false;
+      for (const AncestorRef& a : it->second.ancestors) {
+        if (a.id == id) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        it = map_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
+  void Clear() { map_.clear(); }
+  size_t size() const { return map_.size(); }
+
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+ private:
+  std::unordered_map<std::string, CachedDir> map_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_CLIENT_CACHE_H_

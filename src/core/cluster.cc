@@ -1,0 +1,303 @@
+#include "src/core/cluster.h"
+
+#include <cassert>
+
+#include "src/common/strings.h"
+
+namespace switchfs::core {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  net_ = std::make_unique<net::Network>(&sim_, &config_.costs, config_.seed);
+
+  if (config_.tracker == TrackerMode::kSwitch) {
+    data_plane_ = std::make_unique<psw::DataPlane>(config_.switch_config);
+    net_->SetSwitch(data_plane_.get());
+  } else {
+    plain_switch_ =
+        std::make_unique<net::PlainSwitch>(config_.costs.plain_switch_delay);
+    net_->SetSwitch(plain_switch_.get());
+    if (config_.tracker == TrackerMode::kDedicatedServer) {
+      tracker_ = std::make_unique<TrackerServer>(&sim_, net_.get(),
+                                                 &config_.costs);
+    }
+  }
+  net_->SetFaults(config_.faults);
+
+  for (uint32_t i = 0; i < config_.num_servers; ++i) {
+    ring_.AddServer(i);
+  }
+  for (uint32_t i = 0; i < config_.num_servers; ++i) {
+    durables_.push_back(std::make_unique<DurableState>());
+    ServerConfig sc = config_.server_template;
+    sc.index = i;
+    sc.cores = config_.cores_per_server;
+    sc.async_updates = config_.async_updates;
+    sc.compaction = config_.compaction;
+    sc.tracker = config_.tracker;
+    sc.tracker_node =
+        tracker_ != nullptr ? tracker_->node_id() : net::kInvalidNode;
+    servers_.push_back(std::make_unique<SwitchServer>(
+        &sim_, net_.get(), this, durables_.back().get(), &config_.costs, sc));
+  }
+  std::vector<net::NodeId> group;
+  for (const auto& s : servers_) {
+    group.push_back(s->node_id());
+  }
+  if (data_plane_ != nullptr) {
+    data_plane_->SetServerGroup(group);
+  }
+  if (plain_switch_ != nullptr) {
+    plain_switch_->SetServerGroup(group);
+  }
+  for (const auto& s : servers_) {
+    s->SeedRoot();
+  }
+
+  PreloadedDir root;
+  root.id = RootId();
+  root.fp = FingerprintOf(InodeId{}, "/");
+  root.ancestors = {RootId()};
+  preloaded_["/"] = root;
+}
+
+Cluster::~Cluster() = default;
+
+std::unique_ptr<SwitchFsClient> Cluster::MakeClient() {
+  SwitchFsClient::Config cc;
+  cc.tracker = config_.tracker;
+  cc.tracker_node =
+      tracker_ != nullptr ? tracker_->node_id() : net::kInvalidNode;
+  cc.rename_coordinator = config_.server_template.rename_coordinator;
+  return std::make_unique<SwitchFsClient>(&sim_, net_.get(), this,
+                                          &config_.costs, cc);
+}
+
+void Cluster::CrashServer(uint32_t i) { servers_[i]->Crash(); }
+
+sim::Task<void> Cluster::RecoverServer(uint32_t i) {
+  co_await servers_[i]->Recover();
+}
+
+void Cluster::CrashSwitch() {
+  net_->SetSwitchDown(true);
+  if (data_plane_ != nullptr) {
+    data_plane_->Reset();  // all register state is lost
+  }
+}
+
+sim::Task<void> Cluster::RecoverSwitch() {
+  // The switch reboots with an empty dirty set (already Reset). All servers
+  // stop serving, flush their change-logs so every deferred update is applied
+  // and every directory is back in normal state, then resume (§5.4.2).
+  for (auto& s : servers_) {
+    s->SetServing(false);
+  }
+  net_->SetSwitchDown(false);
+  for (auto& s : servers_) {
+    co_await s->FlushAllChangeLogs();
+  }
+  for (auto& s : servers_) {
+    s->SetServing(true);
+  }
+}
+
+sim::Task<void> Cluster::AddServerAndRebalance() {
+  // Step 1: stop the world and aggregate everything (§A.3).
+  for (auto& s : servers_) {
+    s->SetServing(false);
+  }
+  for (auto& s : servers_) {
+    co_await s->FlushAllChangeLogs();
+  }
+  for (auto& s : servers_) {
+    co_await s->AggregateAllOwnedDirs();
+  }
+
+  // Step 2: extend the ring, then migrate misplaced metadata (two-phase
+  // commit degenerates to install-then-delete here because the simulated
+  // coordinator cannot crash mid-procedure; see DESIGN.md).
+  const uint32_t new_index = static_cast<uint32_t>(servers_.size());
+  durables_.push_back(std::make_unique<DurableState>());
+  ServerConfig sc = config_.server_template;
+  sc.index = new_index;
+  sc.cores = config_.cores_per_server;
+  sc.async_updates = config_.async_updates;
+  sc.compaction = config_.compaction;
+  sc.tracker = config_.tracker;
+  sc.tracker_node =
+      tracker_ != nullptr ? tracker_->node_id() : net::kInvalidNode;
+  servers_.push_back(std::make_unique<SwitchServer>(
+      &sim_, net_.get(), this, durables_.back().get(), &config_.costs, sc));
+  ring_.AddServer(new_index);
+
+  std::vector<net::NodeId> group;
+  for (const auto& s : servers_) {
+    group.push_back(s->node_id());
+  }
+  if (data_plane_ != nullptr) {
+    data_plane_->SetServerGroup(group);
+  }
+  if (plain_switch_ != nullptr) {
+    plain_switch_->SetServerGroup(group);
+  }
+
+  for (uint32_t i = 0; i < new_index; ++i) {
+    SwitchServer::MigrationBatch batch = servers_[i]->ExtractMisplaced(ring_);
+    // All misplaced data moves to the new server under consistent hashing
+    // with a single added node.
+    servers_[new_index]->InstallBatch(batch);
+  }
+  servers_[new_index]->SeedRoot();
+
+  // Step 3: resume.
+  for (auto& s : servers_) {
+    s->SetServing(true);
+  }
+}
+
+namespace {
+
+// Inode key of a preloaded directory path: (parent id, name); the root is
+// keyed (0, "/").
+std::string PreloadInodeKeyFor(
+    const std::unordered_map<std::string, Cluster::PreloadedDir>& dirs,
+    const std::string& path) {
+  if (path == "/") {
+    return InodeKey(InodeId{}, "/");
+  }
+  const std::string parent(ParentPath(path));
+  return InodeKey(dirs.at(parent).id, Basename(path));
+}
+
+}  // namespace
+
+void Cluster::BumpPreloadedDirSize(const std::string& dir_path) {
+  const PreloadedDir& dir = preloaded_.at(dir_path);
+  SwitchServer& owner = *servers_[ring_.Owner(dir.fp)];
+  const std::string ikey = PreloadInodeKeyFor(preloaded_, dir_path);
+  auto value = owner.kv_for_test().Get(ikey);
+  if (value.has_value()) {
+    Attr attr = Attr::Decode(*value);
+    attr.size += 1;
+    owner.PreloadInode(ikey, attr);
+  }
+}
+
+const Cluster::PreloadedDir& Cluster::PreloadMkdir(const std::string& path) {
+  auto it = preloaded_.find(path);
+  if (it != preloaded_.end()) {
+    return it->second;
+  }
+  const std::string parent_path(ParentPath(path));
+  auto pit = preloaded_.find(parent_path);
+  assert(pit != preloaded_.end() && "preload parents before children");
+  const PreloadedDir& parent = pit->second;
+  const std::string name(Basename(path));
+
+  PreloadedDir dir;
+  dir.id.w[0] = HashString(path);
+  dir.id.w[1] = HashString(path, 1);
+  dir.id.w[2] = HashString(path, 2);
+  dir.id.w[3] = 3;
+  dir.fp = FingerprintOf(parent.id, name);
+  dir.ancestors = parent.ancestors;
+  dir.ancestors.push_back(dir.id);
+
+  Attr attr;
+  attr.id = dir.id;
+  attr.type = FileType::kDirectory;
+  attr.mode = 0755;
+  const std::string ikey = InodeKey(parent.id, name);
+  SwitchServer& owner = *servers_[ring_.Owner(dir.fp)];
+  owner.PreloadInode(ikey, attr);
+  owner.PreloadDirIndex(dir.id, ikey, dir.fp);
+
+  servers_[ring_.Owner(parent.fp)]->PreloadEntry(parent.id, name,
+                                                 FileType::kDirectory);
+  const PreloadedDir& result = preloaded_[path] = dir;
+  BumpPreloadedDirSize(parent_path);
+  return result;
+}
+
+void Cluster::PreloadFile(const std::string& path) {
+  const std::string parent_path(ParentPath(path));
+  auto pit = preloaded_.find(parent_path);
+  assert(pit != preloaded_.end() && "preload the parent directory first");
+  const PreloadedDir& parent = pit->second;
+  const std::string name(Basename(path));
+
+  Attr attr;
+  attr.id.w[0] = HashString(path);
+  attr.id.w[1] = HashString(path, 7);
+  attr.id.w[3] = 4;
+  attr.type = FileType::kFile;
+  attr.mode = 0644;
+  const psw::Fingerprint fp = FingerprintOf(parent.id, name);
+  servers_[ring_.Owner(fp)]->PreloadInode(InodeKey(parent.id, name), attr);
+
+  servers_[ring_.Owner(parent.fp)]->PreloadEntry(parent.id, name,
+                                                 FileType::kFile);
+  BumpPreloadedDirSize(parent_path);
+}
+
+const Cluster::PreloadedDir* Cluster::preloaded(const std::string& path) const {
+  auto it = preloaded_.find(path);
+  return it == preloaded_.end() ? nullptr : &it->second;
+}
+
+void Cluster::WarmClient(SwitchFsClient& client) const {
+  for (const auto& [path, dir] : preloaded_) {
+    CachedDir entry;
+    entry.id = dir.id;
+    entry.fp = dir.fp;
+    entry.mode = 0755;
+    for (const InodeId& a : dir.ancestors) {
+      entry.ancestors.push_back(AncestorRef{a, 0});
+    }
+    client.WarmCache(path, entry);
+  }
+}
+
+void Cluster::Checkpoint() {
+  for (auto& d : durables_) {
+    // Truncate the longest applied prefix.
+    uint64_t up_to = 0;
+    for (const kv::WalRecord& r : d->wal.records()) {
+      if (!r.applied) {
+        break;
+      }
+      up_to = r.lsn;
+    }
+    if (up_to > 0) {
+      d->wal.TruncateUpTo(up_to);
+    }
+  }
+}
+
+SwitchServer::Stats Cluster::TotalStats() const {
+  SwitchServer::Stats total;
+  for (const auto& s : servers_) {
+    const auto& st = s->stats();
+    total.ops += st.ops;
+    total.aggregations += st.aggregations;
+    total.agg_retries += st.agg_retries;
+    total.entries_applied += st.entries_applied;
+    total.entries_deduped += st.entries_deduped;
+    total.pushes_sent += st.pushes_sent;
+    total.pushes_received += st.pushes_received;
+    total.fallbacks += st.fallbacks;
+    total.stale_cache_bounces += st.stale_cache_bounces;
+    total.wal_replayed += st.wal_replayed;
+  }
+  return total;
+}
+
+size_t Cluster::TotalPendingChangeLogEntries() const {
+  size_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->PendingChangeLogEntries();
+  }
+  return total;
+}
+
+}  // namespace switchfs::core

@@ -1,0 +1,34 @@
+// FsWorld: the uniform handle benches and examples use to drive any of the
+// five systems (SwitchFS + four baselines). One workload runner, five
+// implementations — mirroring the paper's "same storage and networking
+// framework" fairness argument (§7.1).
+#ifndef SRC_CORE_FS_WORLD_H_
+#define SRC_CORE_FS_WORLD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/metadata_service.h"
+#include "src/sim/simulator.h"
+
+namespace switchfs::core {
+
+class FsWorld {
+ public:
+  virtual ~FsWorld() = default;
+
+  virtual sim::Simulator& world_sim() = 0;
+  // Creates a client; `warm` seeds its path-resolution cache with every
+  // preloaded directory (bench steady-state behaviour).
+  virtual std::unique_ptr<MetadataService> NewClient(bool warm) = 0;
+
+  // Namespace preload (bypasses the protocol; used for bench setup).
+  virtual void PreloadDir(const std::string& path) = 0;
+  virtual void PreloadFileAt(const std::string& path) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_FS_WORLD_H_

@@ -1,0 +1,71 @@
+// Lazy client-cache invalidation (paper §4.2/§5.2, as in InfiniFS): when a
+// directory is removed, renamed, or changes permission, its id is appended to
+// every server's invalidation list; servers check the ancestor ids a request
+// resolved through and bounce stale requests back to the client.
+#ifndef SRC_CORE_INVALIDATION_H_
+#define SRC_CORE_INVALIDATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace switchfs::core {
+
+class InvalidationList {
+ public:
+  void Add(const InodeId& id, int64_t now) { entries_[id] = now; }
+
+  bool Contains(const InodeId& id) const { return entries_.count(id) > 0; }
+
+  // Returns the ancestors whose cache entries predate an invalidation of the
+  // same id (the stale set to report back to the client). Entries re-fetched
+  // after the invalidation pass the check.
+  template <typename AncestorRefVec>
+  std::vector<InodeId> Check(const AncestorRefVec& ancestors) const {
+    std::vector<InodeId> stale;
+    for (const auto& a : ancestors) {
+      auto it = entries_.find(a.id);
+      if (it != entries_.end() && it->second >= a.cached_at) {
+        stale.push_back(a.id);
+      }
+    }
+    return stale;
+  }
+
+  // Drops entries older than `before` (safe once every client cache entry
+  // that could reference them has itself expired).
+  void PruneBefore(int64_t before) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second < before) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Snapshot / merge used to clone the list during crash recovery (§5.4.2).
+  std::vector<std::pair<InodeId, int64_t>> Snapshot() const {
+    return {entries_.begin(), entries_.end()};
+  }
+  void Merge(const std::vector<std::pair<InodeId, int64_t>>& snapshot) {
+    for (const auto& [id, t] : snapshot) {
+      auto it = entries_.find(id);
+      if (it == entries_.end() || it->second < t) {
+        entries_[id] = t;
+      }
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::unordered_map<InodeId, int64_t, InodeIdHash> entries_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_INVALIDATION_H_

@@ -1,0 +1,104 @@
+// Reference-counted table of per-key reader/writer locks, used for inode
+// locks and change-log locks on metadata servers. Slots are created on first
+// acquisition and reclaimed when the last holder/waiter releases, so the
+// table's footprint tracks the working set rather than the filesystem size.
+#ifndef SRC_CORE_LOCK_TABLE_H_
+#define SRC_CORE_LOCK_TABLE_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace switchfs::core {
+
+class LockTable {
+ public:
+  explicit LockTable(sim::Simulator* sim) : sim_(sim) {}
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  class [[nodiscard]] Handle {
+   public:
+    Handle() = default;
+    Handle(LockTable* table, std::string key, sim::SharedMutex::Guard guard)
+        : table_(table), key_(std::move(key)), guard_(std::move(guard)) {}
+    Handle(Handle&& o) noexcept
+        : table_(std::exchange(o.table_, nullptr)),
+          key_(std::move(o.key_)),
+          guard_(std::move(o.guard_)) {}
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        Release();
+        table_ = std::exchange(o.table_, nullptr);
+        key_ = std::move(o.key_);
+        guard_ = std::move(o.guard_);
+      }
+      return *this;
+    }
+    ~Handle() { Release(); }
+
+    void Release() {
+      if (table_ != nullptr) {
+        guard_.Release();
+        std::exchange(table_, nullptr)->Unref(key_);
+      }
+    }
+    bool held() const { return table_ != nullptr; }
+
+   private:
+    LockTable* table_ = nullptr;
+    std::string key_;
+    sim::SharedMutex::Guard guard_;
+  };
+
+  sim::Task<Handle> AcquireShared(std::string key) {
+    Slot* slot = Ref(key);
+    auto guard = co_await slot->mu.AcquireShared();
+    co_return Handle(this, std::move(key), std::move(guard));
+  }
+
+  sim::Task<Handle> AcquireExclusive(std::string key) {
+    Slot* slot = Ref(key);
+    auto guard = co_await slot->mu.AcquireExclusive();
+    co_return Handle(this, std::move(key), std::move(guard));
+  }
+
+  size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    explicit Slot(sim::Simulator* sim) : mu(sim) {}
+    sim::SharedMutex mu;
+    int refs = 0;
+  };
+
+  Slot* Ref(const std::string& key) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      it = slots_.emplace(key, std::make_unique<Slot>(sim_)).first;
+    }
+    it->second->refs++;
+    return it->second.get();
+  }
+
+  void Unref(const std::string& key) {
+    auto it = slots_.find(key);
+    assert(it != slots_.end());
+    if (--it->second->refs == 0) {
+      slots_.erase(it);
+    }
+  }
+
+  sim::Simulator* sim_;
+  std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_LOCK_TABLE_H_

@@ -1,0 +1,337 @@
+// RPC message bodies for the SwitchFS protocol (client<->server and
+// server<->server). Message type tags 100-199 are reserved for this module.
+#ifndef SRC_CORE_MESSAGES_H_
+#define SRC_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/change_log.h"
+#include "src/core/types.h"
+#include "src/net/packet.h"
+#include "src/pswitch/fingerprint.h"
+
+namespace switchfs::core {
+
+// One resolved ancestor: the directory id plus the server-side read time of
+// the cache entry it came from. Invalidation checks compare this against the
+// invalidation entry's timestamp (InfiniFS-style lazy invalidation): only
+// entries cached *before* the invalidation are stale, so a failed rmdir does
+// not poison re-fetched cache entries forever.
+struct AncestorRef {
+  InodeId id;
+  int64_t cached_at = 0;
+};
+
+// A client-resolved reference to a (parent directory, name) target, plus the
+// ancestor chain the resolution walked through (checked against server
+// invalidation lists, §5.2.1 step 3).
+struct PathRef {
+  InodeId pid;                      // parent directory id
+  psw::Fingerprint parent_fp = 0;   // parent directory's fingerprint
+  std::string name;                 // target component name
+  std::vector<AncestorRef> ancestors;
+};
+
+// --- client -> metadata server ---
+
+struct MetaReq : net::Message {
+  static constexpr uint32_t kType = 100;
+  MetaReq() : Message(kType) {}
+  OpType op = OpType::kStat;
+  PathRef ref;
+  uint32_t mode = 0644;       // create/mkdir permission bits
+  PathRef ref2;               // rename destination / link source
+  bool want_entries = false;  // readdir
+  // Dedicated-tracker mode (§7.3.3): the client pre-queried the tracker and
+  // forwards the scattered bit here (the switch path stamps ds.ret instead).
+  bool scattered_hint = false;
+  // Subtree routing keys (CephFS-sim): top-level component of the target
+  // path (and of the rename destination).
+  std::string top;
+  std::string top2;
+};
+
+struct MetaResp : net::Message {
+  static constexpr uint32_t kType = 101;
+  MetaResp() : Message(kType) {}
+  explicit MetaResp(StatusCode s) : Message(kType), status(s) {}
+  StatusCode status = StatusCode::kOk;
+  Attr attr;
+  std::vector<DirEntry> entries;      // readdir payload
+  std::vector<InodeId> stale_ids;     // kStaleCache: ancestors to invalidate
+};
+
+// --- dirty-set insert envelope (rides the kInsert packet, §5.2.1 step 6) ---
+//
+// Carries (a) the pre-built response the switch forwards to the client on
+// success (7a), and (b) the change-log backlog the parent's owner needs to
+// apply the update synchronously if the insert overflows and the address
+// rewriter redirects the packet (§6.2). The mirror copy (7b) tells the
+// executing server to release its locks.
+struct InsertEnvelope : net::Message {
+  static constexpr uint32_t kType = 102;
+  InsertEnvelope() : Message(kType) {}
+  net::MsgPtr client_resp;
+  InodeId dir;                     // the parent directory being updated
+  psw::Fingerprint fp = 0;
+  uint32_t src_server = 0;         // metadata-server index of the origin
+  uint64_t op_token = 0;           // matches the waiting create coroutine
+  std::vector<ChangeLogEntry> backlog;  // full unacked backlog for `dir`
+};
+
+// --- aggregation (rides the kRemove multicast, §5.2.2 step 5) ---
+
+struct AggCollect : net::Message {
+  static constexpr uint32_t kType = 103;
+  AggCollect() : Message(kType) {}
+  psw::Fingerprint fp = 0;
+  uint32_t initiator_server = 0;
+  net::NodeId initiator_node = net::kInvalidNode;
+  uint64_t agg_seq = 0;  // the dirty-set remove sequence number
+  // rmdir: receivers insert the target into their invalidation lists before
+  // snapshotting change-logs (Fig 6 step 5).
+  bool invalidate = false;
+  InodeId invalidate_id;
+};
+
+// Responder -> initiator: all pending change-log entries in the fingerprint
+// group (RPC; the response is an empty ack).
+struct AggEntries : net::Message {
+  static constexpr uint32_t kType = 104;
+  AggEntries() : Message(kType) {}
+  psw::Fingerprint fp = 0;
+  uint64_t agg_seq = 0;
+  uint32_t src_server = 0;
+  struct PerDir {
+    InodeId dir;
+    std::vector<ChangeLogEntry> entries;
+  };
+  std::vector<PerDir> dirs;
+};
+
+struct Ack : net::Message {
+  static constexpr uint32_t kType = 105;
+  Ack() : Message(kType) {}
+  explicit Ack(StatusCode s) : Message(kType), status(s) {}
+  StatusCode status = StatusCode::kOk;
+};
+
+// Initiator -> all responders (multicast): aggregation complete; mark entries
+// up to the per-directory acked seq as applied and release change-log locks
+// (§5.2.2 steps 9a/9b).
+struct AggDone : net::Message {
+  static constexpr uint32_t kType = 106;
+  AggDone() : Message(kType) {}
+  psw::Fingerprint fp = 0;
+  uint64_t agg_seq = 0;
+  // (source server, dir, acked seq): each responder picks out its own rows.
+  struct AckedRow {
+    uint32_t src_server;
+    InodeId dir;
+    uint64_t acked_seq;
+  };
+  std::vector<AckedRow> acked;
+};
+
+// --- proactive change-log push (§5.3) ---
+
+struct PushReq : net::Message {
+  static constexpr uint32_t kType = 107;
+  PushReq() : Message(kType) {}
+  InodeId dir;
+  psw::Fingerprint fp = 0;
+  uint32_t src_server = 0;
+  std::vector<ChangeLogEntry> entries;  // full unacked backlog
+};
+
+struct PushResp : net::Message {
+  static constexpr uint32_t kType = 108;
+  PushResp() : Message(kType) {}
+  StatusCode status = StatusCode::kOk;
+  uint64_t acked_seq = 0;  // entries up to this seq are applied at the owner
+  // status == kConflict: the directory was renamed away; its change-logs must
+  // rebind to `moved_fp` and re-push to the new owner.
+  psw::Fingerprint moved_fp = 0;
+};
+
+// Owner -> origin server after a synchronous fallback apply (§5.2.1): mark
+// the backlog applied and release the operation's locks.
+struct FallbackDone : net::Message {
+  static constexpr uint32_t kType = 109;
+  FallbackDone() : Message(kType) {}
+  InodeId dir;
+  uint64_t op_token = 0;
+  uint64_t acked_seq = 0;
+};
+
+// --- lookups (path resolution) ---
+
+struct LookupReq : net::Message {
+  static constexpr uint32_t kType = 110;
+  LookupReq() : Message(kType) {}
+  InodeId pid;
+  std::string name;
+  std::vector<AncestorRef> ancestors;
+};
+
+struct LookupResp : net::Message {
+  static constexpr uint32_t kType = 111;
+  LookupResp() : Message(kType) {}
+  StatusCode status = StatusCode::kOk;
+  Attr attr;
+  // Server-side time the inode was read under lock; becomes the cache
+  // entry's `cached_at` so later invalidations are ordered correctly.
+  int64_t read_at = 0;
+  std::vector<InodeId> stale_ids;
+};
+
+// --- recovery (§5.4.2) ---
+
+struct InvalCloneReq : net::Message {
+  static constexpr uint32_t kType = 112;
+  InvalCloneReq() : Message(kType) {}
+};
+
+struct InvalCloneResp : net::Message {
+  static constexpr uint32_t kType = 113;
+  InvalCloneResp() : Message(kType) {}
+  std::vector<std::pair<InodeId, int64_t>> entries;
+};
+
+// --- rename distributed transaction (§5.2, coordinator-driven 2PL/2PC) ---
+
+struct RenamePrepare : net::Message {
+  static constexpr uint32_t kType = 114;
+  RenamePrepare() : Message(kType) {}
+  uint64_t txn_id = 0;
+  InodeId pid;
+  std::string name;
+  bool must_exist = false;   // source leg: validate presence, lock, return attr
+  bool must_absent = false;  // destination leg: validate absence, lock
+};
+
+struct RenamePrepareResp : net::Message {
+  static constexpr uint32_t kType = 115;
+  RenamePrepareResp() : Message(kType) {}
+  StatusCode status = StatusCode::kOk;
+  Attr attr;  // source attr when must_exist
+};
+
+struct RenameCommit : net::Message {
+  static constexpr uint32_t kType = 116;
+  RenameCommit() : Message(kType) {}
+  uint64_t txn_id = 0;
+  bool abort = false;
+  // Applied on the leg's server under the txn's locks:
+  bool delete_inode = false;  // source leg
+  bool put_inode = false;     // destination leg
+  Attr inode;                 // inode to write (destination leg)
+  // Deferred parent-directory update entry to log locally (change-log).
+  bool log_parent_update = false;
+  InodeId parent_dir;
+  psw::Fingerprint parent_fp = 0;
+  OpType parent_op = OpType::kCreate;
+  std::string parent_entry_name;
+  FileType parent_entry_type = FileType::kFile;
+  // Directory renames: the entry list migrates with the inode.
+  bool install = false;
+  std::vector<DirEntry> install_entries;
+  std::string top;  // subtree routing key of the leg's parent (CephFS-sim)
+};
+
+// --- hard links (§5.5): reference object pointing at a remote attributes
+// object; ref-count updates are 2PC'd by the owning servers. ---
+
+struct LinkRefUpdate : net::Message {
+  static constexpr uint32_t kType = 117;
+  LinkRefUpdate() : Message(kType) {}
+  InodeId file_id;   // attributes-object id
+  int32_t delta = 0; // +1 link, -1 unlink, 0 read
+  bool set_mode = false;  // chmod on a hard-linked file
+  uint32_t mode = 0;
+};
+
+struct LinkRefUpdateResp : net::Message {
+  static constexpr uint32_t kType = 118;
+  LinkRefUpdateResp() : Message(kType) {}
+  StatusCode status = StatusCode::kOk;
+  uint32_t nlink = 0;  // post-update link count
+  Attr attrs;          // current shared attributes (delta == 0 reads them)
+};
+
+// First hard link to a file: its owner splits the inode into a reference and
+// a shared attributes object (§5.5), bumping the link count.
+struct LinkConvert : net::Message {
+  static constexpr uint32_t kType = 126;
+  LinkConvert() : Message(kType) {}
+  InodeId pid;
+  std::string name;
+};
+
+struct LinkConvertResp : net::Message {
+  static constexpr uint32_t kType = 127;
+  LinkConvertResp() : Message(kType) {}
+  StatusCode status = StatusCode::kOk;
+  InodeId file_id;         // the attributes object's id
+  uint32_t attr_server = 0;  // server index holding the attributes object
+};
+
+// --- alternative dirty-state trackers (§7.3.3, Fig 15/16) ---
+
+struct TrackerOp : net::Message {
+  static constexpr uint32_t kType = 120;
+  TrackerOp() : Message(kType) {}
+  net::DsOp op = net::DsOp::kQuery;
+  psw::Fingerprint fp = 0;
+  uint64_t remove_seq = 0;
+  uint32_t origin_server = 0;
+};
+
+struct TrackerResp : net::Message {
+  static constexpr uint32_t kType = 121;
+  TrackerResp() : Message(kType) {}
+  bool ok = false;       // insert success / remove executed
+  bool present = false;  // query result
+};
+
+// Owner-server tracker mode: mark a directory scattered at its owner.
+struct MarkScattered : net::Message {
+  static constexpr uint32_t kType = 122;
+  MarkScattered() : Message(kType) {}
+  psw::Fingerprint fp = 0;
+};
+
+// Directory-id invalidation broadcast (rename / chmod of a directory).
+struct InvalBroadcast : net::Message {
+  static constexpr uint32_t kType = 123;
+  InvalBroadcast() : Message(kType) {}
+  InodeId id;
+};
+
+// Asks a directory's owner to aggregate a fingerprint group now (rename of a
+// source directory, §5.2; recovery tooling).
+struct AggregateReq : net::Message {
+  static constexpr uint32_t kType = 124;
+  AggregateReq() : Message(kType) {}
+  psw::Fingerprint fp = 0;
+};
+
+// Entry-list migration leg for directory renames: the renamed directory's
+// entry list moves with its inode to the new owner.
+struct EntryListBlob : net::Message {
+  static constexpr uint32_t kType = 125;
+  EntryListBlob() : Message(kType) {}
+  InodeId dir;
+  std::vector<DirEntry> entries;
+  // Applied high-water marks (source server -> seq) move with the directory
+  // so the new owner's duplicate suppression stays continuous.
+  std::vector<std::pair<uint32_t, uint64_t>> hwms;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_MESSAGES_H_

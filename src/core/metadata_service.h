@@ -1,0 +1,44 @@
+// The public client-facing API. Every system in the repository — SwitchFS
+// and the four baselines — exposes this interface, so workloads, examples,
+// benches, and the consistency tests run unmodified across systems.
+//
+// All calls are coroutines driven by the discrete-event simulator; latency
+// and throughput fall out of simulated time.
+#ifndef SRC_CORE_METADATA_SERVICE_H_
+#define SRC_CORE_METADATA_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/types.h"
+#include "src/sim/task.h"
+
+namespace switchfs::core {
+
+class MetadataService {
+ public:
+  virtual ~MetadataService() = default;
+
+  // Double-inode operations (§5.2.1, §5.2.3).
+  virtual sim::Task<Status> Create(const std::string& path) = 0;
+  virtual sim::Task<Status> Unlink(const std::string& path) = 0;
+  virtual sim::Task<Status> Mkdir(const std::string& path) = 0;
+  virtual sim::Task<Status> Rmdir(const std::string& path) = 0;
+
+  // Single-inode operations.
+  virtual sim::Task<StatusOr<Attr>> Stat(const std::string& path) = 0;
+  virtual sim::Task<StatusOr<Attr>> StatDir(const std::string& path) = 0;
+  virtual sim::Task<StatusOr<std::vector<DirEntry>>> Readdir(
+      const std::string& path) = 0;
+  virtual sim::Task<StatusOr<Attr>> Open(const std::string& path) = 0;
+  virtual sim::Task<Status> Close(const std::string& path) = 0;
+
+  // Rename (§5.2: distributed transaction through a central coordinator).
+  virtual sim::Task<Status> Rename(const std::string& from,
+                                   const std::string& to) = 0;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_METADATA_SERVICE_H_

@@ -1,0 +1,39 @@
+#include "src/core/placement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace switchfs::core {
+
+void HashRing::AddServer(uint32_t server_index) {
+  assert(std::find(servers_.begin(), servers_.end(), server_index) ==
+         servers_.end());
+  servers_.push_back(server_index);
+  for (int v = 0; v < kVnodesPerServer; ++v) {
+    const uint64_t point =
+        Mix64((static_cast<uint64_t>(server_index) << 16) | static_cast<uint64_t>(v));
+    ring_[point] = server_index;
+  }
+}
+
+void HashRing::RemoveServer(uint32_t server_index) {
+  servers_.erase(std::remove(servers_.begin(), servers_.end(), server_index),
+                 servers_.end());
+  for (int v = 0; v < kVnodesPerServer; ++v) {
+    const uint64_t point =
+        Mix64((static_cast<uint64_t>(server_index) << 16) | static_cast<uint64_t>(v));
+    ring_.erase(point);
+  }
+}
+
+uint32_t HashRing::Owner(psw::Fingerprint fp) const {
+  assert(!ring_.empty());
+  const uint64_t point = Mix64(fp);
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+}  // namespace switchfs::core

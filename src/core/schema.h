@@ -1,0 +1,47 @@
+// Metadata schema (paper §4.3, Tab 3).
+//
+// Everything is a key-value pair:
+//   inode key   "i" + pid(32B) + name         -> Attr        (file or dir)
+//   entry key   "e" + dir_id(32B) + name      -> entry type  (dir entry list)
+//
+// Inode keys are partitioned by hashing (pid, name) — the same hash that
+// produces the directory's switch fingerprint — so every directory is
+// colocated with its fingerprint group, and a directory's entry list lives
+// with its inode (entry keys are only ever touched by the inode's owner).
+#ifndef SRC_CORE_SCHEMA_H_
+#define SRC_CORE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/core/types.h"
+#include "src/pswitch/fingerprint.h"
+
+namespace switchfs::core {
+
+// Key of the inode for (pid, name).
+std::string InodeKey(const InodeId& pid, std::string_view name);
+
+// Key of one entry in directory `dir_id`'s entry list.
+std::string EntryKey(const InodeId& dir_id, std::string_view name);
+// Prefix covering the whole entry list of `dir_id`.
+std::string EntryPrefix(const InodeId& dir_id);
+// Extracts the entry name back out of an entry key.
+std::string_view EntryNameFromKey(std::string_view key);
+
+// The partition/fingerprint hash of a (pid, name) key (§4.3): both the
+// owner-server choice and the 49-bit switch fingerprint derive from it.
+uint64_t NameHash(const InodeId& pid, std::string_view name);
+
+inline psw::Fingerprint FingerprintOf(const InodeId& pid,
+                                      std::string_view name) {
+  return psw::FingerprintFromHash(NameHash(pid, name));
+}
+
+// Entry-list values are a single byte (the entry's file type).
+std::string EncodeEntryValue(FileType type);
+FileType DecodeEntryValue(std::string_view value);
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_SCHEMA_H_

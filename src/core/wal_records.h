@@ -1,0 +1,108 @@
+// WAL record payloads (paper §5.4.2, §A.1). Three record families cover
+// everything recovery needs:
+//   * OpCommit    — a committed local operation: the inode mutation plus (for
+//                   double-inode ops) the change-log entry for the remote
+//                   parent. Redo rebuilds the KV store; un-"applied" records
+//                   also rebuild the change-log backlog.
+//   * EntryApply  — the owner persisted a received change-log entry before
+//                   applying it to the directory inode (§5.2.2 step 7). The
+//                   record carries the *resulting* directory size/mtime so
+//                   redo is idempotent, and advances the per-(dir, source)
+//                   high-water mark that dedups re-sent entries (§A.1).
+//   * DirCommit   — mkdir/rmdir of a directory inode owned by this server,
+//                   and rename-transaction inode moves.
+#ifndef SRC_CORE_WAL_RECORDS_H_
+#define SRC_CORE_WAL_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/core/change_log.h"
+#include "src/core/types.h"
+#include "src/pswitch/fingerprint.h"
+
+namespace switchfs::core {
+
+enum WalRecordType : uint32_t {
+  kWalOpCommit = 1,
+  kWalEntryApply = 2,
+};
+
+struct OpCommitRecord {
+  OpType op = OpType::kCreate;
+  // Inode mutation on this server ("" key means none).
+  std::string inode_key;
+  std::string inode_value;  // empty => delete
+  bool inode_delete = false;
+  // Deferred update to a remote parent directory (empty dir => none).
+  InodeId parent_dir;
+  psw::Fingerprint parent_fp = 0;
+  ChangeLogEntry entry;
+  bool has_entry = false;
+
+  std::string Encode() const {
+    Encoder enc;
+    enc.PutU8(static_cast<uint8_t>(op));
+    enc.PutString(inode_key);
+    enc.PutString(inode_value);
+    enc.PutBool(inode_delete);
+    parent_dir.EncodeTo(enc);
+    enc.PutU64(parent_fp);
+    enc.PutBool(has_entry);
+    if (has_entry) {
+      entry.EncodeTo(enc);
+    }
+    return std::move(enc).Take();
+  }
+
+  static OpCommitRecord Decode(const std::string& data) {
+    Decoder dec(data);
+    OpCommitRecord r;
+    r.op = static_cast<OpType>(dec.GetU8());
+    r.inode_key = dec.GetString();
+    r.inode_value = dec.GetString();
+    r.inode_delete = dec.GetBool();
+    r.parent_dir = InodeId::DecodeFrom(dec);
+    r.parent_fp = dec.GetU64();
+    r.has_entry = dec.GetBool();
+    if (r.has_entry) {
+      r.entry = ChangeLogEntry::DecodeFrom(dec);
+    }
+    return r;
+  }
+};
+
+struct EntryApplyRecord {
+  InodeId dir;
+  uint32_t src_server = 0;
+  ChangeLogEntry entry;
+  // Resulting absolute directory attributes (idempotent redo).
+  uint64_t result_size = 0;
+  int64_t result_mtime = 0;
+
+  std::string Encode() const {
+    Encoder enc;
+    dir.EncodeTo(enc);
+    enc.PutU32(src_server);
+    entry.EncodeTo(enc);
+    enc.PutU64(result_size);
+    enc.PutI64(result_mtime);
+    return std::move(enc).Take();
+  }
+
+  static EntryApplyRecord Decode(const std::string& data) {
+    Decoder dec(data);
+    EntryApplyRecord r;
+    r.dir = InodeId::DecodeFrom(dec);
+    r.src_server = dec.GetU32();
+    r.entry = ChangeLogEntry::DecodeFrom(dec);
+    r.result_size = dec.GetU64();
+    r.result_mtime = dec.GetI64();
+    return r;
+  }
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_WAL_RECORDS_H_

@@ -1,0 +1,53 @@
+#include "src/kv/kvstore.h"
+
+namespace switchfs::kv {
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  gets_++;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  gets_++;
+  return map_.count(key) > 0;
+}
+
+void KvStore::Put(const std::string& key, std::string value) {
+  puts_++;
+  map_[key] = std::move(value);
+}
+
+bool KvStore::Delete(const std::string& key) {
+  deletes_++;
+  return map_.erase(key) > 0;
+}
+
+void KvStore::ScanPrefix(
+    std::string_view prefix,
+    const std::function<bool(const std::string&, const std::string&)>& visit)
+    const {
+  for (auto it = map_.lower_bound(std::string(prefix)); it != map_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (!visit(it->first, it->second)) {
+      break;
+    }
+  }
+}
+
+size_t KvStore::CountPrefix(std::string_view prefix) const {
+  size_t n = 0;
+  ScanPrefix(prefix, [&n](const std::string&, const std::string&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace switchfs::kv

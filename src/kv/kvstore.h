@@ -1,0 +1,53 @@
+// In-memory ordered key-value store standing in for RocksDB (paper §4.2:
+// "a server stores its metadata in a key-value store (i.e., RocksDB)").
+// The store is a plain data structure; callers charge the corresponding CPU
+// service times (CostModel::kv_*) before mutating it, and concurrency
+// control lives above it (per-key lock tables on the metadata servers), as
+// it does in the real systems.
+//
+// Contents are volatile: a server crash wipes the store and recovery rebuilds
+// it from the WAL (§5.4.2).
+#ifndef SRC_KV_KVSTORE_H_
+#define SRC_KV_KVSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace switchfs::kv {
+
+class KvStore {
+ public:
+  std::optional<std::string> Get(const std::string& key) const;
+  bool Contains(const std::string& key) const;
+  void Put(const std::string& key, std::string value);
+  // Returns true if the key existed.
+  bool Delete(const std::string& key);
+
+  // Visits all (key, value) pairs whose key starts with `prefix`, in key
+  // order. Visitor returns false to stop early.
+  void ScanPrefix(std::string_view prefix,
+                  const std::function<bool(const std::string&,
+                                           const std::string&)>& visit) const;
+  size_t CountPrefix(std::string_view prefix) const;
+
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+  uint64_t gets() const { return gets_; }
+  uint64_t puts() const { return puts_; }
+  uint64_t deletes() const { return deletes_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+  mutable uint64_t gets_ = 0;
+  uint64_t puts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace switchfs::kv
+
+#endif  // SRC_KV_KVSTORE_H_

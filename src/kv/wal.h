@@ -1,0 +1,53 @@
+// Write-ahead log (paper §4.2, §5.4.2). The WAL is the only durable
+// structure on a metadata server: it records committed operations and
+// received change-log entries, and marks which asynchronous updates have
+// been applied remotely so that recovery can rebuild exactly the volatile
+// state that was lost (key-value store + un-applied change-log entries).
+//
+// Durability model: the Wal object is owned by the cluster's DurableStorage
+// (it survives simulated crashes); everything else on a server is wiped.
+#ifndef SRC_KV_WAL_H_
+#define SRC_KV_WAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace switchfs::kv {
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint32_t type = 0;      // interpreted by the owner (core/wal_records.h)
+  std::string payload;    // encoded record body
+  bool applied = false;   // "asynchronous update has been applied remotely"
+};
+
+class Wal {
+ public:
+  // Appends a committed record; returns its LSN. The simulated persistence
+  // latency is charged by the caller (CostModel::wal_append).
+  uint64_t Append(uint32_t type, std::string payload);
+
+  // Marks the record with `lsn` as applied (§5.2.2 step 9b). No-op if the
+  // record was truncated.
+  void MarkApplied(uint64_t lsn);
+
+  // Recovery iteration in LSN order.
+  const std::deque<WalRecord>& records() const { return records_; }
+  size_t record_count() const { return records_.size(); }
+  size_t unapplied_count() const;
+
+  // Drops all records with lsn <= up_to (checkpointing).
+  void TruncateUpTo(uint64_t up_to);
+
+  uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  uint64_t next_lsn_ = 1;
+  uint64_t first_lsn_ = 1;
+  std::deque<WalRecord> records_;
+};
+
+}  // namespace switchfs::kv
+
+#endif  // SRC_KV_WAL_H_

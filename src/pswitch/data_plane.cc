@@ -1,0 +1,151 @@
+#include "src/pswitch/data_plane.h"
+
+#include <cassert>
+#include <utility>
+
+namespace switchfs::psw {
+
+DataPlane::DataPlane(const DataPlaneConfig& config) : config_(config) {
+  assert(config_.num_pipes >= 1);
+  // The total register budget (10 stages x 2^17 registers, §6.5) is split
+  // evenly across pipes: each pipe serves 1/P of the fingerprint space with
+  // 1/P of the per-stage registers.
+  DirtySetConfig shard = config_.dirty_set;
+  shard.registers_per_stage =
+      std::max<uint32_t>(1, shard.registers_per_stage /
+                                static_cast<uint32_t>(config_.num_pipes));
+  for (int i = 0; i < config_.num_pipes; ++i) {
+    pipes_.push_back(std::make_unique<DirtySet>(shard));
+  }
+}
+
+void DataPlane::SetServerGroup(std::vector<net::NodeId> servers) {
+  server_group_ = std::move(servers);
+}
+
+int DataPlane::PipeOfNode(net::NodeId node) const {
+  return static_cast<int>(node % static_cast<net::NodeId>(config_.num_pipes));
+}
+
+int DataPlane::HomePipe(Fingerprint fp) const {
+  // Route by fingerprint prefix (the paper's router matches on the prefix).
+  return static_cast<int>((fp >> (kFingerprintBits - 8)) %
+                          static_cast<uint64_t>(config_.num_pipes));
+}
+
+bool DataPlane::Contains(Fingerprint fp) const {
+  return pipes_[HomePipe(fp)]->Query(fp);
+}
+
+sim::SimTime DataPlane::PipelineDelay() const {
+  sim::SimTime d = config_.pipeline_delay;
+  if (last_crossed_pipes_) {
+    d += config_.cross_pipe_mirror_delay;
+    last_crossed_pipes_ = false;
+  }
+  return d;
+}
+
+std::vector<net::Packet> DataPlane::Process(net::Packet p) {
+  std::vector<net::Packet> out;
+  if (!p.has_ds_op()) {
+    // Regular packet: route by destination MAC (server multicast is expanded
+    // for baseline-system broadcasts as well).
+    if (p.dst == net::kServerMulticast) {
+      for (net::NodeId s : server_group_) {
+        if (s == p.src) {
+          continue;
+        }
+        net::Packet copy = p;
+        copy.dst = s;
+        stats_.multicast_packets++;
+        out.push_back(std::move(copy));
+      }
+    } else {
+      stats_.regular_forwarded++;
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+
+  const Fingerprint fp = p.ds.fingerprint;
+  const int home = HomePipe(fp);
+  if (PipeOfNode(p.src) != home) {
+    stats_.cross_pipe_mirrors++;
+    last_crossed_pipes_ = true;
+  }
+  DirtySet& ds = *pipes_[home];
+
+  switch (p.ds.op) {
+    case net::DsOp::kQuery: {
+      stats_.queries++;
+      p.ds.ret = ds.Query(fp);
+      out.push_back(std::move(p));
+      break;
+    }
+    case net::DsOp::kInsert: {
+      stats_.inserts++;
+      const bool ok = !force_insert_overflow_ && ds.Insert(fp);
+      if (force_insert_overflow_) {
+        // Account the attempted insert for the overflow study.
+      }
+      p.ds.ret = ok;
+      if (ok) {
+        // 7a: completion notification to the destination (the client).
+        // 7b: mirror to the origin server (lock release signal).
+        net::Packet mirror = p;
+        mirror.dst = p.ds.origin;
+        stats_.multicast_packets += 2;
+        out.push_back(std::move(p));
+        out.push_back(std::move(mirror));
+      } else {
+        stats_.insert_fallbacks++;
+        // Address rewriter: overwrite the destination with the alternative
+        // address for the synchronous fallback (§6.2).
+        if (p.ds.alt_dst != net::kInvalidNode) {
+          p.dst = p.ds.alt_dst;
+          out.push_back(std::move(p));
+        }
+      }
+      break;
+    }
+    case net::DsOp::kRemove: {
+      const bool executed =
+          ds.Remove(fp, p.ds.origin, p.ds.remove_seq);
+      if (!executed) {
+        stats_.stale_removes++;
+        break;  // stale duplicate: no multicast, no state change (§5.4.1)
+      }
+      stats_.removes++;
+      for (net::NodeId s : server_group_) {
+        if (s == p.ds.origin) {
+          continue;
+        }
+        net::Packet copy = p;
+        copy.dst = s;
+        stats_.multicast_packets++;
+        out.push_back(std::move(copy));
+      }
+      break;
+    }
+    case net::DsOp::kNone:
+      break;
+  }
+  return out;
+}
+
+void DataPlane::Reset() {
+  for (auto& pipe : pipes_) {
+    pipe->Clear();
+  }
+}
+
+size_t DataPlane::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& pipe : pipes_) {
+    total += pipe->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace switchfs::psw

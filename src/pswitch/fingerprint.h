@@ -1,0 +1,50 @@
+// Directory fingerprints (paper §4.3, §6.3).
+//
+// Each directory is identified inside the switch by a 49-bit fingerprint
+// derived from hashing its (parent id, name) key: the upper 17 bits select a
+// set (one register index per pipeline stage) and the remaining 32 bits are
+// the tag stored in the registers. Tag value 0 is reserved to mean "empty
+// register", so fingerprints are adjusted to never carry a zero tag.
+#ifndef SRC_PSWITCH_FINGERPRINT_H_
+#define SRC_PSWITCH_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "src/common/hash.h"
+
+namespace switchfs::psw {
+
+constexpr int kIndexBits = 17;
+constexpr int kTagBits = 32;
+constexpr int kFingerprintBits = kIndexBits + kTagBits;  // 49 (Fig 9)
+constexpr uint32_t kIndexCount = 1u << kIndexBits;       // 131072 sets
+constexpr uint64_t kFingerprintMask = (1ULL << kFingerprintBits) - 1;
+
+using Fingerprint = uint64_t;  // only the low 49 bits are significant
+
+constexpr uint32_t FingerprintIndex(Fingerprint fp) {
+  return static_cast<uint32_t>((fp >> kTagBits) & (kIndexCount - 1));
+}
+
+constexpr uint32_t FingerprintTag(Fingerprint fp) {
+  return static_cast<uint32_t>(fp & 0xffffffffULL);
+}
+
+// Builds a valid fingerprint from a raw 64-bit hash: truncate to 49 bits and
+// remap a zero tag (reserved for "empty") to 1.
+constexpr Fingerprint FingerprintFromHash(uint64_t h) {
+  Fingerprint fp = h & kFingerprintMask;
+  if (FingerprintTag(fp) == 0) {
+    fp |= 1;
+  }
+  return fp;
+}
+
+constexpr Fingerprint MakeFingerprint(uint32_t index, uint32_t tag) {
+  return ((static_cast<uint64_t>(index) & (kIndexCount - 1)) << kTagBits) |
+         tag;
+}
+
+}  // namespace switchfs::psw
+
+#endif  // SRC_PSWITCH_FINGERPRINT_H_

@@ -1,0 +1,62 @@
+// One match-action pipeline stage holding an array of 32-bit registers
+// (paper §6.3, Fig 9). A stage supports exactly the three register actions
+// the Tofino program implements, each a single atomic read-modify-write of
+// one register:
+//   (a) register query       - compare register to tag
+//   (b) conditional insert   - succeed if register is 0 or already tag;
+//                              write tag when it was 0
+//   (c) conditional remove   - zero the register if it matches tag
+//
+// Stage atomicity and pipeline-ordered execution (§6.3 "Properties") are
+// inherited from the single-threaded simulator: the data plane processes one
+// packet's full stage sequence before the next packet's.
+#ifndef SRC_PSWITCH_REGISTER_STAGE_H_
+#define SRC_PSWITCH_REGISTER_STAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace switchfs::psw {
+
+class RegisterStage {
+ public:
+  explicit RegisterStage(uint32_t num_registers)
+      : registers_(num_registers, 0) {}
+
+  // (a) register query: true iff the register holds `tag`.
+  bool Query(uint32_t index, uint32_t tag) const {
+    return registers_[index] == tag;
+  }
+
+  // (b) conditional insert: returns true iff the register's value equals
+  // zero or `tag`; writes `tag` into the register if the old value was zero.
+  bool ConditionalInsert(uint32_t index, uint32_t tag) {
+    uint32_t& reg = registers_[index];
+    if (reg == 0) {
+      reg = tag;
+      return true;
+    }
+    return reg == tag;
+  }
+
+  // (c) conditional remove: zeroes the register if it matches `tag`.
+  void ConditionalRemove(uint32_t index, uint32_t tag) {
+    uint32_t& reg = registers_[index];
+    if (reg == tag) {
+      reg = 0;
+    }
+  }
+
+  void Clear() { std::fill(registers_.begin(), registers_.end(), 0); }
+
+  uint32_t size() const { return static_cast<uint32_t>(registers_.size()); }
+  uint32_t ValueAt(uint32_t index) const { return registers_[index]; }
+  size_t MemoryBytes() const { return registers_.size() * sizeof(uint32_t); }
+
+ private:
+  std::vector<uint32_t> registers_;
+};
+
+}  // namespace switchfs::psw
+
+#endif  // SRC_PSWITCH_REGISTER_STAGE_H_

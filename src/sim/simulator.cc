@@ -1,0 +1,44 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace switchfs::sim {
+
+void Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the function object must be moved out
+  // before pop. const_cast is confined to this one line.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace switchfs::sim

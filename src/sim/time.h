@@ -1,0 +1,27 @@
+// Simulated time. All protocol and cost constants in the repository are in
+// simulated nanoseconds; helpers below keep call sites readable.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace switchfs::sim {
+
+using SimTime = int64_t;  // nanoseconds since simulation start
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000LL * 1000 * 1000;
+
+constexpr SimTime Nanoseconds(int64_t n) { return n; }
+constexpr SimTime Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimTime Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimTime Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double ToMicros(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace switchfs::sim
+
+#endif  // SRC_SIM_TIME_H_

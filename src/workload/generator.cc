@@ -1,0 +1,238 @@
+#include "src/workload/generator.h"
+
+#include <cassert>
+
+namespace switchfs::wl {
+
+MixRatios PanguMix() {
+  // Tab 5 row 1 (PanguFS data-center services, derived from Tab 2).
+  MixRatios m;
+  m.open_close = 52.6;
+  m.stat = 12.4;
+  m.create = 9.58;
+  m.unlink = 11.9;
+  m.rename = 9.3;
+  m.chmod = 0.1;
+  m.readdir = 3.9;
+  m.statdir = 0.2;
+  return m;
+}
+
+MixRatios CnnTrainingMix() {
+  // Tab 5 row 2: CNN training on an image dataset.
+  MixRatios m;
+  m.open_close = 42.8;
+  m.stat = 21.4;
+  m.data_read = 14.2;
+  m.data_write = 7.1;
+  m.create = 7.1;
+  m.unlink = 7.1;
+  m.mkdir = 0.1;
+  m.rmdir = 0.1;
+  m.statdir = 0.1;
+  m.readdir = 0.1;
+  return m;
+}
+
+MixRatios ThumbnailMix() {
+  // Tab 5 row 3: thumbnail generation over an image corpus.
+  MixRatios m;
+  m.open_close = 43.9;
+  m.stat = 21.9;
+  m.data_read = 12.2;
+  m.data_write = 10.9;
+  m.create = 10.9;
+  m.mkdir = 0.1;
+  m.statdir = 0.1;
+  m.readdir = 0.1;
+  return m;
+}
+
+namespace {
+
+enum MixOp {
+  kMixOpen = 0,
+  kMixStat,
+  kMixCreate,
+  kMixUnlink,
+  kMixRename,
+  kMixChmod,
+  kMixReaddir,
+  kMixStatDir,
+  kMixMkdir,
+  kMixRmdir,
+  kMixDataRead,
+  kMixDataWrite,
+};
+
+}  // namespace
+
+MixStream::MixStream(MixRatios ratios, std::vector<std::string> dirs,
+                     int preloaded_per_dir, double skew, uint64_t io_bytes,
+                     uint64_t seed)
+    : dirs_(std::move(dirs)),
+      sampler_([&] {
+        std::vector<double> weights;
+        auto add = [&](double w, int op) {
+          if (w > 0) {
+            weights.push_back(w);
+            op_for_weight_.push_back(op);
+          }
+        };
+        add(ratios.open_close, kMixOpen);
+        add(ratios.stat, kMixStat);
+        add(ratios.create, kMixCreate);
+        add(ratios.unlink, kMixUnlink);
+        add(ratios.rename, kMixRename);
+        add(ratios.chmod, kMixChmod);
+        add(ratios.readdir, kMixReaddir);
+        add(ratios.statdir, kMixStatDir);
+        add(ratios.mkdir, kMixMkdir);
+        add(ratios.rmdir, kMixRmdir);
+        add(ratios.data_read, kMixDataRead);
+        add(ratios.data_write, kMixDataWrite);
+        return DiscreteSampler(weights);
+      }()),
+      skew_(skew),
+      io_bytes_(io_bytes) {
+  assert(!dirs_.empty());
+  state_.resize(dirs_.size());
+  Rng rng(seed);
+  for (DirState& ds : state_) {
+    ds.live.reserve(preloaded_per_dir);
+    for (int i = 0; i < preloaded_per_dir; ++i) {
+      ds.live.push_back("f" + std::to_string(i));
+    }
+  }
+}
+
+size_t MixStream::PickDir(Rng& rng) {
+  if (skew_ <= 0.0 || dirs_.size() < 5) {
+    return rng.NextBelow(dirs_.size());
+  }
+  // 80/20-style skew: `skew_` fraction of ops target the first 20% of dirs.
+  const size_t hot = std::max<size_t>(1, dirs_.size() / 5);
+  if (rng.NextBool(skew_)) {
+    return rng.NextBelow(hot);
+  }
+  return hot + rng.NextBelow(dirs_.size() - hot);
+}
+
+std::optional<Op> MixStream::Next(Rng& rng) {
+  const int kind = op_for_weight_[sampler_.Next(rng)];
+  const size_t d = PickDir(rng);
+  DirState& ds = state_[d];
+  const std::string& dir = dirs_[d];
+  Op op;
+  switch (kind) {
+    case kMixOpen:
+    case kMixStat:
+    case kMixChmod:
+    case kMixDataRead: {
+      if (ds.live.empty()) {
+        op.type = core::OpType::kStatDir;
+        op.path = dir;
+        return op;
+      }
+      const std::string& name = ds.live[rng.NextBelow(ds.live.size())];
+      op.type = kind == kMixStat || kind == kMixChmod ? core::OpType::kStat
+                                                      : core::OpType::kOpen;
+      op.path = dir + "/" + name;
+      if (kind == kMixDataRead) {
+        op.io_bytes = io_bytes_;
+        op.is_data_read = true;
+      }
+      return op;
+    }
+    case kMixCreate:
+    case kMixDataWrite: {
+      const std::string name = "n" + std::to_string(ds.next_fresh++);
+      ds.live.push_back(name);
+      op.type = core::OpType::kCreate;
+      op.path = dir + "/" + name;
+      if (kind == kMixDataWrite) {
+        op.io_bytes = io_bytes_;
+        op.is_data_write = true;
+      }
+      return op;
+    }
+    case kMixUnlink: {
+      if (ds.live.empty()) {
+        op.type = core::OpType::kStatDir;
+        op.path = dir;
+        return op;
+      }
+      const size_t idx = rng.NextBelow(ds.live.size());
+      op.type = core::OpType::kUnlink;
+      op.path = dir + "/" + ds.live[idx];
+      ds.live[idx] = ds.live.back();
+      ds.live.pop_back();
+      return op;
+    }
+    case kMixRename: {
+      if (ds.live.empty()) {
+        op.type = core::OpType::kStatDir;
+        op.path = dir;
+        return op;
+      }
+      const size_t idx = rng.NextBelow(ds.live.size());
+      const std::string from = ds.live[idx];
+      const std::string to = "r" + std::to_string(ds.next_fresh++);
+      ds.live[idx] = to;
+      op.type = core::OpType::kRename;
+      op.path = dir + "/" + from;
+      op.path2 = dir + "/" + to;
+      return op;
+    }
+    case kMixReaddir:
+      op.type = core::OpType::kReaddir;
+      op.path = dir;
+      return op;
+    case kMixStatDir:
+      op.type = core::OpType::kStatDir;
+      op.path = dir;
+      return op;
+    case kMixMkdir:
+      op.type = core::OpType::kMkdir;
+      op.path = dir + "/sub" + std::to_string(ds.next_fresh++);
+      return op;
+    case kMixRmdir:
+      // Bounded model: remove a just-created empty subdirectory if any; the
+      // trace ratio for rmdir is ~0.01-0.1% so precision hardly matters.
+      op.type = core::OpType::kStatDir;
+      op.path = dir;
+      return op;
+    default:
+      op.type = core::OpType::kStat;
+      op.path = dir;
+      return op;
+  }
+}
+
+std::vector<std::string> PreloadDirs(core::FsWorld& world, int num_dirs,
+                                     const std::string& prefix) {
+  std::vector<std::string> dirs;
+  dirs.reserve(num_dirs);
+  for (int i = 0; i < num_dirs; ++i) {
+    dirs.push_back(prefix + std::to_string(i));
+    world.PreloadDir(dirs.back());
+  }
+  return dirs;
+}
+
+std::vector<std::string> PreloadFiles(core::FsWorld& world,
+                                      const std::vector<std::string>& dirs,
+                                      int files_per_dir,
+                                      const std::string& prefix) {
+  std::vector<std::string> files;
+  files.reserve(dirs.size() * files_per_dir);
+  for (const std::string& d : dirs) {
+    for (int i = 0; i < files_per_dir; ++i) {
+      files.push_back(d + "/" + prefix + std::to_string(i));
+      world.PreloadFileAt(files.back());
+    }
+  }
+  return files;
+}
+
+}  // namespace switchfs::wl

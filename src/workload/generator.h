@@ -1,0 +1,183 @@
+// Operation-stream generators for the paper's workloads:
+//  * single-op streams over preset path populations (Fig 12: create/delete/
+//    mkdir/rmdir/stat/statdir in a single large directory vs many dirs),
+//  * create bursts (Fig 17: K consecutive creates per directory),
+//  * ratio-mix streams with skewed directory popularity (Fig 19 synthetic,
+//    Tab 2/Tab 5 operation mixes).
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/workload/runner.h"
+
+namespace switchfs::wl {
+
+// Applies one op type to paths drawn uniformly (with replacement) from a
+// fixed population. Unbounded.
+class RandomChoiceStream : public OpStream {
+ public:
+  RandomChoiceStream(core::OpType op, std::vector<std::string> paths)
+      : op_(op), paths_(std::move(paths)) {}
+
+  std::optional<Op> Next(Rng& rng) override {
+    Op op;
+    op.type = op_;
+    op.path = paths_[rng.NextBelow(paths_.size())];
+    return op;
+  }
+
+ private:
+  core::OpType op_;
+  std::vector<std::string> paths_;
+};
+
+// Applies one op type to each path exactly once, in a pre-shuffled order
+// (delete/rmdir sweeps). Bounded.
+class ShuffledOnceStream : public OpStream {
+ public:
+  ShuffledOnceStream(core::OpType op, std::vector<std::string> paths,
+                     uint64_t seed)
+      : op_(op), paths_(std::move(paths)) {
+    Rng rng(seed);
+    for (size_t i = paths_.size(); i > 1; --i) {
+      std::swap(paths_[i - 1], paths_[rng.NextBelow(i)]);
+    }
+  }
+
+  std::optional<Op> Next(Rng& rng) override {
+    if (next_ >= paths_.size()) {
+      return std::nullopt;
+    }
+    Op op;
+    op.type = op_;
+    op.path = paths_[next_++];
+    return op;
+  }
+
+ private:
+  core::OpType op_;
+  std::vector<std::string> paths_;
+  size_t next_ = 0;
+};
+
+// Creates fresh names spread across a set of parent directories (create /
+// mkdir streams). Unbounded; names never repeat.
+class FreshNameStream : public OpStream {
+ public:
+  FreshNameStream(core::OpType op, std::vector<std::string> parent_dirs,
+                  std::string prefix)
+      : op_(op), parents_(std::move(parent_dirs)), prefix_(std::move(prefix)) {}
+
+  std::optional<Op> Next(Rng& rng) override {
+    Op op;
+    op.type = op_;
+    const std::string& parent = parents_[rng.NextBelow(parents_.size())];
+    op.path = parent + (parent.back() == '/' ? "" : "/") + prefix_ +
+              std::to_string(counter_++);
+    return op;
+  }
+
+ private:
+  core::OpType op_;
+  std::vector<std::string> parents_;
+  std::string prefix_;
+  uint64_t counter_ = 0;
+};
+
+// Fig 17: bursts of `burst_size` consecutive creates in one directory, then
+// the next burst targets the next directory (round-robin).
+class BurstCreateStream : public OpStream {
+ public:
+  BurstCreateStream(std::vector<std::string> dirs, int burst_size)
+      : dirs_(std::move(dirs)), burst_size_(burst_size) {}
+
+  std::optional<Op> Next(Rng& rng) override {
+    Op op;
+    op.type = core::OpType::kCreate;
+    op.path = dirs_[dir_index_] + "/b" + std::to_string(counter_++);
+    if (++in_burst_ >= burst_size_) {
+      in_burst_ = 0;
+      dir_index_ = (dir_index_ + 1) % dirs_.size();
+    }
+    return op;
+  }
+
+ private:
+  std::vector<std::string> dirs_;
+  int burst_size_;
+  int in_burst_ = 0;
+  size_t dir_index_ = 0;
+  uint64_t counter_ = 0;
+};
+
+// Ratio-mix stream (Tab 2 / Tab 5): operation types drawn from a weighted
+// distribution, target directory drawn with optional skew (80% of ops to 20%
+// of directories, §7.6), live-file bookkeeping so deletes/stats hit existing
+// files and creates use fresh names.
+struct MixRatios {
+  double open_close = 0;
+  double stat = 0;
+  double create = 0;
+  double unlink = 0;
+  double rename = 0;
+  double chmod = 0;
+  double readdir = 0;
+  double statdir = 0;
+  double mkdir = 0;
+  double rmdir = 0;
+  double data_read = 0;   // open+read of io_bytes
+  double data_write = 0;  // create+write of io_bytes
+};
+
+// The PanguFS data-center mix (Tab 5 row 1 / Tab 2).
+MixRatios PanguMix();
+// CNN-training and thumbnail-generation mixes (Tab 5 rows 2-3).
+MixRatios CnnTrainingMix();
+MixRatios ThumbnailMix();
+
+class MixStream : public OpStream {
+ public:
+  // `dirs`: preloaded directories; `preloaded_per_dir`: files already present
+  // as "f<i>" in each. skew: fraction of ops hitting the hot 20% of dirs
+  // (0 = uniform). io_bytes: data volume for data_read/data_write ops.
+  MixStream(MixRatios ratios, std::vector<std::string> dirs,
+            int preloaded_per_dir, double skew, uint64_t io_bytes,
+            uint64_t seed);
+
+  std::optional<Op> Next(Rng& rng) override;
+
+ private:
+  struct DirState {
+    std::vector<std::string> live;  // names of existing files
+    uint64_t next_fresh = 0;
+  };
+
+  size_t PickDir(Rng& rng);
+
+  std::vector<std::string> dirs_;
+  std::vector<DirState> state_;
+  // Note: op_for_weight_ must be declared (and therefore constructed) before
+  // sampler_, whose initializer fills it.
+  std::vector<int> op_for_weight_;
+  DiscreteSampler sampler_;
+  double skew_;
+  uint64_t io_bytes_;
+};
+
+// Helper: builds "/dir<i>" path lists and preloads them (with files) into a
+// world.
+std::vector<std::string> PreloadDirs(core::FsWorld& world, int num_dirs,
+                                     const std::string& prefix = "/dir");
+std::vector<std::string> PreloadFiles(core::FsWorld& world,
+                                      const std::vector<std::string>& dirs,
+                                      int files_per_dir,
+                                      const std::string& prefix = "f");
+
+}  // namespace switchfs::wl
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

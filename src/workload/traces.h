@@ -1,0 +1,54 @@
+// Real-world trace models (paper §7.6, Tab 5):
+//  * CV-training: the full lifecycle of an image dataset — download (create
+//    + write every file), training epochs (open/stat/read files in random
+//    order), and removal (delete everything). ~1000 directories of small
+//    files, modeled after the ALEXNET-on-ImageNet trace.
+//  * Thumbnail: read each source image, create + write its thumbnail.
+// Both are bounded streams replayed through the standard runner.
+#ifndef SRC_WORKLOAD_TRACES_H_
+#define SRC_WORKLOAD_TRACES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/runner.h"
+
+namespace switchfs::wl {
+
+struct TraceConfig {
+  int num_dirs = 100;
+  int files_per_dir = 100;
+  int epochs = 1;               // CV training read passes
+  uint64_t file_bytes = 128 * 1024;  // "mostly under 256KB"
+  bool with_data = true;        // issue data transfers
+  uint64_t seed = 7;
+};
+
+// CV-training lifecycle. Directories must NOT be preloaded with files (the
+// trace creates them); the dirs themselves must exist.
+class CvTrainingTrace : public OpStream {
+ public:
+  CvTrainingTrace(std::vector<std::string> dirs, const TraceConfig& config);
+  std::optional<Op> Next(Rng& rng) override;
+  size_t total_ops() const { return script_.size(); }
+
+ private:
+  std::vector<Op> script_;
+  size_t next_ = 0;
+};
+
+// Thumbnail generation: sources must be preloaded as "<dir>/img<i>".
+class ThumbnailTrace : public OpStream {
+ public:
+  ThumbnailTrace(std::vector<std::string> dirs, const TraceConfig& config);
+  std::optional<Op> Next(Rng& rng) override;
+  size_t total_ops() const { return script_.size(); }
+
+ private:
+  std::vector<Op> script_;
+  size_t next_ = 0;
+};
+
+}  // namespace switchfs::wl
+
+#endif  // SRC_WORKLOAD_TRACES_H_

@@ -1,0 +1,244 @@
+// Tests for the common vocabulary types: Status/StatusOr, hashing, RNG and
+// distributions, histograms, the binary codec, and path helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace switchfs {
+namespace {
+
+TEST(Status, OkAndErrorBasics) {
+  EXPECT_TRUE(OkStatus().ok());
+  Status s = NotFoundError("no such file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such file");
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  StatusOr<int> e = NotFoundError();
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Hash, StableAndSensitive) {
+  const uint64_t h1 = HashString("hello");
+  EXPECT_EQ(h1, HashString("hello"));
+  EXPECT_NE(h1, HashString("hellp"));
+  EXPECT_NE(h1, HashString("hello", /*seed=*/1));
+  EXPECT_NE(HashString(""), HashString("x"));
+}
+
+TEST(Hash, AvalancheOnCounterKeys) {
+  // Sequential keys must spread across buckets (placement relies on this).
+  std::map<uint64_t, int> bucket_counts;
+  constexpr int kBuckets = 16;
+  for (uint64_t i = 0; i < 16000; ++i) {
+    std::string key = "file_" + std::to_string(i);
+    bucket_counts[HashString(key) % kBuckets]++;
+  }
+  for (const auto& [b, c] : bucket_counts) {
+    EXPECT_GT(c, 700) << "bucket " << b;
+    EXPECT_LT(c, 1300) << "bucket " << b;
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).Next(), c.Next());
+}
+
+TEST(Rng, NextBelowInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Zipf, HighThetaIsSkewed) {
+  Rng rng(42);
+  ZipfGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Head items dominate: rank 0 should take a noticeable share, and the top
+  // 20 percent of ranks should take well over half the mass.
+  EXPECT_GT(counts[0], kSamples / 20);
+  int head = 0;
+  for (uint64_t r = 0; r < 200; ++r) {
+    head += counts[r];
+  }
+  EXPECT_GT(head, kSamples * 6 / 10);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(42);
+  ZipfGenerator zipf(10, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 4000) << v;
+    EXPECT_LT(c, 6000) << v;
+  }
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  Rng rng(9);
+  DiscreteSampler sampler({0.5, 0.3, 0.2});
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[sampler.Next(rng)]++;
+  }
+  EXPECT_NEAR(counts[0] / double(kSamples), 0.5, 0.02);
+  EXPECT_NEAR(counts[1] / double(kSamples), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / double(kSamples), 0.2, 0.02);
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.5);
+  EXPECT_EQ(h.Percentile(0.0), 1);
+  EXPECT_EQ(h.Percentile(1.0), 10);
+}
+
+TEST(Histogram, BoundedRelativeErrorForLargeValues) {
+  Histogram h;
+  h.Record(1'000'000);
+  const int64_t p = h.Percentile(0.5);
+  EXPECT_NEAR(static_cast<double>(p), 1e6, 1e6 / 16.0);
+}
+
+TEST(Histogram, PercentileMonotonic) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(1'000'000)));
+  }
+  int64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    int64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev) << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 30);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(Bytes, RoundTripsAllTypes) {
+  Encoder enc;
+  enc.PutU8(7);
+  enc.PutU16(1234);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  enc.PutI64(-42);
+  enc.PutString("hello world");
+  enc.PutBool(true);
+  enc.PutString("");
+
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.GetU8(), 7);
+  EXPECT_EQ(dec.GetU16(), 1234);
+  EXPECT_EQ(dec.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.GetI64(), -42);
+  EXPECT_EQ(dec.GetString(), "hello world");
+  EXPECT_TRUE(dec.GetBool());
+  EXPECT_EQ(dec.GetString(), "");
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(Bytes, DecodeFailureIsSticky) {
+  Encoder enc;
+  enc.PutU32(100);  // claims a 100-byte string follows
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.GetString(), "");
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.GetU64(), 0u);
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Strings, SplitPath) {
+  EXPECT_TRUE(SplitPath("/").empty());
+  auto parts = SplitPath("/a/bb/ccc");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "bb");
+  EXPECT_EQ(parts[2], "ccc");
+}
+
+TEST(Strings, IsValidPath) {
+  EXPECT_TRUE(IsValidPath("/"));
+  EXPECT_TRUE(IsValidPath("/a"));
+  EXPECT_TRUE(IsValidPath("/a/b/c"));
+  EXPECT_FALSE(IsValidPath(""));
+  EXPECT_FALSE(IsValidPath("a/b"));
+  EXPECT_FALSE(IsValidPath("/a/"));
+  EXPECT_FALSE(IsValidPath("/a//b"));
+}
+
+TEST(Strings, ParentAndBasename) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(Basename("/a/b/c"), "c");
+  EXPECT_EQ(Basename("/a"), "a");
+}
+
+TEST(Strings, JoinPath) {
+  EXPECT_EQ(JoinPath("/", "a"), "/a");
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+}
+
+}  // namespace
+}  // namespace switchfs

@@ -1,0 +1,101 @@
+// Tests for the storage substrate: KV store semantics (get/put/delete,
+// ordered prefix scans) and WAL append/apply-marker/truncate behaviour.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/kv/kvstore.h"
+#include "src/kv/wal.h"
+
+namespace switchfs::kv {
+namespace {
+
+TEST(KvStore, GetPutDelete) {
+  KvStore store;
+  EXPECT_FALSE(store.Get("a").has_value());
+  store.Put("a", "1");
+  EXPECT_EQ(store.Get("a"), "1");
+  store.Put("a", "2");  // overwrite
+  EXPECT_EQ(store.Get("a"), "2");
+  EXPECT_TRUE(store.Delete("a"));
+  EXPECT_FALSE(store.Delete("a"));
+  EXPECT_FALSE(store.Contains("a"));
+}
+
+TEST(KvStore, PrefixScanIsOrderedAndBounded) {
+  KvStore store;
+  store.Put("dir1/a", "1");
+  store.Put("dir1/c", "3");
+  store.Put("dir1/b", "2");
+  store.Put("dir2/a", "x");
+  store.Put("dir0/z", "y");
+  std::vector<std::string> keys;
+  store.ScanPrefix("dir1/", [&](const std::string& k, const std::string&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"dir1/a", "dir1/b", "dir1/c"}));
+  EXPECT_EQ(store.CountPrefix("dir1/"), 3u);
+  EXPECT_EQ(store.CountPrefix("dir9/"), 0u);
+}
+
+TEST(KvStore, ScanEarlyStop) {
+  KvStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Put("k" + std::to_string(i), "v");
+  }
+  int visited = 0;
+  store.ScanPrefix("k", [&](const std::string&, const std::string&) {
+    return ++visited < 3;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(KvStore, ClearWipes) {
+  KvStore store;
+  store.Put("a", "1");
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(Wal, AppendAssignsMonotonicLsns) {
+  Wal wal;
+  EXPECT_EQ(wal.Append(1, "a"), 1u);
+  EXPECT_EQ(wal.Append(2, "b"), 2u);
+  EXPECT_EQ(wal.Append(1, "c"), 3u);
+  EXPECT_EQ(wal.record_count(), 3u);
+  EXPECT_EQ(wal.records()[1].payload, "b");
+  EXPECT_EQ(wal.records()[1].type, 2u);
+}
+
+TEST(Wal, MarkAppliedTracksUnapplied) {
+  Wal wal;
+  const uint64_t l1 = wal.Append(1, "a");
+  const uint64_t l2 = wal.Append(1, "b");
+  wal.Append(1, "c");
+  EXPECT_EQ(wal.unapplied_count(), 3u);
+  wal.MarkApplied(l1);
+  wal.MarkApplied(l2);
+  EXPECT_EQ(wal.unapplied_count(), 1u);
+  EXPECT_TRUE(wal.records()[0].applied);
+  EXPECT_FALSE(wal.records()[2].applied);
+}
+
+TEST(Wal, TruncatePreservesLsnAddressing) {
+  Wal wal;
+  for (int i = 0; i < 5; ++i) {
+    wal.Append(1, std::to_string(i));
+  }
+  wal.TruncateUpTo(2);
+  EXPECT_EQ(wal.record_count(), 3u);
+  EXPECT_EQ(wal.records().front().lsn, 3u);
+  // Marking a surviving record still works; truncated lsns are no-ops.
+  wal.MarkApplied(4);
+  EXPECT_TRUE(wal.records()[1].applied);
+  wal.MarkApplied(1);  // no crash
+  EXPECT_EQ(wal.unapplied_count(), 2u);
+}
+
+}  // namespace
+}  // namespace switchfs::kv

@@ -1,0 +1,155 @@
+// Property-based consistency sweeps: random operation soups across seeds and
+// fault profiles, checked against global invariants after quiescence:
+//  (I1) every directory's size attribute equals its entry-list cardinality,
+//  (I2) every file whose create was acknowledged (and not later unlinked)
+//       is visible to stat AND listed by readdir,
+//  (I3) no change-log entries linger after the drain,
+//  (I4) the switch dirty set ends empty (every scattered directory returned
+//       to normal state via reads or proactive aggregation, Fig 3).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/strings.h"
+#include "tests/switchfs_test_util.h"
+
+namespace switchfs::core {
+namespace {
+
+struct SweepParam {
+  uint64_t seed;
+  double loss;
+  double dup;
+  int jitter_us;
+};
+
+class ConsistencySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ConsistencySweep, RandomOpSoupUpholdsInvariants) {
+  const SweepParam param = GetParam();
+  ClusterConfig cfg = SmallClusterConfig(4);
+  cfg.seed = param.seed;
+  cfg.faults.loss_probability = param.loss;
+  cfg.faults.duplicate_probability = param.dup;
+  cfg.faults.reorder_jitter = sim::Microseconds(param.jitter_us);
+  FsHarness fs(cfg);
+
+  constexpr int kDirs = 6;
+  std::vector<std::string> dirs;
+  for (int d = 0; d < kDirs; ++d) {
+    dirs.push_back("/d" + std::to_string(d));
+    ASSERT_TRUE(fs.Mkdir(dirs.back()).ok());
+  }
+
+  // Concurrent workers mutate a partitioned namespace (each worker owns its
+  // name suffix so the expected end state is exact).
+  constexpr int kWorkers = 6;
+  constexpr int kOpsPerWorker = 60;
+  struct WorkerLog {
+    std::set<std::string> live;  // paths this worker believes exist
+  };
+  std::vector<WorkerLog> logs(kWorkers);
+  std::vector<std::unique_ptr<SwitchFsClient>> clients;
+  for (int w = 0; w < kWorkers; ++w) {
+    clients.push_back(fs.cluster.MakeClient());
+  }
+
+  for (int w = 0; w < kWorkers; ++w) {
+    sim::Spawn([](SwitchFsClient* c, std::vector<std::string> dirs, int id,
+                  uint64_t seed, WorkerLog* log) -> sim::Task<void> {
+      Rng rng(seed ^ (0xabcdefULL * (id + 1)));
+      int counter = 0;
+      for (int i = 0; i < kOpsPerWorker; ++i) {
+        const std::string& dir = dirs[rng.NextBelow(dirs.size())];
+        const int action = static_cast<int>(rng.NextBelow(10));
+        if (action < 5 || log->live.empty()) {
+          // Create a fresh file. Under lossy transport a client-level retry
+          // can observe ALREADY_EXISTS for its *own* earlier success (names
+          // are worker-unique), so that outcome also means "exists".
+          const std::string path =
+              dir + "/w" + std::to_string(id) + "_" + std::to_string(counter++);
+          Status s = co_await c->Create(path);
+          if (s.ok() || s.code() == StatusCode::kAlreadyExists) {
+            log->live.insert(path);
+          }
+        } else if (action < 7) {
+          // Delete one of ours; NOT_FOUND after retries likewise means the
+          // earlier attempt already executed.
+          const std::string path = *log->live.begin();
+          Status s = co_await c->Unlink(path);
+          if (s.ok() || s.code() == StatusCode::kNotFound) {
+            log->live.erase(path);
+          }
+        } else if (action < 9) {
+          (void)co_await c->StatDir(dir);
+        } else {
+          (void)co_await c->Readdir(dir);
+        }
+      }
+    }(clients[w].get(), dirs, w, param.seed, &logs[w]));
+  }
+  fs.cluster.sim().Run();
+
+  // Expected end state per directory.
+  std::map<std::string, std::set<std::string>> expected;
+  for (const auto& d : dirs) {
+    expected[d] = {};
+  }
+  for (const WorkerLog& log : logs) {
+    for (const std::string& path : log.live) {
+      expected[std::string(switchfs::ParentPath(path))].insert(
+          std::string(switchfs::Basename(path)));
+    }
+  }
+
+  // (I3): nothing pending after the drain.
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+
+  for (const auto& d : dirs) {
+    // (I1) + (I2): size == |entries| == expected set.
+    auto sd = fs.StatDir(d);
+    ASSERT_TRUE(sd.ok()) << d;
+    auto listing = fs.Readdir(d);
+    ASSERT_TRUE(listing.ok()) << d;
+    std::set<std::string> got;
+    for (const DirEntry& e : *listing) {
+      got.insert(e.name);
+    }
+    EXPECT_EQ(sd->size, got.size()) << d;
+    EXPECT_EQ(got, expected[d]) << d;
+    for (const std::string& name : expected[d]) {
+      EXPECT_TRUE(fs.Stat(d + "/" + name).ok()) << d << "/" << name;
+    }
+  }
+
+  // (I4): all fingerprints cleared from the dirty set after the reads above.
+  uint64_t population = 0;
+  for (int pipe = 0; pipe < 2; ++pipe) {
+    population += fs.cluster.data_plane()->dirty_set(pipe).Population();
+  }
+  EXPECT_EQ(population, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFaults, ConsistencySweep,
+    ::testing::Values(SweepParam{1, 0.0, 0.0, 0},
+                      SweepParam{2, 0.0, 0.0, 0},
+                      SweepParam{3, 0.0, 0.0, 4},
+                      SweepParam{4, 0.02, 0.0, 0},
+                      SweepParam{5, 0.0, 0.05, 0},
+                      SweepParam{6, 0.02, 0.03, 2},
+                      SweepParam{7, 0.05, 0.05, 4},
+                      SweepParam{8, 0.0, 0.1, 8}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 100)) +
+             "_dup" + std::to_string(static_cast<int>(info.param.dup * 100)) +
+             "_jit" + std::to_string(info.param.jitter_us);
+    });
+
+}  // namespace
+}  // namespace switchfs::core

@@ -1,0 +1,295 @@
+// Fault-tolerance tests (paper §5.4, §A.1): unreliable-network handling
+// (loss, duplication, reordering), dirty-set overflow fallback (§7.3.2),
+// server crash recovery with WAL replay, switch crash recovery, and crashes
+// during aggregation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "tests/switchfs_test_util.h"
+
+namespace switchfs::core {
+namespace {
+
+ClusterConfig FaultyConfig(double loss, double dup, sim::SimTime jitter) {
+  ClusterConfig cfg = SmallClusterConfig();
+  cfg.faults.loss_probability = loss;
+  cfg.faults.duplicate_probability = dup;
+  cfg.faults.reorder_jitter = jitter;
+  return cfg;
+}
+
+void CreateManyVerify(FsHarness& fs, int dirs, int files_per_dir) {
+  for (int d = 0; d < dirs; ++d) {
+    ASSERT_TRUE(fs.Mkdir("/d" + std::to_string(d)).ok()) << d;
+  }
+  int ok = 0;
+  for (int d = 0; d < dirs; ++d) {
+    for (int f = 0; f < files_per_dir; ++f) {
+      Status s =
+          fs.Create("/d" + std::to_string(d) + "/f" + std::to_string(f));
+      ASSERT_TRUE(s.ok()) << d << "/" << f << ": " << s.ToString();
+      ok++;
+    }
+  }
+  ASSERT_EQ(ok, dirs * files_per_dir);
+  for (int d = 0; d < dirs; ++d) {
+    auto sd = fs.StatDir("/d" + std::to_string(d));
+    ASSERT_TRUE(sd.ok()) << d;
+    EXPECT_EQ(sd->size, static_cast<uint64_t>(files_per_dir)) << d;
+    auto entries = fs.Readdir("/d" + std::to_string(d));
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), static_cast<size_t>(files_per_dir));
+  }
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+}
+
+TEST(SwitchFsFault, SurvivesPacketLoss) {
+  FsHarness fs(FaultyConfig(0.05, 0.0, 0));
+  CreateManyVerify(fs, 4, 10);
+  EXPECT_GT(fs.cluster.network().stats().packets_dropped, 0u);
+}
+
+TEST(SwitchFsFault, SurvivesDuplication) {
+  FsHarness fs(FaultyConfig(0.0, 0.10, 0));
+  CreateManyVerify(fs, 4, 10);
+  EXPECT_GT(fs.cluster.network().stats().packets_duplicated, 0u);
+}
+
+TEST(SwitchFsFault, SurvivesReordering) {
+  FsHarness fs(FaultyConfig(0.0, 0.0, sim::Microseconds(6)));
+  CreateManyVerify(fs, 4, 10);
+}
+
+TEST(SwitchFsFault, SurvivesCombinedFaults) {
+  FsHarness fs(FaultyConfig(0.03, 0.05, sim::Microseconds(3)));
+  CreateManyVerify(fs, 3, 8);
+}
+
+TEST(SwitchFsFault, DuplicateRemovesCannotEvictLaterInserts) {
+  // §5.4.1: a duplicated remove processed after the aggregation completes
+  // must not remove fingerprints inserted by subsequent operations. High
+  // duplication probability exercises exactly this path; correctness shows
+  // as no lost updates.
+  FsHarness fs(FaultyConfig(0.0, 0.3, sim::Microseconds(2)));
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(round)).ok());
+    auto sd = fs.StatDir("/d");
+    ASSERT_TRUE(sd.ok());
+    EXPECT_EQ(sd->size, static_cast<uint64_t>(round + 1));
+  }
+  EXPECT_GT(fs.cluster.data_plane()->stats().stale_removes +
+                fs.cluster.data_plane()->dirty_set(0).stale_removes() +
+                fs.cluster.data_plane()->dirty_set(1).stale_removes(),
+            0u);
+}
+
+TEST(SwitchFsFault, OverflowFallsBackToSynchronousUpdate) {
+  // §7.3.2: with inserts forced to fail, every double-inode op redirects to
+  // the parent's owner for a synchronous update — and remains correct.
+  FsHarness fs;
+  fs.cluster.data_plane()->SetForceInsertOverflow(true);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 20u);
+  EXPECT_GT(fs.cluster.TotalStats().fallbacks, 0u);
+  EXPECT_GT(fs.cluster.data_plane()->stats().insert_fallbacks, 0u);
+  // Nothing is pending: the synchronous path applies immediately.
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+  ASSERT_TRUE(fs.Unlink("/d/f3").ok());
+  sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 19u);
+}
+
+TEST(SwitchFsFault, ServerCrashRecoversCommittedState) {
+  FsHarness fs;
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  std::set<std::string> created;
+  for (int i = 0; i < 30; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    ASSERT_TRUE(fs.Create("/d/" + name).ok());
+    created.insert(name);
+  }
+  // Crash every server in turn and recover it; all committed state must
+  // survive via WAL replay (§5.4.2).
+  for (uint32_t s = 0; s < fs.cluster.ServerCount(); ++s) {
+    fs.cluster.CrashServer(s);
+    fs.Run(fs.cluster.RecoverServer(s));
+    EXPECT_TRUE(fs.cluster.server(s).serving());
+    EXPECT_GT(fs.cluster.server(s).stats().wal_replayed, 0u);
+  }
+  auto entries = fs.Readdir("/d");
+  ASSERT_TRUE(entries.ok());
+  std::set<std::string> got;
+  for (const DirEntry& e : *entries) {
+    got.insert(e.name);
+  }
+  EXPECT_EQ(got, created);
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 30u);
+}
+
+TEST(SwitchFsFault, CrashBeforeAggregationDoesNotLoseDeferredUpdates) {
+  // Crash a server while its change-logs still hold un-applied entries; the
+  // WAL must rebuild them and recovery must flush them (§A.1).
+  ClusterConfig cfg = SmallClusterConfig();
+  // Very long timers: pushes/aggregations will not fire on their own.
+  cfg.server_template.push_idle_timeout = sim::Seconds(100);
+  cfg.server_template.owner_quiet_period = sim::Seconds(100);
+  cfg.server_template.mtu_entries = 1000000;
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  // Issue creates but stop the simulation before background flushes.
+  std::vector<Status> results(10, InternalError(""));
+  sim::Spawn([](SwitchFsClient* c, std::vector<Status>* out) -> sim::Task<void> {
+    for (size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = co_await c->Create("/d/f" + std::to_string(i));
+    }
+  }(fs.client.get(), &results));
+  fs.cluster.sim().RunUntil(fs.cluster.sim().Now() + sim::Milliseconds(50));
+  for (const Status& s : results) {
+    ASSERT_TRUE(s.ok());
+  }
+  ASSERT_GT(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+
+  // Crash every server (deferred entries live on unknown owners), then
+  // recover them all.
+  for (uint32_t s = 0; s < fs.cluster.ServerCount(); ++s) {
+    fs.cluster.CrashServer(s);
+  }
+  for (uint32_t s = 0; s < fs.cluster.ServerCount(); ++s) {
+    sim::Spawn(fs.cluster.RecoverServer(s));
+  }
+  fs.cluster.sim().Run();
+  for (uint32_t s = 0; s < fs.cluster.ServerCount(); ++s) {
+    ASSERT_TRUE(fs.cluster.server(s).serving());
+  }
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 10u);
+  auto entries = fs.Readdir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 10u);
+}
+
+TEST(SwitchFsFault, SwitchCrashRecoveryRestoresConsistency) {
+  // §5.4.2 switch failure: all dirty-set state is lost; recovery flushes all
+  // change-logs so every directory returns to normal state.
+  ClusterConfig cfg = SmallClusterConfig();
+  cfg.server_template.push_idle_timeout = sim::Seconds(100);
+  cfg.server_template.owner_quiet_period = sim::Seconds(100);
+  cfg.server_template.mtu_entries = 1000000;
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  std::vector<Status> results(12, InternalError(""));
+  sim::Spawn([](SwitchFsClient* c, std::vector<Status>* out) -> sim::Task<void> {
+    for (size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = co_await c->Create("/d/f" + std::to_string(i));
+    }
+  }(fs.client.get(), &results));
+  fs.cluster.sim().RunUntil(fs.cluster.sim().Now() + sim::Milliseconds(50));
+  for (const Status& s : results) {
+    ASSERT_TRUE(s.ok());
+  }
+  ASSERT_GT(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+
+  fs.cluster.CrashSwitch();
+  fs.Run(fs.cluster.RecoverSwitch());
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+
+  // All deferred updates were applied; reads see them without aggregation.
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 12u);
+  // And the system keeps working after recovery.
+  ASSERT_TRUE(fs.Create("/d/after").ok());
+  sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 13u);
+}
+
+TEST(SwitchFsFault, RecoveryIsIdempotent) {
+  // §A.1: recovering twice (nested crash during recovery) must not
+  // double-apply entries.
+  FsHarness fs;
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+  for (int round = 0; round < 2; ++round) {
+    fs.cluster.CrashServer(1);
+    fs.Run(fs.cluster.RecoverServer(1));
+  }
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 10u);
+}
+
+TEST(SwitchFsFault, OperationsDuringCrashEventuallyFailOrSucceedCleanly) {
+  // Ops racing a crashed server either time out or succeed after recovery;
+  // none may corrupt state.
+  FsHarness fs;
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  fs.cluster.CrashServer(2);
+  int ok = 0;
+  int failed = 0;
+  sim::Spawn([](FsHarness* h, int* ok, int* failed) -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      Status s = co_await h->client->Create("/d/x" + std::to_string(i));
+      if (s.ok()) {
+        (*ok)++;
+      } else {
+        (*failed)++;
+      }
+    }
+  }(&fs, &ok, &failed));
+  fs.cluster.sim().RunUntil(fs.cluster.sim().Now() + sim::Milliseconds(100));
+  fs.Run(fs.cluster.RecoverServer(2));
+  EXPECT_EQ(ok + failed, 20);
+  // Whatever succeeded must be visible and consistent.
+  auto entries = fs.Readdir("/d");
+  ASSERT_TRUE(entries.ok());
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, entries->size());
+}
+
+TEST(SwitchFsFault, ReconfigurationMigratesAndKeepsServing) {
+  // §5.5/§A.3: stop-the-world reconfiguration. Add a server; all metadata
+  // must remain reachable and balanced afterward.
+  FsHarness fs;
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+  const uint32_t before = fs.cluster.ServerCount();
+  fs.Run(fs.cluster.AddServerAndRebalance());
+  EXPECT_EQ(fs.cluster.ServerCount(), before + 1);
+  // New server owns some portion of the namespace.
+  EXPECT_GT(fs.cluster.server(before).KvSize(), 0u);
+  // Everything is still reachable; ops keep working.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(fs.Stat("/d/f" + std::to_string(i)).ok()) << i;
+  }
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 40u);
+  ASSERT_TRUE(fs.Create("/d/post_reconfig").ok());
+  ASSERT_TRUE(fs.Unlink("/d/f0").ok());
+  sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 40u);
+}
+
+}  // namespace
+}  // namespace switchfs::core

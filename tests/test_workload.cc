@@ -1,0 +1,201 @@
+// Workload-layer tests: generator semantics, runner measurement windows,
+// trace structure, and a cross-system smoke run proving every FsWorld can be
+// driven by the same harness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baselines/baseline.h"
+#include "src/core/cluster.h"
+#include "src/workload/data_service.h"
+#include "src/workload/generator.h"
+#include "src/workload/runner.h"
+#include "src/common/strings.h"
+#include "src/workload/traces.h"
+#include "tests/switchfs_test_util.h"
+
+namespace switchfs::wl {
+namespace {
+
+TEST(Generators, ShuffledOnceVisitsEachPathExactlyOnce) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < 100; ++i) {
+    paths.push_back("/d/f" + std::to_string(i));
+  }
+  ShuffledOnceStream stream(core::OpType::kUnlink, paths, 3);
+  Rng rng(1);
+  std::set<std::string> seen;
+  while (auto op = stream.Next(rng)) {
+    EXPECT_TRUE(seen.insert(op->path).second) << op->path;
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Generators, FreshNamesNeverRepeat) {
+  FreshNameStream stream(core::OpType::kCreate, {"/a", "/b"}, "x");
+  Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto op = stream.Next(rng);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_TRUE(seen.insert(op->path).second);
+    EXPECT_TRUE(op->path.rfind("/a/x", 0) == 0 || op->path.rfind("/b/x", 0) == 0);
+  }
+}
+
+TEST(Generators, BurstStreamGroupsCreatesPerDirectory) {
+  BurstCreateStream stream({"/d0", "/d1", "/d2"}, 5);
+  Rng rng(1);
+  for (int burst = 0; burst < 6; ++burst) {
+    std::set<std::string> dirs;
+    for (int i = 0; i < 5; ++i) {
+      auto op = stream.Next(rng);
+      ASSERT_TRUE(op.has_value());
+      dirs.insert(std::string(switchfs::ParentPath(op->path)));
+    }
+    EXPECT_EQ(dirs.size(), 1u) << "burst " << burst;
+  }
+}
+
+TEST(Generators, MixStreamRespectsRatiosApproximately) {
+  std::vector<std::string> dirs;
+  for (int i = 0; i < 50; ++i) {
+    dirs.push_back("/dir" + std::to_string(i));
+  }
+  MixStream stream(PanguMix(), dirs, 100, /*skew=*/0.0, 0, 5);
+  Rng rng(2);
+  int creates = 0;
+  int opens = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    auto op = stream.Next(rng);
+    ASSERT_TRUE(op.has_value());
+    if (op->type == core::OpType::kCreate) {
+      creates++;
+    }
+    if (op->type == core::OpType::kOpen) {
+      opens++;
+    }
+  }
+  EXPECT_NEAR(creates / double(kN), 0.0958, 0.01);
+  EXPECT_NEAR(opens / double(kN), 0.526, 0.02);
+}
+
+TEST(Generators, MixStreamSkewConcentratesOnHotDirs) {
+  std::vector<std::string> dirs;
+  for (int i = 0; i < 100; ++i) {
+    dirs.push_back("/dir" + std::to_string(i));
+  }
+  MixStream stream(PanguMix(), dirs, 10, /*skew=*/0.8, 0, 5);
+  Rng rng(2);
+  int hot = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    auto op = stream.Next(rng);
+    ASSERT_TRUE(op.has_value());
+    // Hot set = first 20 dirs (/dir0../dir19, matching dirs_[0..19]).
+    std::string dir(switchfs::ParentPath(op->path));
+    if (dir == "/") {
+      dir = op->path;  // statdir/readdir target the dir itself
+    }
+    int index = std::stoi(dir.substr(4));
+    if (index < 20) {
+      hot++;
+    }
+  }
+  EXPECT_GT(hot / double(kN), 0.7);
+}
+
+TEST(Traces, CvTrainingHasThreePhases) {
+  TraceConfig cfg;
+  cfg.num_dirs = 2;
+  cfg.files_per_dir = 10;
+  cfg.epochs = 2;
+  cfg.with_data = false;
+  CvTrainingTrace trace({"/d0", "/d1"}, cfg);
+  // 20 creates + 2 epochs * 20 * (stat+open+close) + 20 deletes.
+  EXPECT_EQ(trace.total_ops(), 20u + 2u * 20u * 3u + 20u);
+  Rng rng(1);
+  int creates = 0;
+  int unlinks = 0;
+  while (auto op = trace.Next(rng)) {
+    creates += op->type == core::OpType::kCreate;
+    unlinks += op->type == core::OpType::kUnlink;
+  }
+  EXPECT_EQ(creates, 20);
+  EXPECT_EQ(unlinks, 20);
+}
+
+TEST(Runner, MeasuresThroughputAndLatencyOnSwitchFs) {
+  core::ClusterConfig cfg = core::SmallClusterConfig();
+  core::Cluster cluster(cfg);
+  auto dirs = PreloadDirs(cluster, 8);
+  auto files = PreloadFiles(cluster, dirs, 50);
+
+  RandomChoiceStream stream(core::OpType::kStat, files);
+  RunnerConfig rc;
+  rc.workers = 16;
+  rc.total_ops = 4000;
+  rc.warmup_ops = 500;
+  RunResult result = RunWorkload(cluster, stream, rc);
+  EXPECT_EQ(result.completed, 3500u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.ThroughputOpsPerSec(), 1e4);
+  EXPECT_GT(result.MeanLatencyUs(), 1.0);
+  EXPECT_LT(result.MeanLatencyUs(), 500.0);
+  EXPECT_GE(result.PercentileUs(0.99), result.PercentileUs(0.5));
+}
+
+TEST(Runner, DrivesEverySystemUniformly) {
+  // The same harness must run unmodified on all five systems.
+  std::vector<std::unique_ptr<core::FsWorld>> worlds;
+  {
+    core::ClusterConfig cfg = core::SmallClusterConfig();
+    worlds.push_back(std::make_unique<core::Cluster>(cfg));
+  }
+  for (auto kind :
+       {baselines::SystemKind::kEInfiniFS, baselines::SystemKind::kECfs,
+        baselines::SystemKind::kIndexFS}) {
+    baselines::BaselineConfig cfg;
+    cfg.kind = kind;
+    cfg.num_servers = 4;
+    worlds.push_back(std::make_unique<baselines::BaselineCluster>(cfg));
+  }
+  for (auto& world : worlds) {
+    auto dirs = PreloadDirs(*world, 4);
+    FreshNameStream stream(core::OpType::kCreate, dirs, "w");
+    RunnerConfig rc;
+    rc.workers = 8;
+    rc.total_ops = 600;
+    rc.warmup_ops = 100;
+    RunResult result = RunWorkload(*world, stream, rc);
+    EXPECT_EQ(result.completed, 500u) << world->name();
+    EXPECT_EQ(result.failed, 0u) << world->name();
+    EXPECT_GT(result.ThroughputOpsPerSec(), 1000.0) << world->name();
+  }
+}
+
+TEST(Runner, EndToEndWithDataServiceTransfersBytes) {
+  core::ClusterConfig cfg = core::SmallClusterConfig();
+  core::Cluster cluster(cfg);
+  auto dirs = PreloadDirs(cluster, 4);
+  DataService data(&cluster.sim(), &cluster.costs(), 4);
+
+  TraceConfig tc;
+  tc.num_dirs = 4;
+  tc.files_per_dir = 20;
+  tc.epochs = 1;
+  CvTrainingTrace trace(dirs, tc);
+  RunnerConfig rc;
+  rc.workers = 8;
+  rc.total_ops = 0;  // run the bounded trace dry
+  rc.warmup_ops = 0;
+  rc.data = &data;
+  RunResult result = RunWorkload(cluster, trace, rc);
+  EXPECT_EQ(result.completed, trace.total_ops());
+  EXPECT_GT(data.transfers(), 0u);
+  EXPECT_GT(data.bytes_moved(), 80u * 128 * 1024);
+}
+
+}  // namespace
+}  // namespace switchfs::wl
