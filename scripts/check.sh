@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# One-command gate for SwitchFS PRs: configure, build, and run the tier-1
+# test suite, then repeat under ASan/UBSan (-DCMAKE_BUILD_TYPE=Asan).
+#
+#   scripts/check.sh            # tier-1 + asan
+#   scripts/check.sh --fast     # tier-1 only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+run_suite() {
+  local build_dir=$1
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure --no-tests=error -j "$JOBS"
+}
+
+echo "== tier-1: configure/build/ctest =="
+run_suite build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== asan: configure/build/ctest (-DCMAKE_BUILD_TYPE=Asan) =="
+  run_suite build-asan -DCMAKE_BUILD_TYPE=Asan
+fi
+
+echo "All checks passed."

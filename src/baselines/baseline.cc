@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/strings.h"
+#include "src/core/keys.h"
 #include "src/sim/task.h"
 
 namespace switchfs::baselines {
@@ -26,6 +27,7 @@ using core::PathRef;
 using core::RenameCommit;
 using core::RenamePrepare;
 using core::RenamePrepareResp;
+using core::ContentKey;
 using core::RootId;
 
 const char* SystemName(SystemKind kind) {
@@ -41,20 +43,6 @@ const char* SystemName(SystemKind kind) {
   }
   return "unknown";
 }
-
-namespace {
-
-// Directory content record: the authoritative attrs (size, mtime) kept at
-// the directory's home server.
-std::string ContentKey(const InodeId& dir) {
-  std::string key;
-  key.reserve(33);
-  key.push_back('c');
-  key += dir.ToKeyBytes();
-  return key;
-}
-
-}  // namespace
 
 uint32_t BaselinePlacement::FileServer(const InodeId& pid,
                                        const std::string& name,

@@ -1,0 +1,446 @@
+#include "src/core/aggregation.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/core/schema.h"
+#include "src/core/wal_records.h"
+#include "src/sim/sync.h"
+
+namespace switchfs::core {
+
+sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
+    VolPtr v, psw::Fingerprint fp, std::optional<InodeId> invalidate,
+    psw::Fingerprint held_cl_fp, const std::string& held_inode_key,
+    bool defer_done) {
+  ctx_.stats->aggregations++;
+  Outcome outcome;
+
+  auto w = std::make_shared<ServerVolatile::AggWait>();
+  for (uint32_t s = 0; s < ctx_.cluster->ServerCount(); ++s) {
+    if (s != ctx_.config->index) {
+      w->pending.insert(s);
+    }
+  }
+  v->agg_waits[fp] = w;
+
+  if (invalidate.has_value()) {
+    v->inval.Add(*invalidate, ctx_.Now());
+  }
+
+  // Local snapshot: our own change-logs belong to the collection too. The
+  // shared lock serializes against in-flight double-inode ops (Fig 20).
+  {
+    LockTable::Handle local_lock;
+    if (fp != held_cl_fp) {
+      local_lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
+      if (v->dead) co_return outcome;
+    }
+    auto it = v->changelogs.find(fp);
+    if (it != v->changelogs.end()) {
+      for (auto& [dir, log] : it->second) {
+        if (log.empty()) {
+          continue;
+        }
+        AggEntries::PerDir pd;
+        pd.dir = dir;
+        pd.entries.assign(log.pending().begin(), log.pending().end());
+        w->collected.push_back(std::move(pd));
+        w->collected_src.push_back(ctx_.config->index);
+      }
+    }
+  }
+
+  // Remove the fingerprint and multicast the collect request; retry with a
+  // fresh sequence number until every server has replied (§5.4.1).
+  bool complete = w->pending.empty();
+  for (int attempt = 0; attempt <= ctx_.config->agg_max_retries && !complete;
+       ++attempt) {
+    if (attempt > 0) {
+      ctx_.stats->agg_retries++;
+    }
+    const uint64_t seq = ++ctx_.durable->remove_seq;
+    w->seq = seq;
+    w->slot = std::make_shared<sim::OneShot<bool>>(ctx_.sim);
+
+    auto collect = std::make_shared<AggCollect>();
+    collect->fp = fp;
+    collect->initiator_server = ctx_.config->index;
+    collect->initiator_node = ctx_.node_id();
+    collect->agg_seq = seq;
+    if (invalidate.has_value()) {
+      collect->invalidate = true;
+      collect->invalidate_id = *invalidate;
+    }
+
+    net::Packet rm;
+    rm.dst = net::kServerMulticast;
+    rm.body = collect;
+    switch (ctx_.config->tracker) {
+      case TrackerMode::kSwitch:
+        rm.ds.op = net::DsOp::kRemove;
+        rm.ds.fingerprint = fp;
+        rm.ds.remove_seq = seq;
+        rm.ds.origin = ctx_.node_id();
+        ctx_.rpc->Send(rm);
+        break;
+      case TrackerMode::kDedicatedServer: {
+        auto op = std::make_shared<TrackerOp>();
+        op->op = net::DsOp::kRemove;
+        op->fp = fp;
+        op->remove_seq = seq;
+        op->origin_server = ctx_.config->index;
+        auto r = co_await ctx_.rpc->Call(ctx_.config->tracker_node, op);
+        (void)r;
+        if (v->dead) co_return outcome;
+        rm.ds.origin = ctx_.node_id();  // multicast exclusion key
+        ctx_.rpc->Send(rm);
+        break;
+      }
+      case TrackerMode::kOwnerServer:
+        v->owner_scattered.erase(fp);
+        rm.ds.origin = ctx_.node_id();
+        ctx_.rpc->Send(rm);
+        break;
+    }
+
+    auto slot = w->slot;
+    ctx_.sim->ScheduleAfter(ctx_.config->agg_reply_timeout,
+                            [slot] { slot->Set(false); });
+    complete = co_await slot->Wait();
+    if (v->dead) co_return outcome;
+    if (w->pending.empty()) {
+      complete = true;
+    }
+  }
+
+  // Apply phase: per-(dir, source) batches, hwm-deduplicated.
+  uint64_t local_max_acked = 0;
+  std::map<std::pair<uint32_t, InodeId>, uint64_t> acked;
+  for (size_t i = 0; i < w->collected.size(); ++i) {
+    const uint32_t src = w->collected_src[i];
+    auto& pd = w->collected[i];
+    if (!pd.entries.empty()) {
+      auto& high = acked[{src, pd.dir}];
+      high = std::max(high, pd.entries.back().seq);
+    }
+    co_await ApplyEntries(v, pd.dir, src, std::move(pd.entries),
+                          held_inode_key);
+    if (v->dead) co_return outcome;
+  }
+
+  // Ack our own change-logs synchronously.
+  auto own = v->changelogs.find(fp);
+  if (own != v->changelogs.end()) {
+    for (auto& [dir, log] : own->second) {
+      auto it = acked.find({ctx_.config->index, dir});
+      if (it == acked.end()) {
+        continue;
+      }
+      local_max_acked = std::max(local_max_acked, it->second);
+      for (uint64_t lsn : log.AckUpTo(it->second)) {
+        ctx_.durable->wal.MarkApplied(lsn);
+      }
+    }
+  }
+  (void)local_max_acked;
+
+  auto done = std::make_shared<AggDone>();
+  done->fp = fp;
+  done->agg_seq = w->seq;
+  for (const auto& [key, seq] : acked) {
+    if (key.first == ctx_.config->index) {
+      continue;
+    }
+    done->acked.push_back(AggDone::AckedRow{key.first, key.second, seq});
+  }
+  v->last_agg_complete[fp] = ctx_.Now();
+  v->agg_waits.erase(fp);
+
+  outcome.ok = true;
+  if (defer_done) {
+    outcome.deferred_done = done;
+  } else {
+    SendAggDone(done);
+  }
+  co_return outcome;
+}
+
+void Aggregation::SendAggDone(net::MsgPtr done_msg) {
+  if (done_msg == nullptr) {
+    return;
+  }
+  net::Packet p;
+  p.dst = net::kServerMulticast;
+  p.ds.origin = ctx_.node_id();
+  p.body = std::move(done_msg);
+  ctx_.rpc->Send(std::move(p));
+}
+
+sim::Task<void> Aggregation::GateAndAggregate(VolPtr v, psw::Fingerprint fp) {
+  auto gate = co_await v->agg_gates.AcquireExclusive(FpKey(fp));
+  if (v->dead) co_return;
+  co_await RunAggregation(v, fp, std::nullopt, 0, "", false);
+}
+
+sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
+                                          std::vector<ChangeLogEntry> entries,
+                                          const std::string& held_inode_key) {
+  if (entries.empty()) {
+    co_return;
+  }
+  std::string ikey;
+  psw::Fingerprint fp = 0;
+  if (!v->LookupDirIndex(dir, &ikey, &fp)) {
+    co_return;  // directory since removed; entries are obsolete
+  }
+  LockTable::Handle lock;
+  if (ikey != held_inode_key) {
+    lock = co_await v->inode_locks.AcquireExclusive(ikey);
+    if (v->dead) co_return;
+  }
+
+  uint64_t& high = v->hwm[{dir, src}];
+  std::vector<ChangeLogEntry> todo;
+  uint64_t next = high + 1;
+  for (ChangeLogEntry& e : entries) {
+    if (e.seq < next) {
+      ctx_.stats->entries_deduped++;
+      continue;
+    }
+    if (e.seq > next) {
+      break;  // gap (an earlier push is still in flight): apply the prefix
+    }
+    todo.push_back(std::move(e));
+    ++next;
+  }
+  if (todo.empty()) {
+    co_return;
+  }
+
+  co_await ctx_.cpu->Run(ctx_.costs->kv_get);
+  if (v->dead) co_return;
+  auto value = v->kv.Get(ikey);
+  if (!value.has_value()) {
+    co_return;  // directory vanished under a concurrent rmdir
+  }
+  Attr attr = Attr::Decode(*value);
+
+  if (ctx_.config->compaction) {
+    // §5.3: consolidated attribute update (one put) + entry-list operations
+    // fanned out across cores; WAL appends are group-committed.
+    int64_t size_delta = 0;
+    int64_t max_ts = attr.mtime;
+    for (const ChangeLogEntry& e : todo) {
+      size_delta += e.size_delta;
+      max_ts = std::max(max_ts, e.timestamp);
+    }
+    const uint64_t result_size = static_cast<uint64_t>(
+        std::max<int64_t>(0, static_cast<int64_t>(attr.size) + size_delta));
+    auto join = std::make_shared<sim::JoinCounter>(
+        ctx_.sim, static_cast<int>(todo.size()));
+    for (const ChangeLogEntry& e : todo) {
+      EntryApplyRecord rec;
+      rec.dir = dir;
+      rec.src_server = src;
+      rec.entry = e;
+      rec.result_size = result_size;
+      rec.result_mtime = max_ts;
+      ctx_.durable->wal.Append(kWalEntryApply, rec.Encode());
+      sim::Spawn([](ServerContext* ctx, VolPtr vol, InodeId d,
+                    ChangeLogEntry entry,
+                    std::shared_ptr<sim::JoinCounter> jc) -> sim::Task<void> {
+        co_await ctx->cpu->Run(ctx->costs->wal_append_batched +
+                               ctx->costs->changelog_apply_entry);
+        if (!vol->dead) {
+          const std::string ekey = EntryKey(d, entry.name);
+          if (entry.op == OpType::kCreate || entry.op == OpType::kMkdir) {
+            vol->kv.Put(ekey, EncodeEntryValue(entry.entry_type));
+          } else {
+            vol->kv.Delete(ekey);
+          }
+        }
+        jc->Done();
+      }(&ctx_, v, dir, e, join));
+    }
+    co_await join->Wait();
+    if (v->dead) co_return;
+    attr.size = result_size;
+    attr.mtime = max_ts;
+    attr.atime = std::max(attr.atime, max_ts);
+    co_await ctx_.cpu->Run(ctx_.costs->attr_merge_apply);
+    if (v->dead) co_return;
+    v->kv.Put(ikey, attr.Encode());
+    high = std::max(high, todo.back().seq);
+  } else {
+    // No compaction (+Async ablation): every entry is a full read-modify-
+    // write of the directory inode, serialized under the inode lock.
+    for (const ChangeLogEntry& e : todo) {
+      EntryApplyRecord rec;
+      rec.dir = dir;
+      rec.src_server = src;
+      rec.entry = e;
+      const int64_t new_size =
+          std::max<int64_t>(0, static_cast<int64_t>(attr.size) + e.size_delta);
+      rec.result_size = static_cast<uint64_t>(new_size);
+      rec.result_mtime = std::max(attr.mtime, e.timestamp);
+      co_await ctx_.cpu->Run(ctx_.costs->wal_append);
+      if (v->dead) co_return;
+      ctx_.durable->wal.Append(kWalEntryApply, rec.Encode());
+      co_await ctx_.cpu->Run(ctx_.costs->dir_update_cpu);
+      if (v->dead) co_return;
+      co_await sim::Delay(
+          ctx_.sim, ctx_.costs->dir_update_critical - ctx_.costs->dir_update_cpu);
+      if (v->dead) co_return;
+      const std::string ekey = EntryKey(dir, e.name);
+      if (e.op == OpType::kCreate || e.op == OpType::kMkdir) {
+        v->kv.Put(ekey, EncodeEntryValue(e.entry_type));
+      } else {
+        v->kv.Delete(ekey);
+      }
+      attr.size = rec.result_size;
+      attr.mtime = rec.result_mtime;
+      v->kv.Put(ikey, attr.Encode());
+      high = std::max(high, e.seq);
+    }
+  }
+  ctx_.stats->entries_applied += todo.size();
+}
+
+// ---------------------------------------------------------------------------
+// Responder side
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Aggregation::HandleAggCollect(net::Packet p, VolPtr v) {
+  auto body = p.body;
+  const auto* msg = net::MsgAs<AggCollect>(body);
+  if (msg == nullptr) {
+    co_return;
+  }
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
+  if (v->dead) co_return;
+
+  // Fig 6 step 5: insert the removed directory into the invalidation list
+  // *before* snapshotting, so racing double-inode ops fail their checks.
+  if (msg->invalidate) {
+    v->inval.Add(msg->invalidate_id, ctx_.Now());
+  }
+
+  const psw::Fingerprint fp = msg->fp;
+  auto it = v->agg_sessions.find(fp);
+  if (it == v->agg_sessions.end()) {
+    auto lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
+    if (v->dead) co_return;
+    // Re-check: a concurrent collect may have created the session while we
+    // waited for the lock; keep the first session's lock and drop ours.
+    it = v->agg_sessions.find(fp);
+    if (it == v->agg_sessions.end()) {
+      ServerVolatile::AggSession session;
+      session.seq = msg->agg_seq;
+      session.lock = std::move(lock);
+      session.started_at = ctx_.Now();
+      it = v->agg_sessions.emplace(fp, std::move(session)).first;
+      sim::Spawn(ResponderSessionWatchdog(v, fp, msg->agg_seq));
+    } else {
+      it->second.seq = std::max(it->second.seq, msg->agg_seq);
+    }
+  } else {
+    it->second.seq = std::max(it->second.seq, msg->agg_seq);
+  }
+
+  auto reply = std::make_shared<AggEntries>();
+  reply->fp = fp;
+  reply->agg_seq = msg->agg_seq;
+  reply->src_server = ctx_.config->index;
+  auto logs = v->changelogs.find(fp);
+  if (logs != v->changelogs.end()) {
+    for (auto& [dir, log] : logs->second) {
+      if (log.empty()) {
+        continue;
+      }
+      AggEntries::PerDir pd;
+      pd.dir = dir;
+      pd.entries.assign(log.pending().begin(), log.pending().end());
+      reply->dirs.push_back(std::move(pd));
+    }
+  }
+  net::CallOptions opts;
+  opts.timeout = sim::Microseconds(500);
+  opts.max_attempts = 5;
+  auto r = co_await ctx_.rpc->Call(msg->initiator_node, reply, opts);
+  (void)r;  // receipt ack only; AggDone (or the watchdog) finishes the session
+}
+
+void Aggregation::HandleAggEntries(net::Packet p, VolPtr v) {
+  const auto* msg = net::MsgAs<AggEntries>(p.body);
+  if (msg == nullptr) {
+    return;
+  }
+  ctx_.rpc->Respond(p, net::MakeMsg<Ack>());
+  auto it = v->agg_waits.find(msg->fp);
+  if (it == v->agg_waits.end()) {
+    return;  // aggregation already finished
+  }
+  auto& w = *it->second;
+  for (const auto& pd : msg->dirs) {
+    w.collected.push_back(pd);
+    w.collected_src.push_back(msg->src_server);
+  }
+  if (msg->agg_seq == w.seq) {
+    w.pending.erase(msg->src_server);
+    if (w.pending.empty() && w.slot != nullptr) {
+      w.slot->Set(true);
+    }
+  }
+}
+
+void Aggregation::HandleAggDone(const AggDone& done, VolPtr v) {
+  auto it = v->agg_sessions.find(done.fp);
+  if (it == v->agg_sessions.end()) {
+    return;
+  }
+  if (done.agg_seq < it->second.seq) {
+    return;  // stale completion of an earlier attempt
+  }
+  auto logs = v->changelogs.find(done.fp);
+  if (logs != v->changelogs.end()) {
+    for (const auto& row : done.acked) {
+      if (row.src_server != ctx_.config->index) {
+        continue;
+      }
+      auto dit = logs->second.find(row.dir);
+      if (dit == logs->second.end()) {
+        continue;
+      }
+      for (uint64_t lsn : dit->second.AckUpTo(row.acked_seq)) {
+        ctx_.durable->wal.MarkApplied(lsn);
+      }
+    }
+  }
+  v->agg_sessions.erase(it);  // releases the change-log lock (9a)
+}
+
+sim::Task<void> Aggregation::ResponderSessionWatchdog(VolPtr v,
+                                                      psw::Fingerprint fp,
+                                                      uint64_t seq) {
+  while (true) {
+    co_await sim::Delay(ctx_.sim, ctx_.config->responder_session_timeout);
+    if (v->dead) co_return;
+    auto it = v->agg_sessions.find(fp);
+    if (it == v->agg_sessions.end()) {
+      co_return;  // finished normally
+    }
+    if (it->second.seq != seq) {
+      seq = it->second.seq;  // still live (retries); keep watching
+      continue;
+    }
+    // The initiator went silent (likely crashed): release the lock. Pending
+    // entries stay; recovery or the next aggregation re-collects them.
+    v->agg_sessions.erase(it);
+    co_return;
+  }
+}
+
+}  // namespace switchfs::core

@@ -1,0 +1,65 @@
+// Derived KV and lock-table keys shared by the SwitchFS server's protocol
+// modules and the baseline systems (paper §4.3, Tab 3). The primary schema
+// keys ("i" inode, "e" entry) live in src/core/schema.h; this header covers
+// the single-id auxiliary records and the per-fingerprint lock keys.
+#ifndef SRC_CORE_KEYS_H_
+#define SRC_CORE_KEYS_H_
+
+#include <cstring>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/core/types.h"
+#include "src/pswitch/fingerprint.h"
+
+namespace switchfs::core {
+
+// Lock-table key of a fingerprint group: "f" + raw 8-byte fingerprint. Used
+// for change-log locks and owner-side aggregation gates (one per group).
+inline std::string FpKey(psw::Fingerprint fp) {
+  std::string key(1 + sizeof(fp), '\0');
+  key[0] = 'f';
+  std::memcpy(key.data() + 1, &fp, sizeof(fp));
+  return key;
+}
+
+// "<prefix>" + id(32B): auxiliary records keyed by a single inode id.
+inline std::string IdKey(char prefix, const InodeId& id) {
+  std::string key;
+  key.reserve(33);
+  key.push_back(prefix);
+  key += id.ToKeyBytes();
+  return key;
+}
+
+// Key of a shared attributes object (hard links, §5.5).
+inline std::string AttrKey(const InodeId& id) { return IdKey('a', id); }
+
+// Key of the "d" (dir-id -> inode key) index used by aggregation applies.
+inline std::string DirIndexKey(const InodeId& id) { return IdKey('d', id); }
+// Prefix covering every dir-index row (recovery re-aggregation scan).
+inline constexpr const char* kDirIndexPrefix = "d";
+
+// Key of a baseline system's authoritative directory content record, kept at
+// the directory's home server (src/baselines).
+inline std::string ContentKey(const InodeId& dir) { return IdKey('c', dir); }
+
+// Encoded value of a dir-index row: (inode key, fingerprint).
+inline std::string EncodeDirIndex(const std::string& inode_key,
+                                  psw::Fingerprint fp) {
+  Encoder enc;
+  enc.PutString(inode_key);
+  enc.PutU64(fp);
+  return std::move(enc).Take();
+}
+
+inline void DecodeDirIndex(const std::string& value, std::string* inode_key,
+                           psw::Fingerprint* fp) {
+  Decoder dec(value);
+  *inode_key = dec.GetString();
+  *fp = dec.GetU64();
+}
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_KEYS_H_

@@ -1,0 +1,252 @@
+#include "src/core/link_manager.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/schema.h"
+#include "src/core/wal_records.h"
+
+namespace switchfs::core {
+
+sim::Task<Status> LinkManager::UpdateLinkCount(VolPtr v, InodeId file_id,
+                                               uint32_t attr_server,
+                                               int32_t delta, Attr* out,
+                                               bool set_mode, uint32_t mode) {
+  if (attr_server == ctx_.config->index) {
+    const std::string akey = AttrKey(file_id);
+    auto lock = co_await v->inode_locks.AcquireExclusive(akey);
+    if (v->dead) co_return UnavailableError();
+    co_await ctx_.cpu->Run(ctx_.costs->kv_get);
+    if (v->dead) co_return UnavailableError();
+    auto value = v->kv.Get(akey);
+    if (!value.has_value()) {
+      co_return NotFoundError("attributes object missing");
+    }
+    Attr attrs = Attr::Decode(*value);
+    attrs.nlink = static_cast<uint32_t>(
+        std::max<int64_t>(0, static_cast<int64_t>(attrs.nlink) + delta));
+    if (set_mode) {
+      attrs.mode = mode;
+      attrs.ctime = ctx_.Now();
+    }
+    if (delta != 0 || set_mode) {
+      OpCommitRecord rec;
+      rec.op = OpType::kLink;
+      rec.inode_key = akey;
+      rec.inode_delete = attrs.nlink == 0;
+      if (!rec.inode_delete) {
+        rec.inode_value = attrs.Encode();
+      }
+      co_await ctx_.cpu->Run(ctx_.costs->wal_append);
+      if (v->dead) co_return UnavailableError();
+      ctx_.durable->wal.Append(kWalOpCommit, rec.Encode());
+      co_await ctx_.cpu->Run(attrs.nlink == 0 ? ctx_.costs->kv_delete
+                                              : ctx_.costs->kv_put);
+      if (v->dead) co_return UnavailableError();
+      if (attrs.nlink == 0) {
+        v->kv.Delete(akey);
+      } else {
+        v->kv.Put(akey, attrs.Encode());
+      }
+    }
+    if (out != nullptr) {
+      *out = attrs;
+    }
+    co_return OkStatus();
+  }
+  auto msg = std::make_shared<LinkRefUpdate>();
+  msg->file_id = file_id;
+  msg->delta = delta;
+  msg->set_mode = set_mode;
+  msg->mode = mode;
+  auto r = co_await ctx_.rpc->Call(ctx_.cluster->ServerNode(attr_server), msg);
+  if (v->dead) co_return UnavailableError();
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  const auto* resp = net::MsgAs<LinkRefUpdateResp>(*r);
+  if (resp == nullptr || resp->status != StatusCode::kOk) {
+    co_return Status(resp == nullptr ? StatusCode::kInternal : resp->status);
+  }
+  if (out != nullptr) {
+    *out = resp->attrs;
+  }
+  co_return OkStatus();
+}
+
+sim::Task<void> LinkManager::HandleLinkRefUpdate(net::Packet p, VolPtr v) {
+  const auto* msg = static_cast<const LinkRefUpdate*>(p.body.get());
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
+  if (v->dead) co_return;
+  auto resp = std::make_shared<LinkRefUpdateResp>();
+  Attr attrs;
+  Status s = co_await UpdateLinkCount(v, msg->file_id, ctx_.config->index,
+                                      msg->delta, &attrs, msg->set_mode,
+                                      msg->mode);
+  if (v->dead) co_return;
+  resp->status = s.ok() ? StatusCode::kOk : s.code();
+  resp->nlink = attrs.nlink;
+  resp->attrs = attrs;
+  ctx_.rpc->Respond(p, resp);
+}
+
+sim::Task<void> LinkManager::HandleLinkConvert(net::Packet p, VolPtr v) {
+  const auto* msg = static_cast<const LinkConvert*>(p.body.get());
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
+  if (v->dead) co_return;
+  const std::string ikey = InodeKey(msg->pid, msg->name);
+  auto resp = std::make_shared<LinkConvertResp>();
+  auto lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  if (v->dead) co_return;
+  co_await ctx_.cpu->Run(ctx_.costs->kv_get);
+  if (v->dead) co_return;
+  auto value = v->kv.Get(ikey);
+  if (!value.has_value()) {
+    resp->status = StatusCode::kNotFound;
+    ctx_.rpc->Respond(p, resp);
+    co_return;
+  }
+  Attr attr = Attr::Decode(*value);
+  if (attr.is_dir()) {
+    resp->status = StatusCode::kIsADirectory;
+    ctx_.rpc->Respond(p, resp);
+    co_return;
+  }
+  if (attr.type == FileType::kReference) {
+    // Already split: just bump the count at the attributes owner.
+    lock.Release();
+    Status s = co_await UpdateLinkCount(
+        v, attr.id, static_cast<uint32_t>(attr.size), +1, nullptr);
+    if (v->dead) co_return;
+    resp->status = s.ok() ? StatusCode::kOk : s.code();
+    resp->file_id = attr.id;
+    resp->attr_server = static_cast<uint32_t>(attr.size);
+    ctx_.rpc->Respond(p, resp);
+    co_return;
+  }
+  // First link: split into reference + attributes object, both local (§5.5).
+  Attr attrs = attr;
+  attrs.nlink = 2;  // the original name plus the new link
+  Attr ref;
+  ref.id = attr.id;
+  ref.type = FileType::kReference;
+  ref.size = ctx_.config->index;  // attributes stay with the original owner
+  {
+    OpCommitRecord rec;
+    rec.op = OpType::kLink;
+    rec.inode_key = AttrKey(attr.id);
+    rec.inode_value = attrs.Encode();
+    co_await ctx_.cpu->Run(ctx_.costs->wal_append);
+    if (v->dead) co_return;
+    ctx_.durable->wal.Append(kWalOpCommit, rec.Encode());
+  }
+  {
+    OpCommitRecord rec;
+    rec.op = OpType::kLink;
+    rec.inode_key = ikey;
+    rec.inode_value = ref.Encode();
+    co_await ctx_.cpu->Run(ctx_.costs->wal_append);
+    if (v->dead) co_return;
+    ctx_.durable->wal.Append(kWalOpCommit, rec.Encode());
+  }
+  co_await ctx_.cpu->Run(2 * ctx_.costs->kv_put);
+  if (v->dead) co_return;
+  v->kv.Put(AttrKey(attr.id), attrs.Encode());
+  v->kv.Put(ikey, ref.Encode());
+  resp->status = StatusCode::kOk;
+  resp->file_id = attr.id;
+  resp->attr_server = ctx_.config->index;
+  ctx_.rpc->Respond(p, resp);
+}
+
+sim::Task<void> LinkManager::HandleLink(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  ctx_.stats->ops++;
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
+  if (v->dead) co_return;
+  const PathRef& dst = req->ref;
+  const PathRef& src = req->ref2;
+  const std::string ikey = InodeKey(dst.pid, dst.name);
+  const psw::Fingerprint pfp = dst.parent_fp;
+
+  auto cl_lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+  if (v->dead) co_return;
+  auto ino_lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  if (v->dead) co_return;
+  co_await ctx_.cpu->Run(ctx_.costs->path_check *
+                         static_cast<sim::SimTime>(1 + dst.ancestors.size()));
+  if (v->dead) co_return;
+  auto stale = v->inval.Check(dst.ancestors);
+  if (!stale.empty()) {
+    ctx_.stats->stale_cache_bounces++;
+    ctx_.RespondStale(p, std::move(stale));
+    co_return;
+  }
+  co_await ctx_.cpu->Run(ctx_.costs->kv_get);
+  if (v->dead) co_return;
+  if (v->kv.Contains(ikey)) {
+    ctx_.RespondStatus(p, StatusCode::kAlreadyExists);
+    co_return;
+  }
+
+  // Split / bump at the source's owner (two-phase across servers).
+  auto convert = std::make_shared<LinkConvert>();
+  convert->pid = src.pid;
+  convert->name = src.name;
+  const psw::Fingerprint sfp = FingerprintOf(src.pid, src.name);
+  auto r = co_await ctx_.rpc->Call(
+      ctx_.cluster->ServerNode(ctx_.OwnerOf(sfp)), convert);
+  if (v->dead) co_return;
+  if (!r.ok()) {
+    ctx_.RespondStatus(p, StatusCode::kUnavailable);
+    co_return;
+  }
+  const auto* conv = net::MsgAs<LinkConvertResp>(*r);
+  if (conv == nullptr || conv->status != StatusCode::kOk) {
+    ctx_.RespondStatus(
+        p, conv == nullptr ? StatusCode::kInternal : conv->status);
+    co_return;
+  }
+
+  Attr ref;
+  ref.id = conv->file_id;
+  ref.type = FileType::kReference;
+  ref.size = conv->attr_server;
+
+  ChangeLog& clog = v->GetChangeLog(pfp, dst.pid);
+  ChangeLogEntry entry;
+  entry.timestamp = ctx_.Now();
+  entry.op = OpType::kCreate;
+  entry.name = dst.name;
+  entry.entry_type = FileType::kFile;
+  entry.size_delta = 1;
+  entry.seq = clog.last_appended_seq() + 1;
+
+  OpCommitRecord rec;
+  rec.op = OpType::kLink;
+  rec.inode_key = ikey;
+  rec.inode_value = ref.Encode();
+  rec.parent_dir = dst.pid;
+  rec.parent_fp = pfp;
+  rec.entry = entry;
+  rec.has_entry = true;
+  co_await ctx_.cpu->Run(ctx_.costs->wal_append);
+  if (v->dead) co_return;
+  entry.wal_lsn = ctx_.durable->wal.Append(kWalOpCommit, rec.Encode());
+  co_await ctx_.cpu->Run(ctx_.costs->kv_put);
+  if (v->dead) co_return;
+  v->kv.Put(ikey, ref.Encode());
+  co_await ctx_.cpu->Run(ctx_.costs->changelog_append);
+  if (v->dead) co_return;
+  clog.Restore(entry);
+
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->attr = ref;
+  co_await publisher_.PublishUpdate(&p, v, pfp, dst.pid, resp);
+  if (v->dead) co_return;
+  push_.MaybeSchedulePush(v, pfp, dst.pid);
+}
+
+}  // namespace switchfs::core

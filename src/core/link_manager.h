@@ -1,0 +1,47 @@
+// Hard links (paper §5.5): the first link splits a file into a reference
+// inode plus a shared attributes object ("a" key) kept at the original
+// owner; further links and unlinks bump/drop the shared reference count, and
+// file ops on a reference chase the attributes object at its home server.
+#ifndef SRC_CORE_LINK_MANAGER_H_
+#define SRC_CORE_LINK_MANAGER_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/core/push_engine.h"
+#include "src/core/server_context.h"
+#include "src/net/packet.h"
+#include "src/sim/task.h"
+
+namespace switchfs::core {
+
+class LinkManager {
+ public:
+  LinkManager(ServerContext& ctx, PushEngine& push, UpdatePublisher& publisher)
+      : ctx_(ctx), push_(push), publisher_(publisher) {}
+  LinkManager(const LinkManager&) = delete;
+  LinkManager& operator=(const LinkManager&) = delete;
+
+  // Client-facing kLink: creates the new reference entry (deferred parent
+  // update) after converting/bumping the source at its owner.
+  sim::Task<void> HandleLink(net::Packet p, VolPtr v);
+  // First-link split (or count bump) at the source's owner.
+  sim::Task<void> HandleLinkConvert(net::Packet p, VolPtr v);
+  // Reference-count update at the attributes object's home server.
+  sim::Task<void> HandleLinkRefUpdate(net::Packet p, VolPtr v);
+  // delta: +1 link, -1 unlink, 0 read; optionally rewrites the mode. Local
+  // when this server holds the attributes object, else one RPC.
+  sim::Task<Status> UpdateLinkCount(VolPtr v, InodeId file_id,
+                                    uint32_t attr_server, int32_t delta,
+                                    Attr* out, bool set_mode = false,
+                                    uint32_t mode = 0);
+
+ private:
+  ServerContext& ctx_;
+  PushEngine& push_;
+  UpdatePublisher& publisher_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_LINK_MANAGER_H_

@@ -1,0 +1,161 @@
+#include "src/core/push_engine.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sim/sync.h"
+
+namespace switchfs::core {
+
+void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
+                                   const InodeId& dir) {
+  auto logs = v->changelogs.find(fp);
+  if (logs == v->changelogs.end()) {
+    return;
+  }
+  auto it = logs->second.find(dir);
+  if (it == logs->second.end() || it->second.empty()) {
+    return;
+  }
+  if (static_cast<int>(it->second.size()) >= ctx_.config->mtu_entries) {
+    sim::Spawn(PushBacklog(v, fp, dir));
+    return;
+  }
+  const auto key = std::make_pair(fp, dir);
+  if (v->push_timer_armed.insert(key).second) {
+    sim::Spawn(PushIdleTimer(v, fp, dir));
+  }
+}
+
+sim::Task<void> PushEngine::PushIdleTimer(VolPtr v, psw::Fingerprint fp,
+                                          InodeId dir) {
+  const auto key = std::make_pair(fp, dir);
+  while (true) {
+    uint64_t last_seq = 0;
+    {
+      auto logs = v->changelogs.find(fp);
+      if (logs == v->changelogs.end()) break;
+      auto it = logs->second.find(dir);
+      if (it == logs->second.end() || it->second.empty()) break;
+      last_seq = it->second.last_appended_seq();
+    }
+    co_await sim::Delay(ctx_.sim, ctx_.config->push_idle_timeout);
+    if (v->dead) co_return;
+    auto logs = v->changelogs.find(fp);
+    if (logs == v->changelogs.end()) break;
+    auto it = logs->second.find(dir);
+    if (it == logs->second.end() || it->second.empty()) break;
+    if (it->second.last_appended_seq() == last_seq) {
+      // Quiet: flush the backlog (§5.3 "no new entries within an interval").
+      v->push_timer_armed.erase(key);
+      co_await PushBacklog(v, fp, dir);
+      co_return;
+    }
+  }
+  v->push_timer_armed.erase(key);
+}
+
+sim::Task<void> PushEngine::PushBacklog(VolPtr v, psw::Fingerprint fp,
+                                        InodeId dir) {
+  const auto key = std::make_pair(fp, dir);
+  if (!v->push_in_flight.insert(key).second) {
+    co_return;  // a push for this log is already running
+  }
+  while (true) {
+    std::vector<ChangeLogEntry> entries;
+    {
+      auto lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
+      if (v->dead) co_return;
+      auto logs = v->changelogs.find(fp);
+      if (logs == v->changelogs.end()) break;
+      auto it = logs->second.find(dir);
+      if (it == logs->second.end() || it->second.empty()) break;
+      entries.assign(it->second.pending().begin(), it->second.pending().end());
+    }
+    if (entries.empty()) break;
+    ctx_.stats->pushes_sent++;
+    const uint64_t max_seq = entries.back().seq;
+
+    uint64_t acked_seq = 0;
+    if (ctx_.IsOwner(fp)) {
+      co_await agg_.ApplyEntries(v, dir, ctx_.config->index,
+                                 std::move(entries), "");
+      if (v->dead) co_return;
+      acked_seq = max_seq;
+      v->last_push[fp] = ctx_.Now();
+      ArmOwnerQuietTimer(v, fp);
+    } else {
+      auto push = std::make_shared<PushReq>();
+      push->dir = dir;
+      push->fp = fp;
+      push->src_server = ctx_.config->index;
+      push->entries = std::move(entries);
+      auto r = co_await ctx_.rpc->Call(
+          ctx_.cluster->ServerNode(ctx_.OwnerOf(fp)), push);
+      if (v->dead) co_return;
+      if (!r.ok()) break;  // owner unreachable; a later trigger retries
+      const auto* resp = net::MsgAs<PushResp>(*r);
+      if (resp == nullptr || resp->status != StatusCode::kOk) break;
+      acked_seq = resp->acked_seq;
+    }
+    {
+      auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(fp));
+      if (v->dead) co_return;
+      auto logs = v->changelogs.find(fp);
+      if (logs == v->changelogs.end()) break;
+      auto it = logs->second.find(dir);
+      if (it == logs->second.end()) break;
+      for (uint64_t lsn : it->second.AckUpTo(acked_seq)) {
+        ctx_.durable->wal.MarkApplied(lsn);
+      }
+      if (static_cast<int>(it->second.size()) < ctx_.config->mtu_entries) {
+        break;
+      }
+    }
+  }
+  v->push_in_flight.erase(key);
+}
+
+sim::Task<void> PushEngine::HandlePush(net::Packet p, VolPtr v) {
+  const auto* msg = static_cast<const PushReq*>(p.body.get());
+  ctx_.stats->pushes_received++;
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
+  if (v->dead) co_return;
+  co_await agg_.ApplyEntries(v, msg->dir, msg->src_server, msg->entries, "");
+  if (v->dead) co_return;
+  auto resp = std::make_shared<PushResp>();
+  resp->status = StatusCode::kOk;
+  auto it = v->hwm.find({msg->dir, msg->src_server});
+  resp->acked_seq = it == v->hwm.end() ? 0 : it->second;
+  ctx_.rpc->Respond(p, resp);
+  v->last_push[msg->fp] = ctx_.Now();
+  ArmOwnerQuietTimer(v, msg->fp);
+}
+
+void PushEngine::ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
+  if (!ctx_.config->async_updates) {
+    return;  // synchronous mode never defers
+  }
+  if (v->quiet_timer_armed.insert(fp).second) {
+    sim::Spawn(OwnerQuietTimer(v, fp));
+  }
+}
+
+sim::Task<void> PushEngine::OwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
+  while (true) {
+    co_await sim::Delay(ctx_.sim, ctx_.config->owner_quiet_period);
+    if (v->dead) co_return;
+    auto it = v->last_push.find(fp);
+    const int64_t last = it == v->last_push.end() ? 0 : it->second;
+    if (ctx_.Now() - last >= ctx_.config->owner_quiet_period) {
+      break;
+    }
+  }
+  v->quiet_timer_armed.erase(fp);
+  // Quiet period elapsed: aggregate proactively so the next read finds the
+  // directory in normal state (§5.3).
+  co_await agg_.GateAndAggregate(v, fp);
+}
+
+}  // namespace switchfs::core

@@ -1,0 +1,45 @@
+// Proactive push & owner-driven aggregation (paper §5.3): source servers
+// push a directory's change-log backlog to its owner once an MTU worth of
+// entries accumulates or the log has been idle; the owner aggregates after a
+// quiet period so the next read finds the directory in normal state.
+#ifndef SRC_CORE_PUSH_ENGINE_H_
+#define SRC_CORE_PUSH_ENGINE_H_
+
+#include "src/core/aggregation.h"
+#include "src/core/server_context.h"
+#include "src/net/packet.h"
+#include "src/sim/task.h"
+
+namespace switchfs::core {
+
+class PushEngine {
+ public:
+  PushEngine(ServerContext& ctx, Aggregation& agg) : ctx_(ctx), agg_(agg) {}
+  PushEngine(const PushEngine&) = delete;
+  PushEngine& operator=(const PushEngine&) = delete;
+
+  // ---- source side ----
+  // After a deferred update commits: push immediately when the backlog
+  // reaches mtu_entries, else (re)arm the idle-flush timer.
+  void MaybeSchedulePush(VolPtr v, psw::Fingerprint fp, const InodeId& dir);
+  // Pushes the directory's backlog to its owner until it drains below an
+  // MTU (also the recovery flush path; single-flight per (fp, dir)).
+  sim::Task<void> PushBacklog(VolPtr v, psw::Fingerprint fp, InodeId dir);
+
+  // ---- owner side ----
+  sim::Task<void> HandlePush(net::Packet p, VolPtr v);
+  // Arms the quiet-period timer that triggers a proactive aggregation once
+  // pushes stop arriving for owner_quiet_period.
+  void ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
+
+ private:
+  sim::Task<void> PushIdleTimer(VolPtr v, psw::Fingerprint fp, InodeId dir);
+  sim::Task<void> OwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
+
+  ServerContext& ctx_;
+  Aggregation& agg_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_PUSH_ENGINE_H_

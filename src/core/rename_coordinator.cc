@@ -1,0 +1,342 @@
+#include "src/core/rename_coordinator.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/core/schema.h"
+#include "src/core/wal_records.h"
+
+namespace switchfs::core {
+
+sim::Task<void> RenameCoordinator::HandleRename(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  ctx_.stats->ops++;
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
+  if (v->dead) co_return;
+
+  const PathRef& src = req->ref;
+  const PathRef& dst = req->ref2;
+  const std::string skey = InodeKey(src.pid, src.name);
+  const std::string dkey = InodeKey(dst.pid, dst.name);
+  if (skey == dkey) {
+    ctx_.RespondStatus(p, StatusCode::kInvalidArgument);
+    co_return;
+  }
+  const psw::Fingerprint sfp = FingerprintOf(src.pid, src.name);
+  const psw::Fingerprint dfp = FingerprintOf(dst.pid, dst.name);
+  const net::NodeId s_node = ctx_.cluster->ServerNode(ctx_.OwnerOf(sfp));
+  const net::NodeId d_node = ctx_.cluster->ServerNode(ctx_.OwnerOf(dfp));
+  const uint64_t txn =
+      (static_cast<uint64_t>(ctx_.config->index) << 48) | v->txn_counter++;
+
+  struct Leg {
+    net::NodeId node;
+    InodeId pid;
+    psw::Fingerprint parent_fp;
+    std::string name;
+    std::vector<AncestorRef> ancestors;
+    bool is_src;
+  };
+  Leg legs[2] = {
+      {s_node, src.pid, src.parent_fp, src.name, src.ancestors, true},
+      {d_node, dst.pid, dst.parent_fp, dst.name, dst.ancestors, false},
+  };
+  // Deadlock-free 2PL: prepare in (parent_fp, key) order.
+  if (std::make_pair(legs[1].parent_fp, dkey) <
+      std::make_pair(legs[0].parent_fp, skey)) {
+    std::swap(legs[0], legs[1]);
+  }
+
+  // §5.2: if the source is a directory, aggregate it *before* locking so the
+  // inode we move is current and the aggregation's applies cannot deadlock
+  // against our own prepare locks.
+  {
+    auto look = std::make_shared<LookupReq>();
+    look->pid = src.pid;
+    look->name = src.name;
+    auto lr = co_await ctx_.rpc->Call(s_node, look);
+    if (v->dead) co_return;
+    if (lr.ok()) {
+      const auto* lresp = net::MsgAs<LookupResp>(*lr);
+      if (lresp != nullptr && lresp->status == StatusCode::kOk &&
+          lresp->attr.is_dir()) {
+        auto agg = std::make_shared<AggregateReq>();
+        agg->fp = sfp;
+        auto ar = co_await ctx_.rpc->Call(s_node, agg);
+        (void)ar;
+        if (v->dead) co_return;
+      }
+    }
+  }
+
+  Attr src_attr;
+  StatusCode failure = StatusCode::kOk;
+  int prepared = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto prep = std::make_shared<RenamePrepare>();
+    prep->txn_id = txn;
+    prep->pid = legs[i].pid;
+    prep->name = legs[i].name;
+    prep->must_exist = legs[i].is_src;
+    prep->must_absent = !legs[i].is_src;
+    net::CallOptions txn_opts;
+    txn_opts.timeout = sim::Milliseconds(20);
+    txn_opts.max_attempts = 3;
+    auto r = co_await ctx_.rpc->Call(legs[i].node, prep, txn_opts);
+    if (v->dead) co_return;
+    if (!r.ok()) {
+      failure = StatusCode::kUnavailable;
+      break;
+    }
+    const auto* pr = net::MsgAs<RenamePrepareResp>(*r);
+    if (pr == nullptr || pr->status != StatusCode::kOk) {
+      failure = pr == nullptr ? StatusCode::kInternal : pr->status;
+      break;
+    }
+    if (legs[i].is_src) {
+      src_attr = pr->attr;
+    }
+    prepared = i + 1;
+  }
+
+  // Orphaned-loop prevention (§5.2): a directory must not be moved under
+  // one of its own descendants.
+  if (failure == StatusCode::kOk && src_attr.is_dir()) {
+    for (const AncestorRef& a : dst.ancestors) {
+      if (a.id == src_attr.id) {
+        failure = StatusCode::kCrossDevice;
+        break;
+      }
+    }
+  }
+
+  if (failure != StatusCode::kOk) {
+    for (int i = 0; i < prepared; ++i) {
+      auto abort = std::make_shared<RenameCommit>();
+      abort->txn_id = txn;
+      abort->abort = true;
+      abort->parent_dir = legs[i].pid;
+      abort->parent_entry_name = legs[i].name;
+      auto r = co_await ctx_.rpc->Call(legs[i].node, abort);
+      (void)r;
+      if (v->dead) co_return;
+    }
+    ctx_.RespondStatus(p, failure);
+    co_return;
+  }
+
+  // Commit: source leg (delete + deferred parent remove-entry) first, then
+  // destination (put + deferred parent add-entry).
+  auto scommit = std::make_shared<RenameCommit>();
+  scommit->txn_id = txn;
+  scommit->delete_inode = true;
+  scommit->log_parent_update = true;
+  scommit->parent_dir = src.pid;
+  scommit->parent_fp = src.parent_fp;
+  scommit->parent_op = OpType::kUnlink;
+  scommit->parent_entry_name = src.name;
+  scommit->parent_entry_type = src_attr.type;
+  net::CallOptions commit_opts;
+  commit_opts.timeout = sim::Milliseconds(20);
+  commit_opts.max_attempts = 3;
+  auto r1 = co_await ctx_.rpc->Call(s_node, scommit, commit_opts);
+  if (v->dead) co_return;
+
+  std::vector<DirEntry> moved_entries;
+  if (r1.ok()) {
+    if (const auto* blob = net::MsgAs<EntryListBlob>(*r1)) {
+      moved_entries = blob->entries;
+    }
+  }
+
+  auto dcommit = std::make_shared<RenameCommit>();
+  dcommit->txn_id = txn;
+  dcommit->put_inode = true;
+  dcommit->inode = src_attr;
+  dcommit->log_parent_update = true;
+  dcommit->parent_dir = dst.pid;
+  dcommit->parent_fp = dst.parent_fp;
+  dcommit->parent_op = OpType::kCreate;
+  dcommit->parent_entry_name = dst.name;
+  dcommit->parent_entry_type = src_attr.type;
+  dcommit->install_entries = std::move(moved_entries);
+  dcommit->install = src_attr.is_dir();
+  auto r2 = co_await ctx_.rpc->Call(d_node, dcommit, commit_opts);
+  (void)r2;
+  if (v->dead) co_return;
+
+  if (src_attr.is_dir()) {
+    // The directory's cached path mappings are now stale everywhere.
+    v->inval.Add(src_attr.id, ctx_.Now());
+    auto bcast = std::make_shared<InvalBroadcast>();
+    bcast->id = src_attr.id;
+    net::Packet mc;
+    mc.dst = net::kServerMulticast;
+    mc.ds.origin = ctx_.node_id();
+    mc.body = bcast;
+    ctx_.rpc->Send(std::move(mc));
+  }
+  ctx_.RespondStatus(p, StatusCode::kOk);
+}
+
+sim::Task<void> RenameCoordinator::HandleRenamePrepare(net::Packet p,
+                                                       VolPtr v) {
+  const auto* msg = static_cast<const RenamePrepare*>(p.body.get());
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch + ctx_.costs->txn_prepare);
+  if (v->dead) co_return;
+  const std::string ikey = InodeKey(msg->pid, msg->name);
+  auto resp = std::make_shared<RenamePrepareResp>();
+  auto ino = co_await v->inode_locks.AcquireExclusive(ikey);
+  if (v->dead) co_return;
+  co_await ctx_.cpu->Run(ctx_.costs->kv_get);
+  if (v->dead) co_return;
+  auto value = v->kv.Get(ikey);
+  if (msg->must_exist && !value.has_value()) {
+    resp->status = StatusCode::kNotFound;
+    ctx_.rpc->Respond(p, resp);
+    co_return;
+  }
+  if (msg->must_absent && value.has_value()) {
+    resp->status = StatusCode::kAlreadyExists;
+    ctx_.rpc->Respond(p, resp);
+    co_return;
+  }
+  if (value.has_value()) {
+    resp->attr = Attr::Decode(*value);
+  }
+  resp->status = StatusCode::kOk;
+  std::vector<LockTable::Handle> held;
+  held.push_back(std::move(ino));
+  // Keyed by (txn, leg): both legs of a rename may prepare on one server.
+  v->txn_locks[msg->txn_id ^ HashString(ikey)] = std::move(held);
+  ctx_.rpc->Respond(p, resp);
+}
+
+sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
+  const auto* msg = static_cast<const RenameCommit*>(p.body.get());
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch + ctx_.costs->txn_commit);
+  if (v->dead) co_return;
+  const std::string leg_key =
+      InodeKey(msg->parent_dir, msg->parent_entry_name);
+  auto it = v->txn_locks.find(msg->txn_id ^ HashString(leg_key));
+  if (it == v->txn_locks.end()) {
+    // Retransmitted commit after completion: acknowledge idempotently.
+    ctx_.rpc->Respond(p, net::MakeMsg<Ack>());
+    co_return;
+  }
+  if (msg->abort) {
+    v->txn_locks.erase(it);
+    ctx_.rpc->Respond(p, net::MakeMsg<Ack>());
+    co_return;
+  }
+
+  net::MsgPtr reply = net::MakeMsg<Ack>();
+  ChangeLogEntry entry;
+  if (msg->log_parent_update) {
+    entry.timestamp = ctx_.Now();
+    entry.op = msg->parent_op == OpType::kCreate
+                   ? (msg->parent_entry_type == FileType::kDirectory
+                          ? OpType::kMkdir
+                          : OpType::kCreate)
+                   : (msg->parent_entry_type == FileType::kDirectory
+                          ? OpType::kRmdir
+                          : OpType::kUnlink);
+    entry.name = msg->parent_entry_name;
+    entry.entry_type = msg->parent_entry_type;
+    entry.size_delta = msg->parent_op == OpType::kCreate ? 1 : -1;
+  }
+
+  if (msg->delete_inode || msg->put_inode) {
+    OpCommitRecord rec;
+    rec.op = OpType::kRename;
+    rec.parent_dir = msg->parent_dir;
+    rec.parent_fp = msg->parent_fp;
+    rec.has_entry = msg->log_parent_update;
+    // The leg's inode key is recomputed from the parent update fields: the
+    // leg's (pid, name) is exactly (parent_dir, parent_entry_name).
+    const std::string key = InodeKey(msg->parent_dir, msg->parent_entry_name);
+    rec.inode_key = key;
+    rec.inode_delete = msg->delete_inode;
+    if (msg->put_inode) {
+      Attr attr = msg->inode;
+      rec.inode_value = attr.Encode();
+    }
+
+    ChangeLog* clog = nullptr;
+    if (msg->log_parent_update) {
+      clog = &v->GetChangeLog(msg->parent_fp, msg->parent_dir);
+      entry.seq = clog->last_appended_seq() + 1;
+      rec.entry = entry;
+    }
+    co_await ctx_.cpu->Run(ctx_.costs->wal_append);
+    if (v->dead) co_return;
+    const uint64_t lsn = ctx_.durable->wal.Append(kWalOpCommit, rec.Encode());
+
+    co_await ctx_.cpu->Run(msg->delete_inode ? ctx_.costs->kv_delete
+                                             : ctx_.costs->kv_put);
+    if (v->dead) co_return;
+    if (msg->delete_inode) {
+      auto old = v->kv.Get(key);
+      v->kv.Delete(key);
+      if (old.has_value()) {
+        Attr attr = Attr::Decode(*old);
+        if (attr.is_dir()) {
+          // Export the entry list; it moves with the inode to the new owner.
+          auto blob = std::make_shared<EntryListBlob>();
+          blob->dir = attr.id;
+          v->kv.ScanPrefix(EntryPrefix(attr.id),
+                           [&](const std::string& k, const std::string& val) {
+                             blob->entries.push_back(
+                                 DirEntry{std::string(EntryNameFromKey(k)),
+                                          DecodeEntryValue(val)});
+                             return true;
+                           });
+          for (const DirEntry& e : blob->entries) {
+            v->kv.Delete(EntryKey(attr.id, e.name));
+          }
+          v->kv.Delete(DirIndexKey(attr.id));
+          reply = blob;
+        }
+      }
+    } else {
+      v->kv.Put(key, rec.inode_value);
+      if (msg->inode.type == FileType::kDirectory) {
+        v->kv.Put(DirIndexKey(msg->inode.id),
+                  EncodeDirIndex(key, FingerprintOf(msg->parent_dir,
+                                                    msg->parent_entry_name)));
+        for (const DirEntry& e : msg->install_entries) {
+          v->kv.Put(EntryKey(msg->inode.id, e.name), EncodeEntryValue(e.type));
+        }
+      }
+    }
+    if (clog != nullptr) {
+      co_await ctx_.cpu->Run(ctx_.costs->changelog_append);
+      if (v->dead) co_return;
+      entry.wal_lsn = lsn;
+      clog->Restore(entry);
+    }
+  }
+
+  if (msg->log_parent_update) {
+    co_await publisher_.PublishUpdate(nullptr, v, msg->parent_fp,
+                                      msg->parent_dir, nullptr);
+    if (v->dead) co_return;
+    push_.MaybeSchedulePush(v, msg->parent_fp, msg->parent_dir);
+  }
+  v->txn_locks.erase(msg->txn_id ^ HashString(leg_key));
+  ctx_.rpc->Respond(p, reply);
+}
+
+sim::Task<void> RenameCoordinator::HandleAggregateReq(net::Packet p, VolPtr v) {
+  const auto* msg = static_cast<const AggregateReq*>(p.body.get());
+  co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
+  if (v->dead) co_return;
+  co_await agg_.GateAndAggregate(v, msg->fp);
+  if (v->dead) co_return;
+  ctx_.rpc->Respond(p, net::MakeMsg<Ack>());
+}
+
+}  // namespace switchfs::core

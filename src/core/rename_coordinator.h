@@ -1,0 +1,49 @@
+// Rename (paper §5.2): coordinator-driven 2PL/2PC across up to four inodes
+// with orphaned-loop prevention and source-directory aggregation, plus the
+// participant prepare/commit legs every server runs.
+//
+// The coordinator (a designated server) aggregates the source directory
+// before locking (so the inode it moves is current and the aggregation's
+// applies cannot deadlock against its own prepare locks), prepares both legs
+// in deterministic (parent_fp, key) order, rejects moves of a directory
+// under one of its own descendants, then commits: source leg (delete +
+// deferred parent remove-entry) first, destination (put + deferred parent
+// add-entry) second. Directory moves broadcast a client-cache invalidation.
+#ifndef SRC_CORE_RENAME_COORDINATOR_H_
+#define SRC_CORE_RENAME_COORDINATOR_H_
+
+#include "src/core/aggregation.h"
+#include "src/core/push_engine.h"
+#include "src/core/server_context.h"
+#include "src/net/packet.h"
+#include "src/sim/task.h"
+
+namespace switchfs::core {
+
+class RenameCoordinator {
+ public:
+  RenameCoordinator(ServerContext& ctx, Aggregation& agg, PushEngine& push,
+                    UpdatePublisher& publisher)
+      : ctx_(ctx), agg_(agg), push_(push), publisher_(publisher) {}
+  RenameCoordinator(const RenameCoordinator&) = delete;
+  RenameCoordinator& operator=(const RenameCoordinator&) = delete;
+
+  // Coordinator entry point (client-facing kRename).
+  sim::Task<void> HandleRename(net::Packet p, VolPtr v);
+
+  // Participant legs.
+  sim::Task<void> HandleRenamePrepare(net::Packet p, VolPtr v);
+  sim::Task<void> HandleRenameCommit(net::Packet p, VolPtr v);
+  // Aggregate-on-demand RPC the coordinator sends to the source's owner.
+  sim::Task<void> HandleAggregateReq(net::Packet p, VolPtr v);
+
+ private:
+  ServerContext& ctx_;
+  Aggregation& agg_;
+  PushEngine& push_;
+  UpdatePublisher& publisher_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_RENAME_COORDINATOR_H_

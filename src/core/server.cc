@@ -4,29 +4,11 @@
 #include <cassert>
 #include <utility>
 
+#include "src/core/schema.h"
 #include "src/core/wal_records.h"
 #include "src/sim/task.h"
 
 namespace switchfs::core {
-
-namespace {
-
-// Encoded value of the "d" (dir-id -> inode key) index.
-std::string EncodeDirIndex(const std::string& inode_key, psw::Fingerprint fp) {
-  Encoder enc;
-  enc.PutString(inode_key);
-  enc.PutU64(fp);
-  return std::move(enc).Take();
-}
-
-void DecodeDirIndex(const std::string& value, std::string* inode_key,
-                    psw::Fingerprint* fp) {
-  Decoder dec(value);
-  *inode_key = dec.GetString();
-  *fp = dec.GetU64();
-}
-
-}  // namespace
 
 SwitchServer::SwitchServer(sim::Simulator* sim, net::Network* net,
                            ClusterContext* cluster, DurableState* durable,
@@ -39,34 +21,16 @@ SwitchServer::SwitchServer(sim::Simulator* sim, net::Network* net,
       config_(config),
       cpu_(sim, config.cores),
       rpc_(sim, net),
-      vol_(std::make_shared<Volatile>(sim)) {
+      vol_(std::make_shared<ServerVolatile>(sim)),
+      ctx_{sim_,   net_,  cluster_, durable_, costs_,
+           &config_, &cpu_, &rpc_,    &stats_},
+      agg_(ctx_),
+      push_(ctx_, agg_),
+      links_(ctx_, push_, *this),
+      rename_(ctx_, agg_, push_, *this) {
   rpc_.SetCpu(&cpu_);
   rpc_.SetRequestHandler([this](net::Packet p) { OnRequest(std::move(p)); });
   rpc_.SetRawHandler([this](net::Packet p) { OnRaw(std::move(p)); });
-}
-
-std::string SwitchServer::FpKey(psw::Fingerprint fp) {
-  std::string key(1 + sizeof(fp), '\0');
-  key[0] = 'f';
-  std::memcpy(key.data() + 1, &fp, sizeof(fp));
-  return key;
-}
-
-// Key of a shared attributes object (hard links, §5.5).
-std::string AttrKey(const InodeId& id) {
-  std::string key;
-  key.reserve(33);
-  key.push_back('a');
-  key += id.ToKeyBytes();
-  return key;
-}
-
-std::string SwitchServer::DirIndexKey(const InodeId& id) {
-  std::string key;
-  key.reserve(33);
-  key.push_back('d');
-  key += id.ToKeyBytes();
-  return key;
 }
 
 int64_t SwitchServer::Now() const { return sim_->Now(); }
@@ -156,10 +120,10 @@ void SwitchServer::OnRequest(net::Packet p) {
           sim::Spawn(HandleFileOp(std::move(p), std::move(v)));
           break;
         case OpType::kRename:
-          sim::Spawn(HandleRename(std::move(p), std::move(v)));
+          sim::Spawn(rename_.HandleRename(std::move(p), std::move(v)));
           break;
         case OpType::kLink:
-          sim::Spawn(HandleLink(std::move(p), std::move(v)));
+          sim::Spawn(links_.HandleLink(std::move(p), std::move(v)));
           break;
         default:
           RespondStatus(p, StatusCode::kInvalidArgument);
@@ -175,10 +139,10 @@ void SwitchServer::OnRequest(net::Packet p) {
       sim::Spawn(HandleLookup(std::move(p), std::move(v)));
       break;
     case AggEntries::kType:
-      HandleAggEntries(std::move(p), std::move(v));
+      agg_.HandleAggEntries(std::move(p), std::move(v));
       break;
     case PushReq::kType:
-      sim::Spawn(HandlePush(std::move(p), std::move(v)));
+      sim::Spawn(push_.HandlePush(std::move(p), std::move(v)));
       break;
     case MarkScattered::kType: {
       const auto* msg = static_cast<const MarkScattered*>(p.body.get());
@@ -187,22 +151,22 @@ void SwitchServer::OnRequest(net::Packet p) {
       break;
     }
     case AggregateReq::kType:
-      sim::Spawn(HandleAggregateReq(std::move(p), std::move(v)));
+      sim::Spawn(rename_.HandleAggregateReq(std::move(p), std::move(v)));
       break;
     case RenamePrepare::kType:
-      sim::Spawn(HandleRenamePrepare(std::move(p), std::move(v)));
+      sim::Spawn(rename_.HandleRenamePrepare(std::move(p), std::move(v)));
       break;
     case RenameCommit::kType:
-      sim::Spawn(HandleRenameCommit(std::move(p), std::move(v)));
+      sim::Spawn(rename_.HandleRenameCommit(std::move(p), std::move(v)));
       break;
     case InvalCloneReq::kType:
       sim::Spawn(HandleInvalClone(std::move(p), std::move(v)));
       break;
     case LinkConvert::kType:
-      sim::Spawn(HandleLinkConvert(std::move(p), std::move(v)));
+      sim::Spawn(links_.HandleLinkConvert(std::move(p), std::move(v)));
       break;
     case LinkRefUpdate::kType:
-      sim::Spawn(HandleLinkRefUpdate(std::move(p), std::move(v)));
+      sim::Spawn(links_.HandleLinkRefUpdate(std::move(p), std::move(v)));
       break;
     default:
       break;
@@ -225,10 +189,10 @@ void SwitchServer::OnRaw(net::Packet p) {
   }
   switch (p.body->type) {
     case AggCollect::kType:
-      sim::Spawn(HandleAggCollect(std::move(p), std::move(v)));
+      sim::Spawn(agg_.HandleAggCollect(std::move(p), std::move(v)));
       break;
     case AggDone::kType:
-      HandleAggDone(*static_cast<const AggDone*>(p.body.get()), v);
+      agg_.HandleAggDone(*static_cast<const AggDone*>(p.body.get()), v);
       break;
     case FallbackDone::kType:
       HandleFallbackDone(*static_cast<const FallbackDone*>(p.body.get()), v);
@@ -241,30 +205,9 @@ void SwitchServer::OnRaw(net::Packet p) {
   }
 }
 
-void SwitchServer::RespondStatus(const net::Packet& p, StatusCode code) {
-  rpc_.Respond(p, net::MakeMsg<MetaResp>(code));
-}
-
-void SwitchServer::RespondStale(const net::Packet& p,
-                                std::vector<InodeId> stale) {
-  auto resp = std::make_shared<MetaResp>(StatusCode::kStaleCache);
-  resp->stale_ids = std::move(stale);
-  rpc_.Respond(p, resp);
-}
-
 // ---------------------------------------------------------------------------
 // Double-inode operations: create / mkdir / delete (§5.2.1)
 // ---------------------------------------------------------------------------
-
-ChangeLog& SwitchServer::GetChangeLog(const VolPtr& v, psw::Fingerprint fp,
-                                      const InodeId& dir) {
-  auto& per_dir = v->changelogs[fp];
-  auto it = per_dir.find(dir);
-  if (it == per_dir.end()) {
-    it = per_dir.emplace(dir, ChangeLog(dir, fp)).first;
-  }
-  return it->second;
-}
 
 sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
   const auto* req = static_cast<const MetaReq*>(p.body.get());
@@ -330,9 +273,9 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
       if (attr.type == FileType::kReference) {
         // Hard link: drop one reference; the attributes object dies when the
         // count reaches zero (§5.5).
-        co_await UpdateLinkCount(v, attr.id,
-                                 static_cast<uint32_t>(attr.size), -1,
-                                 nullptr);
+        co_await links_.UpdateLinkCount(v, attr.id,
+                                        static_cast<uint32_t>(attr.size), -1,
+                                        nullptr);
         if (v->dead) co_return;
       }
       entry.op = OpType::kUnlink;
@@ -346,7 +289,7 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
   }
 
   // Step 4: persistent commit (WAL).
-  ChangeLog& clog = GetChangeLog(v, pfp, ref.pid);
+  ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
   entry.seq = clog.last_appended_seq() + 1;
   OpCommitRecord rec;
   rec.op = req->op;
@@ -387,7 +330,7 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
 
   if (!config_.async_updates) {
     // Conventional synchronous update (Baseline of §7.3.1).
-    Status s = co_await SyncParentUpdate(v, pfp, ref.pid, entry);
+    Status s = co_await SyncParentUpdate(v, pfp, ref.pid);
     if (v->dead) co_return;
     if (!s.ok()) {
       // Owner unreachable: the entry stays pending; it will be flushed by a
@@ -400,19 +343,19 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
   // Step 6/7: mark scattered, reply via the ack path, release locks (RAII).
   co_await PublishUpdate(&p, v, pfp, ref.pid, resp);
   if (v->dead) co_return;
-  MaybeSchedulePush(v, pfp, ref.pid);
+  push_.MaybeSchedulePush(v, pfp, ref.pid);
 }
 
 sim::Task<void> SwitchServer::PublishUpdate(const net::Packet* client_req,
                                             VolPtr v, psw::Fingerprint fp,
                                             const InodeId& dir,
                                             net::MsgPtr client_resp) {
-  ChangeLog& clog = GetChangeLog(v, fp, dir);
+  ChangeLog& clog = v->GetChangeLog(fp, dir);
 
   switch (config_.tracker) {
     case TrackerMode::kSwitch: {
       const uint64_t token = v->op_token_counter++;
-      auto wait = std::make_shared<OpWait>();
+      auto wait = std::make_shared<ServerVolatile::OpWait>();
       v->op_waits[token] = wait;
 
       auto env = std::make_shared<InsertEnvelope>();
@@ -476,7 +419,7 @@ sim::Task<void> SwitchServer::PublishUpdate(const net::Packet* client_req,
           net::MsgAs<TrackerResp>(*r)->ok;
       if (!ok) {
         stats_.fallbacks++;
-        co_await SyncParentUpdate(v, fp, dir, clog.pending().back());
+        co_await SyncParentUpdate(v, fp, dir);
         if (v->dead) co_return;
       }
       if (client_req != nullptr) {
@@ -503,14 +446,13 @@ sim::Task<void> SwitchServer::PublishUpdate(const net::Packet* client_req,
 }
 
 sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
-                                                 const InodeId& dir,
-                                                 const ChangeLogEntry& entry) {
-  ChangeLog& clog = GetChangeLog(v, fp, dir);
+                                                 const InodeId& dir) {
+  ChangeLog& clog = v->GetChangeLog(fp, dir);
   const uint64_t max_seq = clog.last_appended_seq();
   if (IsOwner(fp)) {
     std::vector<ChangeLogEntry> entries(clog.pending().begin(),
                                         clog.pending().end());
-    co_await ApplyEntries(v, dir, config_.index, std::move(entries), "");
+    co_await agg_.ApplyEntries(v, dir, config_.index, std::move(entries), "");
     if (v->dead) co_return UnavailableError();
     for (uint64_t lsn : clog.AckUpTo(max_seq)) {
       durable_->wal.MarkApplied(lsn);
@@ -567,7 +509,7 @@ sim::Task<void> SwitchServer::HandleInsertFallback(net::Packet p, VolPtr v) {
   if (v->dead) co_return;
   const uint64_t acked_seq =
       env->backlog.empty() ? 0 : env->backlog.back().seq;
-  co_await ApplyEntries(v, env->dir, env->src_server, env->backlog, "");
+  co_await agg_.ApplyEntries(v, env->dir, env->src_server, env->backlog, "");
   if (v->dead) co_return;
 
   // Complete the client's operation (the response packet was redirected to
@@ -652,7 +594,7 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
     if (v->dead) co_return;
     last = v->last_agg_complete.find(dir_fp);
     if (last == v->last_agg_complete.end() || last->second <= observed_at) {
-      co_await RunAggregation(v, dir_fp, std::nullopt, 0, "", false);
+      co_await agg_.RunAggregation(v, dir_fp, std::nullopt, 0, "", false);
       if (v->dead) co_return;
     }
     xgate.Release();
@@ -701,452 +643,6 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
   co_await cpu_.Run(costs_->reply_build);
   if (v->dead) co_return;
   rpc_.Respond(p, resp);
-}
-
-// ---------------------------------------------------------------------------
-// Aggregation — owner side (§5.2.2 steps 5-10)
-// ---------------------------------------------------------------------------
-
-bool SwitchServer::LookupDirIndex(const VolPtr& v, const InodeId& dir,
-                                  std::string* inode_key,
-                                  psw::Fingerprint* fp) const {
-  auto value = v->kv.Get(DirIndexKey(dir));
-  if (!value.has_value()) {
-    return false;
-  }
-  DecodeDirIndex(*value, inode_key, fp);
-  return true;
-}
-
-sim::Task<SwitchServer::AggOutcome> SwitchServer::RunAggregation(
-    VolPtr v, psw::Fingerprint fp, std::optional<InodeId> invalidate,
-    psw::Fingerprint held_cl_fp, const std::string& held_inode_key,
-    bool defer_done) {
-  stats_.aggregations++;
-  AggOutcome outcome;
-
-  auto w = std::make_shared<AggWait>();
-  for (uint32_t s = 0; s < cluster_->ServerCount(); ++s) {
-    if (s != config_.index) {
-      w->pending.insert(s);
-    }
-  }
-  v->agg_waits[fp] = w;
-
-  if (invalidate.has_value()) {
-    v->inval.Add(*invalidate, Now());
-  }
-
-  // Local snapshot: our own change-logs belong to the collection too. The
-  // shared lock serializes against in-flight double-inode ops (Fig 20).
-  {
-    LockTable::Handle local_lock;
-    if (fp != held_cl_fp) {
-      local_lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
-      if (v->dead) co_return outcome;
-    }
-    auto it = v->changelogs.find(fp);
-    if (it != v->changelogs.end()) {
-      for (auto& [dir, log] : it->second) {
-        if (log.empty()) {
-          continue;
-        }
-        AggEntries::PerDir pd;
-        pd.dir = dir;
-        pd.entries.assign(log.pending().begin(), log.pending().end());
-        w->collected.push_back(std::move(pd));
-        w->collected_src.push_back(config_.index);
-      }
-    }
-  }
-
-  // Remove the fingerprint and multicast the collect request; retry with a
-  // fresh sequence number until every server has replied (§5.4.1).
-  bool complete = w->pending.empty();
-  for (int attempt = 0; attempt <= config_.agg_max_retries && !complete;
-       ++attempt) {
-    if (attempt > 0) {
-      stats_.agg_retries++;
-    }
-    const uint64_t seq = ++durable_->remove_seq;
-    w->seq = seq;
-    w->slot = std::make_shared<sim::OneShot<bool>>(sim_);
-
-    auto collect = std::make_shared<AggCollect>();
-    collect->fp = fp;
-    collect->initiator_server = config_.index;
-    collect->initiator_node = node_id();
-    collect->agg_seq = seq;
-    if (invalidate.has_value()) {
-      collect->invalidate = true;
-      collect->invalidate_id = *invalidate;
-    }
-
-    net::Packet rm;
-    rm.dst = net::kServerMulticast;
-    rm.body = collect;
-    switch (config_.tracker) {
-      case TrackerMode::kSwitch:
-        rm.ds.op = net::DsOp::kRemove;
-        rm.ds.fingerprint = fp;
-        rm.ds.remove_seq = seq;
-        rm.ds.origin = node_id();
-        rpc_.Send(rm);
-        break;
-      case TrackerMode::kDedicatedServer: {
-        auto op = std::make_shared<TrackerOp>();
-        op->op = net::DsOp::kRemove;
-        op->fp = fp;
-        op->remove_seq = seq;
-        op->origin_server = config_.index;
-        auto r = co_await rpc_.Call(config_.tracker_node, op);
-        (void)r;
-        if (v->dead) co_return outcome;
-        rm.ds.origin = node_id();  // multicast exclusion key
-        rpc_.Send(rm);
-        break;
-      }
-      case TrackerMode::kOwnerServer:
-        v->owner_scattered.erase(fp);
-        rm.ds.origin = node_id();
-        rpc_.Send(rm);
-        break;
-    }
-
-    auto slot = w->slot;
-    sim_->ScheduleAfter(config_.agg_reply_timeout, [slot] { slot->Set(false); });
-    complete = co_await slot->Wait();
-    if (v->dead) co_return outcome;
-    if (w->pending.empty()) {
-      complete = true;
-    }
-  }
-
-  // Apply phase: per-(dir, source) batches, hwm-deduplicated.
-  uint64_t local_max_acked = 0;
-  std::map<std::pair<uint32_t, InodeId>, uint64_t> acked;
-  for (size_t i = 0; i < w->collected.size(); ++i) {
-    const uint32_t src = w->collected_src[i];
-    auto& pd = w->collected[i];
-    if (!pd.entries.empty()) {
-      auto& high = acked[{src, pd.dir}];
-      high = std::max(high, pd.entries.back().seq);
-    }
-    co_await ApplyEntries(v, pd.dir, src, std::move(pd.entries),
-                          held_inode_key);
-    if (v->dead) co_return outcome;
-  }
-
-  // Ack our own change-logs synchronously.
-  auto own = v->changelogs.find(fp);
-  if (own != v->changelogs.end()) {
-    for (auto& [dir, log] : own->second) {
-      auto it = acked.find({config_.index, dir});
-      if (it == acked.end()) {
-        continue;
-      }
-      local_max_acked = std::max(local_max_acked, it->second);
-      for (uint64_t lsn : log.AckUpTo(it->second)) {
-        durable_->wal.MarkApplied(lsn);
-      }
-    }
-  }
-  (void)local_max_acked;
-
-  auto done = std::make_shared<AggDone>();
-  done->fp = fp;
-  done->agg_seq = w->seq;
-  for (const auto& [key, seq] : acked) {
-    if (key.first == config_.index) {
-      continue;
-    }
-    done->acked.push_back(AggDone::AckedRow{key.first, key.second, seq});
-  }
-  v->last_agg_complete[fp] = Now();
-  v->agg_waits.erase(fp);
-
-  outcome.ok = true;
-  if (defer_done) {
-    outcome.deferred_done = done;
-  } else {
-    SendAggDone(done);
-  }
-  co_return outcome;
-}
-
-void SwitchServer::SendAggDone(net::MsgPtr done_msg) {
-  if (done_msg == nullptr) {
-    return;
-  }
-  net::Packet p;
-  p.dst = net::kServerMulticast;
-  p.ds.origin = node_id();
-  p.body = std::move(done_msg);
-  rpc_.Send(std::move(p));
-}
-
-sim::Task<void> SwitchServer::GateAndAggregate(VolPtr v, psw::Fingerprint fp) {
-  auto gate = co_await v->agg_gates.AcquireExclusive(FpKey(fp));
-  if (v->dead) co_return;
-  co_await RunAggregation(v, fp, std::nullopt, 0, "", false);
-}
-
-sim::Task<void> SwitchServer::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
-                                           std::vector<ChangeLogEntry> entries,
-                                           const std::string& held_inode_key) {
-  if (entries.empty()) {
-    co_return;
-  }
-  std::string ikey;
-  psw::Fingerprint fp = 0;
-  if (!LookupDirIndex(v, dir, &ikey, &fp)) {
-    co_return;  // directory since removed; entries are obsolete
-  }
-  LockTable::Handle lock;
-  if (ikey != held_inode_key) {
-    lock = co_await v->inode_locks.AcquireExclusive(ikey);
-    if (v->dead) co_return;
-  }
-
-  uint64_t& high = v->hwm[{dir, src}];
-  std::vector<ChangeLogEntry> todo;
-  uint64_t next = high + 1;
-  for (ChangeLogEntry& e : entries) {
-    if (e.seq < next) {
-      stats_.entries_deduped++;
-      continue;
-    }
-    if (e.seq > next) {
-      break;  // gap (an earlier push is still in flight): apply the prefix
-    }
-    todo.push_back(std::move(e));
-    ++next;
-  }
-  if (todo.empty()) {
-    co_return;
-  }
-
-  co_await cpu_.Run(costs_->kv_get);
-  if (v->dead) co_return;
-  auto value = v->kv.Get(ikey);
-  if (!value.has_value()) {
-    co_return;  // directory vanished under a concurrent rmdir
-  }
-  Attr attr = Attr::Decode(*value);
-
-  if (config_.compaction) {
-    // §5.3: consolidated attribute update (one put) + entry-list operations
-    // fanned out across cores; WAL appends are group-committed.
-    int64_t size_delta = 0;
-    int64_t max_ts = attr.mtime;
-    for (const ChangeLogEntry& e : todo) {
-      size_delta += e.size_delta;
-      max_ts = std::max(max_ts, e.timestamp);
-    }
-    const uint64_t result_size = static_cast<uint64_t>(
-        std::max<int64_t>(0, static_cast<int64_t>(attr.size) + size_delta));
-    auto join = std::make_shared<sim::JoinCounter>(
-        sim_, static_cast<int>(todo.size()));
-    for (const ChangeLogEntry& e : todo) {
-      EntryApplyRecord rec;
-      rec.dir = dir;
-      rec.src_server = src;
-      rec.entry = e;
-      rec.result_size = result_size;
-      rec.result_mtime = max_ts;
-      durable_->wal.Append(kWalEntryApply, rec.Encode());
-      sim::Spawn([](SwitchServer* self, VolPtr vol, InodeId d,
-                    ChangeLogEntry entry,
-                    std::shared_ptr<sim::JoinCounter> jc) -> sim::Task<void> {
-        co_await self->cpu_.Run(self->costs_->wal_append_batched +
-                                self->costs_->changelog_apply_entry);
-        if (!vol->dead) {
-          const std::string ekey = EntryKey(d, entry.name);
-          if (entry.op == OpType::kCreate || entry.op == OpType::kMkdir) {
-            vol->kv.Put(ekey, EncodeEntryValue(entry.entry_type));
-          } else {
-            vol->kv.Delete(ekey);
-          }
-        }
-        jc->Done();
-      }(this, v, dir, e, join));
-    }
-    co_await join->Wait();
-    if (v->dead) co_return;
-    attr.size = result_size;
-    attr.mtime = max_ts;
-    attr.atime = std::max(attr.atime, max_ts);
-    co_await cpu_.Run(costs_->attr_merge_apply);
-    if (v->dead) co_return;
-    v->kv.Put(ikey, attr.Encode());
-    high = std::max(high, todo.back().seq);
-  } else {
-    // No compaction (+Async ablation): every entry is a full read-modify-
-    // write of the directory inode, serialized under the inode lock.
-    for (const ChangeLogEntry& e : todo) {
-      EntryApplyRecord rec;
-      rec.dir = dir;
-      rec.src_server = src;
-      rec.entry = e;
-      const int64_t new_size =
-          std::max<int64_t>(0, static_cast<int64_t>(attr.size) + e.size_delta);
-      rec.result_size = static_cast<uint64_t>(new_size);
-      rec.result_mtime = std::max(attr.mtime, e.timestamp);
-      co_await cpu_.Run(costs_->wal_append);
-      if (v->dead) co_return;
-      durable_->wal.Append(kWalEntryApply, rec.Encode());
-      co_await cpu_.Run(costs_->dir_update_cpu);
-      if (v->dead) co_return;
-      co_await sim::Delay(
-          sim_, costs_->dir_update_critical - costs_->dir_update_cpu);
-      if (v->dead) co_return;
-      const std::string ekey = EntryKey(dir, e.name);
-      if (e.op == OpType::kCreate || e.op == OpType::kMkdir) {
-        v->kv.Put(ekey, EncodeEntryValue(e.entry_type));
-      } else {
-        v->kv.Delete(ekey);
-      }
-      attr.size = rec.result_size;
-      attr.mtime = rec.result_mtime;
-      v->kv.Put(ikey, attr.Encode());
-      high = std::max(high, e.seq);
-    }
-  }
-  stats_.entries_applied += todo.size();
-}
-
-// ---------------------------------------------------------------------------
-// Aggregation — responder side
-// ---------------------------------------------------------------------------
-
-sim::Task<void> SwitchServer::HandleAggCollect(net::Packet p, VolPtr v) {
-  auto body = p.body;
-  const auto* msg = net::MsgAs<AggCollect>(body);
-  if (msg == nullptr) {
-    co_return;
-  }
-  co_await cpu_.Run(costs_->op_dispatch);
-  if (v->dead) co_return;
-
-  // Fig 6 step 5: insert the removed directory into the invalidation list
-  // *before* snapshotting, so racing double-inode ops fail their checks.
-  if (msg->invalidate) {
-    v->inval.Add(msg->invalidate_id, Now());
-  }
-
-  const psw::Fingerprint fp = msg->fp;
-  auto it = v->agg_sessions.find(fp);
-  if (it == v->agg_sessions.end()) {
-    auto lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
-    if (v->dead) co_return;
-    // Re-check: a concurrent collect may have created the session while we
-    // waited for the lock; keep the first session's lock and drop ours.
-    it = v->agg_sessions.find(fp);
-    if (it == v->agg_sessions.end()) {
-      AggSession session;
-      session.seq = msg->agg_seq;
-      session.lock = std::move(lock);
-      session.started_at = Now();
-      it = v->agg_sessions.emplace(fp, std::move(session)).first;
-      sim::Spawn(ResponderSessionWatchdog(v, fp, msg->agg_seq));
-    } else {
-      it->second.seq = std::max(it->second.seq, msg->agg_seq);
-    }
-  } else {
-    it->second.seq = std::max(it->second.seq, msg->agg_seq);
-  }
-
-  auto reply = std::make_shared<AggEntries>();
-  reply->fp = fp;
-  reply->agg_seq = msg->agg_seq;
-  reply->src_server = config_.index;
-  auto logs = v->changelogs.find(fp);
-  if (logs != v->changelogs.end()) {
-    for (auto& [dir, log] : logs->second) {
-      if (log.empty()) {
-        continue;
-      }
-      AggEntries::PerDir pd;
-      pd.dir = dir;
-      pd.entries.assign(log.pending().begin(), log.pending().end());
-      reply->dirs.push_back(std::move(pd));
-    }
-  }
-  net::CallOptions opts;
-  opts.timeout = sim::Microseconds(500);
-  opts.max_attempts = 5;
-  auto r = co_await rpc_.Call(msg->initiator_node, reply, opts);
-  (void)r;  // receipt ack only; AggDone (or the watchdog) finishes the session
-}
-
-void SwitchServer::HandleAggEntries(net::Packet p, VolPtr v) {
-  const auto* msg = net::MsgAs<AggEntries>(p.body);
-  if (msg == nullptr) {
-    return;
-  }
-  rpc_.Respond(p, net::MakeMsg<Ack>());
-  auto it = v->agg_waits.find(msg->fp);
-  if (it == v->agg_waits.end()) {
-    return;  // aggregation already finished
-  }
-  auto& w = *it->second;
-  for (const auto& pd : msg->dirs) {
-    w.collected.push_back(pd);
-    w.collected_src.push_back(msg->src_server);
-  }
-  if (msg->agg_seq == w.seq) {
-    w.pending.erase(msg->src_server);
-    if (w.pending.empty() && w.slot != nullptr) {
-      w.slot->Set(true);
-    }
-  }
-}
-
-void SwitchServer::HandleAggDone(const AggDone& done, VolPtr v) {
-  auto it = v->agg_sessions.find(done.fp);
-  if (it == v->agg_sessions.end()) {
-    return;
-  }
-  if (done.agg_seq < it->second.seq) {
-    return;  // stale completion of an earlier attempt
-  }
-  auto logs = v->changelogs.find(done.fp);
-  if (logs != v->changelogs.end()) {
-    for (const auto& row : done.acked) {
-      if (row.src_server != config_.index) {
-        continue;
-      }
-      auto dit = logs->second.find(row.dir);
-      if (dit == logs->second.end()) {
-        continue;
-      }
-      for (uint64_t lsn : dit->second.AckUpTo(row.acked_seq)) {
-        durable_->wal.MarkApplied(lsn);
-      }
-    }
-  }
-  v->agg_sessions.erase(it);  // releases the change-log lock (9a)
-}
-
-sim::Task<void> SwitchServer::ResponderSessionWatchdog(VolPtr v,
-                                                       psw::Fingerprint fp,
-                                                       uint64_t seq) {
-  while (true) {
-    co_await sim::Delay(sim_, config_.responder_session_timeout);
-    if (v->dead) co_return;
-    auto it = v->agg_sessions.find(fp);
-    if (it == v->agg_sessions.end()) {
-      co_return;  // finished normally
-    }
-    if (it->second.seq != seq) {
-      seq = it->second.seq;  // still live (retries); keep watching
-      continue;
-    }
-    // The initiator went silent (likely crashed): release the lock. Pending
-    // entries stay; recovery or the next aggregation re-collects them.
-    v->agg_sessions.erase(it);
-    co_return;
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1212,28 +708,28 @@ sim::Task<void> SwitchServer::HandleRmdir(net::Packet p, VolPtr v) {
 
   // Steps 4-7: aggregate the target with invalidation, deferring the
   // responders' release until after commit (Fig 6 step 12).
-  auto outcome = co_await RunAggregation(v, target_fp, attr.id, target_fp,
-                                         ikey, /*defer_done=*/true);
+  auto outcome = co_await agg_.RunAggregation(v, target_fp, attr.id, target_fp,
+                                              ikey, /*defer_done=*/true);
   if (v->dead) co_return;
 
   co_await cpu_.Run(costs_->kv_get);
   if (v->dead) co_return;
   value = v->kv.Get(ikey);
   if (!value.has_value()) {
-    SendAggDone(outcome.deferred_done);
+    agg_.SendAggDone(outcome.deferred_done);
     RespondStatus(p, StatusCode::kNotFound);
     co_return;
   }
   attr = Attr::Decode(*value);
   const bool empty = attr.size == 0 && v->kv.CountPrefix(EntryPrefix(attr.id)) == 0;
   if (!empty) {
-    SendAggDone(outcome.deferred_done);
+    agg_.SendAggDone(outcome.deferred_done);
     RespondStatus(p, StatusCode::kNotEmpty);
     co_return;
   }
 
   // Step 8: commit.
-  ChangeLog& clog = GetChangeLog(v, pfp, ref.pid);
+  ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
   ChangeLogEntry entry;
   entry.timestamp = Now();
   entry.op = OpType::kRmdir;
@@ -1267,8 +763,8 @@ sim::Task<void> SwitchServer::HandleRmdir(net::Packet p, VolPtr v) {
   if (v->dead) co_return;
 
   // Step 12: let the responders release their locks and mark WALs.
-  SendAggDone(outcome.deferred_done);
-  MaybeSchedulePush(v, pfp, ref.pid);
+  agg_.SendAggDone(outcome.deferred_done);
+  push_.MaybeSchedulePush(v, pfp, ref.pid);
 }
 
 // ---------------------------------------------------------------------------
@@ -1322,9 +818,10 @@ sim::Task<void> SwitchServer::HandleFileOp(net::Packet p, VolPtr v) {
   if (attr.type == FileType::kReference) {
     // Hard link: the real attributes live in the shared object (§5.5).
     Attr shared;
-    co_await UpdateLinkCount(v, attr.id, static_cast<uint32_t>(attr.size),
-                             /*delta=*/0, &shared,
-                             req->op == OpType::kChmod, req->mode);
+    co_await links_.UpdateLinkCount(v, attr.id,
+                                    static_cast<uint32_t>(attr.size),
+                                    /*delta=*/0, &shared,
+                                    req->op == OpType::kChmod, req->mode);
     if (v->dead) co_return;
     auto resp2 = std::make_shared<MetaResp>(StatusCode::kOk);
     resp2->attr = shared;
@@ -1393,742 +890,19 @@ sim::Task<void> SwitchServer::HandleLookup(net::Packet p, VolPtr v) {
 }
 
 // ---------------------------------------------------------------------------
-// Proactive push & owner-driven aggregation (§5.3)
-// ---------------------------------------------------------------------------
-
-void SwitchServer::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
-                                     const InodeId& dir) {
-  auto logs = v->changelogs.find(fp);
-  if (logs == v->changelogs.end()) {
-    return;
-  }
-  auto it = logs->second.find(dir);
-  if (it == logs->second.end() || it->second.empty()) {
-    return;
-  }
-  if (static_cast<int>(it->second.size()) >= config_.mtu_entries) {
-    sim::Spawn(PushBacklog(v, fp, dir));
-    return;
-  }
-  const auto key = std::make_pair(fp, dir);
-  if (v->push_timer_armed.insert(key).second) {
-    sim::Spawn(PushIdleTimer(v, fp, dir));
-  }
-}
-
-sim::Task<void> SwitchServer::PushIdleTimer(VolPtr v, psw::Fingerprint fp,
-                                            InodeId dir) {
-  const auto key = std::make_pair(fp, dir);
-  while (true) {
-    uint64_t last_seq = 0;
-    {
-      auto logs = v->changelogs.find(fp);
-      if (logs == v->changelogs.end()) break;
-      auto it = logs->second.find(dir);
-      if (it == logs->second.end() || it->second.empty()) break;
-      last_seq = it->second.last_appended_seq();
-    }
-    co_await sim::Delay(sim_, config_.push_idle_timeout);
-    if (v->dead) co_return;
-    auto logs = v->changelogs.find(fp);
-    if (logs == v->changelogs.end()) break;
-    auto it = logs->second.find(dir);
-    if (it == logs->second.end() || it->second.empty()) break;
-    if (it->second.last_appended_seq() == last_seq) {
-      // Quiet: flush the backlog (§5.3 "no new entries within an interval").
-      v->push_timer_armed.erase(key);
-      co_await PushBacklog(v, fp, dir);
-      co_return;
-    }
-  }
-  v->push_timer_armed.erase(key);
-}
-
-sim::Task<void> SwitchServer::PushBacklog(VolPtr v, psw::Fingerprint fp,
-                                          InodeId dir) {
-  const auto key = std::make_pair(fp, dir);
-  if (!v->push_in_flight.insert(key).second) {
-    co_return;  // a push for this log is already running
-  }
-  while (true) {
-    std::vector<ChangeLogEntry> entries;
-    {
-      auto lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
-      if (v->dead) co_return;
-      auto logs = v->changelogs.find(fp);
-      if (logs == v->changelogs.end()) break;
-      auto it = logs->second.find(dir);
-      if (it == logs->second.end() || it->second.empty()) break;
-      entries.assign(it->second.pending().begin(), it->second.pending().end());
-    }
-    if (entries.empty()) break;
-    stats_.pushes_sent++;
-    const uint64_t max_seq = entries.back().seq;
-
-    uint64_t acked_seq = 0;
-    if (IsOwner(fp)) {
-      co_await ApplyEntries(v, dir, config_.index, std::move(entries), "");
-      if (v->dead) co_return;
-      acked_seq = max_seq;
-      v->last_push[fp] = Now();
-      ArmOwnerQuietTimer(v, fp);
-    } else {
-      auto push = std::make_shared<PushReq>();
-      push->dir = dir;
-      push->fp = fp;
-      push->src_server = config_.index;
-      push->entries = std::move(entries);
-      auto r = co_await rpc_.Call(cluster_->ServerNode(OwnerOf(fp)), push);
-      if (v->dead) co_return;
-      if (!r.ok()) break;  // owner unreachable; a later trigger retries
-      const auto* resp = net::MsgAs<PushResp>(*r);
-      if (resp == nullptr || resp->status != StatusCode::kOk) break;
-      acked_seq = resp->acked_seq;
-    }
-    {
-      auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(fp));
-      if (v->dead) co_return;
-      auto logs = v->changelogs.find(fp);
-      if (logs == v->changelogs.end()) break;
-      auto it = logs->second.find(dir);
-      if (it == logs->second.end()) break;
-      for (uint64_t lsn : it->second.AckUpTo(acked_seq)) {
-        durable_->wal.MarkApplied(lsn);
-      }
-      if (static_cast<int>(it->second.size()) < config_.mtu_entries) {
-        break;
-      }
-    }
-  }
-  v->push_in_flight.erase(key);
-}
-
-sim::Task<void> SwitchServer::HandlePush(net::Packet p, VolPtr v) {
-  const auto* msg = static_cast<const PushReq*>(p.body.get());
-  stats_.pushes_received++;
-  co_await cpu_.Run(costs_->op_dispatch);
-  if (v->dead) co_return;
-  co_await ApplyEntries(v, msg->dir, msg->src_server, msg->entries, "");
-  if (v->dead) co_return;
-  auto resp = std::make_shared<PushResp>();
-  resp->status = StatusCode::kOk;
-  auto it = v->hwm.find({msg->dir, msg->src_server});
-  resp->acked_seq = it == v->hwm.end() ? 0 : it->second;
-  rpc_.Respond(p, resp);
-  v->last_push[msg->fp] = Now();
-  ArmOwnerQuietTimer(v, msg->fp);
-}
-
-void SwitchServer::ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
-  if (!config_.async_updates) {
-    return;  // synchronous mode never defers
-  }
-  if (v->quiet_timer_armed.insert(fp).second) {
-    sim::Spawn(OwnerQuietTimer(v, fp));
-  }
-}
-
-sim::Task<void> SwitchServer::OwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
-  while (true) {
-    co_await sim::Delay(sim_, config_.owner_quiet_period);
-    if (v->dead) co_return;
-    auto it = v->last_push.find(fp);
-    const int64_t last = it == v->last_push.end() ? 0 : it->second;
-    if (Now() - last >= config_.owner_quiet_period) {
-      break;
-    }
-  }
-  v->quiet_timer_armed.erase(fp);
-  // Quiet period elapsed: aggregate proactively so the next read finds the
-  // directory in normal state (§5.3).
-  co_await GateAndAggregate(v, fp);
-}
-
-// ---------------------------------------------------------------------------
-// Rename (coordinator + participant legs)
-// ---------------------------------------------------------------------------
-
-sim::Task<void> SwitchServer::HandleRename(net::Packet p, VolPtr v) {
-  const auto* req = static_cast<const MetaReq*>(p.body.get());
-  stats_.ops++;
-  co_await cpu_.Run(costs_->op_dispatch);
-  if (v->dead) co_return;
-
-  const PathRef& src = req->ref;
-  const PathRef& dst = req->ref2;
-  const std::string skey = InodeKey(src.pid, src.name);
-  const std::string dkey = InodeKey(dst.pid, dst.name);
-  if (skey == dkey) {
-    RespondStatus(p, StatusCode::kInvalidArgument);
-    co_return;
-  }
-  const psw::Fingerprint sfp = FingerprintOf(src.pid, src.name);
-  const psw::Fingerprint dfp = FingerprintOf(dst.pid, dst.name);
-  const net::NodeId s_node = cluster_->ServerNode(OwnerOf(sfp));
-  const net::NodeId d_node = cluster_->ServerNode(OwnerOf(dfp));
-  const uint64_t txn =
-      (static_cast<uint64_t>(config_.index) << 48) | v->txn_counter++;
-
-  struct Leg {
-    net::NodeId node;
-    InodeId pid;
-    psw::Fingerprint parent_fp;
-    std::string name;
-    std::vector<AncestorRef> ancestors;
-    bool is_src;
-  };
-  Leg legs[2] = {
-      {s_node, src.pid, src.parent_fp, src.name, src.ancestors, true},
-      {d_node, dst.pid, dst.parent_fp, dst.name, dst.ancestors, false},
-  };
-  // Deadlock-free 2PL: prepare in (parent_fp, key) order.
-  if (std::make_pair(legs[1].parent_fp, dkey) <
-      std::make_pair(legs[0].parent_fp, skey)) {
-    std::swap(legs[0], legs[1]);
-  }
-
-  // §5.2: if the source is a directory, aggregate it *before* locking so the
-  // inode we move is current and the aggregation's applies cannot deadlock
-  // against our own prepare locks.
-  {
-    auto look = std::make_shared<LookupReq>();
-    look->pid = src.pid;
-    look->name = src.name;
-    auto lr = co_await rpc_.Call(s_node, look);
-    if (v->dead) co_return;
-    if (lr.ok()) {
-      const auto* lresp = net::MsgAs<LookupResp>(*lr);
-      if (lresp != nullptr && lresp->status == StatusCode::kOk &&
-          lresp->attr.is_dir()) {
-        auto agg = std::make_shared<AggregateReq>();
-        agg->fp = sfp;
-        auto ar = co_await rpc_.Call(s_node, agg);
-        (void)ar;
-        if (v->dead) co_return;
-      }
-    }
-  }
-
-  Attr src_attr;
-  StatusCode failure = StatusCode::kOk;
-  std::vector<InodeId> stale;
-  int prepared = 0;
-  for (int i = 0; i < 2; ++i) {
-    auto prep = std::make_shared<RenamePrepare>();
-    prep->txn_id = txn;
-    prep->pid = legs[i].pid;
-    prep->name = legs[i].name;
-    prep->must_exist = legs[i].is_src;
-    prep->must_absent = !legs[i].is_src;
-    net::CallOptions txn_opts;
-    txn_opts.timeout = sim::Milliseconds(20);
-    txn_opts.max_attempts = 3;
-    auto r = co_await rpc_.Call(legs[i].node, prep, txn_opts);
-    if (v->dead) co_return;
-    if (!r.ok()) {
-      failure = StatusCode::kUnavailable;
-      break;
-    }
-    const auto* pr = net::MsgAs<RenamePrepareResp>(*r);
-    if (pr == nullptr || pr->status != StatusCode::kOk) {
-      failure = pr == nullptr ? StatusCode::kInternal : pr->status;
-      break;
-    }
-    if (legs[i].is_src) {
-      src_attr = pr->attr;
-    }
-    prepared = i + 1;
-  }
-
-  // Orphaned-loop prevention (§5.2): a directory must not be moved under
-  // one of its own descendants.
-  if (failure == StatusCode::kOk && src_attr.is_dir()) {
-    for (const AncestorRef& a : dst.ancestors) {
-      if (a.id == src_attr.id) {
-        failure = StatusCode::kCrossDevice;
-        break;
-      }
-    }
-  }
-
-  if (failure != StatusCode::kOk) {
-    for (int i = 0; i < prepared; ++i) {
-      auto abort = std::make_shared<RenameCommit>();
-      abort->txn_id = txn;
-      abort->abort = true;
-      abort->parent_dir = legs[i].pid;
-      abort->parent_entry_name = legs[i].name;
-      auto r = co_await rpc_.Call(legs[i].node, abort);
-      (void)r;
-      if (v->dead) co_return;
-    }
-    RespondStatus(p, failure);
-    co_return;
-  }
-
-  // Commit: source leg (delete + deferred parent remove-entry) first, then
-  // destination (put + deferred parent add-entry).
-  auto scommit = std::make_shared<RenameCommit>();
-  scommit->txn_id = txn;
-  scommit->delete_inode = true;
-  scommit->log_parent_update = true;
-  scommit->parent_dir = src.pid;
-  scommit->parent_fp = src.parent_fp;
-  scommit->parent_op = OpType::kUnlink;
-  scommit->parent_entry_name = src.name;
-  scommit->parent_entry_type = src_attr.type;
-  net::CallOptions commit_opts;
-  commit_opts.timeout = sim::Milliseconds(20);
-  commit_opts.max_attempts = 3;
-  auto r1 = co_await rpc_.Call(s_node, scommit, commit_opts);
-  if (v->dead) co_return;
-
-  std::vector<DirEntry> moved_entries;
-  if (r1.ok()) {
-    if (const auto* blob = net::MsgAs<EntryListBlob>(*r1)) {
-      moved_entries = blob->entries;
-    }
-  }
-
-  auto dcommit = std::make_shared<RenameCommit>();
-  dcommit->txn_id = txn;
-  dcommit->put_inode = true;
-  dcommit->inode = src_attr;
-  dcommit->log_parent_update = true;
-  dcommit->parent_dir = dst.pid;
-  dcommit->parent_fp = dst.parent_fp;
-  dcommit->parent_op = OpType::kCreate;
-  dcommit->parent_entry_name = dst.name;
-  dcommit->parent_entry_type = src_attr.type;
-  dcommit->install_entries = std::move(moved_entries);
-  dcommit->install = src_attr.is_dir();
-  auto r2 = co_await rpc_.Call(d_node, dcommit, commit_opts);
-  (void)r2;
-  if (v->dead) co_return;
-
-  if (src_attr.is_dir()) {
-    // The directory's cached path mappings are now stale everywhere.
-    v->inval.Add(src_attr.id, Now());
-    auto bcast = std::make_shared<InvalBroadcast>();
-    bcast->id = src_attr.id;
-    net::Packet mc;
-    mc.dst = net::kServerMulticast;
-    mc.ds.origin = node_id();
-    mc.body = bcast;
-    rpc_.Send(std::move(mc));
-  }
-  RespondStatus(p, StatusCode::kOk);
-}
-
-sim::Task<void> SwitchServer::HandleRenamePrepare(net::Packet p, VolPtr v) {
-  const auto* msg = static_cast<const RenamePrepare*>(p.body.get());
-  co_await cpu_.Run(costs_->op_dispatch + costs_->txn_prepare);
-  if (v->dead) co_return;
-  const std::string ikey = InodeKey(msg->pid, msg->name);
-  auto resp = std::make_shared<RenamePrepareResp>();
-  auto ino = co_await v->inode_locks.AcquireExclusive(ikey);
-  if (v->dead) co_return;
-  co_await cpu_.Run(costs_->kv_get);
-  if (v->dead) co_return;
-  auto value = v->kv.Get(ikey);
-  if (msg->must_exist && !value.has_value()) {
-    resp->status = StatusCode::kNotFound;
-    rpc_.Respond(p, resp);
-    co_return;
-  }
-  if (msg->must_absent && value.has_value()) {
-    resp->status = StatusCode::kAlreadyExists;
-    rpc_.Respond(p, resp);
-    co_return;
-  }
-  if (value.has_value()) {
-    resp->attr = Attr::Decode(*value);
-  }
-  resp->status = StatusCode::kOk;
-  std::vector<LockTable::Handle> held;
-  held.push_back(std::move(ino));
-  // Keyed by (txn, leg): both legs of a rename may prepare on one server.
-  v->txn_locks[msg->txn_id ^ HashString(ikey)] = std::move(held);
-  rpc_.Respond(p, resp);
-}
-
-sim::Task<void> SwitchServer::HandleRenameCommit(net::Packet p, VolPtr v) {
-  const auto* msg = static_cast<const RenameCommit*>(p.body.get());
-  co_await cpu_.Run(costs_->op_dispatch + costs_->txn_commit);
-  if (v->dead) co_return;
-  const std::string leg_key =
-      InodeKey(msg->parent_dir, msg->parent_entry_name);
-  auto it = v->txn_locks.find(msg->txn_id ^ HashString(leg_key));
-  if (it == v->txn_locks.end()) {
-    // Retransmitted commit after completion: acknowledge idempotently.
-    rpc_.Respond(p, net::MakeMsg<Ack>());
-    co_return;
-  }
-  if (msg->abort) {
-    v->txn_locks.erase(it);
-    rpc_.Respond(p, net::MakeMsg<Ack>());
-    co_return;
-  }
-
-  net::MsgPtr reply = net::MakeMsg<Ack>();
-  ChangeLogEntry entry;
-  if (msg->log_parent_update) {
-    entry.timestamp = Now();
-    entry.op = msg->parent_op == OpType::kCreate
-                   ? (msg->parent_entry_type == FileType::kDirectory
-                          ? OpType::kMkdir
-                          : OpType::kCreate)
-                   : (msg->parent_entry_type == FileType::kDirectory
-                          ? OpType::kRmdir
-                          : OpType::kUnlink);
-    entry.name = msg->parent_entry_name;
-    entry.entry_type = msg->parent_entry_type;
-    entry.size_delta = msg->parent_op == OpType::kCreate ? 1 : -1;
-  }
-
-  if (msg->delete_inode || msg->put_inode) {
-    OpCommitRecord rec;
-    rec.op = OpType::kRename;
-    rec.parent_dir = msg->parent_dir;
-    rec.parent_fp = msg->parent_fp;
-    rec.has_entry = msg->log_parent_update;
-    // The leg's inode key is recomputed from the parent update fields: the
-    // leg's (pid, name) is exactly (parent_dir, parent_entry_name).
-    const std::string key = InodeKey(msg->parent_dir, msg->parent_entry_name);
-    rec.inode_key = key;
-    rec.inode_delete = msg->delete_inode;
-    if (msg->put_inode) {
-      Attr attr = msg->inode;
-      rec.inode_value = attr.Encode();
-    }
-
-    ChangeLog* clog = nullptr;
-    if (msg->log_parent_update) {
-      clog = &GetChangeLog(v, msg->parent_fp, msg->parent_dir);
-      entry.seq = clog->last_appended_seq() + 1;
-      rec.entry = entry;
-    }
-    co_await cpu_.Run(costs_->wal_append);
-    if (v->dead) co_return;
-    const uint64_t lsn = durable_->wal.Append(kWalOpCommit, rec.Encode());
-
-    co_await cpu_.Run(msg->delete_inode ? costs_->kv_delete : costs_->kv_put);
-    if (v->dead) co_return;
-    if (msg->delete_inode) {
-      auto old = v->kv.Get(key);
-      v->kv.Delete(key);
-      if (old.has_value()) {
-        Attr attr = Attr::Decode(*old);
-        if (attr.is_dir()) {
-          // Export the entry list; it moves with the inode to the new owner.
-          auto blob = std::make_shared<EntryListBlob>();
-          blob->dir = attr.id;
-          v->kv.ScanPrefix(EntryPrefix(attr.id),
-                           [&](const std::string& k, const std::string& val) {
-                             blob->entries.push_back(
-                                 DirEntry{std::string(EntryNameFromKey(k)),
-                                          DecodeEntryValue(val)});
-                             return true;
-                           });
-          for (const DirEntry& e : blob->entries) {
-            v->kv.Delete(EntryKey(attr.id, e.name));
-          }
-          v->kv.Delete(DirIndexKey(attr.id));
-          reply = blob;
-        }
-      }
-    } else {
-      v->kv.Put(key, rec.inode_value);
-      if (msg->inode.type == FileType::kDirectory) {
-        v->kv.Put(DirIndexKey(msg->inode.id),
-                  EncodeDirIndex(key, FingerprintOf(msg->parent_dir,
-                                                    msg->parent_entry_name)));
-        for (const DirEntry& e : msg->install_entries) {
-          v->kv.Put(EntryKey(msg->inode.id, e.name), EncodeEntryValue(e.type));
-        }
-      }
-    }
-    if (clog != nullptr) {
-      co_await cpu_.Run(costs_->changelog_append);
-      if (v->dead) co_return;
-      entry.wal_lsn = lsn;
-      clog->Restore(entry);
-    }
-  }
-
-  if (msg->log_parent_update) {
-    co_await PublishUpdate(nullptr, v, msg->parent_fp, msg->parent_dir,
-                           nullptr);
-    if (v->dead) co_return;
-    MaybeSchedulePush(v, msg->parent_fp, msg->parent_dir);
-  }
-  v->txn_locks.erase(msg->txn_id ^ HashString(leg_key));
-  rpc_.Respond(p, reply);
-}
-
-sim::Task<void> SwitchServer::HandleAggregateReq(net::Packet p, VolPtr v) {
-  const auto* msg = static_cast<const AggregateReq*>(p.body.get());
-  co_await cpu_.Run(costs_->op_dispatch);
-  if (v->dead) co_return;
-  co_await GateAndAggregate(v, msg->fp);
-  if (v->dead) co_return;
-  rpc_.Respond(p, net::MakeMsg<Ack>());
-}
-
-// ---------------------------------------------------------------------------
-// Hard links (§5.5)
-// ---------------------------------------------------------------------------
-
-sim::Task<Status> SwitchServer::UpdateLinkCount(VolPtr v, InodeId file_id,
-                                                uint32_t attr_server,
-                                                int32_t delta, Attr* out,
-                                                bool set_mode, uint32_t mode) {
-  if (attr_server == config_.index) {
-    const std::string akey = AttrKey(file_id);
-    auto lock = co_await v->inode_locks.AcquireExclusive(akey);
-    if (v->dead) co_return UnavailableError();
-    co_await cpu_.Run(costs_->kv_get);
-    if (v->dead) co_return UnavailableError();
-    auto value = v->kv.Get(akey);
-    if (!value.has_value()) {
-      co_return NotFoundError("attributes object missing");
-    }
-    Attr attrs = Attr::Decode(*value);
-    attrs.nlink = static_cast<uint32_t>(
-        std::max<int64_t>(0, static_cast<int64_t>(attrs.nlink) + delta));
-    if (set_mode) {
-      attrs.mode = mode;
-      attrs.ctime = Now();
-    }
-    if (delta != 0 || set_mode) {
-      OpCommitRecord rec;
-      rec.op = OpType::kLink;
-      rec.inode_key = akey;
-      rec.inode_delete = attrs.nlink == 0;
-      if (!rec.inode_delete) {
-        rec.inode_value = attrs.Encode();
-      }
-      co_await cpu_.Run(costs_->wal_append);
-      if (v->dead) co_return UnavailableError();
-      durable_->wal.Append(kWalOpCommit, rec.Encode());
-      co_await cpu_.Run(attrs.nlink == 0 ? costs_->kv_delete : costs_->kv_put);
-      if (v->dead) co_return UnavailableError();
-      if (attrs.nlink == 0) {
-        v->kv.Delete(akey);
-      } else {
-        v->kv.Put(akey, attrs.Encode());
-      }
-    }
-    if (out != nullptr) {
-      *out = attrs;
-    }
-    co_return OkStatus();
-  }
-  auto msg = std::make_shared<LinkRefUpdate>();
-  msg->file_id = file_id;
-  msg->delta = delta;
-  msg->set_mode = set_mode;
-  msg->mode = mode;
-  auto r = co_await rpc_.Call(cluster_->ServerNode(attr_server), msg);
-  if (v->dead) co_return UnavailableError();
-  if (!r.ok()) {
-    co_return r.status();
-  }
-  const auto* resp = net::MsgAs<LinkRefUpdateResp>(*r);
-  if (resp == nullptr || resp->status != StatusCode::kOk) {
-    co_return Status(resp == nullptr ? StatusCode::kInternal : resp->status);
-  }
-  if (out != nullptr) {
-    *out = resp->attrs;
-  }
-  co_return OkStatus();
-}
-
-sim::Task<void> SwitchServer::HandleLinkRefUpdate(net::Packet p, VolPtr v) {
-  const auto* msg = static_cast<const LinkRefUpdate*>(p.body.get());
-  co_await cpu_.Run(costs_->op_dispatch);
-  if (v->dead) co_return;
-  auto resp = std::make_shared<LinkRefUpdateResp>();
-  Attr attrs;
-  Status s = co_await UpdateLinkCount(v, msg->file_id, config_.index,
-                                      msg->delta, &attrs, msg->set_mode,
-                                      msg->mode);
-  if (v->dead) co_return;
-  resp->status = s.ok() ? StatusCode::kOk : s.code();
-  resp->nlink = attrs.nlink;
-  resp->attrs = attrs;
-  rpc_.Respond(p, resp);
-}
-
-sim::Task<void> SwitchServer::HandleLinkConvert(net::Packet p, VolPtr v) {
-  const auto* msg = static_cast<const LinkConvert*>(p.body.get());
-  co_await cpu_.Run(costs_->op_dispatch);
-  if (v->dead) co_return;
-  const std::string ikey = InodeKey(msg->pid, msg->name);
-  auto resp = std::make_shared<LinkConvertResp>();
-  auto lock = co_await v->inode_locks.AcquireExclusive(ikey);
-  if (v->dead) co_return;
-  co_await cpu_.Run(costs_->kv_get);
-  if (v->dead) co_return;
-  auto value = v->kv.Get(ikey);
-  if (!value.has_value()) {
-    resp->status = StatusCode::kNotFound;
-    rpc_.Respond(p, resp);
-    co_return;
-  }
-  Attr attr = Attr::Decode(*value);
-  if (attr.is_dir()) {
-    resp->status = StatusCode::kIsADirectory;
-    rpc_.Respond(p, resp);
-    co_return;
-  }
-  if (attr.type == FileType::kReference) {
-    // Already split: just bump the count at the attributes owner.
-    lock.Release();
-    Status s = co_await UpdateLinkCount(
-        v, attr.id, static_cast<uint32_t>(attr.size), +1, nullptr);
-    if (v->dead) co_return;
-    resp->status = s.ok() ? StatusCode::kOk : s.code();
-    resp->file_id = attr.id;
-    resp->attr_server = static_cast<uint32_t>(attr.size);
-    rpc_.Respond(p, resp);
-    co_return;
-  }
-  // First link: split into reference + attributes object, both local (§5.5).
-  Attr attrs = attr;
-  attrs.nlink = 2;  // the original name plus the new link
-  Attr ref;
-  ref.id = attr.id;
-  ref.type = FileType::kReference;
-  ref.size = config_.index;  // attributes stay with the original owner
-  {
-    OpCommitRecord rec;
-    rec.op = OpType::kLink;
-    rec.inode_key = AttrKey(attr.id);
-    rec.inode_value = attrs.Encode();
-    co_await cpu_.Run(costs_->wal_append);
-    if (v->dead) co_return;
-    durable_->wal.Append(kWalOpCommit, rec.Encode());
-  }
-  {
-    OpCommitRecord rec;
-    rec.op = OpType::kLink;
-    rec.inode_key = ikey;
-    rec.inode_value = ref.Encode();
-    co_await cpu_.Run(costs_->wal_append);
-    if (v->dead) co_return;
-    durable_->wal.Append(kWalOpCommit, rec.Encode());
-  }
-  co_await cpu_.Run(2 * costs_->kv_put);
-  if (v->dead) co_return;
-  v->kv.Put(AttrKey(attr.id), attrs.Encode());
-  v->kv.Put(ikey, ref.Encode());
-  resp->status = StatusCode::kOk;
-  resp->file_id = attr.id;
-  resp->attr_server = config_.index;
-  rpc_.Respond(p, resp);
-}
-
-sim::Task<void> SwitchServer::HandleLink(net::Packet p, VolPtr v) {
-  const auto* req = static_cast<const MetaReq*>(p.body.get());
-  stats_.ops++;
-  co_await cpu_.Run(costs_->op_dispatch);
-  if (v->dead) co_return;
-  const PathRef& dst = req->ref;
-  const PathRef& src = req->ref2;
-  const std::string ikey = InodeKey(dst.pid, dst.name);
-  const psw::Fingerprint pfp = dst.parent_fp;
-
-  auto cl_lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
-  if (v->dead) co_return;
-  auto ino_lock = co_await v->inode_locks.AcquireExclusive(ikey);
-  if (v->dead) co_return;
-  co_await cpu_.Run(costs_->path_check *
-                    static_cast<sim::SimTime>(1 + dst.ancestors.size()));
-  if (v->dead) co_return;
-  auto stale = v->inval.Check(dst.ancestors);
-  if (!stale.empty()) {
-    stats_.stale_cache_bounces++;
-    RespondStale(p, std::move(stale));
-    co_return;
-  }
-  co_await cpu_.Run(costs_->kv_get);
-  if (v->dead) co_return;
-  if (v->kv.Contains(ikey)) {
-    RespondStatus(p, StatusCode::kAlreadyExists);
-    co_return;
-  }
-
-  // Split / bump at the source's owner (two-phase across servers).
-  auto convert = std::make_shared<LinkConvert>();
-  convert->pid = src.pid;
-  convert->name = src.name;
-  const psw::Fingerprint sfp = FingerprintOf(src.pid, src.name);
-  auto r = co_await rpc_.Call(cluster_->ServerNode(OwnerOf(sfp)), convert);
-  if (v->dead) co_return;
-  if (!r.ok()) {
-    RespondStatus(p, StatusCode::kUnavailable);
-    co_return;
-  }
-  const auto* conv = net::MsgAs<LinkConvertResp>(*r);
-  if (conv == nullptr || conv->status != StatusCode::kOk) {
-    RespondStatus(p, conv == nullptr ? StatusCode::kInternal : conv->status);
-    co_return;
-  }
-
-  Attr ref;
-  ref.id = conv->file_id;
-  ref.type = FileType::kReference;
-  ref.size = conv->attr_server;
-
-  ChangeLog& clog = GetChangeLog(v, pfp, dst.pid);
-  ChangeLogEntry entry;
-  entry.timestamp = Now();
-  entry.op = OpType::kCreate;
-  entry.name = dst.name;
-  entry.entry_type = FileType::kFile;
-  entry.size_delta = 1;
-  entry.seq = clog.last_appended_seq() + 1;
-
-  OpCommitRecord rec;
-  rec.op = OpType::kLink;
-  rec.inode_key = ikey;
-  rec.inode_value = ref.Encode();
-  rec.parent_dir = dst.pid;
-  rec.parent_fp = pfp;
-  rec.entry = entry;
-  rec.has_entry = true;
-  co_await cpu_.Run(costs_->wal_append);
-  if (v->dead) co_return;
-  entry.wal_lsn = durable_->wal.Append(kWalOpCommit, rec.Encode());
-  co_await cpu_.Run(costs_->kv_put);
-  if (v->dead) co_return;
-  v->kv.Put(ikey, ref.Encode());
-  co_await cpu_.Run(costs_->changelog_append);
-  if (v->dead) co_return;
-  clog.Restore(entry);
-
-  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
-  resp->attr = ref;
-  co_await PublishUpdate(&p, v, pfp, dst.pid, resp);
-  if (v->dead) co_return;
-  MaybeSchedulePush(v, pfp, dst.pid);
-}
-
-// ---------------------------------------------------------------------------
 // Crash & recovery (§5.4.2, §A.1)
 // ---------------------------------------------------------------------------
 
 void SwitchServer::Crash() {
   vol_->dead = true;
-  vol_ = std::make_shared<Volatile>(sim_);
+  vol_ = std::make_shared<ServerVolatile>(sim_);
   vol_->dead = true;  // stays dead until Recover() finishes the replay
   serving_ = false;
   rpc_.SetEnabled(false);
   rpc_.ResetVolatileState();
 }
 
-void SwitchServer::ReplayWalInto(Volatile& v) {
+void SwitchServer::ReplayWalInto(ServerVolatile& v) {
   for (const kv::WalRecord& r : durable_->wal.records()) {
     stats_.wal_replayed++;
     switch (r.type) {
@@ -2153,29 +927,15 @@ void SwitchServer::ReplayWalInto(Volatile& v) {
                                         FingerprintOf(pid, name)));
               }
             }
-            if (rec.op == OpType::kRmdir) {
-              // Covered by inode_delete above.
-            }
           }
-          if (rec.inode_delete && rec.op == OpType::kRmdir) {
-            // Also drop the dir index if we can find it by scanning is too
-            // costly; the index row is keyed by id, which the entry lacks.
-            // Stale index rows are harmless: the inode key they point to is
-            // gone, so ApplyEntries drops obsolete entries.
-          }
+          // rmdir's inode_delete covers the inode row; any stale dir-index
+          // row is harmless (the inode key it points to is gone, so
+          // ApplyEntries drops obsolete entries).
         }
         if (rec.has_entry && !r.applied) {
           ChangeLogEntry e = rec.entry;
           e.wal_lsn = r.lsn;
-          auto& per_dir = v.changelogs[rec.parent_fp];
-          auto it = per_dir.find(rec.parent_dir);
-          if (it == per_dir.end()) {
-            it = per_dir
-                     .emplace(rec.parent_dir,
-                              ChangeLog(rec.parent_dir, rec.parent_fp))
-                     .first;
-          }
-          it->second.Restore(std::move(e));
+          v.GetChangeLog(rec.parent_fp, rec.parent_dir).Restore(std::move(e));
         }
         break;
       }
@@ -2188,11 +948,9 @@ void SwitchServer::ReplayWalInto(Volatile& v) {
         high = rec.entry.seq;
         std::string ikey;
         psw::Fingerprint fp = 0;
-        auto idx = v.kv.Get(DirIndexKey(rec.dir));
-        if (!idx.has_value()) {
+        if (!v.LookupDirIndex(rec.dir, &ikey, &fp)) {
           break;  // directory removed later in the log
         }
-        DecodeDirIndex(*idx, &ikey, &fp);
         auto value = v.kv.Get(ikey);
         if (!value.has_value()) {
           break;
@@ -2218,7 +976,7 @@ void SwitchServer::ReplayWalInto(Volatile& v) {
 
 sim::Task<void> SwitchServer::Recover() {
   // Fresh volatile incarnation.
-  auto v = std::make_shared<Volatile>(sim_);
+  auto v = std::make_shared<ServerVolatile>(sim_);
   ReplayWalInto(*v);
   vol_ = v;
   rpc_.SetEnabled(true);
@@ -2279,7 +1037,7 @@ sim::Task<void> SwitchServer::FlushAllChangeLogs() {
     }
   }
   for (const auto& [fp, dir] : targets) {
-    co_await PushBacklog(v, fp, dir);
+    co_await push_.PushBacklog(v, fp, dir);
     if (v->dead) co_return;
   }
 }
@@ -2287,20 +1045,21 @@ sim::Task<void> SwitchServer::FlushAllChangeLogs() {
 sim::Task<void> SwitchServer::AggregateAllOwnedDirs() {
   VolPtr v = vol_;
   std::vector<psw::Fingerprint> fps;
-  v->kv.ScanPrefix("d", [&](const std::string&, const std::string& value) {
-    std::string ikey;
-    psw::Fingerprint fp = 0;
-    DecodeDirIndex(value, &ikey, &fp);
-    fps.push_back(fp);
-    return true;
-  });
+  v->kv.ScanPrefix(kDirIndexPrefix,
+                   [&](const std::string&, const std::string& value) {
+                     std::string ikey;
+                     psw::Fingerprint fp = 0;
+                     DecodeDirIndex(value, &ikey, &fp);
+                     fps.push_back(fp);
+                     return true;
+                   });
   std::sort(fps.begin(), fps.end());
   fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
   for (psw::Fingerprint fp : fps) {
     if (!IsOwner(fp)) {
       continue;
     }
-    co_await GateAndAggregate(v, fp);
+    co_await agg_.GateAndAggregate(v, fp);
     if (v->dead) co_return;
   }
 }

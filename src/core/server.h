@@ -1,108 +1,45 @@
 // The SwitchFS metadata server (paper §4-§5).
 //
-// Request handlers are coroutines; each captures a shared_ptr to the server's
-// volatile state (Volatile) so a simulated crash can atomically invalidate
-// every in-flight handler (they observe `dead` at their next resume and
-// abandon work) while the replacement state recovers from the WAL.
+// SwitchServer is the dispatch-and-lifecycle layer over four protocol
+// modules that share a ServerContext (src/core/server_context.h):
 //
-// Protocol summary implemented here:
-//  * create/mkdir/delete (§5.2.1): lock parent change-log + target inode,
-//    check invalidation list + existence, WAL-commit, execute locally, defer
-//    the parent update to the change-log and insert the parent's fingerprint
-//    into the in-network dirty set; the switch's insert-ack multicast both
-//    completes the client's RPC and releases our locks. Dirty-set overflow
-//    falls back to a synchronous update at the parent's owner (§6.2).
-//  * statdir/readdir (§5.2.2): the switch stamps the scattered bit on the
-//    request; scattered directories trigger an aggregation that removes the
-//    fingerprint, multicasts a collect to all other servers, applies the
-//    returned change-log entries (compacted, §5.3), and acks so the senders
-//    mark their WAL records applied.
-//  * rmdir (§5.2.3): aggregation-with-invalidation to determine emptiness and
-//    lazily invalidate client caches, then the usual deferred parent update.
-//  * rename (§5.2): coordinator-driven 2PL/2PC across up to four inodes with
-//    orphaned-loop prevention and source-directory aggregation.
-//  * proactive push/aggregation (§5.3): sources push MTU-full or idle
-//    backlogs to the directory owner; the owner aggregates after a quiet
-//    period, returning the directory to normal state.
-//  * fault handling (§5.4): packet loss/dup/reorder via RPC retransmission,
-//    dirty-set remove sequence numbers, and insert-ack retry; crash recovery
-//    replays the WAL and re-aggregates owned directories (§A.1).
+//   aggregation.h         scatter/aggregate directory reads (§5.2.2),
+//                         owner-side collect/apply + responder sessions
+//   push_engine.h         proactive push & quiet-period timers (§5.3)
+//   rename_coordinator.h  2PL/2PC rename legs + orphaned-loop check (§5.2)
+//   link_manager.h        hard links via shared attributes objects (§5.5)
+//
+// The server itself keeps the client-facing upsert/read handlers (§5.2.1,
+// §5.2.3), the deferred-update publication machinery (insert-ack wait,
+// dirty-set overflow fallback, §6.2), and crash/recovery (§5.4.2, §A.1).
+//
+// Request handlers are coroutines; each captures a shared_ptr to the
+// server's volatile state (ServerVolatile) so a simulated crash can
+// atomically invalidate every in-flight handler (they observe `dead` at
+// their next resume and abandon work) while the replacement state recovers
+// from the WAL.
 #ifndef SRC_CORE_SERVER_H_
 #define SRC_CORE_SERVER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
-#include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
-#include "src/core/change_log.h"
-#include "src/core/invalidation.h"
-#include "src/core/lock_table.h"
-#include "src/core/messages.h"
-#include "src/core/placement.h"
-#include "src/core/schema.h"
-#include "src/core/types.h"
-#include "src/kv/kvstore.h"
-#include "src/kv/wal.h"
-#include "src/net/rpc.h"
-#include "src/sim/costs.h"
-#include "src/sim/cpu.h"
+#include "src/core/aggregation.h"
+#include "src/core/link_manager.h"
+#include "src/core/push_engine.h"
+#include "src/core/rename_coordinator.h"
+#include "src/core/server_context.h"
 
 namespace switchfs::core {
 
-// Where directory dirty-state is tracked (§7.3.3 alternatives study).
-enum class TrackerMode {
-  kSwitch = 0,           // in-network dirty set (SwitchFS proper)
-  kDedicatedServer = 1,  // a DPDK server node maintains the dirty set
-  kOwnerServer = 2,      // each directory's owner tracks its own state
-};
-
-struct ServerConfig {
-  uint32_t index = 0;
-  int cores = 4;
-  // Feature flags for the Fig 14 ablation: Baseline = async_updates off;
-  // +Async = async on, compaction off; +Compaction = both on.
-  bool async_updates = true;
-  bool compaction = true;
-  TrackerMode tracker = TrackerMode::kSwitch;
-  net::NodeId tracker_node = net::kInvalidNode;
-
-  int mtu_entries = 29;  // §7.5: proactive push once an MTU worth accumulates
-  sim::SimTime push_idle_timeout = sim::Microseconds(300);
-  sim::SimTime owner_quiet_period = sim::Microseconds(400);
-  sim::SimTime insert_ack_timeout = sim::Microseconds(150);
-  int insert_max_attempts = 100;
-  sim::SimTime agg_reply_timeout = sim::Milliseconds(2);
-  int agg_max_retries = 12;
-  sim::SimTime responder_session_timeout = sim::Milliseconds(20);
-  uint32_t rename_coordinator = 0;  // server index of the rename coordinator
-};
-
-// Context the cluster provides to servers and clients.
-class ClusterContext {
+class SwitchServer : public UpdatePublisher {
  public:
-  virtual ~ClusterContext() = default;
-  virtual const HashRing& ring() const = 0;
-  virtual net::NodeId ServerNode(uint32_t server_index) const = 0;
-  virtual uint32_t ServerCount() const = 0;
-};
+  // Protocol counters keep their historical nested name.
+  using Stats = ServerStats;
 
-// Durable per-server state: survives crashes (owned by the cluster).
-struct DurableState {
-  kv::Wal wal;
-  // Dirty-set remove sequence (§5.4.1). Monotonic across crashes, else the
-  // switch would treat all post-recovery removes as stale.
-  uint64_t remove_seq = 0;
-  uint64_t id_counter = 1;  // inode-id generation must not repeat
-};
-
-class SwitchServer {
- public:
   SwitchServer(sim::Simulator* sim, net::Network* net, ClusterContext* cluster,
                DurableState* durable, const sim::CostModel* costs,
                ServerConfig config);
@@ -128,18 +65,6 @@ class SwitchServer {
   sim::Task<void> AggregateAllOwnedDirs();
 
   // --- introspection for tests and benches ---
-  struct Stats {
-    uint64_t ops = 0;
-    uint64_t aggregations = 0;
-    uint64_t agg_retries = 0;
-    uint64_t entries_applied = 0;
-    uint64_t entries_deduped = 0;
-    uint64_t pushes_sent = 0;
-    uint64_t pushes_received = 0;
-    uint64_t fallbacks = 0;
-    uint64_t stale_cache_bounces = 0;
-    uint64_t wal_replayed = 0;
-  };
   const Stats& stats() const { return stats_; }
   size_t PendingChangeLogEntries() const;
   size_t KvSize() const { return vol_->kv.size(); }
@@ -163,72 +88,20 @@ class SwitchServer {
   MigrationBatch ExtractMisplaced(const HashRing& ring);
   void InstallBatch(const MigrationBatch& batch);
 
+  // UpdatePublisher: publishes a deferred parent update — marks the directory
+  // scattered via the configured tracker and waits for the ack (or the
+  // overflow fallback). `client_req` non-null: the insert-ack multicast
+  // carries `client_resp` to the client; null: internal update (rename and
+  // link legs), acks return to us only.
+  sim::Task<void> PublishUpdate(const net::Packet* client_req, VolPtr v,
+                                psw::Fingerprint fp, const InodeId& dir,
+                                net::MsgPtr client_resp) override;
+
  private:
-  friend class SwitchFsClient;
-
-  // ---- volatile state (wiped on crash) ----
-  struct AggWait {
-    uint64_t seq = 0;
-    std::set<uint32_t> pending;  // server indices yet to reply for `seq`
-    std::vector<AggEntries::PerDir> collected;
-    std::vector<uint32_t> collected_src;  // parallel to `collected`
-    std::shared_ptr<sim::OneShot<bool>> slot;  // armed per attempt
-  };
-  struct AggSession {  // responder side
-    uint64_t seq = 0;
-    LockTable::Handle lock;
-    int64_t started_at = 0;
-  };
-  struct OpWait {
-    bool acked = false;
-    bool fallback_done = false;
-    std::shared_ptr<sim::OneShot<int>> slot;  // armed per attempt
-  };
-  struct Volatile {
-    explicit Volatile(sim::Simulator* sim)
-        : inode_locks(sim),
-          changelog_locks(sim),
-          agg_gates(sim) {}
-    bool dead = false;
-    kv::KvStore kv;
-    LockTable inode_locks;      // key: inode key
-    LockTable changelog_locks;  // key: FpKey(fp) — one per fingerprint group
-    LockTable agg_gates;        // key: FpKey(fp) — owner-side read/agg gate
-    std::unordered_map<psw::Fingerprint, std::map<InodeId, ChangeLog>>
-        changelogs;
-    InvalidationList inval;
-    // Owner-side applied high-water marks: (dir, src server) -> seq.
-    std::map<std::pair<InodeId, uint32_t>, uint64_t> hwm;
-    std::unordered_map<psw::Fingerprint, std::shared_ptr<AggWait>> agg_waits;
-    std::unordered_map<psw::Fingerprint, AggSession> agg_sessions;
-    std::unordered_map<uint64_t, std::shared_ptr<OpWait>> op_waits;
-    // Owner-side: completion time of the last aggregation per fingerprint.
-    std::unordered_map<psw::Fingerprint, int64_t> last_agg_complete;
-    // Owner-side: last push arrival per fingerprint (quiet-period timer).
-    std::unordered_map<psw::Fingerprint, int64_t> last_push;
-    std::unordered_set<psw::Fingerprint> quiet_timer_armed;
-    // Owner-server tracker mode: local scattered set.
-    std::unordered_set<psw::Fingerprint> owner_scattered;
-    // Source-side pusher bookkeeping.
-    std::set<std::pair<psw::Fingerprint, InodeId>> push_timer_armed;
-    std::set<std::pair<psw::Fingerprint, InodeId>> push_in_flight;
-    // Rename participant state: txn id -> held locks.
-    std::unordered_map<uint64_t, std::vector<LockTable::Handle>> txn_locks;
-    uint64_t op_token_counter = 1;
-    uint64_t txn_counter = 1;
-  };
-  using VolPtr = std::shared_ptr<Volatile>;
-
-  static std::string FpKey(psw::Fingerprint fp);
-  static std::string DirIndexKey(const InodeId& id);
   int64_t Now() const;
   InodeId NewInodeId();
-  uint32_t OwnerOf(psw::Fingerprint fp) const {
-    return cluster_->ring().Owner(fp);
-  }
-  bool IsOwner(psw::Fingerprint fp) const {
-    return OwnerOf(fp) == config_.index;
-  }
+  uint32_t OwnerOf(psw::Fingerprint fp) const { return ctx_.OwnerOf(fp); }
+  bool IsOwner(psw::Fingerprint fp) const { return ctx_.IsOwner(fp); }
 
   // ---- dispatch ----
   void OnRequest(net::Packet p);
@@ -240,90 +113,28 @@ class SwitchServer {
   sim::Task<void> HandleDirRead(net::Packet p, VolPtr v);  // statdir/readdir
   sim::Task<void> HandleFileOp(net::Packet p, VolPtr v);   // stat/open/close/chmod
   sim::Task<void> HandleLookup(net::Packet p, VolPtr v);
-  sim::Task<void> HandleRename(net::Packet p, VolPtr v);   // coordinator
 
   // ---- asynchronous update machinery ----
-  ChangeLog& GetChangeLog(const VolPtr& v, psw::Fingerprint fp,
-                          const InodeId& dir);
-  // Publishes a deferred parent update: marks the directory scattered via the
-  // configured tracker and waits for the ack (or the overflow fallback).
-  // `client_req` non-null: the insert-ack multicast carries `client_resp` to
-  // the client; null: internal update (rename legs), acks return to us only.
-  sim::Task<void> PublishUpdate(const net::Packet* client_req, VolPtr v,
-                                psw::Fingerprint fp, const InodeId& dir,
-                                net::MsgPtr client_resp);
   // Synchronous parent update at the parent's owner (Baseline mode §7.3.1 and
   // dedicated-tracker overflow fallback).
   sim::Task<Status> SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
-                                     const InodeId& dir,
-                                     const ChangeLogEntry& entry);
-
-  // ---- aggregation (owner side) ----
-  struct AggOutcome {
-    bool ok = false;
-    net::MsgPtr deferred_done;  // AggDone to multicast (when defer_done)
-  };
-  // Caller must hold the exclusive agg gate for `fp`. `held_cl_fp`: a
-  // fingerprint whose change-log lock the caller already holds exclusively
-  // (rmdir holds the parent's); pass 0 if none. `held_inode_key`: an inode
-  // key the caller already holds a write lock on ("" if none).
-  sim::Task<AggOutcome> RunAggregation(VolPtr v, psw::Fingerprint fp,
-                                       std::optional<InodeId> invalidate,
-                                       psw::Fingerprint held_cl_fp,
-                                       const std::string& held_inode_key,
-                                       bool defer_done);
-  void SendAggDone(net::MsgPtr done_msg);
-  // Applies entries from `src` to directory `dir` (hwm-deduped, FIFO).
-  sim::Task<void> ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
-                               std::vector<ChangeLogEntry> entries,
-                               const std::string& held_inode_key);
-  bool LookupDirIndex(const VolPtr& v, const InodeId& dir,
-                      std::string* inode_key, psw::Fingerprint* fp) const;
-  // Takes the exclusive gate and aggregates (helper for quiet timers, rename
-  // and the AggregateReq RPC).
-  sim::Task<void> GateAndAggregate(VolPtr v, psw::Fingerprint fp);
-
-  // ---- aggregation (responder side) ----
-  sim::Task<void> HandleAggCollect(net::Packet p, VolPtr v);
-  void HandleAggDone(const AggDone& done, VolPtr v);
-  void HandleAggEntries(net::Packet p, VolPtr v);  // at initiator
-  sim::Task<void> ResponderSessionWatchdog(VolPtr v, psw::Fingerprint fp,
-                                           uint64_t seq);
-
-  // ---- proactive push (§5.3) ----
-  void MaybeSchedulePush(VolPtr v, psw::Fingerprint fp, const InodeId& dir);
-  sim::Task<void> PushIdleTimer(VolPtr v, psw::Fingerprint fp, InodeId dir);
-  sim::Task<void> PushBacklog(VolPtr v, psw::Fingerprint fp, InodeId dir);
-  sim::Task<void> HandlePush(net::Packet p, VolPtr v);
-  void ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
-  sim::Task<void> OwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
+                                     const InodeId& dir);
 
   // ---- dirty-set fallback and acks ----
   sim::Task<void> HandleInsertFallback(net::Packet p, VolPtr v);
   void HandleFallbackDone(const FallbackDone& msg, VolPtr v);
   void HandleInsertAck(const net::Packet& p, VolPtr v);
 
-  // ---- rename participant legs ----
-  sim::Task<void> HandleRenamePrepare(net::Packet p, VolPtr v);
-  sim::Task<void> HandleRenameCommit(net::Packet p, VolPtr v);
-  sim::Task<void> HandleAggregateReq(net::Packet p, VolPtr v);
-
-  // ---- hard links (§5.5) ----
-  sim::Task<void> HandleLink(net::Packet p, VolPtr v);
-  sim::Task<void> HandleLinkConvert(net::Packet p, VolPtr v);
-  sim::Task<void> HandleLinkRefUpdate(net::Packet p, VolPtr v);
-  // delta: +1 link, -1 unlink, 0 read; optionally rewrites the mode.
-  sim::Task<Status> UpdateLinkCount(VolPtr v, InodeId file_id,
-                                    uint32_t attr_server, int32_t delta,
-                                    Attr* out, bool set_mode = false,
-                                    uint32_t mode = 0);
-
   // ---- recovery helpers ----
   sim::Task<void> HandleInvalClone(net::Packet p, VolPtr v);
-  void ReplayWalInto(Volatile& v);
+  void ReplayWalInto(ServerVolatile& v);
 
-  void RespondStatus(const net::Packet& p, StatusCode code);
-  void RespondStale(const net::Packet& p, std::vector<InodeId> stale);
+  void RespondStatus(const net::Packet& p, StatusCode code) {
+    ctx_.RespondStatus(p, code);
+  }
+  void RespondStale(const net::Packet& p, std::vector<InodeId> stale) {
+    ctx_.RespondStale(p, std::move(stale));
+  }
 
   sim::Simulator* sim_;
   net::Network* net_;
@@ -336,6 +147,14 @@ class SwitchServer {
   VolPtr vol_;
   bool serving_ = true;
   Stats stats_;
+
+  // Shared view + protocol modules (declaration order matters: ctx_ views
+  // the members above; the modules hold references to ctx_ and each other).
+  ServerContext ctx_;
+  Aggregation agg_;
+  PushEngine push_;
+  LinkManager links_;
+  RenameCoordinator rename_;
 };
 
 }  // namespace switchfs::core

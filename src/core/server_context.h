@@ -1,0 +1,228 @@
+// Shared context of one SwitchFS metadata server, factored out of the
+// SwitchServer monolith so the protocol-layer modules (aggregation, proactive
+// push, rename 2PC, hard links) are separately constructible and testable
+// without a full cluster.
+//
+// Ownership model: SwitchServer owns the durable pieces' pointers plus the
+// CPU pool, RPC endpoint, and stats; ServerContext is a non-owning view over
+// them with the small derived helpers (Now, owner lookup, responders) every
+// module needs. The per-incarnation volatile state (ServerVolatile) is a
+// shared_ptr handed to each coroutine handler at spawn time: a simulated
+// crash atomically replaces it and flags the old incarnation `dead`, so
+// in-flight handlers abandon work at their next resume while the replacement
+// recovers from the WAL.
+#ifndef SRC_CORE_SERVER_CONTEXT_H_
+#define SRC_CORE_SERVER_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/core/change_log.h"
+#include "src/core/invalidation.h"
+#include "src/core/keys.h"
+#include "src/core/lock_table.h"
+#include "src/core/messages.h"
+#include "src/core/placement.h"
+#include "src/core/schema.h"
+#include "src/core/types.h"
+#include "src/kv/kvstore.h"
+#include "src/kv/wal.h"
+#include "src/net/rpc.h"
+#include "src/sim/costs.h"
+#include "src/sim/cpu.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace switchfs::core {
+
+// Where directory dirty-state is tracked (§7.3.3 alternatives study).
+enum class TrackerMode {
+  kSwitch = 0,           // in-network dirty set (SwitchFS proper)
+  kDedicatedServer = 1,  // a DPDK server node maintains the dirty set
+  kOwnerServer = 2,      // each directory's owner tracks its own state
+};
+
+struct ServerConfig {
+  uint32_t index = 0;
+  int cores = 4;
+  // Feature flags for the Fig 14 ablation: Baseline = async_updates off;
+  // +Async = async on, compaction off; +Compaction = both on.
+  bool async_updates = true;
+  bool compaction = true;
+  TrackerMode tracker = TrackerMode::kSwitch;
+  net::NodeId tracker_node = net::kInvalidNode;
+
+  int mtu_entries = 29;  // §7.5: proactive push once an MTU worth accumulates
+  sim::SimTime push_idle_timeout = sim::Microseconds(300);
+  sim::SimTime owner_quiet_period = sim::Microseconds(400);
+  sim::SimTime insert_ack_timeout = sim::Microseconds(150);
+  int insert_max_attempts = 100;
+  sim::SimTime agg_reply_timeout = sim::Milliseconds(2);
+  int agg_max_retries = 12;
+  sim::SimTime responder_session_timeout = sim::Milliseconds(20);
+  uint32_t rename_coordinator = 0;  // server index of the rename coordinator
+};
+
+// Context the cluster provides to servers and clients.
+class ClusterContext {
+ public:
+  virtual ~ClusterContext() = default;
+  virtual const HashRing& ring() const = 0;
+  virtual net::NodeId ServerNode(uint32_t server_index) const = 0;
+  virtual uint32_t ServerCount() const = 0;
+};
+
+// Durable per-server state: survives crashes (owned by the cluster).
+struct DurableState {
+  kv::Wal wal;
+  // Dirty-set remove sequence (§5.4.1). Monotonic across crashes, else the
+  // switch would treat all post-recovery removes as stale.
+  uint64_t remove_seq = 0;
+  uint64_t id_counter = 1;  // inode-id generation must not repeat
+};
+
+// Protocol counters surfaced to tests and benches.
+struct ServerStats {
+  uint64_t ops = 0;
+  uint64_t aggregations = 0;
+  uint64_t agg_retries = 0;
+  uint64_t entries_applied = 0;
+  uint64_t entries_deduped = 0;
+  uint64_t pushes_sent = 0;
+  uint64_t pushes_received = 0;
+  uint64_t fallbacks = 0;
+  uint64_t stale_cache_bounces = 0;
+  uint64_t wal_replayed = 0;
+};
+
+// Volatile state of one server incarnation (wiped on crash).
+struct ServerVolatile {
+  struct AggWait {  // initiator side
+    uint64_t seq = 0;
+    std::set<uint32_t> pending;  // server indices yet to reply for `seq`
+    std::vector<AggEntries::PerDir> collected;
+    std::vector<uint32_t> collected_src;  // parallel to `collected`
+    std::shared_ptr<sim::OneShot<bool>> slot;  // armed per attempt
+  };
+  struct AggSession {  // responder side
+    uint64_t seq = 0;
+    LockTable::Handle lock;
+    int64_t started_at = 0;
+  };
+  struct OpWait {  // insert-ack / overflow-fallback wait (§5.2.1 step 7)
+    bool acked = false;
+    bool fallback_done = false;
+    std::shared_ptr<sim::OneShot<int>> slot;  // armed per attempt
+  };
+
+  explicit ServerVolatile(sim::Simulator* sim)
+      : inode_locks(sim), changelog_locks(sim), agg_gates(sim) {}
+
+  bool dead = false;
+  kv::KvStore kv;
+  LockTable inode_locks;      // key: inode key
+  LockTable changelog_locks;  // key: FpKey(fp) — one per fingerprint group
+  LockTable agg_gates;        // key: FpKey(fp) — owner-side read/agg gate
+  std::unordered_map<psw::Fingerprint, std::map<InodeId, ChangeLog>>
+      changelogs;
+  InvalidationList inval;
+  // Owner-side applied high-water marks: (dir, src server) -> seq.
+  std::map<std::pair<InodeId, uint32_t>, uint64_t> hwm;
+  std::unordered_map<psw::Fingerprint, std::shared_ptr<AggWait>> agg_waits;
+  std::unordered_map<psw::Fingerprint, AggSession> agg_sessions;
+  std::unordered_map<uint64_t, std::shared_ptr<OpWait>> op_waits;
+  // Owner-side: completion time of the last aggregation per fingerprint.
+  std::unordered_map<psw::Fingerprint, int64_t> last_agg_complete;
+  // Owner-side: last push arrival per fingerprint (quiet-period timer).
+  std::unordered_map<psw::Fingerprint, int64_t> last_push;
+  std::unordered_set<psw::Fingerprint> quiet_timer_armed;
+  // Owner-server tracker mode: local scattered set.
+  std::unordered_set<psw::Fingerprint> owner_scattered;
+  // Source-side pusher bookkeeping.
+  std::set<std::pair<psw::Fingerprint, InodeId>> push_timer_armed;
+  std::set<std::pair<psw::Fingerprint, InodeId>> push_in_flight;
+  // Rename participant state: txn id -> held locks.
+  std::unordered_map<uint64_t, std::vector<LockTable::Handle>> txn_locks;
+  uint64_t op_token_counter = 1;
+  uint64_t txn_counter = 1;
+
+  // The per-directory change-log within `fp`'s group, created on demand.
+  ChangeLog& GetChangeLog(psw::Fingerprint fp, const InodeId& dir) {
+    auto& per_dir = changelogs[fp];
+    auto it = per_dir.find(dir);
+    if (it == per_dir.end()) {
+      it = per_dir.emplace(dir, ChangeLog(dir, fp)).first;
+    }
+    return it->second;
+  }
+
+  // Resolves a directory id to its inode key + fingerprint via the "d" index.
+  bool LookupDirIndex(const InodeId& dir, std::string* inode_key,
+                      psw::Fingerprint* fp) const {
+    auto value = kv.Get(DirIndexKey(dir));
+    if (!value.has_value()) {
+      return false;
+    }
+    DecodeDirIndex(*value, inode_key, fp);
+    return true;
+  }
+};
+using VolPtr = std::shared_ptr<ServerVolatile>;
+
+// Non-owning view over one server's fixed parts, shared by all protocol
+// modules. All pointers outlive the modules (SwitchServer owns both).
+struct ServerContext {
+  sim::Simulator* sim = nullptr;
+  net::Network* net = nullptr;
+  ClusterContext* cluster = nullptr;
+  DurableState* durable = nullptr;
+  const sim::CostModel* costs = nullptr;
+  const ServerConfig* config = nullptr;
+  sim::CpuPool* cpu = nullptr;
+  net::RpcEndpoint* rpc = nullptr;
+  ServerStats* stats = nullptr;
+
+  int64_t Now() const { return sim->Now(); }
+  net::NodeId node_id() const { return rpc->id(); }
+  uint32_t OwnerOf(psw::Fingerprint fp) const {
+    return cluster->ring().Owner(fp);
+  }
+  bool IsOwner(psw::Fingerprint fp) const {
+    return OwnerOf(fp) == config->index;
+  }
+
+  void RespondStatus(const net::Packet& p, StatusCode code) const {
+    rpc->Respond(p, net::MakeMsg<MetaResp>(code));
+  }
+  void RespondStale(const net::Packet& p, std::vector<InodeId> stale) const {
+    auto resp = std::make_shared<MetaResp>(StatusCode::kStaleCache);
+    resp->stale_ids = std::move(stale);
+    rpc->Respond(p, resp);
+  }
+};
+
+// Narrow interface the rename and hard-link modules use to publish a deferred
+// parent update through the configured tracker: marks the directory scattered
+// (switch insert / dedicated tracker / owner set) and waits for the ack or
+// the overflow fallback. Implemented by SwitchServer, which owns the insert
+// retry machinery. `client_req` non-null: the insert-ack multicast carries
+// `client_resp` to the client; null: internal update, acks return to us only.
+class UpdatePublisher {
+ public:
+  virtual ~UpdatePublisher() = default;
+  virtual sim::Task<void> PublishUpdate(const net::Packet* client_req,
+                                        VolPtr v, psw::Fingerprint fp,
+                                        const InodeId& dir,
+                                        net::MsgPtr client_resp) = 0;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_SERVER_CONTEXT_H_

@@ -1,0 +1,378 @@
+// Unit tests for the protocol modules extracted from the SwitchServer
+// monolith (aggregation, push engine, rename coordinator): each runs against
+// a bare ServerContext + ServerVolatile on a single simulated node — no
+// Cluster, no SwitchFsClient — exercising the module boundary directly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/aggregation.h"
+#include "src/core/push_engine.h"
+#include "src/core/rename_coordinator.h"
+#include "src/core/schema.h"
+#include "src/net/network.h"
+
+namespace switchfs::core {
+namespace {
+
+class SingleNodeCluster : public ClusterContext {
+ public:
+  explicit SingleNodeCluster(net::NodeId node) : node_(node) {
+    ring_.AddServer(0);
+  }
+  const HashRing& ring() const override { return ring_; }
+  net::NodeId ServerNode(uint32_t) const override { return node_; }
+  uint32_t ServerCount() const override { return 1; }
+
+ private:
+  HashRing ring_;
+  net::NodeId node_;
+};
+
+// One server's modules over a bare context. Implements UpdatePublisher with
+// a counter so commit paths run without the dirty-set insert machinery.
+class ModuleHarness : public UpdatePublisher {
+ public:
+  ModuleHarness()
+      : net(&sim, &costs, /*seed=*/7),
+        sw(costs.plain_switch_delay),
+        cpu(&sim, config.cores),
+        rpc(&sim, &net),
+        vol(std::make_shared<ServerVolatile>(&sim)) {
+    net.SetSwitch(&sw);
+    cluster = std::make_unique<SingleNodeCluster>(rpc.id());
+    sw.SetServerGroup({rpc.id()});
+    ctx = ServerContext{&sim,    &net, cluster.get(), &durable, &costs,
+                        &config, &cpu, &rpc,          &stats};
+    agg = std::make_unique<Aggregation>(ctx);
+    push = std::make_unique<PushEngine>(ctx, *agg);
+    rename = std::make_unique<RenameCoordinator>(ctx, *agg, *push, *this);
+    rpc.SetCpu(&cpu);
+    rpc.SetRequestHandler([this](net::Packet p) { OnRequest(std::move(p)); });
+    rpc.SetRawHandler([this](net::Packet p) { OnRaw(std::move(p)); });
+  }
+
+  sim::Task<void> PublishUpdate(const net::Packet* client_req, VolPtr v,
+                                psw::Fingerprint, const InodeId&,
+                                net::MsgPtr client_resp) override {
+    (void)v;
+    publishes++;
+    if (client_req != nullptr) {
+      rpc.Respond(*client_req, client_resp);
+    }
+    co_return;
+  }
+
+  // The rename module's server-side dependencies, minus SwitchServer.
+  void OnRequest(net::Packet p) {
+    VolPtr v = vol;
+    switch (p.body->type) {
+      case MetaReq::kType:
+        sim::Spawn(rename->HandleRename(std::move(p), std::move(v)));
+        break;
+      case RenamePrepare::kType:
+        sim::Spawn(rename->HandleRenamePrepare(std::move(p), std::move(v)));
+        break;
+      case RenameCommit::kType:
+        sim::Spawn(rename->HandleRenameCommit(std::move(p), std::move(v)));
+        break;
+      case AggregateReq::kType:
+        sim::Spawn(rename->HandleAggregateReq(std::move(p), std::move(v)));
+        break;
+      case AggEntries::kType:
+        agg->HandleAggEntries(std::move(p), v);
+        break;
+      case LookupReq::kType: {
+        const auto* req = static_cast<const LookupReq*>(p.body.get());
+        auto resp = std::make_shared<LookupResp>();
+        auto value = v->kv.Get(InodeKey(req->pid, req->name));
+        if (value.has_value()) {
+          resp->status = StatusCode::kOk;
+          resp->attr = Attr::Decode(*value);
+          resp->read_at = sim.Now();
+        } else {
+          resp->status = StatusCode::kNotFound;
+        }
+        rpc.Respond(p, resp);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void OnRaw(net::Packet p) {
+    if (p.body == nullptr) {
+      return;
+    }
+    if (p.body->type == AggDone::kType) {
+      agg->HandleAggDone(*static_cast<const AggDone*>(p.body.get()), vol);
+    }
+  }
+
+  // Seeds a directory inode at (pid, name) plus its dir-index row; returns
+  // the new directory's id.
+  InodeId SeedDir(const InodeId& pid, const std::string& name, uint64_t tag) {
+    InodeId id;
+    id.w[0] = tag;
+    id.w[3] = 2;
+    Attr attr;
+    attr.id = id;
+    attr.type = FileType::kDirectory;
+    attr.mode = 0755;
+    const std::string ikey = InodeKey(pid, name);
+    vol->kv.Put(ikey, attr.Encode());
+    vol->kv.Put(DirIndexKey(id),
+                EncodeDirIndex(ikey, FingerprintOf(pid, name)));
+    return id;
+  }
+
+  Attr ReadAttr(const InodeId& pid, const std::string& name) {
+    auto value = vol->kv.Get(InodeKey(pid, name));
+    EXPECT_TRUE(value.has_value());
+    return value.has_value() ? Attr::Decode(*value) : Attr{};
+  }
+
+  StatusCode Rename(const PathRef& src, const PathRef& dst) {
+    auto req = std::make_shared<MetaReq>();
+    req->op = OpType::kRename;
+    req->ref = src;
+    req->ref2 = dst;
+    StatusCode out = StatusCode::kInternal;
+    net::RpcEndpoint client(&sim, &net);
+    sim::Spawn([](net::RpcEndpoint* cli, net::NodeId server, net::MsgPtr msg,
+                  StatusCode* o) -> sim::Task<void> {
+      net::CallOptions opts;
+      opts.timeout = sim::Milliseconds(100);
+      opts.max_attempts = 2;
+      auto r = co_await cli->Call(server, msg, opts);
+      if (r.ok()) {
+        if (const auto* resp = net::MsgAs<MetaResp>(*r)) {
+          *o = resp->status;
+        }
+      }
+    }(&client, rpc.id(), req, &out));
+    sim.Run();
+    return out;
+  }
+
+  sim::Simulator sim;
+  sim::CostModel costs;
+  net::Network net;
+  net::PlainSwitch sw;
+  ServerConfig config;
+  DurableState durable;
+  sim::CpuPool cpu;
+  net::RpcEndpoint rpc;
+  ServerStats stats;
+  std::unique_ptr<SingleNodeCluster> cluster;
+  ServerContext ctx;
+  VolPtr vol;
+  std::unique_ptr<Aggregation> agg;
+  std::unique_ptr<PushEngine> push;
+  std::unique_ptr<RenameCoordinator> rename;
+  int publishes = 0;
+};
+
+ChangeLogEntry MakeEntry(uint64_t seq, const std::string& name, OpType op,
+                         int64_t ts) {
+  ChangeLogEntry e;
+  e.seq = seq;
+  e.timestamp = ts;
+  e.op = op;
+  e.name = name;
+  e.entry_type = op == OpType::kMkdir ? FileType::kDirectory : FileType::kFile;
+  e.size_delta = op == OpType::kCreate || op == OpType::kMkdir ? 1 : -1;
+  return e;
+}
+
+// §5.3 consolidated attribute update: N pending entries cost one attribute
+// write, and the directory's size/mtime reflect the whole batch.
+TEST(AggregationModule, ApplyEntriesCompactsAttributeUpdate) {
+  ModuleHarness h;
+  const InodeId parent = RootId();
+  const InodeId dir = h.SeedDir(parent, "docs", /*tag=*/77);
+
+  std::vector<ChangeLogEntry> entries;
+  for (uint64_t s = 1; s <= 5; ++s) {
+    entries.push_back(
+        MakeEntry(s, "f" + std::to_string(s), OpType::kCreate, 100 + s));
+  }
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, /*src=*/1, entries, ""));
+  h.sim.Run();
+
+  Attr attr = h.ReadAttr(parent, "docs");
+  EXPECT_EQ(attr.size, 5u);
+  EXPECT_EQ(attr.mtime, 105);
+  EXPECT_EQ(h.stats.entries_applied, 5u);
+  EXPECT_EQ(h.vol->kv.CountPrefix(EntryPrefix(dir)), 5u);
+  // The hwm advanced to the batch's tail.
+  EXPECT_EQ((h.vol->hwm[{dir, 1u}]), 5u);
+}
+
+TEST(AggregationModule, ApplyEntriesDeduplicatesByHighWaterMark) {
+  ModuleHarness h;
+  const InodeId parent = RootId();
+  const InodeId dir = h.SeedDir(parent, "docs", /*tag=*/78);
+
+  std::vector<ChangeLogEntry> entries;
+  for (uint64_t s = 1; s <= 3; ++s) {
+    entries.push_back(
+        MakeEntry(s, "f" + std::to_string(s), OpType::kCreate, 100 + s));
+  }
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1, entries, ""));
+  h.sim.Run();
+  // Replaying the same batch (a duplicated push) applies nothing new.
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1, entries, ""));
+  h.sim.Run();
+
+  EXPECT_EQ(h.stats.entries_applied, 3u);
+  EXPECT_EQ(h.stats.entries_deduped, 3u);
+  EXPECT_EQ(h.ReadAttr(parent, "docs").size, 3u);
+}
+
+TEST(AggregationModule, ApplyEntriesStopsAtSequenceGap) {
+  ModuleHarness h;
+  const InodeId parent = RootId();
+  const InodeId dir = h.SeedDir(parent, "docs", /*tag=*/79);
+
+  // Seqs 2-3 while the hwm expects 1: an earlier push is still in flight, so
+  // nothing may be applied (FIFO per source).
+  std::vector<ChangeLogEntry> entries;
+  entries.push_back(MakeEntry(2, "b", OpType::kCreate, 102));
+  entries.push_back(MakeEntry(3, "c", OpType::kCreate, 103));
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1, entries, ""));
+  h.sim.Run();
+
+  EXPECT_EQ(h.stats.entries_applied, 0u);
+  EXPECT_EQ(h.ReadAttr(parent, "docs").size, 0u);
+  EXPECT_EQ(h.vol->kv.CountPrefix(EntryPrefix(dir)), 0u);
+}
+
+// GateAndAggregate on the owner collects the local change-log, applies it,
+// drains the backlog, and marks the WAL records applied (§5.2.2 steps 8-10).
+TEST(AggregationModule, GateAndAggregateDrainsLocalChangeLog) {
+  ModuleHarness h;
+  const InodeId parent = RootId();
+  const InodeId dir = h.SeedDir(parent, "docs", /*tag=*/80);
+  const psw::Fingerprint fp = FingerprintOf(parent, "docs");
+
+  ChangeLog& clog = h.vol->GetChangeLog(fp, dir);
+  for (uint64_t s = 1; s <= 4; ++s) {
+    ChangeLogEntry e =
+        MakeEntry(s, "f" + std::to_string(s), OpType::kCreate, 200 + s);
+    e.wal_lsn = h.durable.wal.Append(1, "op" + std::to_string(s));
+    clog.Restore(std::move(e));
+  }
+
+  sim::Spawn(h.agg->GateAndAggregate(h.vol, fp));
+  h.sim.Run();
+
+  EXPECT_EQ(h.stats.aggregations, 1u);
+  EXPECT_EQ(h.stats.entries_applied, 4u);
+  EXPECT_TRUE(clog.empty());
+  EXPECT_EQ(h.ReadAttr(parent, "docs").size, 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(h.durable.wal.records()[i].applied) << "lsn " << i;
+  }
+  // The read path's freshness check sees the completed aggregation.
+  EXPECT_EQ(h.vol->last_agg_complete.count(fp), 1u);
+}
+
+// §5.2 orphaned-loop prevention: moving a directory under one of its own
+// descendants must be rejected (kCrossDevice) and all prepare locks undone.
+TEST(RenameCoordinatorModule, RejectsOrphanedLoop) {
+  ModuleHarness h;
+  InodeId a;
+  a.w[0] = 42;
+  a.w[3] = 2;
+  const InodeId d = h.SeedDir(a, "d", /*tag=*/77);
+
+  PathRef src;
+  src.pid = a;
+  src.name = "d";
+  src.parent_fp = FingerprintOf(RootId(), "a");
+  src.ancestors = {AncestorRef{RootId(), 0}, AncestorRef{a, 0}};
+
+  PathRef dst;  // destination parent chain passes through d itself
+  dst.pid = d;
+  dst.name = "sub";
+  dst.parent_fp = FingerprintOf(a, "d");
+  dst.ancestors = {AncestorRef{RootId(), 0}, AncestorRef{a, 0},
+                   AncestorRef{d, 0}};
+
+  EXPECT_EQ(h.Rename(src, dst), StatusCode::kCrossDevice);
+  // Both legs aborted: no lingering transaction locks, nothing moved.
+  EXPECT_TRUE(h.vol->txn_locks.empty());
+  EXPECT_TRUE(h.vol->kv.Contains(InodeKey(a, "d")));
+  EXPECT_FALSE(h.vol->kv.Contains(InodeKey(d, "sub")));
+  EXPECT_EQ(h.publishes, 0);
+}
+
+TEST(RenameCoordinatorModule, RejectsMissingSource) {
+  ModuleHarness h;
+  InodeId a;
+  a.w[0] = 43;
+  a.w[3] = 2;
+  InodeId b;
+  b.w[0] = 44;
+  b.w[3] = 2;
+
+  PathRef src;
+  src.pid = a;
+  src.name = "ghost";
+  src.ancestors = {AncestorRef{RootId(), 0}};
+  PathRef dst;
+  dst.pid = b;
+  dst.name = "x";
+  dst.ancestors = {AncestorRef{RootId(), 0}};
+
+  EXPECT_EQ(h.Rename(src, dst), StatusCode::kNotFound);
+  EXPECT_TRUE(h.vol->txn_locks.empty());
+}
+
+// A legal directory move commits both legs: source inode deleted,
+// destination inode installed (with its dir-index), and the deferred parent
+// updates handed to the publisher.
+TEST(RenameCoordinatorModule, CommitsLegalDirectoryMove) {
+  ModuleHarness h;
+  InodeId a;
+  a.w[0] = 45;
+  a.w[3] = 2;
+  InodeId b;
+  b.w[0] = 46;
+  b.w[3] = 2;
+  const InodeId d = h.SeedDir(a, "d", /*tag=*/90);
+
+  PathRef src;
+  src.pid = a;
+  src.name = "d";
+  src.parent_fp = FingerprintOf(RootId(), "a");
+  src.ancestors = {AncestorRef{RootId(), 0}, AncestorRef{a, 0}};
+  PathRef dst;
+  dst.pid = b;
+  dst.name = "moved";
+  dst.parent_fp = FingerprintOf(RootId(), "b");
+  dst.ancestors = {AncestorRef{RootId(), 0}, AncestorRef{b, 0}};
+
+  EXPECT_EQ(h.Rename(src, dst), StatusCode::kOk);
+  EXPECT_FALSE(h.vol->kv.Contains(InodeKey(a, "d")));
+  EXPECT_TRUE(h.vol->kv.Contains(InodeKey(b, "moved")));
+  Attr moved = h.ReadAttr(b, "moved");
+  EXPECT_EQ(moved.id, d);
+  EXPECT_TRUE(moved.is_dir());
+  // The dir-index row followed the inode to its new key.
+  std::string ikey;
+  psw::Fingerprint fp = 0;
+  ASSERT_TRUE(h.vol->LookupDirIndex(d, &ikey, &fp));
+  EXPECT_EQ(ikey, InodeKey(b, "moved"));
+  // One deferred parent update per leg.
+  EXPECT_EQ(h.publishes, 2);
+  EXPECT_TRUE(h.vol->txn_locks.empty());
+}
+
+}  // namespace
+}  // namespace switchfs::core
