@@ -22,7 +22,7 @@ void Run(core::Cluster& cluster, sim::Task<void> script) {
   cluster.sim().Run();
 }
 
-sim::Task<void> Tour(core::Cluster* cluster, core::SwitchFsClient* fs) {
+sim::Task<void> Tour(core::Cluster* /*cluster*/, core::SwitchFsClient* fs) {
   // Create a small project tree.
   (void)co_await fs->Mkdir("/projects");
   (void)co_await fs->Mkdir("/projects/switchfs");

@@ -8,6 +8,7 @@
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
 #include "src/sim/sync.h"
+#include "src/tracker/dirty_tracker.h"
 
 namespace switchfs::core {
 
@@ -78,33 +79,9 @@ sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
     net::Packet rm;
     rm.dst = net::kServerMulticast;
     rm.body = collect;
-    switch (ctx_.config->tracker) {
-      case TrackerMode::kSwitch:
-        rm.ds.op = net::DsOp::kRemove;
-        rm.ds.fingerprint = fp;
-        rm.ds.remove_seq = seq;
-        rm.ds.origin = ctx_.node_id();
-        ctx_.rpc->Send(rm);
-        break;
-      case TrackerMode::kDedicatedServer: {
-        auto op = std::make_shared<TrackerOp>();
-        op->op = net::DsOp::kRemove;
-        op->fp = fp;
-        op->remove_seq = seq;
-        op->origin_server = ctx_.config->index;
-        auto r = co_await ctx_.rpc->Call(ctx_.config->tracker_node, op);
-        (void)r;
-        if (v->dead) co_return outcome;
-        rm.ds.origin = ctx_.node_id();  // multicast exclusion key
-        ctx_.rpc->Send(rm);
-        break;
-      }
-      case TrackerMode::kOwnerServer:
-        v->owner_scattered.erase(fp);
-        rm.ds.origin = ctx_.node_id();
-        ctx_.rpc->Send(rm);
-        break;
-    }
+    co_await ctx_.dirty_tracker->RemoveAndMulticast(ctx_, v, fp, seq,
+                                                    std::move(rm));
+    if (v->dead) co_return outcome;
 
     auto slot = w->slot;
     ctx_.sim->ScheduleAfter(ctx_.config->agg_reply_timeout,

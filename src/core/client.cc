@@ -4,6 +4,7 @@
 
 #include "src/common/strings.h"
 #include "src/sim/sync.h"
+#include "src/tracker/dirty_tracker.h"
 
 namespace switchfs::core {
 
@@ -115,9 +116,11 @@ sim::Task<SwitchFsClient::OpResult> SwitchFsClient::Issue(
   for (int attempt = 0; attempt < config_.max_op_retries; ++attempt) {
     PathRef ref;
     if (path == "/" && dir_read) {
-      // The root's inode is keyed (0, "/").
+      // The root's inode is keyed (0, "/"). NOTE: assign(n, c) rather than a
+      // literal assignment — GCC 12 flags the literal's inlined memcpy into
+      // the coroutine frame with a spurious -Wrestrict.
       ref.pid = InodeId{};
-      ref.name = "/";
+      ref.name.assign(1, '/');
       ref.parent_fp = FingerprintOf(InodeId{}, "/");
       ref.ancestors = {AncestorRef{RootId(), 0}};
     } else {
@@ -145,26 +148,9 @@ sim::Task<SwitchFsClient::OpResult> SwitchFsClient::Issue(
         cluster_->ServerNode(cluster_->ring().Owner(target_fp));
 
     net::CallOptions opts = config_.call;
-    if (dir_read) {
-      switch (config_.tracker) {
-        case TrackerMode::kSwitch:
-          opts.ds.op = net::DsOp::kQuery;
-          opts.ds.fingerprint = target_fp;
-          break;
-        case TrackerMode::kDedicatedServer: {
-          // Extra RTT to the tracker before the request proper (Fig 15a).
-          auto q = std::make_shared<TrackerOp>();
-          q->op = net::DsOp::kQuery;
-          q->fp = target_fp;
-          auto tr = co_await rpc_.Call(config_.tracker_node, q, config_.call);
-          req->scattered_hint =
-              tr.ok() && net::MsgAs<TrackerResp>(*tr) != nullptr &&
-              net::MsgAs<TrackerResp>(*tr)->present;
-          break;
-        }
-        case TrackerMode::kOwnerServer:
-          break;  // the owner consults its local state
-      }
+    if (dir_read && config_.dirty_tracker != nullptr) {
+      co_await config_.dirty_tracker->ClientPreRead(rpc_, target_fp, *req,
+                                                    opts);
     }
 
     auto r = co_await rpc_.Call(dst, req, opts);

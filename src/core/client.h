@@ -16,13 +16,18 @@
 #include "src/core/server.h"
 #include "src/net/rpc.h"
 
+namespace switchfs::tracker {
+class DirtyTracker;  // src/tracker/dirty_tracker.h
+}  // namespace switchfs::tracker
+
 namespace switchfs::core {
 
 class SwitchFsClient : public MetadataService {
  public:
   struct Config {
-    TrackerMode tracker = TrackerMode::kSwitch;
-    net::NodeId tracker_node = net::kInvalidNode;
+    // The cluster's dirty-set tracker; directory reads run its pre-read hook
+    // (in-network query header or tracker pre-query). Null skips the hook.
+    tracker::DirtyTracker* dirty_tracker = nullptr;
     uint32_t rename_coordinator = 0;
     int max_op_retries = 12;
     sim::SimTime retry_backoff = sim::Microseconds(200);

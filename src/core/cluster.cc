@@ -3,6 +3,11 @@
 #include <cassert>
 
 #include "src/common/strings.h"
+#include "src/tracker/dedicated_tracker.h"
+#include "src/tracker/owner_tracker.h"
+#include "src/tracker/replicated_tracker.h"
+#include "src/tracker/switch_tracker.h"
+#include "src/tracker/tracker_server.h"
 
 namespace switchfs::core {
 
@@ -12,13 +17,35 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   if (config_.tracker == TrackerMode::kSwitch) {
     data_plane_ = std::make_unique<psw::DataPlane>(config_.switch_config);
     net_->SetSwitch(data_plane_.get());
+    dirty_tracker_ = std::make_unique<tracker::SwitchTracker>();
   } else {
     plain_switch_ =
         std::make_unique<net::PlainSwitch>(config_.costs.plain_switch_delay);
     net_->SetSwitch(plain_switch_.get());
-    if (config_.tracker == TrackerMode::kDedicatedServer) {
-      tracker_ = std::make_unique<TrackerServer>(&sim_, net_.get(),
-                                                 &config_.costs);
+    switch (config_.tracker) {
+      case TrackerMode::kDedicatedServer: {
+        tracker_ = std::make_unique<tracker::TrackerServer>(&sim_, net_.get(),
+                                                            &config_.costs);
+        auto dedicated = std::make_unique<tracker::DedicatedTracker>(
+            &sim_, net_.get(), this, &config_.costs, tracker_.get());
+        dedicated_ = dedicated.get();
+        dirty_tracker_ = std::move(dedicated);
+        break;
+      }
+      case TrackerMode::kOwnerServer:
+        dirty_tracker_ = std::make_unique<tracker::OwnerTracker>();
+        break;
+      case TrackerMode::kReplicated: {
+        tracker::ReplicatedTrackerConfig rc;
+        rc.replicas = static_cast<int>(config_.tracker_replicas);
+        auto replicated = std::make_unique<tracker::ReplicatedTracker>(
+            &sim_, net_.get(), this, &config_.costs, rc);
+        replicated_ = replicated.get();
+        dirty_tracker_ = std::move(replicated);
+        break;
+      }
+      case TrackerMode::kSwitch:
+        break;  // unreachable
     }
   }
   net_->SetFaults(config_.faults);
@@ -33,11 +60,9 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     sc.cores = config_.cores_per_server;
     sc.async_updates = config_.async_updates;
     sc.compaction = config_.compaction;
-    sc.tracker = config_.tracker;
-    sc.tracker_node =
-        tracker_ != nullptr ? tracker_->node_id() : net::kInvalidNode;
     servers_.push_back(std::make_unique<SwitchServer>(
-        &sim_, net_.get(), this, durables_.back().get(), &config_.costs, sc));
+        &sim_, net_.get(), this, durables_.back().get(), &config_.costs,
+        dirty_tracker_.get(), sc));
   }
   std::vector<net::NodeId> group;
   for (const auto& s : servers_) {
@@ -64,9 +89,7 @@ Cluster::~Cluster() = default;
 
 std::unique_ptr<SwitchFsClient> Cluster::MakeClient() {
   SwitchFsClient::Config cc;
-  cc.tracker = config_.tracker;
-  cc.tracker_node =
-      tracker_ != nullptr ? tracker_->node_id() : net::kInvalidNode;
+  cc.dirty_tracker = dirty_tracker_.get();
   cc.rename_coordinator = config_.server_template.rename_coordinator;
   return std::make_unique<SwitchFsClient>(&sim_, net_.get(), this,
                                           &config_.costs, cc);
@@ -123,11 +146,9 @@ sim::Task<void> Cluster::AddServerAndRebalance() {
   sc.cores = config_.cores_per_server;
   sc.async_updates = config_.async_updates;
   sc.compaction = config_.compaction;
-  sc.tracker = config_.tracker;
-  sc.tracker_node =
-      tracker_ != nullptr ? tracker_->node_id() : net::kInvalidNode;
   servers_.push_back(std::make_unique<SwitchServer>(
-      &sim_, net_.get(), this, durables_.back().get(), &config_.costs, sc));
+      &sim_, net_.get(), this, durables_.back().get(), &config_.costs,
+      dirty_tracker_.get(), sc));
   ring_.AddServer(new_index);
 
   std::vector<net::NodeId> group;
@@ -288,6 +309,7 @@ SwitchServer::Stats Cluster::TotalStats() const {
     total.fallbacks += st.fallbacks;
     total.stale_cache_bounces += st.stale_cache_bounces;
     total.wal_replayed += st.wal_replayed;
+    total.insert_exhausted += st.insert_exhausted;
   }
   return total;
 }

@@ -15,11 +15,17 @@
 #include "src/core/fs_world.h"
 #include "src/core/placement.h"
 #include "src/core/server.h"
-#include "src/core/tracker.h"
 #include "src/net/network.h"
 #include "src/pswitch/data_plane.h"
 #include "src/sim/costs.h"
 #include "src/sim/simulator.h"
+
+namespace switchfs::tracker {
+class DedicatedTracker;
+class DirtyTracker;
+class ReplicatedTracker;
+class TrackerServer;
+}  // namespace switchfs::tracker
 
 namespace switchfs::core {
 
@@ -29,6 +35,8 @@ struct ClusterConfig {
   bool async_updates = true;
   bool compaction = true;
   TrackerMode tracker = TrackerMode::kSwitch;
+  // kReplicated: chain length of the tracker group (2-3 per NetChain).
+  uint32_t tracker_replicas = 3;
   psw::DataPlaneConfig switch_config;
   net::Network::FaultConfig faults;
   sim::CostModel costs;
@@ -68,7 +76,12 @@ class Cluster : public ClusterContext, public FsWorld {
   net::Network& network() { return *net_; }
   const sim::CostModel& costs() const { return config_.costs; }
   psw::DataPlane* data_plane() { return data_plane_.get(); }
-  TrackerServer* tracker() { return tracker_.get(); }
+  // The tracker subsystem (src/tracker/). `dirty_tracker` is always set;
+  // the narrower accessors are non-null only in their respective modes.
+  tracker::DirtyTracker* dirty_tracker() { return dirty_tracker_.get(); }
+  tracker::TrackerServer* tracker() { return tracker_.get(); }
+  tracker::DedicatedTracker* dedicated_tracker() { return dedicated_; }
+  tracker::ReplicatedTracker* replicated_tracker() { return replicated_; }
   SwitchServer& server(uint32_t i) { return *servers_[i]; }
   const ClusterConfig& config() const { return config_; }
 
@@ -117,7 +130,10 @@ class Cluster : public ClusterContext, public FsWorld {
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<psw::DataPlane> data_plane_;
   std::unique_ptr<net::PlainSwitch> plain_switch_;
-  std::unique_ptr<TrackerServer> tracker_;
+  std::unique_ptr<tracker::TrackerServer> tracker_;
+  std::unique_ptr<tracker::DirtyTracker> dirty_tracker_;
+  tracker::DedicatedTracker* dedicated_ = nullptr;   // aliases dirty_tracker_
+  tracker::ReplicatedTracker* replicated_ = nullptr;  // aliases dirty_tracker_
   std::vector<std::unique_ptr<DurableState>> durables_;
   std::vector<std::unique_ptr<SwitchServer>> servers_;
   HashRing ring_;

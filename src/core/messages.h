@@ -296,6 +296,11 @@ struct TrackerResp : net::Message {
   TrackerResp() : Message(kType) {}
   bool ok = false;       // insert success / remove executed
   bool present = false;  // query result
+  // Chain-replicated tracker group: a downstream replica did not acknowledge
+  // (it is crashed or partitioned). `fault_node` names the unreachable hop so
+  // the tracker group can start failover on the right replica.
+  bool chain_fault = false;
+  net::NodeId fault_node = net::kInvalidNode;
 };
 
 // Owner-server tracker mode: mark a directory scattered at its owner.
@@ -318,6 +323,21 @@ struct AggregateReq : net::Message {
   static constexpr uint32_t kType = 124;
   AggregateReq() : Message(kType) {}
   psw::Fingerprint fp = 0;
+};
+
+// Tracker-group failover (§5.4.2 analog for tracker faults): the rebuilt
+// tracker reconstructs its dirty set from the servers' durable scattered-key
+// state — every fingerprint group that still holds pending change-log
+// entries (entries are WAL-backed, so this survives server crashes too).
+struct ScatteredSnapshotReq : net::Message {
+  static constexpr uint32_t kType = 128;
+  ScatteredSnapshotReq() : Message(kType) {}
+};
+
+struct ScatteredSnapshotResp : net::Message {
+  static constexpr uint32_t kType = 129;
+  ScatteredSnapshotResp() : Message(kType) {}
+  std::vector<psw::Fingerprint> fps;  // fingerprints with pending entries
 };
 
 // Entry-list migration leg for directory renames: the renamed directory's

@@ -28,6 +28,8 @@ const char* OpTypeName(OpType op) {
       return "lookup";
     case OpType::kChmod:
       return "chmod";
+    case OpType::kLink:
+      return "link";
   }
   return "unknown";
 }

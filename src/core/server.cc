@@ -7,12 +7,15 @@
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
 #include "src/sim/task.h"
+#include "src/tracker/dirty_tracker.h"
 
 namespace switchfs::core {
 
 SwitchServer::SwitchServer(sim::Simulator* sim, net::Network* net,
                            ClusterContext* cluster, DurableState* durable,
-                           const sim::CostModel* costs, ServerConfig config)
+                           const sim::CostModel* costs,
+                           tracker::DirtyTracker* dirty_tracker,
+                           ServerConfig config)
     : sim_(sim),
       net_(net),
       cluster_(cluster),
@@ -22,8 +25,8 @@ SwitchServer::SwitchServer(sim::Simulator* sim, net::Network* net,
       cpu_(sim, config.cores),
       rpc_(sim, net),
       vol_(std::make_shared<ServerVolatile>(sim)),
-      ctx_{sim_,   net_,  cluster_, durable_, costs_,
-           &config_, &cpu_, &rpc_,    &stats_},
+      ctx_{sim_,    net_,  cluster_, durable_, costs_,
+           &config_, &cpu_, &rpc_,    &stats_,  dirty_tracker},
       agg_(ctx_),
       push_(ctx_, agg_),
       links_(ctx_, push_, *this),
@@ -148,6 +151,22 @@ void SwitchServer::OnRequest(net::Packet p) {
       const auto* msg = static_cast<const MarkScattered*>(p.body.get());
       v->owner_scattered.insert(msg->fp);
       rpc_.Respond(p, net::MakeMsg<Ack>());
+      break;
+    }
+    case ScatteredSnapshotReq::kType: {
+      // Tracker-group failover: report every fingerprint group that still
+      // holds pending change-log entries (answered even while !serving_ —
+      // the rebuilt tracker must not wait out our recovery).
+      auto resp = std::make_shared<ScatteredSnapshotResp>();
+      for (const auto& [fp, dirs] : v->changelogs) {
+        for (const auto& [dir, log] : dirs) {
+          if (!log.empty()) {
+            resp->fps.push_back(fp);
+            break;
+          }
+        }
+      }
+      rpc_.Respond(p, resp);
       break;
     }
     case AggregateReq::kType:
@@ -350,98 +369,18 @@ sim::Task<void> SwitchServer::PublishUpdate(const net::Packet* client_req,
                                             VolPtr v, psw::Fingerprint fp,
                                             const InodeId& dir,
                                             net::MsgPtr client_resp) {
-  ChangeLog& clog = v->GetChangeLog(fp, dir);
-
-  switch (config_.tracker) {
-    case TrackerMode::kSwitch: {
-      const uint64_t token = v->op_token_counter++;
-      auto wait = std::make_shared<ServerVolatile::OpWait>();
-      v->op_waits[token] = wait;
-
-      auto env = std::make_shared<InsertEnvelope>();
-      env->client_resp = client_resp;
-      env->dir = dir;
-      env->fp = fp;
-      env->src_server = config_.index;
-      env->op_token = token;
-      env->backlog.assign(clog.pending().begin(), clog.pending().end());
-
-      net::Packet ins;
-      if (client_req != nullptr) {
-        ins = rpc_.MakeResponsePacket(*client_req, env);
-      } else {
-        ins.dst = node_id();
-        ins.body = env;
-      }
-      ins.ds.op = net::DsOp::kInsert;
-      ins.ds.fingerprint = fp;
-      ins.ds.origin = node_id();
-      ins.ds.notify = ins.dst;
-      ins.ds.alt_dst = cluster_->ServerNode(OwnerOf(fp));
-
-      int result = 0;
-      for (int attempt = 0; attempt < config_.insert_max_attempts; ++attempt) {
-        if (wait->acked) {
-          result = 1;
-          break;
-        }
-        if (wait->fallback_done) {
-          result = 2;
-          break;
-        }
-        wait->slot = std::make_shared<sim::OneShot<int>>(sim_);
-        rpc_.Send(ins);
-        auto slot = wait->slot;
-        sim_->ScheduleAfter(config_.insert_ack_timeout,
-                            [slot] { slot->Set(0); });
-        result = co_await slot->Wait();
-        if (v->dead) co_return;
-        if (result != 0) {
-          break;
-        }
-      }
-      v->op_waits.erase(token);
-      if (client_req != nullptr) {
-        // From here on, client retransmits are served from the dedup cache.
-        rpc_.RecordResponse(*client_req, env);
-      }
-      break;
-    }
-    case TrackerMode::kDedicatedServer: {
-      auto op = std::make_shared<TrackerOp>();
-      op->op = net::DsOp::kInsert;
-      op->fp = fp;
-      op->origin_server = config_.index;
-      auto r = co_await rpc_.Call(config_.tracker_node, op);
-      if (v->dead) co_return;
-      const bool ok =
-          r.ok() && net::MsgAs<TrackerResp>(*r) != nullptr &&
-          net::MsgAs<TrackerResp>(*r)->ok;
-      if (!ok) {
-        stats_.fallbacks++;
-        co_await SyncParentUpdate(v, fp, dir);
-        if (v->dead) co_return;
-      }
-      if (client_req != nullptr) {
-        rpc_.Respond(*client_req, client_resp);
-      }
-      break;
-    }
-    case TrackerMode::kOwnerServer: {
-      if (IsOwner(fp)) {
-        v->owner_scattered.insert(fp);
-      } else {
-        auto msg = std::make_shared<MarkScattered>();
-        msg->fp = fp;
-        auto r = co_await rpc_.Call(cluster_->ServerNode(OwnerOf(fp)), msg);
-        (void)r;  // on timeout the push path repairs visibility
-        if (v->dead) co_return;
-      }
-      if (client_req != nullptr) {
-        rpc_.Respond(*client_req, client_resp);
-      }
-      break;
-    }
+  const tracker::InsertResult res = co_await ctx_.dirty_tracker->Insert(
+      ctx_, v, fp, dir, client_req, client_resp);
+  if (v->dead) co_return;
+  if (res == tracker::InsertResult::kOverflow) {
+    // Tracker full or unreachable: apply the parent update synchronously at
+    // its owner so the deferred entry is visible without the dirty set.
+    stats_.fallbacks++;
+    co_await SyncParentUpdate(v, fp, dir);
+    if (v->dead) co_return;
+  }
+  if (res != tracker::InsertResult::kDelivered && client_req != nullptr) {
+    rpc_.Respond(*client_req, client_resp);
   }
 }
 
@@ -564,18 +503,7 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
   const psw::Fingerprint dir_fp = FingerprintOf(ref.pid, ref.name);
   const std::string ikey = InodeKey(ref.pid, ref.name);
 
-  bool scattered = false;
-  switch (config_.tracker) {
-    case TrackerMode::kSwitch:
-      scattered = p.ds.op == net::DsOp::kQuery && p.ds.ret;
-      break;
-    case TrackerMode::kDedicatedServer:
-      scattered = req->scattered_hint;
-      break;
-    case TrackerMode::kOwnerServer:
-      scattered = v->owner_scattered.count(dir_fp) > 0;
-      break;
-  }
+  bool scattered = ctx_.dirty_tracker->ReadScattered(ctx_, *v, p, *req, dir_fp);
   const int64_t observed_at = Now();
 
   LockTable::Handle gate;

@@ -42,7 +42,7 @@ class SwitchServer : public UpdatePublisher {
 
   SwitchServer(sim::Simulator* sim, net::Network* net, ClusterContext* cluster,
                DurableState* durable, const sim::CostModel* costs,
-               ServerConfig config);
+               tracker::DirtyTracker* dirty_tracker, ServerConfig config);
 
   net::NodeId node_id() const { return rpc_.id(); }
   uint32_t index() const { return config_.index; }

@@ -40,13 +40,20 @@
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
+namespace switchfs::tracker {
+class DirtyTracker;  // src/tracker/dirty_tracker.h
+}  // namespace switchfs::tracker
+
 namespace switchfs::core {
 
-// Where directory dirty-state is tracked (§7.3.3 alternatives study).
+// Where directory dirty-state is tracked (§7.3.3 alternatives study). The
+// mode only selects which tracker::DirtyTracker implementation the cluster
+// wires up; the protocol modules talk to the interface.
 enum class TrackerMode {
   kSwitch = 0,           // in-network dirty set (SwitchFS proper)
   kDedicatedServer = 1,  // a DPDK server node maintains the dirty set
   kOwnerServer = 2,      // each directory's owner tracks its own state
+  kReplicated = 3,       // chain-replicated tracker group with failover
 };
 
 struct ServerConfig {
@@ -56,8 +63,6 @@ struct ServerConfig {
   // +Async = async on, compaction off; +Compaction = both on.
   bool async_updates = true;
   bool compaction = true;
-  TrackerMode tracker = TrackerMode::kSwitch;
-  net::NodeId tracker_node = net::kInvalidNode;
 
   int mtu_entries = 29;  // §7.5: proactive push once an MTU worth accumulates
   sim::SimTime push_idle_timeout = sim::Microseconds(300);
@@ -100,6 +105,9 @@ struct ServerStats {
   uint64_t fallbacks = 0;
   uint64_t stale_cache_bounces = 0;
   uint64_t wal_replayed = 0;
+  // Dirty-set inserts whose ack retry budget ran out (the entry stays in the
+  // change-log; the push path repairs tracker visibility).
+  uint64_t insert_exhausted = 0;
 };
 
 // Volatile state of one server incarnation (wiped on crash).
@@ -188,6 +196,9 @@ struct ServerContext {
   sim::CpuPool* cpu = nullptr;
   net::RpcEndpoint* rpc = nullptr;
   ServerStats* stats = nullptr;
+  // The cluster's dirty-set tracker (src/tracker/): where "directory X has
+  // scattered deferred updates" is recorded, queried, and removed.
+  tracker::DirtyTracker* dirty_tracker = nullptr;
 
   int64_t Now() const { return sim->Now(); }
   net::NodeId node_id() const { return rpc->id(); }

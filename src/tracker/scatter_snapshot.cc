@@ -1,0 +1,53 @@
+#include "src/tracker/scatter_snapshot.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/core/messages.h"
+#include "src/sim/sync.h"
+
+namespace switchfs::tracker {
+
+sim::Task<std::vector<psw::Fingerprint>> CollectScatteredFingerprints(
+    net::RpcEndpoint& rpc, const core::ClusterContext& cluster) {
+  // Fan out one snapshot call per server: every tracker write is parked on
+  // the rebuild, so collection latency is bounded by the slowest (possibly
+  // crashed) server, not the sum over all of them.
+  const uint32_t n = cluster.ServerCount();
+  auto collected =
+      std::make_shared<std::vector<std::vector<psw::Fingerprint>>>(n);
+  auto join =
+      std::make_shared<sim::JoinCounter>(rpc.simulator(), static_cast<int>(n));
+  for (uint32_t s = 0; s < n; ++s) {
+    sim::Spawn(
+        [](net::RpcEndpoint* ep, net::NodeId dst, uint32_t idx,
+           std::shared_ptr<std::vector<std::vector<psw::Fingerprint>>> out,
+           std::shared_ptr<sim::JoinCounter> jc) -> sim::Task<void> {
+          net::CallOptions opts;
+          opts.timeout = sim::Microseconds(500);
+          opts.max_attempts = 6;
+          auto r = co_await ep->Call(
+              dst, net::MakeMsg<core::ScatteredSnapshotReq>(), opts);
+          // Crashed server: its WAL-backed backlog re-pushes after its own
+          // recovery; nothing to collect now.
+          if (r.ok()) {
+            if (const auto* resp =
+                    net::MsgAs<core::ScatteredSnapshotResp>(*r)) {
+              (*out)[idx] = resp->fps;
+            }
+          }
+          jc->Done();
+        }(&rpc, cluster.ServerNode(s), s, collected, join));
+  }
+  co_await join->Wait();
+
+  std::vector<psw::Fingerprint> fps;
+  for (const auto& per_server : *collected) {
+    fps.insert(fps.end(), per_server.begin(), per_server.end());
+  }
+  std::sort(fps.begin(), fps.end());
+  fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+  co_return fps;
+}
+
+}  // namespace switchfs::tracker

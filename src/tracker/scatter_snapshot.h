@@ -1,0 +1,26 @@
+// Dirty-set reconstruction (shared by tracker failover paths): a rebuilt
+// tracker asks every metadata server for the fingerprint groups that still
+// hold pending change-log entries — the durable scattered-key state the
+// paper's recovery path reconstructs from (§5.4.2). Entries are WAL-backed,
+// so a crashed server re-publishes its share through the push path after
+// its own recovery; unreachable servers are skipped, not waited for.
+#ifndef SRC_TRACKER_SCATTER_SNAPSHOT_H_
+#define SRC_TRACKER_SCATTER_SNAPSHOT_H_
+
+#include <vector>
+
+#include "src/core/server_context.h"
+#include "src/net/rpc.h"
+#include "src/pswitch/fingerprint.h"
+#include "src/sim/task.h"
+
+namespace switchfs::tracker {
+
+// Returns the deduplicated union of every reachable server's scattered
+// fingerprints, collected over `rpc`.
+sim::Task<std::vector<psw::Fingerprint>> CollectScatteredFingerprints(
+    net::RpcEndpoint& rpc, const core::ClusterContext& cluster);
+
+}  // namespace switchfs::tracker
+
+#endif  // SRC_TRACKER_SCATTER_SNAPSHOT_H_

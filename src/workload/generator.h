@@ -49,7 +49,7 @@ class ShuffledOnceStream : public OpStream {
     }
   }
 
-  std::optional<Op> Next(Rng& rng) override {
+  std::optional<Op> Next(Rng& /*rng*/) override {
     if (next_ >= paths_.size()) {
       return std::nullopt;
     }
@@ -96,7 +96,7 @@ class BurstCreateStream : public OpStream {
   BurstCreateStream(std::vector<std::string> dirs, int burst_size)
       : dirs_(std::move(dirs)), burst_size_(burst_size) {}
 
-  std::optional<Op> Next(Rng& rng) override {
+  std::optional<Op> Next(Rng& /*rng*/) override {
     Op op;
     op.type = core::OpType::kCreate;
     op.path = dirs_[dir_index_] + "/b" + std::to_string(counter_++);

@@ -75,7 +75,7 @@ CvTrainingTrace::CvTrainingTrace(std::vector<std::string> dirs,
   }
 }
 
-std::optional<Op> CvTrainingTrace::Next(Rng& rng) {
+std::optional<Op> CvTrainingTrace::Next(Rng& /*rng*/) {
   if (next_ >= script_.size()) {
     return std::nullopt;
   }
@@ -118,7 +118,7 @@ ThumbnailTrace::ThumbnailTrace(std::vector<std::string> dirs,
   }
 }
 
-std::optional<Op> ThumbnailTrace::Next(Rng& rng) {
+std::optional<Op> ThumbnailTrace::Next(Rng& /*rng*/) {
   if (next_ >= script_.size()) {
     return std::nullopt;
   }

@@ -14,6 +14,7 @@
 #include "src/core/rename_coordinator.h"
 #include "src/core/schema.h"
 #include "src/net/network.h"
+#include "src/tracker/owner_tracker.h"
 
 namespace switchfs::core {
 namespace {
@@ -46,7 +47,7 @@ class ModuleHarness : public UpdatePublisher {
     cluster = std::make_unique<SingleNodeCluster>(rpc.id());
     sw.SetServerGroup({rpc.id()});
     ctx = ServerContext{&sim,    &net, cluster.get(), &durable, &costs,
-                        &config, &cpu, &rpc,          &stats};
+                        &config, &cpu, &rpc,          &stats,   &tracker_impl};
     agg = std::make_unique<Aggregation>(ctx);
     push = std::make_unique<PushEngine>(ctx, *agg);
     rename = std::make_unique<RenameCoordinator>(ctx, *agg, *push, *this);
@@ -164,6 +165,9 @@ class ModuleHarness : public UpdatePublisher {
   net::Network net;
   net::PlainSwitch sw;
   ServerConfig config;
+  // Simplest tracker over the bare context: scattered state lives in the
+  // harness's own ServerVolatile, no extra nodes involved.
+  tracker::OwnerTracker tracker_impl;
   DurableState durable;
   sim::CpuPool cpu;
   net::RpcEndpoint rpc;
@@ -280,6 +284,46 @@ TEST(AggregationModule, GateAndAggregateDrainsLocalChangeLog) {
   }
   // The read path's freshness check sees the completed aggregation.
   EXPECT_EQ(h.vol->last_agg_complete.count(fp), 1u);
+}
+
+// ROADMAP fault path: a responder session whose initiator goes silent (it
+// crashed mid-aggregation) is reaped by the watchdog after
+// responder_session_timeout, releasing the shared change-log lock so later
+// writers are not blocked forever.
+TEST(AggregationModule, ResponderWatchdogReleasesAbandonedSession) {
+  ModuleHarness h;
+  h.config.responder_session_timeout = sim::Milliseconds(5);
+  const psw::Fingerprint fp = 77;
+
+  // Fake initiator: acks the AggEntries reply but never sends AggDone.
+  net::RpcEndpoint initiator(&h.sim, &h.net);
+  initiator.SetRequestHandler([&initiator](net::Packet p) {
+    initiator.Respond(p, net::MakeMsg<Ack>());
+  });
+
+  auto collect = std::make_shared<AggCollect>();
+  collect->fp = fp;
+  collect->initiator_server = 9;
+  collect->initiator_node = initiator.id();
+  collect->agg_seq = 1;
+  net::Packet p;
+  p.src = initiator.id();
+  p.dst = h.rpc.id();
+  p.body = collect;
+  sim::Spawn(h.agg->HandleAggCollect(std::move(p), h.vol));
+  h.sim.Run();
+
+  // Watchdog expired: session gone, and the change-log lock is free again —
+  // an exclusive acquire (what an upsert takes) completes immediately.
+  EXPECT_TRUE(h.vol->agg_sessions.empty());
+  bool acquired = false;
+  sim::Spawn([](ModuleHarness* hh, psw::Fingerprint f,
+                bool* out) -> sim::Task<void> {
+    auto lock = co_await hh->vol->changelog_locks.AcquireExclusive(FpKey(f));
+    *out = true;
+  }(&h, fp, &acquired));
+  h.sim.Run();
+  EXPECT_TRUE(acquired);
 }
 
 // §5.2 orphaned-loop prevention: moving a directory under one of its own

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/core/cluster.h"
+#include "src/tracker/replicated_tracker.h"
+#include "src/tracker/tracker_server.h"
 #include "tests/switchfs_test_util.h"
 
 namespace switchfs::core {
@@ -372,6 +374,26 @@ TEST(SwitchFsOps, DedicatedTrackerModeWorks) {
   ASSERT_TRUE(sd.ok());
   EXPECT_EQ(sd->size, 1u);
   EXPECT_GT(fs.cluster.tracker()->ops(), 0u);
+}
+
+TEST(SwitchFsOps, ReplicatedTrackerModeWorks) {
+  ClusterConfig cfg = SmallClusterConfig();
+  cfg.tracker = TrackerMode::kReplicated;
+  cfg.tracker_replicas = 3;
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/a").ok());
+  ASSERT_TRUE(fs.Create("/a/f").ok());
+  auto sd = fs.StatDir("/a");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 1u);
+  auto* rep = fs.cluster.replicated_tracker();
+  ASSERT_NE(rep, nullptr);
+  // Writes propagated down the whole chain: every replica processed ops and
+  // the tail answered the read query.
+  for (int i = 0; i < rep->replica_count(); ++i) {
+    EXPECT_GT(rep->node(i).ops(), 0u) << "replica " << i;
+  }
+  EXPECT_EQ(rep->failovers(), 0u);
 }
 
 TEST(SwitchFsOps, SynchronousBaselineModeWorks) {
