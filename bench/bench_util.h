@@ -18,11 +18,19 @@
 
 namespace switchfs::bench {
 
-// SFS_BENCH_SCALE scales op counts (e.g. 0.2 for quick smoke runs).
+// SFS_BENCH_SCALE scales op counts: a number (e.g. 0.2) or the presets
+// "small" (0.2, CI smoke runs) / "full" (1.0).
 inline double Scale() {
   static const double scale = [] {
     const char* env = std::getenv("SFS_BENCH_SCALE");
     if (env == nullptr) {
+      return 1.0;
+    }
+    const std::string s(env);
+    if (s == "small") {
+      return 0.2;
+    }
+    if (s == "full") {
       return 1.0;
     }
     const double v = std::atof(env);

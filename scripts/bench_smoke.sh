@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Perf smoke for the push-batching trajectory: builds bench_push_batching,
+# runs it at SFS_BENCH_SCALE=small, and emits BENCH_push_batching.json.
+# Opt-in from scripts/check.sh via SFS_BENCH_SMOKE=1, or run directly:
+#
+#   scripts/bench_smoke.sh                 # writes ./BENCH_push_batching.json
+#   BENCH_JSON=/tmp/b.json scripts/bench_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+OUT=${BENCH_JSON:-BENCH_push_batching.json}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_push_batching
+
+SFS_BENCH_SCALE=small SFS_BENCH_JSON="$OUT" "$BUILD_DIR/bench_push_batching"

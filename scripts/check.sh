@@ -2,8 +2,9 @@
 # One-command gate for SwitchFS PRs: configure, build, and run the tier-1
 # test suite, then repeat under ASan/UBSan (-DCMAKE_BUILD_TYPE=Asan).
 #
-#   scripts/check.sh            # tier-1 + asan
-#   scripts/check.sh --fast     # tier-1 only
+#   scripts/check.sh                    # tier-1 + asan
+#   scripts/check.sh --fast             # tier-1 only
+#   SFS_BENCH_SMOKE=1 scripts/check.sh  # also run the perf smoke bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,6 +20,11 @@ run_suite() {
 
 echo "== tier-1: configure/build/ctest =="
 run_suite build
+
+if [[ "${SFS_BENCH_SMOKE:-0}" == "1" ]]; then
+  echo "== perf smoke: bench_push_batching (SFS_BENCH_SCALE=small) =="
+  scripts/bench_smoke.sh
+fi
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== asan: configure/build/ctest (-DCMAKE_BUILD_TYPE=Asan) =="

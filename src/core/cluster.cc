@@ -305,6 +305,10 @@ SwitchServer::Stats Cluster::TotalStats() const {
     total.entries_applied += st.entries_applied;
     total.entries_deduped += st.entries_deduped;
     total.pushes_sent += st.pushes_sent;
+    total.pushes_local += st.pushes_local;
+    total.push_failures += st.push_failures;
+    total.push_dirs_sent += st.push_dirs_sent;
+    total.push_entries_sent += st.push_entries_sent;
     total.pushes_received += st.pushes_received;
     total.fallbacks += st.fallbacks;
     total.stale_cache_bounces += st.stale_cache_bounces;

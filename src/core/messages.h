@@ -138,24 +138,41 @@ struct AggDone : net::Message {
 };
 
 // --- proactive change-log push (§5.3) ---
+//
+// Pushes are batched per owner server, not per directory: one PushReq
+// coalesces every ready change-log headed to the same owner into PerDir
+// sections, up to mtu_entries entries total (overflow splits across
+// packets). The owner applies each section through Aggregation::ApplyEntries
+// and replies with a per-directory acked-seq vector. Exception: the
+// synchronous-fallback path (SwitchServer::SyncParentUpdate) sends one
+// directory's full backlog in a single request — the op blocks on the apply,
+// so splitting would only add round trips.
 
 struct PushReq : net::Message {
   static constexpr uint32_t kType = 107;
   PushReq() : Message(kType) {}
-  InodeId dir;
-  psw::Fingerprint fp = 0;
   uint32_t src_server = 0;
-  std::vector<ChangeLogEntry> entries;  // full unacked backlog
+  struct PerDir {
+    InodeId dir;
+    psw::Fingerprint fp = 0;
+    std::vector<ChangeLogEntry> entries;  // FIFO prefix of the unacked backlog
+  };
+  std::vector<PerDir> dirs;
 };
 
 struct PushResp : net::Message {
   static constexpr uint32_t kType = 108;
   PushResp() : Message(kType) {}
   StatusCode status = StatusCode::kOk;
-  uint64_t acked_seq = 0;  // entries up to this seq are applied at the owner
-  // status == kConflict: the directory was renamed away; its change-logs must
-  // rebind to `moved_fp` and re-push to the new owner.
-  psw::Fingerprint moved_fp = 0;
+  // One row per PushReq section. For a directory that no longer exists at
+  // the owner (removed since the entries were logged) acked_seq is the
+  // section's max seq, so the source trims the obsolete backlog instead of
+  // re-pushing it forever.
+  struct AckedDir {
+    InodeId dir;
+    uint64_t acked_seq = 0;  // entries up to this seq are applied (or obsolete)
+  };
+  std::vector<AckedDir> acked;
 };
 
 // Owner -> origin server after a synchronous fallback apply (§5.2.1): mark

@@ -1,5 +1,6 @@
 #include "src/core/push_engine.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -7,6 +8,11 @@
 #include "src/sim/sync.h"
 
 namespace switchfs::core {
+
+void PushEngine::EnqueueBacklog(VolPtr v, psw::Fingerprint fp,
+                                const InodeId& dir) {
+  v->pushers[ctx_.OwnerOf(fp)].ready.insert({fp, dir});
+}
 
 void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
                                    const InodeId& dir) {
@@ -18,119 +24,292 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
   if (it == logs->second.end() || it->second.empty()) {
     return;
   }
-  if (static_cast<int>(it->second.size()) >= ctx_.config->mtu_entries) {
-    sim::Spawn(PushBacklog(v, fp, dir));
+  const uint32_t owner = ctx_.OwnerOf(fp);
+  auto& st = v->pushers[owner];
+  st.ready.insert({fp, dir});
+  st.activity++;
+  st.enqueued_since_drain++;
+  if (st.retry_timer_armed) {
+    // The owner is in failure backoff: let the retry timer pace the next
+    // attempt instead of hammering a down owner at traffic rate.
     return;
   }
-  const auto key = std::make_pair(fp, dir);
-  if (v->push_timer_armed.insert(key).second) {
-    sim::Spawn(PushIdleTimer(v, fp, dir));
+  if (static_cast<int>(it->second.size()) >= ctx_.config->mtu_entries ||
+      st.enqueued_since_drain >= ctx_.config->mtu_entries) {
+    sim::Spawn(DrainOwner(v, owner));
+    return;
+  }
+  if (!st.idle_timer_armed) {
+    st.idle_timer_armed = true;
+    sim::Spawn(OwnerIdleTimer(v, owner));
   }
 }
 
-sim::Task<void> PushEngine::PushIdleTimer(VolPtr v, psw::Fingerprint fp,
-                                          InodeId dir) {
-  const auto key = std::make_pair(fp, dir);
+sim::Task<void> PushEngine::OwnerIdleTimer(VolPtr v, uint32_t owner) {
   while (true) {
-    uint64_t last_seq = 0;
-    {
-      auto logs = v->changelogs.find(fp);
-      if (logs == v->changelogs.end()) break;
-      auto it = logs->second.find(dir);
-      if (it == logs->second.end() || it->second.empty()) break;
-      last_seq = it->second.last_appended_seq();
-    }
+    const uint64_t seen = v->pushers[owner].activity;
     co_await sim::Delay(ctx_.sim, ctx_.config->push_idle_timeout);
     if (v->dead) co_return;
-    auto logs = v->changelogs.find(fp);
-    if (logs == v->changelogs.end()) break;
-    auto it = logs->second.find(dir);
-    if (it == logs->second.end() || it->second.empty()) break;
-    if (it->second.last_appended_seq() == last_seq) {
+    auto& st = v->pushers[owner];
+    if (st.ready.empty()) {
+      st.idle_timer_armed = false;
+      co_return;
+    }
+    if (st.activity == seen) {
       // Quiet: flush the backlog (§5.3 "no new entries within an interval").
-      v->push_timer_armed.erase(key);
-      co_await PushBacklog(v, fp, dir);
+      st.idle_timer_armed = false;
+      co_await DrainOwner(v, owner);
       co_return;
     }
   }
-  v->push_timer_armed.erase(key);
 }
 
-sim::Task<void> PushEngine::PushBacklog(VolPtr v, psw::Fingerprint fp,
-                                        InodeId dir) {
-  const auto key = std::make_pair(fp, dir);
-  if (!v->push_in_flight.insert(key).second) {
-    co_return;  // a push for this log is already running
+void PushEngine::ArmRetry(VolPtr v, uint32_t owner) {
+  auto& st = v->pushers[owner];
+  st.backoff_shift =
+      std::min(st.backoff_shift + 1, ctx_.config->push_retry_max_backoff_shift);
+  if (!st.retry_timer_armed) {
+    st.retry_timer_armed = true;
+    sim::Spawn(RetryTimer(v, owner));
   }
-  while (true) {
-    std::vector<ChangeLogEntry> entries;
-    {
+}
+
+sim::Task<void> PushEngine::RetryTimer(VolPtr v, uint32_t owner) {
+  // A successful MTU-triggered drain may reset backoff_shift while this
+  // timer is pending; clamp so the shift stays well-defined.
+  const int shift = std::max(1, v->pushers[owner].backoff_shift);
+  const sim::SimTime delay = ctx_.config->push_retry_backoff << (shift - 1);
+  co_await sim::Delay(ctx_.sim, delay);
+  if (v->dead) co_return;
+  v->pushers[owner].retry_timer_armed = false;
+  co_await DrainOwner(v, owner);
+}
+
+sim::Task<void> PushEngine::DrainOwner(VolPtr v, uint32_t owner) {
+  co_await DrainOwnerImpl(v, owner, /*to_completion=*/false);
+}
+
+sim::Task<void> PushEngine::DrainOwnerBarrier(VolPtr v, uint32_t owner) {
+  // Wait out an in-flight background drain: the single-flight guard would
+  // otherwise no-op and the recovery flush would return with the backlog
+  // still unapplied.
+  while (v->pushers[owner].draining) {
+    co_await sim::Delay(ctx_.sim, sim::Microseconds(20));
+    if (v->dead) co_return;
+  }
+  co_await DrainOwnerImpl(v, owner, /*to_completion=*/true);
+}
+
+sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
+                                           bool to_completion) {
+  auto& st = v->pushers[owner];
+  if (st.draining) {
+    co_return;  // a drain for this owner is already running
+  }
+  st.draining = true;
+  while (!st.ready.empty()) {
+    st.enqueued_since_drain = 0;
+    // ---- gather one MTU-bounded batch across the owner's ready logs ----
+    auto req = std::make_shared<PushReq>();
+    req->src_server = ctx_.config->index;
+    std::vector<std::pair<psw::Fingerprint, InodeId>> took;
+    int budget = ctx_.config->mtu_entries;
+    // Snapshot at most one batch's worth of keys: every gathered section
+    // carries at least one entry, so a batch never spans more than
+    // mtu_entries logs (one log in per-dir mode). Gathered keys are erased,
+    // so successive rounds walk the queue without re-copying it.
+    std::vector<std::pair<psw::Fingerprint, InodeId>> want;
+    const size_t key_cap = ctx_.config->batch_pushes
+                               ? static_cast<size_t>(ctx_.config->mtu_entries)
+                               : size_t{1};
+    for (auto it = st.ready.begin();
+         it != st.ready.end() && want.size() < key_cap; ++it) {
+      want.push_back(*it);
+    }
+    size_t i = 0;
+    while (i < want.size() && budget > 0) {
+      const psw::Fingerprint fp = want[i].first;
       auto lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
       if (v->dead) co_return;
-      auto logs = v->changelogs.find(fp);
-      if (logs == v->changelogs.end()) break;
-      auto it = logs->second.find(dir);
-      if (it == logs->second.end() || it->second.empty()) break;
-      entries.assign(it->second.pending().begin(), it->second.pending().end());
+      for (; i < want.size() && want[i].first == fp && budget > 0; ++i) {
+        st.ready.erase(want[i]);
+        auto logs = v->changelogs.find(fp);
+        if (logs == v->changelogs.end()) {
+          continue;
+        }
+        auto lit = logs->second.find(want[i].second);
+        if (lit == logs->second.end() || lit->second.empty()) {
+          continue;  // already drained by an aggregation
+        }
+        const auto& pending = lit->second.pending();
+        const size_t take =
+            std::min(static_cast<size_t>(budget), pending.size());
+        PushReq::PerDir pd;
+        pd.dir = want[i].second;
+        pd.fp = fp;
+        pd.entries.assign(pending.begin(),
+                          pending.begin() + static_cast<ptrdiff_t>(take));
+        budget -= static_cast<int>(take);
+        req->dirs.push_back(std::move(pd));
+        took.push_back(want[i]);
+      }
     }
-    if (entries.empty()) break;
-    ctx_.stats->pushes_sent++;
-    const uint64_t max_seq = entries.back().seq;
+    if (req->dirs.empty()) {
+      // Every snapshotted log turned out empty (drained by a concurrent
+      // aggregation). Re-check the queue rather than exit: an MTU-full log
+      // enqueued while the gather was suspended would otherwise be stranded
+      // (its MTU-triggered DrainOwner no-opped against our draining flag).
+      // No spin: gathered keys were erased, so the loop only re-runs on
+      // genuinely new insertions, whose logs are non-empty.
+      continue;
+    }
 
-    uint64_t acked_seq = 0;
-    if (ctx_.IsOwner(fp)) {
-      co_await agg_.ApplyEntries(v, dir, ctx_.config->index,
-                                 std::move(entries), "");
-      if (v->dead) co_return;
-      acked_seq = max_seq;
-      v->last_push[fp] = ctx_.Now();
-      ArmOwnerQuietTimer(v, fp);
+    // ---- deliver: owner-local apply or one batched RPC ----
+    std::vector<PushResp::AckedDir> acked;
+    if (owner == ctx_.config->index) {
+      ctx_.stats->pushes_local++;
+      for (auto& pd : req->dirs) {
+        const uint64_t seq =
+            co_await ApplySection(v, pd.dir, req->src_server,
+                                  std::move(pd.entries));
+        if (v->dead) co_return;
+        acked.push_back(PushResp::AckedDir{pd.dir, seq});
+        v->last_push[pd.fp] = ctx_.Now();
+        ArmOwnerQuietTimer(v, pd.fp);
+      }
     } else {
-      auto push = std::make_shared<PushReq>();
-      push->dir = dir;
-      push->fp = fp;
-      push->src_server = ctx_.config->index;
-      push->entries = std::move(entries);
-      auto r = co_await ctx_.rpc->Call(
-          ctx_.cluster->ServerNode(ctx_.OwnerOf(fp)), push);
+      size_t batch_entries = 0;
+      for (const auto& pd : req->dirs) {
+        batch_entries += pd.entries.size();
+      }
+      auto r = co_await ctx_.rpc->Call(ctx_.cluster->ServerNode(owner), req);
       if (v->dead) co_return;
-      if (!r.ok()) break;  // owner unreachable; a later trigger retries
-      const auto* resp = net::MsgAs<PushResp>(*r);
-      if (resp == nullptr || resp->status != StatusCode::kOk) break;
-      acked_seq = resp->acked_seq;
+      const auto* resp = r.ok() ? net::MsgAs<PushResp>(*r) : nullptr;
+      if (resp == nullptr || resp->status != StatusCode::kOk) {
+        // Owner unreachable (or replied garbage): re-queue the sections and
+        // retry after a backoff — a failed push must never strand a backlog.
+        ctx_.stats->push_failures++;
+        for (const auto& key : took) {
+          st.ready.insert(key);
+        }
+        st.draining = false;
+        ArmRetry(v, owner);
+        co_return;
+      }
+      ctx_.stats->pushes_sent++;
+      ctx_.stats->push_dirs_sent += req->dirs.size();
+      ctx_.stats->push_entries_sent += batch_entries;
+      acked = resp->acked;
     }
-    {
-      auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(fp));
+
+    // ---- trim acknowledged prefixes; re-queue logs that still hold work ---
+    bool progressed = false;
+    bool heavy_leftover = false;  // some re-queued log still holds >= an MTU
+    for (const auto& pd : req->dirs) {
+      uint64_t acked_seq = 0;
+      for (const auto& row : acked) {
+        if (row.dir == pd.dir) {
+          acked_seq = row.acked_seq;
+          break;
+        }
+      }
+      auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pd.fp));
       if (v->dead) co_return;
-      auto logs = v->changelogs.find(fp);
-      if (logs == v->changelogs.end()) break;
-      auto it = logs->second.find(dir);
-      if (it == logs->second.end()) break;
-      for (uint64_t lsn : it->second.AckUpTo(acked_seq)) {
+      auto logs = v->changelogs.find(pd.fp);
+      if (logs == v->changelogs.end()) {
+        continue;
+      }
+      auto lit = logs->second.find(pd.dir);
+      if (lit == logs->second.end()) {
+        continue;
+      }
+      const size_t before = lit->second.size();
+      for (uint64_t lsn : lit->second.AckUpTo(acked_seq)) {
         ctx_.durable->wal.MarkApplied(lsn);
       }
-      if (static_cast<int>(it->second.size()) < ctx_.config->mtu_entries) {
-        break;
+      if (lit->second.size() < before) {
+        progressed = true;
+      }
+      if (!lit->second.empty()) {
+        st.ready.insert({pd.fp, pd.dir});
+        if (static_cast<int>(lit->second.size()) >= ctx_.config->mtu_entries) {
+          heavy_leftover = true;
+        }
       }
     }
+    if (!progressed) {
+      // The owner accepted the batch but applied nothing (a sequence gap:
+      // an earlier push is still missing at the owner). Back off instead of
+      // spinning at simulator speed.
+      st.draining = false;
+      ArmRetry(v, owner);
+      co_return;
+    }
+    st.backoff_shift = 0;
+    if (!to_completion && !heavy_leftover && !st.ready.empty() &&
+        st.enqueued_since_drain < ctx_.config->mtu_entries) {
+      // The remainder is a sub-MTU tail that trickled in while we were
+      // pushing. Hand it to the idle timer (or the aggregate MTU trigger,
+      // whichever fires first) instead of spraying small batches at
+      // simulator speed — that would erode exactly the batching this
+      // pusher exists for.
+      if (!st.idle_timer_armed) {
+        st.idle_timer_armed = true;
+        sim::Spawn(OwnerIdleTimer(v, owner));
+      }
+      break;
+    }
   }
-  v->push_in_flight.erase(key);
+  st.draining = false;
+}
+
+sim::Task<uint64_t> PushEngine::ApplySection(
+    VolPtr v, InodeId dir, uint32_t src, std::vector<ChangeLogEntry> entries) {
+  const uint64_t max_seq = entries.empty() ? 0 : entries.back().seq;
+  std::string ikey;
+  psw::Fingerprint fp = 0;
+  // Directory removed since the entries were logged (rmdir raced the push):
+  // they can never apply. Ack the section's max seq so the source trims the
+  // obsolete backlog instead of re-pushing it forever. The inode row must be
+  // checked too — WAL replay of an rmdir leaves a stale dir-index row behind
+  // (see ReplayWalInto), and ApplyEntries would drop the entries silently
+  // without advancing the hwm.
+  //
+  // Known limitation (matches the aggregation path, which acks collected
+  // entries for vanished directories the same way): a directory renamed
+  // away is indistinguishable from one removed, so an entry that commits
+  // under the old fingerprint in the rename race window is trimmed rather
+  // than rebound to the new owner — the paper's moved_fp rebind is future
+  // work (see ROADMAP).
+  if (!v->LookupDirIndex(dir, &ikey, &fp) || !v->kv.Get(ikey).has_value()) {
+    co_return max_seq;
+  }
+  co_await agg_.ApplyEntries(v, dir, src, std::move(entries), "");
+  if (v->dead) co_return 0;
+  auto it = v->hwm.find({dir, src});
+  co_return it == v->hwm.end() ? 0 : it->second;
 }
 
 sim::Task<void> PushEngine::HandlePush(net::Packet p, VolPtr v) {
-  const auto* msg = static_cast<const PushReq*>(p.body.get());
+  auto body = p.body;
+  const auto* msg = net::MsgAs<PushReq>(body);
+  if (msg == nullptr) {
+    co_return;
+  }
   ctx_.stats->pushes_received++;
   co_await ctx_.cpu->Run(ctx_.costs->op_dispatch);
   if (v->dead) co_return;
-  co_await agg_.ApplyEntries(v, msg->dir, msg->src_server, msg->entries, "");
-  if (v->dead) co_return;
   auto resp = std::make_shared<PushResp>();
   resp->status = StatusCode::kOk;
-  auto it = v->hwm.find({msg->dir, msg->src_server});
-  resp->acked_seq = it == v->hwm.end() ? 0 : it->second;
+  for (const auto& pd : msg->dirs) {
+    const uint64_t acked =
+        co_await ApplySection(v, pd.dir, msg->src_server, pd.entries);
+    if (v->dead) co_return;
+    resp->acked.push_back(PushResp::AckedDir{pd.dir, acked});
+    v->last_push[pd.fp] = ctx_.Now();
+    ArmOwnerQuietTimer(v, pd.fp);
+  }
   ctx_.rpc->Respond(p, resp);
-  v->last_push[msg->fp] = ctx_.Now();
-  ArmOwnerQuietTimer(v, msg->fp);
 }
 
 void PushEngine::ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
@@ -145,7 +324,12 @@ void PushEngine::ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
 sim::Task<void> PushEngine::OwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
   while (true) {
     co_await sim::Delay(ctx_.sim, ctx_.config->owner_quiet_period);
-    if (v->dead) co_return;
+    if (v->dead) {
+      // Dead incarnation: unwind the armed marker so the state carries no
+      // phantom timer (the replacement incarnation starts fresh anyway).
+      v->quiet_timer_armed.erase(fp);
+      co_return;
+    }
     auto it = v->last_push.find(fp);
     const int64_t last = it == v->last_push.end() ? 0 : it->second;
     if (ctx_.Now() - last >= ctx_.config->owner_quiet_period) {

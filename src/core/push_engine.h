@@ -1,9 +1,20 @@
 // Proactive push & owner-driven aggregation (paper §5.3): source servers
-// push a directory's change-log backlog to its owner once an MTU worth of
-// entries accumulates or the log has been idle; the owner aggregates after a
-// quiet period so the next read finds the directory in normal state.
+// push change-log backlogs to their owners once an MTU worth of entries
+// accumulates or a log has been idle; the owner aggregates after a quiet
+// period so the next read finds the directory in normal state.
+//
+// Pushes are scheduled per OWNER, not per directory: every source server
+// keeps one outbound queue per owner server (ServerVolatile::OwnerPusher)
+// and a drain coroutine coalesces all ready (fp, dir) logs for that owner
+// into batched PushReqs of up to mtu_entries entries (overflow splits across
+// packets). A failed push re-queues its sections and re-arms a retry timer
+// with exponential backoff, so an unreachable owner can never strand a
+// backlog.
 #ifndef SRC_CORE_PUSH_ENGINE_H_
 #define SRC_CORE_PUSH_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
 
 #include "src/core/aggregation.h"
 #include "src/core/server_context.h"
@@ -19,12 +30,23 @@ class PushEngine {
   PushEngine& operator=(const PushEngine&) = delete;
 
   // ---- source side ----
-  // After a deferred update commits: push immediately when the backlog
-  // reaches mtu_entries, else (re)arm the idle-flush timer.
+  // After a deferred update commits: queue the log on its owner's pusher,
+  // drain immediately when the backlog reaches mtu_entries, else (re)arm the
+  // owner's idle-flush timer.
   void MaybeSchedulePush(VolPtr v, psw::Fingerprint fp, const InodeId& dir);
-  // Pushes the directory's backlog to its owner until it drains below an
-  // MTU (also the recovery flush path; single-flight per (fp, dir)).
-  sim::Task<void> PushBacklog(VolPtr v, psw::Fingerprint fp, InodeId dir);
+  // Queues a log on its owner's pusher without arming timers (recovery
+  // flush path; pair with DrainOwnerBarrier).
+  void EnqueueBacklog(VolPtr v, psw::Fingerprint fp, const InodeId& dir);
+  // Background drain: pushes ready logs headed to `owner` in MTU-bounded
+  // batches; a sub-MTU tail that trickles in mid-drain is handed back to
+  // the idle timer. Single-flight per owner; on failure the sections are
+  // re-queued and a backoff retry timer is armed. No-ops when a drain for
+  // the owner is already running.
+  sim::Task<void> DrainOwner(VolPtr v, uint32_t owner);
+  // Recovery barrier (§5.4.2 flush): waits out any in-flight drain, then
+  // drains to completion with no tail handoff. Returns with entries still
+  // queued only if the owner is unreachable (the armed retry keeps at it).
+  sim::Task<void> DrainOwnerBarrier(VolPtr v, uint32_t owner);
 
   // ---- owner side ----
   sim::Task<void> HandlePush(net::Packet p, VolPtr v);
@@ -33,8 +55,16 @@ class PushEngine {
   void ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
 
  private:
-  sim::Task<void> PushIdleTimer(VolPtr v, psw::Fingerprint fp, InodeId dir);
+  sim::Task<void> DrainOwnerImpl(VolPtr v, uint32_t owner, bool to_completion);
+  sim::Task<void> OwnerIdleTimer(VolPtr v, uint32_t owner);
+  sim::Task<void> RetryTimer(VolPtr v, uint32_t owner);
   sim::Task<void> OwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
+  // Owner-side application of one pushed section; returns the seq the source
+  // may trim to. For a directory that no longer exists this is the section's
+  // max seq (the entries are obsolete and must not be re-pushed forever).
+  sim::Task<uint64_t> ApplySection(VolPtr v, InodeId dir, uint32_t src,
+                                   std::vector<ChangeLogEntry> entries);
+  void ArmRetry(VolPtr v, uint32_t owner);
 
   ServerContext& ctx_;
   Aggregation& agg_;

@@ -398,11 +398,16 @@ sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
     }
     co_return OkStatus();
   }
+  // Synchronous fallback: the whole backlog rides one request (no MTU
+  // split — the op blocks on the apply, so splitting only adds round trips;
+  // see the exception note in messages.h).
   auto push = std::make_shared<PushReq>();
-  push->dir = dir;
-  push->fp = fp;
   push->src_server = config_.index;
-  push->entries.assign(clog.pending().begin(), clog.pending().end());
+  PushReq::PerDir pd;
+  pd.dir = dir;
+  pd.fp = fp;
+  pd.entries.assign(clog.pending().begin(), clog.pending().end());
+  push->dirs.push_back(std::move(pd));
   auto r = co_await rpc_.Call(cluster_->ServerNode(OwnerOf(fp)), push);
   if (v->dead) co_return UnavailableError();
   if (!r.ok()) {
@@ -412,7 +417,14 @@ sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
   if (resp == nullptr) {
     co_return InternalError("bad push response");
   }
-  for (uint64_t lsn : clog.AckUpTo(resp->acked_seq)) {
+  uint64_t acked_seq = 0;
+  for (const auto& row : resp->acked) {
+    if (row.dir == dir) {
+      acked_seq = row.acked_seq;
+      break;
+    }
+  }
+  for (uint64_t lsn : clog.AckUpTo(acked_seq)) {
     durable_->wal.MarkApplied(lsn);
   }
   co_return OkStatus();
@@ -956,16 +968,17 @@ sim::Task<void> SwitchServer::HandleInvalClone(net::Packet p, VolPtr v) {
 
 sim::Task<void> SwitchServer::FlushAllChangeLogs() {
   VolPtr v = vol_;
-  std::vector<std::pair<psw::Fingerprint, InodeId>> targets;
+  std::set<uint32_t> owners;
   for (const auto& [fp, dirs] : v->changelogs) {
     for (const auto& [dir, log] : dirs) {
       if (!log.empty()) {
-        targets.emplace_back(fp, dir);
+        push_.EnqueueBacklog(v, fp, dir);
+        owners.insert(OwnerOf(fp));
       }
     }
   }
-  for (const auto& [fp, dir] : targets) {
-    co_await push_.PushBacklog(v, fp, dir);
+  for (uint32_t owner : owners) {
+    co_await push_.DrainOwnerBarrier(v, owner);
     if (v->dead) co_return;
   }
 }

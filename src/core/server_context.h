@@ -65,7 +65,15 @@ struct ServerConfig {
   bool compaction = true;
 
   int mtu_entries = 29;  // §7.5: proactive push once an MTU worth accumulates
+  // Batch cross-server pushes per (owner, MTU): one PushReq carries every
+  // ready change-log headed to the same owner. Off = one directory per
+  // packet (the pre-batching behavior, kept for the A/B bench).
+  bool batch_pushes = true;
   sim::SimTime push_idle_timeout = sim::Microseconds(300);
+  // Base delay before re-trying a failed push to an owner; doubles per
+  // consecutive failure up to push_retry_max_backoff_shift doublings.
+  sim::SimTime push_retry_backoff = sim::Microseconds(200);
+  int push_retry_max_backoff_shift = 6;
   sim::SimTime owner_quiet_period = sim::Microseconds(400);
   sim::SimTime insert_ack_timeout = sim::Microseconds(150);
   int insert_max_attempts = 100;
@@ -100,7 +108,14 @@ struct ServerStats {
   uint64_t agg_retries = 0;
   uint64_t entries_applied = 0;
   uint64_t entries_deduped = 0;
+  // Push-path counters. pushes_sent counts PushReq packets whose RPC round
+  // trip succeeded; failures and owner-local applies are counted separately
+  // (they never hit the network).
   uint64_t pushes_sent = 0;
+  uint64_t pushes_local = 0;
+  uint64_t push_failures = 0;
+  uint64_t push_dirs_sent = 0;     // PerDir sections across sent packets
+  uint64_t push_entries_sent = 0;  // entries across sent packets
   uint64_t pushes_received = 0;
   uint64_t fallbacks = 0;
   uint64_t stale_cache_bounces = 0;
@@ -153,9 +168,23 @@ struct ServerVolatile {
   std::unordered_set<psw::Fingerprint> quiet_timer_armed;
   // Owner-server tracker mode: local scattered set.
   std::unordered_set<psw::Fingerprint> owner_scattered;
-  // Source-side pusher bookkeeping.
-  std::set<std::pair<psw::Fingerprint, InodeId>> push_timer_armed;
-  std::set<std::pair<psw::Fingerprint, InodeId>> push_in_flight;
+  // Source-side per-owner pusher (§5.3 batching): one outbound queue per
+  // owner server. `ready` holds the (fp, dir) change-logs awaiting a push;
+  // the drain coroutine coalesces them into MTU-bounded PushReq batches.
+  struct OwnerPusher {
+    std::set<std::pair<psw::Fingerprint, InodeId>> ready;
+    bool draining = false;          // single-flight drain per owner
+    bool idle_timer_armed = false;  // quiet-log flush timer
+    bool retry_timer_armed = false;  // failure re-arm (owner unreachable)
+    uint64_t activity = 0;  // bumped per enqueue; the idle timer watches it
+    // Entries committed toward this owner since the last drain round: a
+    // sub-MTU trickle spread across many directories still triggers a drain
+    // once an MTU worth accumulates (the idle timer alone would keep
+    // postponing while any of the owner's logs stays active).
+    int enqueued_since_drain = 0;
+    int backoff_shift = 0;  // consecutive failed drains (caps the retry delay)
+  };
+  std::map<uint32_t, OwnerPusher> pushers;  // key: owner server index
   // Rename participant state: txn id -> held locks.
   std::unordered_map<uint64_t, std::vector<LockTable::Handle>> txn_locks;
   uint64_t op_token_counter = 1;

@@ -193,6 +193,414 @@ ChangeLogEntry MakeEntry(uint64_t seq, const std::string& name, OpType op,
   return e;
 }
 
+class TwoNodeCluster : public ClusterContext {
+ public:
+  TwoNodeCluster(net::NodeId n0, net::NodeId n1) : nodes_{n0, n1} {
+    ring_.AddServer(0);
+    ring_.AddServer(1);
+  }
+  const HashRing& ring() const override { return ring_; }
+  net::NodeId ServerNode(uint32_t i) const override { return nodes_[i]; }
+  uint32_t ServerCount() const override { return 2; }
+
+ private:
+  HashRing ring_;
+  net::NodeId nodes_[2];
+};
+
+// Two metadata-server module stacks (index 0 = push source, index 1 = the
+// usual owner) over one simulated fabric: the minimal cluster that exercises
+// real cross-server pushes — batching, retry, owner-side apply — without
+// SwitchServer or clients.
+class PushHarness {
+ public:
+  struct Node {
+    Node(sim::Simulator* sim, net::Network* net, uint32_t index)
+        : cpu(sim, config.cores), rpc(sim, net),
+          vol(std::make_shared<ServerVolatile>(sim)) {
+      config.index = index;
+    }
+    ServerConfig config;
+    DurableState durable;
+    sim::CpuPool cpu;
+    net::RpcEndpoint rpc;
+    ServerStats stats;
+    ServerContext ctx;
+    VolPtr vol;
+    std::unique_ptr<Aggregation> agg;
+    std::unique_ptr<PushEngine> push;
+  };
+
+  PushHarness()
+      : net(&sim, &costs, /*seed=*/7),
+        sw(costs.plain_switch_delay),
+        src(&sim, &net, 0),
+        owner(&sim, &net, 1) {
+    net.SetSwitch(&sw);
+    cluster = std::make_unique<TwoNodeCluster>(src.rpc.id(), owner.rpc.id());
+    sw.SetServerGroup({src.rpc.id(), owner.rpc.id()});
+    for (Node* n : {&src, &owner}) {
+      n->ctx = ServerContext{&sim,       &net,   cluster.get(), &n->durable,
+                             &costs,     &n->config, &n->cpu,   &n->rpc,
+                             &n->stats,  &tracker_impl};
+      n->agg = std::make_unique<Aggregation>(n->ctx);
+      n->push = std::make_unique<PushEngine>(n->ctx, *n->agg);
+      n->rpc.SetCpu(&n->cpu);
+      n->rpc.SetRequestHandler(
+          [this, n](net::Packet p) { OnRequest(*n, std::move(p)); });
+      n->rpc.SetRawHandler(
+          [this, n](net::Packet p) { OnRaw(*n, std::move(p)); });
+    }
+  }
+
+  void OnRequest(Node& n, net::Packet p) {
+    VolPtr v = n.vol;
+    switch (p.body->type) {
+      case PushReq::kType:
+        sim::Spawn(n.push->HandlePush(std::move(p), std::move(v)));
+        break;
+      case AggEntries::kType:
+        n.agg->HandleAggEntries(std::move(p), std::move(v));
+        break;
+      default:
+        break;
+    }
+  }
+
+  void OnRaw(Node& n, net::Packet p) {
+    if (p.body == nullptr) {
+      return;
+    }
+    switch (p.body->type) {
+      case AggCollect::kType:
+        sim::Spawn(n.agg->HandleAggCollect(std::move(p), n.vol));
+        break;
+      case AggDone::kType:
+        n.agg->HandleAggDone(*static_cast<const AggDone*>(p.body.get()),
+                             n.vol);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // First "<prefix><i>" whose fingerprint the ring places on `owner_index`.
+  std::string NameOwnedBy(const InodeId& pid, uint32_t owner_index,
+                          const std::string& prefix) {
+    for (int i = 0;; ++i) {
+      const std::string name = prefix + std::to_string(i);
+      if (cluster->ring().Owner(FingerprintOf(pid, name)) == owner_index) {
+        return name;
+      }
+    }
+  }
+
+  // Seeds a directory inode + dir-index row in `n`'s store.
+  InodeId SeedDirAt(Node& n, const InodeId& pid, const std::string& name,
+                    uint64_t tag) {
+    InodeId id;
+    id.w[0] = tag;
+    id.w[3] = 2;
+    Attr attr;
+    attr.id = id;
+    attr.type = FileType::kDirectory;
+    attr.mode = 0755;
+    const std::string ikey = InodeKey(pid, name);
+    n.vol->kv.Put(ikey, attr.Encode());
+    n.vol->kv.Put(DirIndexKey(id),
+                  EncodeDirIndex(ikey, FingerprintOf(pid, name)));
+    return id;
+  }
+
+  // Appends `count` WAL-committed entries to src's change-log for (fp, dir)
+  // and schedules the push (what a deferred-update commit does).
+  void AppendAndSchedule(psw::Fingerprint fp, const InodeId& dir, int count) {
+    ChangeLog& clog = src.vol->GetChangeLog(fp, dir);
+    for (int i = 0; i < count; ++i) {
+      const uint64_t seq = clog.last_appended_seq() + 1;
+      ChangeLogEntry e = MakeEntry(seq, "e" + std::to_string(seq),
+                                   OpType::kCreate, 100 + static_cast<int>(seq));
+      e.wal_lsn = src.durable.wal.Append(1, "op");
+      clog.Restore(std::move(e));
+    }
+    src.push->MaybeSchedulePush(src.vol, fp, dir);
+  }
+
+  size_t SrcPending(psw::Fingerprint fp, const InodeId& dir) {
+    return src.vol->GetChangeLog(fp, dir).size();
+  }
+
+  Attr OwnerAttr(const InodeId& pid, const std::string& name) {
+    auto value = owner.vol->kv.Get(InodeKey(pid, name));
+    EXPECT_TRUE(value.has_value());
+    return value.has_value() ? Attr::Decode(*value) : Attr{};
+  }
+
+  sim::Simulator sim;
+  sim::CostModel costs;
+  net::Network net;
+  net::PlainSwitch sw;
+  tracker::OwnerTracker tracker_impl;
+  std::unique_ptr<TwoNodeCluster> cluster;
+  Node src;
+  Node owner;
+};
+
+// The §5.3 batching win: pushes are coalesced per owner server — many small
+// directories headed to the same owner ride one PushReq with one PerDir
+// section each, not one packet per directory.
+TEST(PushEngineModule, BatchesDirsHeadedToSameOwnerIntoOnePacket) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  constexpr int kDirs = 8;
+  std::vector<std::string> names;
+  std::vector<InodeId> ids;
+  std::vector<psw::Fingerprint> fps;
+  std::string prefix = "d";
+  for (int d = 0; d < kDirs; ++d) {
+    // Distinct names, every fingerprint owned by server 1.
+    const std::string name = h.NameOwnedBy(parent, 1, prefix);
+    prefix = name + "_";
+    names.push_back(name);
+    ids.push_back(h.SeedDirAt(h.owner, parent, name, 100 + d));
+    fps.push_back(FingerprintOf(parent, name));
+  }
+  for (int d = 0; d < kDirs; ++d) {
+    h.AppendAndSchedule(fps[d], ids[d], 2);  // 16 entries total, < MTU
+  }
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.pushes_sent, 1u);
+  EXPECT_EQ(h.src.stats.push_dirs_sent, static_cast<uint64_t>(kDirs));
+  EXPECT_EQ(h.src.stats.push_entries_sent, 2u * kDirs);
+  EXPECT_EQ(h.src.stats.push_failures, 0u);
+  EXPECT_EQ(h.src.stats.pushes_local, 0u);
+  EXPECT_EQ(h.owner.stats.pushes_received, 1u);
+  EXPECT_EQ(h.owner.stats.entries_applied, 2u * kDirs);
+  for (int d = 0; d < kDirs; ++d) {
+    EXPECT_EQ(h.SrcPending(fps[d], ids[d]), 0u) << names[d];
+    EXPECT_EQ(h.OwnerAttr(parent, names[d]).size, 2u) << names[d];
+  }
+  // Every source WAL record was marked applied by the acked trim.
+  for (const kv::WalRecord& r : h.src.durable.wal.records()) {
+    EXPECT_TRUE(r.applied);
+  }
+}
+
+// A batch never exceeds mtu_entries entries; the overflow splits across
+// packets (29 + 16 here) and every log still drains completely.
+TEST(PushEngineModule, SplitsBatchesAtMtuBoundary) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  std::vector<InodeId> ids;
+  std::vector<psw::Fingerprint> fps;
+  std::string prefix = "m";
+  for (int d = 0; d < 3; ++d) {
+    const std::string name = h.NameOwnedBy(parent, 1, prefix);
+    prefix = name + "_";
+    ids.push_back(h.SeedDirAt(h.owner, parent, name, 200 + d));
+    fps.push_back(FingerprintOf(parent, name));
+  }
+  for (int d = 0; d < 3; ++d) {
+    h.AppendAndSchedule(fps[d], ids[d], 15);  // 45 entries vs mtu 29
+  }
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.pushes_sent, 2u);
+  EXPECT_EQ(h.src.stats.push_entries_sent, 45u);
+  // The dir cut by the MTU boundary appears in both packets.
+  EXPECT_EQ(h.src.stats.push_dirs_sent, 4u);
+  EXPECT_EQ(h.owner.stats.entries_applied, 45u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(h.SrcPending(fps[d], ids[d]), 0u);
+  }
+}
+
+// A sub-MTU trickle spread across many directories of one owner must not
+// defer flushing until the idle timeout: an MTU worth of entries accumulated
+// across the owner's ready logs triggers a drain immediately.
+TEST(PushEngineModule, AggregateMtuAcrossDirsTriggersImmediateDrain) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const int kDirs = h.src.config.mtu_entries + 3;  // one entry each
+  std::string prefix = "t";
+  for (int d = 0; d < kDirs; ++d) {
+    const std::string name = h.NameOwnedBy(parent, 1, prefix);
+    prefix = name + "_";
+    const InodeId id = h.SeedDirAt(h.owner, parent, name, 700 + d);
+    h.AppendAndSchedule(FingerprintOf(parent, name), id, 1);
+  }
+  // Just under push_idle_timeout: an idle-triggered push could not even
+  // have started, so a completed push proves the aggregate MTU trigger.
+  h.sim.RunUntil(h.sim.Now() + h.src.config.push_idle_timeout - 1);
+  EXPECT_GE(h.src.stats.pushes_sent, 1u);
+  EXPECT_GE(h.src.stats.push_entries_sent,
+            static_cast<uint64_t>(h.src.config.mtu_entries));
+  // The idle timer later flushes the remainder.
+  h.sim.Run();
+  EXPECT_EQ(h.owner.stats.entries_applied, static_cast<uint64_t>(kDirs));
+}
+
+// Regression (stranded backlog): a push that fails because the owner is down
+// must re-arm a retry instead of stranding the change-log until an unrelated
+// trigger. Kill the owner mid-push, then restart it: the log drains.
+TEST(PushEngineModule, FailedPushRetriesUntilOwnerRestarts) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const std::string name = h.NameOwnedBy(parent, 1, "r");
+  const InodeId dir = h.SeedDirAt(h.owner, parent, name, 300);
+  const psw::Fingerprint fp = FingerprintOf(parent, name);
+
+  h.owner.rpc.SetEnabled(false);  // owner crashes before the push fires
+  h.AppendAndSchedule(fp, dir, 3);
+  h.sim.RunUntil(h.sim.Now() + sim::Milliseconds(5));
+
+  EXPECT_GE(h.src.stats.push_failures, 1u);
+  EXPECT_EQ(h.src.stats.pushes_sent, 0u);
+  EXPECT_EQ(h.SrcPending(fp, dir), 3u) << "backlog must survive the failure";
+
+  h.owner.rpc.SetEnabled(true);  // owner restarts; the armed retry drains
+  h.sim.Run();
+
+  EXPECT_EQ(h.SrcPending(fp, dir), 0u);
+  EXPECT_EQ(h.src.stats.pushes_sent, 1u);
+  EXPECT_EQ(h.OwnerAttr(parent, name).size, 3u);
+  for (const kv::WalRecord& r : h.src.durable.wal.records()) {
+    EXPECT_TRUE(r.applied);
+  }
+}
+
+// Regression (rmdir race): pushing entries for a directory the owner no
+// longer knows (removed since they were logged) must ack the section's max
+// seq so the source trims the obsolete backlog — not acked_seq = 0, which
+// re-pushed it forever.
+TEST(PushEngineModule, VanishedDirectoryPushTrimsSourceLog) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const std::string name = h.NameOwnedBy(parent, 1, "v");
+  // No SeedDirAt: the owner has no dir-index row — the directory is gone.
+  InodeId dir;
+  dir.w[0] = 400;
+  dir.w[3] = 2;
+  const psw::Fingerprint fp = FingerprintOf(parent, name);
+
+  h.AppendAndSchedule(fp, dir, 2);
+  h.sim.Run();
+
+  EXPECT_EQ(h.SrcPending(fp, dir), 0u) << "obsolete entries must be trimmed";
+  EXPECT_EQ(h.src.stats.pushes_sent, 1u);
+  EXPECT_EQ(h.owner.stats.pushes_received, 1u);
+  EXPECT_EQ(h.owner.stats.entries_applied, 0u);
+  for (const kv::WalRecord& r : h.src.durable.wal.records()) {
+    EXPECT_TRUE(r.applied);
+  }
+}
+
+// Regression (stale dir-index after WAL replay): an owner recovering from a
+// crash replays the mkdir's dir-index row but an rmdir's inode delete leaves
+// it behind — LookupDirIndex succeeds while the inode row is gone. A push
+// for such a directory must still be acked at its max seq (ApplyEntries
+// alone would drop the entries silently without advancing the hwm, and the
+// source would retry forever).
+TEST(PushEngineModule, StaleDirIndexWithoutInodeStillTrimsSourceLog) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const std::string name = h.NameOwnedBy(parent, 1, "s");
+  const InodeId dir = h.SeedDirAt(h.owner, parent, name, 600);
+  const psw::Fingerprint fp = FingerprintOf(parent, name);
+  // Simulate the post-replay state: dir-index row present, inode row gone.
+  h.owner.vol->kv.Delete(InodeKey(parent, name));
+
+  h.AppendAndSchedule(fp, dir, 2);
+  h.sim.Run();
+
+  EXPECT_EQ(h.SrcPending(fp, dir), 0u) << "obsolete entries must be trimmed";
+  EXPECT_EQ(h.owner.stats.entries_applied, 0u);
+  for (const kv::WalRecord& r : h.src.durable.wal.records()) {
+    EXPECT_TRUE(r.applied);
+  }
+}
+
+// Regression (counter split): owner-local applies never hit the network and
+// must count as pushes_local, not pushes_sent.
+TEST(PushEngineModule, LocalApplyCountsAsLocalPush) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const std::string name = h.NameOwnedBy(parent, 0, "l");
+  const InodeId dir = h.SeedDirAt(h.src, parent, name, 500);
+  const psw::Fingerprint fp = FingerprintOf(parent, name);
+
+  h.AppendAndSchedule(fp, dir, 4);
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.pushes_local, 1u);
+  EXPECT_EQ(h.src.stats.pushes_sent, 0u);
+  EXPECT_EQ(h.src.stats.push_failures, 0u);
+  EXPECT_EQ(h.src.stats.entries_applied, 4u);
+  EXPECT_EQ(h.SrcPending(fp, dir), 0u);
+  auto value = h.src.vol->kv.Get(InodeKey(parent, name));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(Attr::Decode(*value).size, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// OwnerQuietTimer (§5.3 owner-side proactive aggregation)
+// ---------------------------------------------------------------------------
+
+// Quiet-period expiry triggers exactly one GateAndAggregate, and re-arming
+// is suppressed while the timer is armed (then works again afterwards).
+TEST(PushEngineModule, OwnerQuietTimerFiresOnceAndRearmsAfterCompletion) {
+  ModuleHarness h;
+  const psw::Fingerprint fp = 91;
+  h.vol->last_push[fp] = h.sim.Now();
+  h.push->ArmOwnerQuietTimer(h.vol, fp);
+  h.push->ArmOwnerQuietTimer(h.vol, fp);  // suppressed: already armed
+  h.push->ArmOwnerQuietTimer(h.vol, fp);
+  h.sim.Run();
+
+  EXPECT_EQ(h.stats.aggregations, 1u);
+  EXPECT_TRUE(h.vol->quiet_timer_armed.empty());
+
+  // The timer completed: arming again schedules a fresh aggregation.
+  h.push->ArmOwnerQuietTimer(h.vol, fp);
+  h.sim.Run();
+  EXPECT_EQ(h.stats.aggregations, 2u);
+  EXPECT_TRUE(h.vol->quiet_timer_armed.empty());
+}
+
+// A push arriving mid-wait postpones the quiet-period aggregation (the timer
+// loops) — still exactly one aggregation once the pushes stop.
+TEST(PushEngineModule, OwnerQuietTimerPostponesWhilePushesArrive) {
+  ModuleHarness h;
+  const psw::Fingerprint fp = 92;
+  h.vol->last_push[fp] = h.sim.Now();
+  h.push->ArmOwnerQuietTimer(h.vol, fp);
+  // Halfway through the quiet period another push lands.
+  h.sim.ScheduleAfter(h.config.owner_quiet_period / 2, [&h, fp] {
+    h.vol->last_push[fp] = h.sim.Now();
+    h.push->ArmOwnerQuietTimer(h.vol, fp);  // suppressed, timer keeps looping
+  });
+  h.sim.Run();
+
+  EXPECT_EQ(h.stats.aggregations, 1u);
+  EXPECT_TRUE(h.vol->quiet_timer_armed.empty());
+}
+
+// A crash (v->dead) mid-wait must leak no timer state: no aggregation runs
+// and the armed marker is unwound.
+TEST(PushEngineModule, OwnerQuietTimerCrashMidWaitLeaksNoState) {
+  ModuleHarness h;
+  const psw::Fingerprint fp = 93;
+  h.vol->last_push[fp] = h.sim.Now();
+  h.push->ArmOwnerQuietTimer(h.vol, fp);
+  h.sim.ScheduleAfter(h.config.owner_quiet_period / 2,
+                      [&h] { h.vol->dead = true; });
+  h.sim.Run();
+
+  EXPECT_EQ(h.stats.aggregations, 0u);
+  EXPECT_TRUE(h.vol->quiet_timer_armed.empty());
+}
+
 // §5.3 consolidated attribute update: N pending entries cost one attribute
 // write, and the directory's size/mtime reflect the whole batch.
 TEST(AggregationModule, ApplyEntriesCompactsAttributeUpdate) {

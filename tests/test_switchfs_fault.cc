@@ -221,6 +221,89 @@ TEST(SwitchFsFault, SwitchCrashRecoveryRestoresConsistency) {
   EXPECT_EQ(sd->size, 13u);
 }
 
+TEST(SwitchFsFault, OwnerCrashMidPushDrainsBacklogAfterRestart) {
+  // A directory's owner dies while other servers hold deferred updates for
+  // it. Their pushes fail; the per-owner pusher must re-arm and drain the
+  // backlog once the owner is back — no stranded change-logs.
+  ClusterConfig cfg = SmallClusterConfig();
+  // Long owner-side quiet period so the drain is attributable to the push
+  // path, not the owner's proactive aggregation timer.
+  cfg.server_template.owner_quiet_period = sim::Seconds(100);
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  // Warm the client's path cache with /d so later creates resolve without a
+  // lookup at the (about to crash) owner.
+  ASSERT_TRUE(fs.Create("/d/warm").ok());
+  const psw::Fingerprint dir_fp = FingerprintOf(RootId(), "d");
+  const uint32_t owner = fs.cluster.ring().Owner(dir_fp);
+  fs.cluster.CrashServer(owner);
+
+  // Creates execute on the file-hash servers; the ones landing on healthy
+  // servers commit and defer a parent update toward the dead owner. Issue
+  // them concurrently — a create whose executing server is the dead one
+  // spins through its retry budget and must not serialize the rest.
+  int ok = 0;
+  for (int i = 0; i < 24; ++i) {
+    sim::Spawn([](SwitchFsClient* c, int i, int* ok) -> sim::Task<void> {
+      Status s = co_await c->Create("/d/f" + std::to_string(i));
+      if (s.ok()) {
+        (*ok)++;
+      }
+    }(fs.client.get(), i, &ok));
+  }
+  fs.cluster.sim().RunUntil(fs.cluster.sim().Now() + sim::Milliseconds(200));
+  ASSERT_GT(ok, 0);
+  ASSERT_GT(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+  EXPECT_GT(fs.cluster.TotalStats().push_failures, 0u);
+
+  fs.Run(fs.cluster.RecoverServer(owner));
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+  auto sd = fs.StatDir("/d");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, static_cast<uint64_t>(ok) + 1);
+  auto entries = fs.Readdir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<size_t>(ok) + 1);
+}
+
+TEST(SwitchFsFault, RmdirRaceObsoletePushIsTrimmedNotRepushed) {
+  // rmdir race (§5.2.3): a source still holding entries for a directory that
+  // has since been removed must have its backlog trimmed by the owner's
+  // "vanished directory" ack — pending entries drain to zero instead of
+  // being re-pushed forever.
+  ClusterConfig cfg = SmallClusterConfig();
+  // Slow pushes so /e's deferred entries are still pending when it dies.
+  cfg.server_template.push_idle_timeout = sim::Milliseconds(5);
+  cfg.server_template.owner_quiet_period = sim::Milliseconds(8);
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/e").ok());
+  std::vector<Status> results(6, InternalError(""));
+  bool removed = false;
+  sim::Spawn([](SwitchFsClient* c, std::vector<Status>* out,
+                bool* removed) -> sim::Task<void> {
+    for (size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = co_await c->Create("/e/f" + std::to_string(i));
+    }
+    for (size_t i = 0; i < out->size(); ++i) {
+      co_await c->Unlink("/e/f" + std::to_string(i));
+    }
+    *removed = (co_await c->Rmdir("/e")).ok();
+  }(fs.client.get(), &results, &removed));
+  fs.cluster.sim().Run();
+  for (const Status& s : results) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  ASSERT_TRUE(removed);
+  // Whatever entries remained for the removed directory were trimmed (either
+  // applied before the rmdir or acked as obsolete) — nothing lingers.
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+  // And the namespace keeps working.
+  ASSERT_TRUE(fs.Mkdir("/e").ok());
+  auto sd = fs.StatDir("/e");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, 0u);
+}
+
 TEST(SwitchFsFault, RecoveryIsIdempotent) {
   // §A.1: recovering twice (nested crash during recovery) must not
   // double-apply entries.
