@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regression gate for BENCH_push_batching.json.
+
+Compares a fresh bench run against the committed baseline
+(bench/baselines/push_batching.json) and fails on a >20% regression in any
+gated metric. The bench runs in the deterministic simulator (all latency
+and throughput figures are simulated time), so the comparison is stable
+across machines — the baseline only needs regenerating when the simulated
+protocol or cost model intentionally changes:
+
+    SFS_BENCH_SCALE=small SFS_BENCH_JSON=bench/baselines/push_batching.json \
+        ./build/bench_push_batching
+
+Usage: scripts/bench_check.py <current.json> [<baseline.json>]
+"""
+import json
+import pathlib
+import sys
+
+TOLERANCE = 0.20
+
+# (json path, higher_is_better, description)
+GATED = [
+    (("per_owner", "apply_keps"), True, "owner-side apply throughput"),
+    (("per_owner", "total_ms"), False, "end-to-end burst + drain time"),
+    (("per_owner", "packets_per_op"), False, "PushReq packets per op"),
+    (("packet_reduction",), True, "per-dir vs per-owner packet reduction"),
+]
+
+
+def lookup(doc, path):
+    for key in path:
+        doc = doc[key]
+    return float(doc)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current_path = pathlib.Path(sys.argv[1])
+    baseline_path = pathlib.Path(
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else pathlib.Path(__file__).resolve().parent.parent
+        / "bench"
+        / "baselines"
+        / "push_batching.json"
+    )
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    failures = []
+    for path, higher_is_better, desc in GATED:
+        cur = lookup(current, path)
+        base = lookup(baseline, path)
+        if base == 0:
+            continue
+        ratio = cur / base
+        regressed = (
+            ratio < 1 - TOLERANCE if higher_is_better else ratio > 1 + TOLERANCE
+        )
+        marker = "FAIL" if regressed else "ok"
+        print(
+            f"  [{marker}] {'.'.join(path):28s} {desc}: "
+            f"baseline {base:g} -> current {cur:g} ({ratio:+.1%} of baseline)"
+        )
+        if regressed:
+            failures.append(desc)
+
+    if failures:
+        print(
+            f"bench regression >{TOLERANCE:.0%} vs {baseline_path}: "
+            + "; ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench within {TOLERANCE:.0%} of {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

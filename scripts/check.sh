@@ -24,6 +24,8 @@ run_suite build
 if [[ "${SFS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== perf smoke: bench_push_batching (SFS_BENCH_SCALE=small) =="
   scripts/bench_smoke.sh
+  echo "== perf smoke: regression gate vs bench/baselines =="
+  python3 scripts/bench_check.py "${BENCH_JSON:-BENCH_push_batching.json}"
 fi
 
 if [[ "${1:-}" != "--fast" ]]; then

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/core/push_engine.h"
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
 #include "src/sim/sync.h"
@@ -93,19 +94,53 @@ sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
     }
   }
 
-  // Apply phase: per-(dir, source) batches, hwm-deduplicated.
+  // Apply phase: per-(dir, source) batches, hwm-deduplicated. Entries
+  // collected for a directory that was renamed away (live moved tombstone)
+  // are neither applied nor acked: acking at max seq would trim committed
+  // entries at their sources. They become AggDone moved rows instead, and
+  // each source re-keys its log toward the tombstone's target — the
+  // aggregation-path analog of the kMoved push verdict.
   uint64_t local_max_acked = 0;
   std::map<std::pair<uint32_t, InodeId>, uint64_t> acked;
+  std::map<std::pair<uint32_t, InodeId>, AggDone::MovedRow> moved;
   for (size_t i = 0; i < w->collected.size(); ++i) {
     const uint32_t src = w->collected_src[i];
-    auto& pd = w->collected[i];
-    if (!pd.entries.empty()) {
-      auto& high = acked[{src, pd.dir}];
-      high = std::max(high, pd.entries.back().seq);
+    // Copies, not references: a straggling AggEntries reply (responder
+    // retry) can push_back into w->collected while ApplyEntries suspends,
+    // reallocating the vector under a held reference.
+    const InodeId dir = w->collected[i].dir;
+    if (w->collected[i].entries.empty()) {
+      continue;
     }
-    co_await ApplyEntries(v, pd.dir, src, std::move(pd.entries),
-                          held_inode_key);
+    const uint64_t max_seq = w->collected[i].entries.back().seq;
+    co_await ApplyEntries(v, dir, src, fp,
+                          std::move(w->collected[i].entries), held_inode_key);
     if (v->dead) co_return outcome;
+    // Classify AFTER the apply: ApplyEntries drops entries silently when
+    // the directory is unknown here, and a rename can commit while the
+    // apply waits on the inode lock — a pre-apply check would ack (and so
+    // trim) entries the rename raced. The inode row is checked as well as
+    // the index: WAL replay can leave a stale dir-index row behind (see
+    // ReplayWalInto), matching PushEngine::ApplySection.
+    std::string ikey;
+    psw::Fingerprint ifp = 0;
+    const bool live =
+        v->LookupDirIndex(dir, &ikey, &ifp) && v->kv.Get(ikey).has_value();
+    if (!live && ctx_.config->moved_rebind) {
+      const ServerVolatile::MovedDir* tomb = v->FindMovedTombstone(
+          dir, ctx_.Now(), ctx_.config->moved_tombstone_ttl);
+      if (tomb != nullptr) {
+        moved[{src, dir}] = AggDone::MovedRow{src,
+                                              dir,
+                                              tomb->AppliedFor(src, fp),
+                                              tomb->new_fp,
+                                              tomb->new_owner,
+                                              tomb->epoch};
+        continue;
+      }
+    }
+    auto& high = acked[{src, dir}];
+    high = std::max(high, max_seq);
   }
 
   // Ack our own change-logs synchronously.
@@ -132,6 +167,21 @@ sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
       continue;
     }
     done->acked.push_back(AggDone::AckedRow{key.first, key.second, seq});
+  }
+  // Moved rows: remote sources re-key on receipt of the AggDone; our own
+  // logs for the moved directory re-key in a detached task — the caller may
+  // hold this group's change-log lock (rmdir's held_cl_fp), so an inline
+  // rebind could self-deadlock on its own lock table.
+  for (const auto& [key, row] : moved) {
+    if (key.first != ctx_.config->index) {
+      done->moved.push_back(row);
+      continue;
+    }
+    if (rebinder_ != nullptr) {
+      sim::Spawn(rebinder_->RebindMovedLogDetached(v, row.dir, fp, row.new_fp,
+                                                   row.applied_seq,
+                                                   /*from_aggregation=*/true));
+    }
   }
   v->last_agg_complete[fp] = ctx_.Now();
   v->agg_waits.erase(fp);
@@ -163,6 +213,7 @@ sim::Task<void> Aggregation::GateAndAggregate(VolPtr v, psw::Fingerprint fp) {
 }
 
 sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
+                                          psw::Fingerprint lane_fp,
                                           std::vector<ChangeLogEntry> entries,
                                           const std::string& held_inode_key) {
   if (entries.empty()) {
@@ -171,7 +222,13 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
   std::string ikey;
   psw::Fingerprint fp = 0;
   if (!v->LookupDirIndex(dir, &ikey, &fp)) {
-    co_return;  // directory since removed; entries are obsolete
+    // Directory unknown here: removed (entries are obsolete) or renamed
+    // away. Callers that must not lose entries check the moved tombstone
+    // BEFORE applying (PushEngine::ApplySection, RunAggregation's apply
+    // phase, SyncParentUpdate) and route a kMoved/moved-row rebind verdict
+    // instead; this silent drop is only reached for genuinely removed
+    // directories or with moved_rebind off.
+    co_return;
   }
   LockTable::Handle lock;
   if (ikey != held_inode_key) {
@@ -179,7 +236,19 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
     if (v->dead) co_return;
   }
 
-  uint64_t& high = v->hwm[{dir, src}];
+  uint64_t& high = v->hwm[{dir, src, lane_fp}];
+  // Resolved-prefix bridge: every batch starts at the source log's FRONT
+  // (push gather, aggregation snapshot, fallback backlog all send FIFO
+  // prefixes), and a log's front only advances through resolution — an ack
+  // from this server, a moved_fp verdict trim (those entries migrated with
+  // the renamed directory's entry list), or an obsolete-removal trim. So
+  // everything below the first seq is settled and must not be waited for:
+  // after a rename chain, a rebound or straggler batch resumes above marks
+  // this incarnation of the lane never saw, and without the bridge it would
+  // gap-stall forever. Stale duplicates cannot abuse this (their first seq
+  // is never above the live front), and batches are single-flight per
+  // (source, owner), so a bridged batch cannot overtake unresolved entries.
+  high = std::max(high, entries.front().seq - 1);
   std::vector<ChangeLogEntry> todo;
   uint64_t next = high + 1;
   for (ChangeLogEntry& e : entries) {
@@ -188,7 +257,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
       continue;
     }
     if (e.seq > next) {
-      break;  // gap (an earlier push is still in flight): apply the prefix
+      break;  // mid-batch gap: apply the contiguous prefix only
     }
     todo.push_back(std::move(e));
     ++next;
@@ -222,6 +291,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
       EntryApplyRecord rec;
       rec.dir = dir;
       rec.src_server = src;
+      rec.fp = lane_fp;
       rec.entry = e;
       rec.result_size = result_size;
       rec.result_mtime = max_ts;
@@ -258,6 +328,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
       EntryApplyRecord rec;
       rec.dir = dir;
       rec.src_server = src;
+      rec.fp = lane_fp;
       rec.entry = e;
       const int64_t new_size =
           std::max<int64_t>(0, static_cast<int64_t>(attr.size) + e.size_delta);
@@ -374,6 +445,19 @@ void Aggregation::HandleAggEntries(net::Packet p, VolPtr v) {
 }
 
 void Aggregation::HandleAggDone(const AggDone& done, VolPtr v) {
+  // Moved rows first, independent of the session (a watchdog-reaped session
+  // must not drop a rebind verdict): our collected entries for a renamed-away
+  // directory were not acked — re-key them toward the new owner instead.
+  if (rebinder_ != nullptr) {
+    for (const auto& row : done.moved) {
+      if (row.src_server != ctx_.config->index) {
+        continue;
+      }
+      sim::Spawn(rebinder_->RebindMovedLogDetached(v, row.dir, done.fp,
+                                                   row.new_fp, row.applied_seq,
+                                                   /*from_aggregation=*/true));
+    }
+  }
   auto it = v->agg_sessions.find(done.fp);
   if (it == v->agg_sessions.end()) {
     return;

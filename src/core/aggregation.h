@@ -25,11 +25,20 @@
 
 namespace switchfs::core {
 
+class PushEngine;  // push_engine.h (depends on this header)
+
 class Aggregation {
  public:
   explicit Aggregation(ServerContext& ctx) : ctx_(ctx) {}
   Aggregation(const Aggregation&) = delete;
   Aggregation& operator=(const Aggregation&) = delete;
+
+  // Wires the moved_fp rebind path (§5.2 rename race): entries collected for
+  // a directory that was renamed away are routed to PushEngine::
+  // RebindMovedLog instead of being acked at max seq. Set after construction
+  // (PushEngine itself depends on Aggregation); without a rebinder, moved
+  // directories degrade to the removed-directory trim.
+  void SetRebinder(PushEngine* rebinder) { rebinder_ = rebinder; }
 
   struct Outcome {
     bool ok = false;
@@ -50,7 +59,11 @@ class Aggregation {
   void SendAggDone(net::MsgPtr done_msg);
   // Applies entries from `src` to directory `dir` (hwm-deduped, FIFO). With
   // compaction on, N entries cost one consolidated attribute write (§5.3).
+  // `lane_fp` is the fingerprint the entries were logged under at the
+  // source: it selects the (dir, src, fp) dedup lane — see
+  // ServerVolatile::hwm.
   sim::Task<void> ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
+                               psw::Fingerprint lane_fp,
                                std::vector<ChangeLogEntry> entries,
                                const std::string& held_inode_key);
   // Takes the exclusive gate and aggregates (quiet timers, rename,
@@ -67,6 +80,7 @@ class Aggregation {
                                            uint64_t seq);
 
   ServerContext& ctx_;
+  PushEngine* rebinder_ = nullptr;  // see SetRebinder
 };
 
 }  // namespace switchfs::core

@@ -50,6 +50,16 @@ std::vector<uint64_t> ChangeLog::AckUpTo(uint64_t acked_seq) {
   return lsns;
 }
 
+size_t ChangeLog::DrainInto(ChangeLog& target) {
+  assert(&target != this);  // self-drain would append forever
+  const size_t moved = entries_.size();
+  while (!entries_.empty()) {
+    target.Append(std::move(entries_.front()));  // re-assigns the seq
+    entries_.pop_front();
+  }
+  return moved;
+}
+
 int64_t ChangeLog::pending_size_delta() const {
   int64_t total = 0;
   for (const ChangeLogEntry& e : entries_) {

@@ -58,6 +58,15 @@ class ChangeLog {
   // entries so the caller can mark them "applied" (§5.2.2 step 9b).
   std::vector<uint64_t> AckUpTo(uint64_t acked_seq);
 
+  // moved_fp rebind (§5.2 rename race): moves every pending entry into
+  // `target` (the directory's change-log under its post-rename fingerprint),
+  // re-assigning sequence numbers so they continue target's FIFO — the new
+  // owner's high-water mark knows nothing of the old fingerprint's
+  // numbering. WAL lsns ride along, so the eventual ack at the new owner
+  // still marks the source's commit records applied. Returns the number of
+  // entries moved; this log is empty afterwards.
+  size_t DrainInto(ChangeLog& target);
+
   uint64_t last_appended_seq() const { return next_seq_ - 1; }
   // Compacted attribute state (Fig 7): consolidated max timestamp and total
   // size delta across pending entries.

@@ -310,6 +310,10 @@ SwitchServer::Stats Cluster::TotalStats() const {
     total.push_dirs_sent += st.push_dirs_sent;
     total.push_entries_sent += st.push_entries_sent;
     total.pushes_received += st.pushes_received;
+    total.pushes_rebound += st.pushes_rebound;
+    total.entries_rebound += st.entries_rebound;
+    total.agg_rebinds += st.agg_rebinds;
+    total.agg_entries_rebound += st.agg_entries_rebound;
     total.fallbacks += st.fallbacks;
     total.stale_cache_bounces += st.stale_cache_bounces;
     total.wal_replayed += st.wal_replayed;

@@ -135,6 +135,20 @@ struct AggDone : net::Message {
     uint64_t acked_seq;
   };
   std::vector<AckedRow> acked;
+  // Directories in the group that were renamed away (moved tombstone at the
+  // initiator): the collected entries were NOT applied and are NOT acked —
+  // each source trims the pre-rename applied prefix (applied_seq) and
+  // re-keys the rest of its change-log under new_fp toward new_owner
+  // (the aggregation-path analog of PushResp's kMoved section status).
+  struct MovedRow {
+    uint32_t src_server;
+    InodeId dir;
+    uint64_t applied_seq;  // prefix the old owner applied before the rename
+    psw::Fingerprint new_fp;
+    uint32_t new_owner;
+    uint64_t rename_epoch;
+  };
+  std::vector<MovedRow> moved;
 };
 
 // --- proactive change-log push (§5.3) ---
@@ -164,23 +178,47 @@ struct PushResp : net::Message {
   static constexpr uint32_t kType = 108;
   PushResp() : Message(kType) {}
   StatusCode status = StatusCode::kOk;
-  // One row per PushReq section. For a directory that no longer exists at
-  // the owner (removed since the entries were logged) acked_seq is the
-  // section's max seq, so the source trims the obsolete backlog instead of
-  // re-pushing it forever.
+  // Per-section verdict. kApplied is the normal case; kMoved tells the
+  // source the directory was renamed away (moved tombstone at this owner)
+  // and the section's entries must be re-keyed, not trimmed.
+  enum class SectionStatus : uint8_t {
+    kApplied = 0,  // entries up to acked_seq applied (or obsolete: dir removed)
+    kMoved = 1,    // dir renamed away: re-key the log to new_fp / new_owner
+  };
+  // One row per PushReq section.
+  //  * kApplied: acked_seq is the applied high-water mark; for a directory
+  //    that no longer exists at the owner (removed since the entries were
+  //    logged) it is the section's max seq, so the source trims the obsolete
+  //    backlog instead of re-pushing it forever.
+  //  * kMoved: acked_seq is the prefix this owner applied *before* the
+  //    rename (those entries migrated with the directory's entry list, so
+  //    re-applying them at the new owner would double-count); the source
+  //    trims that prefix and rebinds the rest under new_fp toward new_owner.
+  //    rename_epoch echoes the tombstone's epoch for observability; the
+  //    ordering check itself lives at tombstone install (newest epoch wins,
+  //    ServerVolatile::InstallMovedTombstone), so a verdict always reflects
+  //    the latest rename this owner knows of.
   struct AckedDir {
     InodeId dir;
-    uint64_t acked_seq = 0;  // entries up to this seq are applied (or obsolete)
+    uint64_t acked_seq = 0;
+    SectionStatus status = SectionStatus::kApplied;
+    psw::Fingerprint new_fp = 0;  // kMoved only
+    uint32_t new_owner = 0;       // kMoved only
+    uint64_t rename_epoch = 0;    // kMoved only
   };
   std::vector<AckedDir> acked;
 };
 
 // Owner -> origin server after a synchronous fallback apply (§5.2.1): mark
-// the backlog applied and release the operation's locks.
+// the backlog applied and release the operation's locks. `fp` scopes the
+// trim to the change-log the backlog was sent from: acked_seq is meaningful
+// only under that fingerprint's numbering, and a concurrent moved_fp rebind
+// may have re-keyed (re-numbered) the directory's log under another one.
 struct FallbackDone : net::Message {
   static constexpr uint32_t kType = 109;
   FallbackDone() : Message(kType) {}
   InodeId dir;
+  psw::Fingerprint fp = 0;
   uint64_t op_token = 0;
   uint64_t acked_seq = 0;
 };
@@ -257,6 +295,15 @@ struct RenameCommit : net::Message {
   // Directory renames: the entry list migrates with the inode.
   bool install = false;
   std::vector<DirEntry> install_entries;
+  // Source leg of a directory rename: install a moved tombstone (dir id ->
+  // new fingerprint / owner) in place of a bare removal, so change-log
+  // entries that committed under the old fingerprint in the rename race
+  // window are re-keyed to the new owner instead of trimmed as obsolete.
+  // The committing server stamps the tombstone's rename epoch.
+  bool moved_tombstone = false;
+  InodeId moved_dir;                 // the moving directory's id
+  psw::Fingerprint moved_new_fp = 0;
+  uint32_t moved_new_owner = 0;
   std::string top;  // subtree routing key of the leg's parent (CephFS-sim)
 };
 
@@ -327,11 +374,25 @@ struct MarkScattered : net::Message {
   psw::Fingerprint fp = 0;
 };
 
-// Directory-id invalidation broadcast (rename / chmod of a directory).
+// Directory-id invalidation broadcast (rename / chmod of a directory). For
+// renames it doubles as the eager moved_fp signal: on receipt every server
+// cleans up an empty stale-era (old_fp, id) change-log slot, or — if it
+// holds pending entries — pushes toward the old owner immediately so the
+// kMoved verdict re-keys them with the tombstone's authoritative applied
+// marks. Fetching the verdict now, rather than at the next idle timeout,
+// keeps old-era entries ordered ahead of new-era entries for the same name:
+// the broadcast is one hop and the verdict one round trip, while a client
+// op via the new path needs the rename response plus at least one
+// resolution RPC. The verdict / AggDone moved rows remain the catch-up for
+// servers that never see the broadcast.
 struct InvalBroadcast : net::Message {
   static constexpr uint32_t kType = 123;
   InvalBroadcast() : Message(kType) {}
   InodeId id;
+  // Rename-only rebind hint (moved = true); chmod broadcasts leave it unset.
+  bool moved = false;
+  psw::Fingerprint old_fp = 0;
+  psw::Fingerprint new_fp = 0;
 };
 
 // Asks a directory's owner to aggregate a fingerprint group now (rename of a
@@ -364,9 +425,6 @@ struct EntryListBlob : net::Message {
   EntryListBlob() : Message(kType) {}
   InodeId dir;
   std::vector<DirEntry> entries;
-  // Applied high-water marks (source server -> seq) move with the directory
-  // so the new owner's duplicate suppression stays continuous.
-  std::vector<std::pair<uint32_t, uint64_t>> hwms;
 };
 
 }  // namespace switchfs::core

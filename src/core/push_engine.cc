@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/sim/sync.h"
+#include "src/tracker/dirty_tracker.h"
 
 namespace switchfs::core {
 
@@ -28,14 +29,14 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
   auto& st = v->pushers[owner];
   st.ready.insert({fp, dir});
   st.activity++;
-  st.enqueued_since_drain++;
   if (st.retry_timer_armed) {
     // The owner is in failure backoff: let the retry timer pace the next
     // attempt instead of hammering a down owner at traffic rate.
     return;
   }
   if (static_cast<int>(it->second.size()) >= ctx_.config->mtu_entries ||
-      st.enqueued_since_drain >= ctx_.config->mtu_entries) {
+      ReadyEntries(*v, st, ctx_.config->mtu_entries) >=
+          ctx_.config->mtu_entries) {
     sim::Spawn(DrainOwner(v, owner));
     return;
   }
@@ -43,6 +44,34 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
     st.idle_timer_armed = true;
     sim::Spawn(OwnerIdleTimer(v, owner));
   }
+}
+
+int PushEngine::ReadyEntries(const ServerVolatile& v,
+                             ServerVolatile::OwnerPusher& st, int cap) const {
+  int total = 0;
+  for (auto it = st.ready.begin(); it != st.ready.end();) {
+    const ChangeLog* log = nullptr;
+    auto logs = v.changelogs.find(it->first);
+    if (logs != v.changelogs.end()) {
+      auto lit = logs->second.find(it->second);
+      if (lit != logs->second.end()) {
+        log = &lit->second;
+      }
+    }
+    if (log == nullptr || log->empty()) {
+      // Drained by a concurrent aggregation (or rebound away): prune, so
+      // repeated scans stay O(mtu) instead of degrading to O(ready). A
+      // later commit re-inserts the pair through MaybeSchedulePush.
+      it = st.ready.erase(it);
+      continue;
+    }
+    total += static_cast<int>(log->size());
+    if (total >= cap) {
+      break;
+    }
+    ++it;
+  }
+  return total;
 }
 
 sim::Task<void> PushEngine::OwnerIdleTimer(VolPtr v, uint32_t owner) {
@@ -108,7 +137,6 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
   }
   st.draining = true;
   while (!st.ready.empty()) {
-    st.enqueued_since_drain = 0;
     // ---- gather one MTU-bounded batch across the owner's ready logs ----
     auto req = std::make_shared<PushReq>();
     req->src_server = ctx_.config->index;
@@ -169,11 +197,10 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
     if (owner == ctx_.config->index) {
       ctx_.stats->pushes_local++;
       for (auto& pd : req->dirs) {
-        const uint64_t seq =
-            co_await ApplySection(v, pd.dir, req->src_server,
-                                  std::move(pd.entries));
+        PushResp::AckedDir row = co_await ApplySection(
+            v, pd.dir, req->src_server, pd.fp, std::move(pd.entries));
         if (v->dead) co_return;
-        acked.push_back(PushResp::AckedDir{pd.dir, seq});
+        acked.push_back(row);
         v->last_push[pd.fp] = ctx_.Now();
         ArmOwnerQuietTimer(v, pd.fp);
       }
@@ -205,14 +232,41 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
     // ---- trim acknowledged prefixes; re-queue logs that still hold work ---
     bool progressed = false;
     bool heavy_leftover = false;  // some re-queued log still holds >= an MTU
-    for (const auto& pd : req->dirs) {
-      uint64_t acked_seq = 0;
-      for (const auto& row : acked) {
-        if (row.dir == pd.dir) {
-          acked_seq = row.acked_seq;
-          break;
+    struct Rebind {
+      InodeId dir;
+      psw::Fingerprint old_fp;
+      psw::Fingerprint new_fp;
+      uint64_t applied_seq;
+    };
+    std::vector<Rebind> rebinds;
+    for (size_t pi = 0; pi < req->dirs.size(); ++pi) {
+      const auto& pd = req->dirs[pi];
+      // Rows come back one per section IN SECTION ORDER (both the local
+      // apply loop and HandlePush). Match by index, not by dir: after a
+      // same-owner rename the same directory can legitimately appear twice
+      // in one batch under its old and new fingerprints, and a first-by-dir
+      // scan would trim the second section with the other era's acked_seq —
+      // numbering it never measured. Fall back to a dir scan only if the
+      // responder returned a malformed row set.
+      const PushResp::AckedDir* row = nullptr;
+      if (pi < acked.size() && acked[pi].dir == pd.dir) {
+        row = &acked[pi];
+      } else {
+        for (const auto& r : acked) {
+          if (r.dir == pd.dir) {
+            row = &r;
+            break;
+          }
         }
       }
+      if (row != nullptr && row->status == PushResp::SectionStatus::kMoved) {
+        // Renamed away (moved tombstone at the owner): neither trim nor
+        // re-queue here — the log is re-keyed below, after the per-section
+        // locks are released (the rebind takes two group locks in fp order).
+        rebinds.push_back(Rebind{pd.dir, pd.fp, row->new_fp, row->acked_seq});
+        continue;
+      }
+      const uint64_t acked_seq = row == nullptr ? 0 : row->acked_seq;
       auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pd.fp));
       if (v->dead) co_return;
       auto logs = v->changelogs.find(pd.fp);
@@ -237,6 +291,17 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
         }
       }
     }
+    // Re-key moved sections toward their new owners. A kMoved verdict is
+    // progress in itself — the section left this owner's queue for good and
+    // is never re-queued here — even when the rebind finds the log already
+    // re-keyed by a racing aggregation verdict or eager rebind; counting
+    // that as no-progress would put a healthy owner into failure backoff.
+    for (const Rebind& rb : rebinds) {
+      co_await RebindMovedLog(v, rb.dir, rb.old_fp, rb.new_fp, rb.applied_seq,
+                              /*from_aggregation=*/false);
+      if (v->dead) co_return;
+    }
+    progressed = progressed || !rebinds.empty();
     if (!progressed) {
       // The owner accepted the batch but applied nothing (a sequence gap:
       // an earlier push is still missing at the owner). Back off instead of
@@ -247,7 +312,8 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
     }
     st.backoff_shift = 0;
     if (!to_completion && !heavy_leftover && !st.ready.empty() &&
-        st.enqueued_since_drain < ctx_.config->mtu_entries) {
+        ReadyEntries(*v, st, ctx_.config->mtu_entries) <
+            ctx_.config->mtu_entries) {
       // The remainder is a sub-MTU tail that trickled in while we were
       // pushing. Hand it to the idle timer (or the aggregate MTU trigger,
       // whichever fires first) instead of spraying small batches at
@@ -263,31 +329,48 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
   st.draining = false;
 }
 
-sim::Task<uint64_t> PushEngine::ApplySection(
-    VolPtr v, InodeId dir, uint32_t src, std::vector<ChangeLogEntry> entries) {
+sim::Task<PushResp::AckedDir> PushEngine::ApplySection(
+    VolPtr v, InodeId dir, uint32_t src, psw::Fingerprint section_fp,
+    std::vector<ChangeLogEntry> entries) {
+  PushResp::AckedDir row;
+  row.dir = dir;
   const uint64_t max_seq = entries.empty() ? 0 : entries.back().seq;
   std::string ikey;
   psw::Fingerprint fp = 0;
-  // Directory removed since the entries were logged (rmdir raced the push):
-  // they can never apply. Ack the section's max seq so the source trims the
-  // obsolete backlog instead of re-pushing it forever. The inode row must be
-  // checked too — WAL replay of an rmdir leaves a stale dir-index row behind
-  // (see ReplayWalInto), and ApplyEntries would drop the entries silently
-  // without advancing the hwm.
-  //
-  // Known limitation (matches the aggregation path, which acks collected
-  // entries for vanished directories the same way): a directory renamed
-  // away is indistinguishable from one removed, so an entry that commits
-  // under the old fingerprint in the rename race window is trimmed rather
-  // than rebound to the new owner — the paper's moved_fp rebind is future
-  // work (see ROADMAP).
+  // Directory unknown here: either removed (rmdir raced the push, or WAL
+  // replay left a stale dir-index row without an inode — hence the inode
+  // check; ApplyEntries would drop the entries silently without advancing
+  // the hwm) or renamed away. A live moved tombstone distinguishes the two:
+  //  * renamed away -> kMoved verdict. acked_seq names the prefix this owner
+  //    applied before the rename (it migrated with the entry list, so
+  //    re-applying at the new owner would double-count); the source re-keys
+  //    the rest toward the tombstone's target (RebindMovedLog).
+  //  * genuinely removed -> ack the section's max seq so the source trims
+  //    the obsolete backlog instead of re-pushing it forever.
   if (!v->LookupDirIndex(dir, &ikey, &fp) || !v->kv.Get(ikey).has_value()) {
-    co_return max_seq;
+    if (ctx_.config->moved_rebind) {
+      const ServerVolatile::MovedDir* moved = v->FindMovedTombstone(
+          dir, ctx_.Now(), ctx_.config->moved_tombstone_ttl);
+      if (moved != nullptr) {
+        row.status = PushResp::SectionStatus::kMoved;
+        row.new_fp = moved->new_fp;
+        row.new_owner = moved->new_owner;
+        row.rename_epoch = moved->epoch;
+        row.acked_seq = moved->AppliedFor(src, section_fp);
+        co_return row;
+      }
+    }
+    row.acked_seq = max_seq;
+    co_return row;
   }
-  co_await agg_.ApplyEntries(v, dir, src, std::move(entries), "");
-  if (v->dead) co_return 0;
-  auto it = v->hwm.find({dir, src});
-  co_return it == v->hwm.end() ? 0 : it->second;
+  co_await agg_.ApplyEntries(v, dir, src, section_fp, std::move(entries), "");
+  if (v->dead) {
+    row.acked_seq = 0;
+    co_return row;
+  }
+  auto it = v->hwm.find({dir, src, section_fp});
+  row.acked_seq = it == v->hwm.end() ? 0 : it->second;
+  co_return row;
 }
 
 sim::Task<void> PushEngine::HandlePush(net::Packet p, VolPtr v) {
@@ -302,14 +385,148 @@ sim::Task<void> PushEngine::HandlePush(net::Packet p, VolPtr v) {
   auto resp = std::make_shared<PushResp>();
   resp->status = StatusCode::kOk;
   for (const auto& pd : msg->dirs) {
-    const uint64_t acked =
-        co_await ApplySection(v, pd.dir, msg->src_server, pd.entries);
+    PushResp::AckedDir row =
+        co_await ApplySection(v, pd.dir, msg->src_server, pd.fp, pd.entries);
     if (v->dead) co_return;
-    resp->acked.push_back(PushResp::AckedDir{pd.dir, acked});
+    resp->acked.push_back(row);
     v->last_push[pd.fp] = ctx_.Now();
     ArmOwnerQuietTimer(v, pd.fp);
   }
   ctx_.rpc->Respond(p, resp);
+}
+
+sim::Task<bool> PushEngine::RebindMovedLog(VolPtr v, InodeId dir,
+                                           psw::Fingerprint old_fp,
+                                           psw::Fingerprint new_fp,
+                                           uint64_t applied_seq,
+                                           bool from_aggregation) {
+  if (old_fp == new_fp) {
+    // Degenerate verdict (a chained rename led back to the same
+    // fingerprint): the log is already keyed correctly; re-keying onto
+    // itself would self-append forever in DrainInto.
+    co_return false;
+  }
+  size_t moved_entries = 0;
+  {
+    // Two group locks in fingerprint order (the rmdir discipline) — the
+    // rebind reads the old group's log and appends into the new group's.
+    LockTable::Handle first;
+    LockTable::Handle second;
+    if (old_fp < new_fp) {
+      first = co_await v->changelog_locks.AcquireExclusive(FpKey(old_fp));
+      if (v->dead) co_return false;
+      second = co_await v->changelog_locks.AcquireExclusive(FpKey(new_fp));
+    } else {
+      first = co_await v->changelog_locks.AcquireExclusive(FpKey(new_fp));
+      if (v->dead) co_return false;
+      second = co_await v->changelog_locks.AcquireExclusive(FpKey(old_fp));
+    }
+    if (v->dead) co_return false;
+
+    auto logs = v->changelogs.find(old_fp);
+    if (logs == v->changelogs.end()) {
+      co_return false;  // already rebound (push and aggregation verdicts race)
+    }
+    auto lit = logs->second.find(dir);
+    if (lit == logs->second.end()) {
+      co_return false;
+    }
+    ChangeLog* from = &lit->second;  // value-stable across map rehashes
+    // The prefix the old owner applied before the rename migrated with the
+    // directory's entry list; re-keying it would double-count the directory
+    // size at the new owner. Trim it as acknowledged.
+    const size_t before = from->size();
+    for (uint64_t lsn : from->AckUpTo(applied_seq)) {
+      ctx_.durable->wal.MarkApplied(lsn);
+    }
+    const size_t trimmed = before - from->size();
+    v->pushers[ctx_.OwnerOf(old_fp)].ready.erase({old_fp, dir});
+    if (!from->empty()) {
+      // Seqs are re-assigned to continue the new-fingerprint log's FIFO:
+      // entries committed under the new fingerprint after clients refreshed
+      // their caches already numbered from 1, and the new owner's hwm for
+      // (dir, src) only knows that numbering.
+      // Appended AFTER any new-era entries already pending: renumbering
+      // those would let entries that already reached the new owner through
+      // a channel invisible here (in-flight push, aggregation, fallback)
+      // escape its seq dedup. The resulting old-era-after-new-era inversion
+      // is bounded to the same-name case and to sources whose eager verdict
+      // fetch (EagerRebindMoved) lost the race with a client op through the
+      // new path — see the InvalBroadcast note in messages.h.
+      moved_entries = from->DrainInto(v->GetChangeLog(new_fp, dir));
+    }
+    // The drained slot is KEPT, numbering intact: a straggler commit that
+    // raced the rename may still append under the old fingerprint, and a
+    // fresh log restarting at 1 would collide with the tombstone's applied
+    // marks and be trimmed as already-applied. The straggler resumes above
+    // the marks and re-chains through the next verdict; the owner-side
+    // resolved-prefix bridge (ApplyEntries) absorbs the seq gap.
+    if (moved_entries == 0) {
+      co_return trimmed > 0;  // trimming the applied prefix is progress too
+    }
+    if (from_aggregation) {
+      ctx_.stats->agg_rebinds++;
+      ctx_.stats->agg_entries_rebound += moved_entries;
+    } else {
+      ctx_.stats->pushes_rebound++;
+      ctx_.stats->entries_rebound += moved_entries;
+    }
+  }
+  // Re-insert the dirty bit for the new fingerprint group so reads at the
+  // new owner aggregate before the re-push lands. Overflow is ignored: the
+  // re-push delivers the entries regardless, so an overflow only costs
+  // dirty-bit visibility until then (the insert_exhausted exposure).
+  co_await ctx_.dirty_tracker->Insert(ctx_, v, new_fp, dir, nullptr, nullptr);
+  if (v->dead) co_return true;
+  MaybeSchedulePush(v, new_fp, dir);
+  co_return true;
+}
+
+sim::Task<void> PushEngine::RebindMovedLogDetached(VolPtr v, InodeId dir,
+                                                   psw::Fingerprint old_fp,
+                                                   psw::Fingerprint new_fp,
+                                                   uint64_t applied_seq,
+                                                   bool from_aggregation) {
+  co_await RebindMovedLog(v, dir, old_fp, new_fp, applied_seq,
+                          from_aggregation);
+}
+
+sim::Task<void> PushEngine::EagerRebindMoved(VolPtr v, InodeId dir,
+                                             psw::Fingerprint old_fp,
+                                             psw::Fingerprint new_fp) {
+  (void)new_fp;
+  {
+    auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(old_fp));
+    if (v->dead) co_return;
+    auto logs = v->changelogs.find(old_fp);
+    if (logs == v->changelogs.end()) {
+      co_return;
+    }
+    auto lit = logs->second.find(dir);
+    if (lit == logs->second.end()) {
+      co_return;
+    }
+    if (lit->second.empty()) {
+      // Nothing pending. The empty slot is kept: per-(fp, dir) numbering is
+      // monotonic forever, and the owner-side resolved-prefix bridge
+      // (ApplyEntries) absorbs the seq offset if the directory ever returns
+      // to this fingerprint.
+      co_return;
+    }
+    // Pending entries: do NOT rebind blindly. Entries may be applied-but-
+    // unacked at the old owner through channels this server cannot see
+    // (a push whose response was lost across the owner's crash, an
+    // aggregation whose AggDone went missing, an insert-overflow fallback
+    // in flight) — only the old owner's tombstone holds the authoritative
+    // pre-rename applied marks. Fetch the verdict instead: queue the log
+    // and drain toward the old owner right now. The kMoved reply performs
+    // the rebind with those marks (RebindMovedLog via the trim loop), one
+    // round trip from now — still ahead of any client op through the new
+    // path, which needs the rename response plus at least one resolution
+    // RPC first.
+    v->pushers[ctx_.OwnerOf(old_fp)].ready.insert({old_fp, dir});
+  }
+  co_await DrainOwner(v, ctx_.OwnerOf(old_fp));
 }
 
 void PushEngine::ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {

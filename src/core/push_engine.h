@@ -54,17 +54,63 @@ class PushEngine {
   // pushes stop arriving for owner_quiet_period.
   void ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
 
+  // ---- moved_fp rebind (§5.2 rename race, source side) ----
+  // Re-keys `dir`'s change-log from `old_fp` to `new_fp` after a kMoved push
+  // verdict or an AggDone moved row: trims the prefix the old owner applied
+  // before the rename (`applied_seq` — those entries migrated with the
+  // directory's entry list), moves the rest into the new-fingerprint log
+  // with re-assigned seqs, re-inserts the dirty bit through the tracker, and
+  // enqueues the log on the new owner's pusher. Safe to call twice for the
+  // same verdict (the second call finds no log and no-ops). Returns true if
+  // entries were re-keyed. `from_aggregation` selects which rebind counters
+  // advance.
+  sim::Task<bool> RebindMovedLog(VolPtr v, InodeId dir, psw::Fingerprint old_fp,
+                                 psw::Fingerprint new_fp, uint64_t applied_seq,
+                                 bool from_aggregation);
+  // Spawn-friendly wrapper (sim::Spawn takes Task<void>).
+  sim::Task<void> RebindMovedLogDetached(VolPtr v, InodeId dir,
+                                         psw::Fingerprint old_fp,
+                                         psw::Fingerprint new_fp,
+                                         uint64_t applied_seq,
+                                         bool from_aggregation);
+  // Eager reaction to the rename's invalidation broadcast: for a log with
+  // pending entries, triggers an immediate push toward the old owner so its
+  // kMoved verdict (the only holder of the authoritative pre-rename applied
+  // marks) performs the rebind one round trip from now — still ahead of any
+  // client op through the new path. Never re-keys blindly (entries may be
+  // applied-but-unacked at the old owner through channels invisible to this
+  // server), and never erases the slot: per-(fp, dir) numbering must stay
+  // monotonic so straggler commits cannot restart at seqs the tombstone's
+  // marks would trim as already-applied.
+  sim::Task<void> EagerRebindMoved(VolPtr v, InodeId dir,
+                                   psw::Fingerprint old_fp,
+                                   psw::Fingerprint new_fp);
+
  private:
   sim::Task<void> DrainOwnerImpl(VolPtr v, uint32_t owner, bool to_completion);
   sim::Task<void> OwnerIdleTimer(VolPtr v, uint32_t owner);
   sim::Task<void> RetryTimer(VolPtr v, uint32_t owner);
   sim::Task<void> OwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
-  // Owner-side application of one pushed section; returns the seq the source
-  // may trim to. For a directory that no longer exists this is the section's
-  // max seq (the entries are obsolete and must not be re-pushed forever).
-  sim::Task<uint64_t> ApplySection(VolPtr v, InodeId dir, uint32_t src,
-                                   std::vector<ChangeLogEntry> entries);
+  // Owner-side application of one pushed section; the returned row carries
+  // the seq the source may trim to. For a directory that no longer exists:
+  // a live moved tombstone yields a kMoved rebind verdict; a genuinely
+  // removed directory is acked at the section's max seq (the entries are
+  // obsolete and must not be re-pushed forever).
+  // `section_fp` is the fingerprint the pushed section is keyed under
+  // (scopes a moved tombstone's applied marks to the right era).
+  sim::Task<PushResp::AckedDir> ApplySection(VolPtr v, InodeId dir,
+                                             uint32_t src,
+                                             psw::Fingerprint section_fp,
+                                             std::vector<ChangeLogEntry> entries);
   void ArmRetry(VolPtr v, uint32_t owner);
+  // Exact count of live pending entries across the owner's ready logs,
+  // saturating at `cap` (the aggregate-MTU trigger only compares against
+  // mtu_entries, so the scan is O(mtu) amortized: entries whose logs turned
+  // out empty are pruned as it goes, not re-visited per commit). Counting
+  // live entries — not commits — keeps logs drained by a concurrent
+  // aggregation from inflating the trigger into early sub-MTU batches.
+  int ReadyEntries(const ServerVolatile& v, ServerVolatile::OwnerPusher& st,
+                   int cap) const;
 
   ServerContext& ctx_;
   Aggregation& agg_;

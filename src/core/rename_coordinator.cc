@@ -139,6 +139,16 @@ sim::Task<void> RenameCoordinator::HandleRename(net::Packet p, VolPtr v) {
   scommit->parent_op = OpType::kUnlink;
   scommit->parent_entry_name = src.name;
   scommit->parent_entry_type = src_attr.type;
+  if (src_attr.is_dir()) {
+    // Moved tombstone: the old owner must be able to tell "renamed away"
+    // from "removed" when change-log entries committed under the old
+    // fingerprint arrive after this commit — they are re-keyed to the new
+    // owner, not trimmed.
+    scommit->moved_tombstone = true;
+    scommit->moved_dir = src_attr.id;
+    scommit->moved_new_fp = dfp;
+    scommit->moved_new_owner = ctx_.OwnerOf(dfp);
+  }
   net::CallOptions commit_opts;
   commit_opts.timeout = sim::Milliseconds(20);
   commit_opts.max_attempts = 3;
@@ -169,15 +179,29 @@ sim::Task<void> RenameCoordinator::HandleRename(net::Packet p, VolPtr v) {
   if (v->dead) co_return;
 
   if (src_attr.is_dir()) {
-    // The directory's cached path mappings are now stale everywhere.
+    // The directory's cached path mappings are now stale everywhere. The
+    // broadcast also carries the moved_fp rebind hint: each server re-keys
+    // its (old fp, dir) change-log right away, before any client can have
+    // re-resolved the new path — which keeps old-era entries ordered ahead
+    // of same-name new-era ones (see InvalBroadcast in messages.h).
     v->inval.Add(src_attr.id, ctx_.Now());
     auto bcast = std::make_shared<InvalBroadcast>();
     bcast->id = src_attr.id;
+    if (ctx_.config->moved_rebind) {
+      bcast->moved = true;
+      bcast->old_fp = sfp;
+      bcast->new_fp = dfp;
+    }
     net::Packet mc;
     mc.dst = net::kServerMulticast;
     mc.ds.origin = ctx_.node_id();
     mc.body = bcast;
     ctx_.rpc->Send(std::move(mc));
+    if (ctx_.config->moved_rebind) {
+      // The multicast does not loop back to this server: rebind our own
+      // old-era log for the directory, if any.
+      sim::Spawn(push_.EagerRebindMoved(v, src_attr.id, sfp, dfp));
+    }
   }
   ctx_.RespondStatus(p, StatusCode::kOk);
 }
@@ -263,6 +287,36 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
     if (msg->put_inode) {
       Attr attr = msg->inode;
       rec.inode_value = attr.Encode();
+      // The migrated entry list must be as durable as the attr that counts
+      // it: replay without these rows would resurrect the directory with its
+      // pre-move size but an empty listing.
+      rec.install_entries = msg->install_entries;
+    }
+    // Directory-rename source leg: the moved tombstone is committed with the
+    // removal (same WAL record) so replay re-installs it. The epoch is this
+    // commit's time — successive renames of one directory commit in causal
+    // order, so epochs order tombstones across the chain. The tombstone
+    // takes over the directory's applied high-water marks (rename era
+    // boundary): kMoved verdicts serve them, and the live rows are erased so
+    // a directory that later returns here starts a fresh dedup era.
+    const bool install_tombstone =
+        msg->moved_tombstone && ctx_.config->moved_rebind;
+    const uint64_t moved_epoch = static_cast<uint64_t>(ctx_.Now());
+    std::vector<std::pair<uint32_t, uint64_t>> moved_applied;
+    if (install_tombstone) {
+      // The fingerprint this tombstone closes: the renamed directory's own
+      // (parent, name) hash at this server — the snapshot below must filter
+      // the hwm lanes by it BEFORE it lands in the record.
+      const psw::Fingerprint departing_fp =
+          FingerprintOf(msg->parent_dir, msg->parent_entry_name);
+      moved_applied = v->TakeHwmRows(msg->moved_dir, departing_fp);
+      rec.has_moved_tombstone = true;
+      rec.moved_dir = msg->moved_dir;
+      rec.moved_old_fp = departing_fp;
+      rec.moved_new_fp = msg->moved_new_fp;
+      rec.moved_new_owner = msg->moved_new_owner;
+      rec.moved_epoch = moved_epoch;
+      rec.moved_applied = moved_applied;
     }
 
     ChangeLog* clog = nullptr;
@@ -298,12 +352,27 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
             v->kv.Delete(EntryKey(attr.id, e.name));
           }
           v->kv.Delete(DirIndexKey(attr.id));
+          if (install_tombstone) {
+            // In place of the bare removal: record where the directory went,
+            // so a push/aggregation that finds it gone re-keys instead of
+            // trimming (PushResp::kMoved / AggDone moved rows).
+            ServerVolatile::MovedDir tomb;
+            tomb.old_fp = rec.moved_old_fp;
+            tomb.new_fp = msg->moved_new_fp;
+            tomb.new_owner = msg->moved_new_owner;
+            tomb.epoch = moved_epoch;
+            tomb.installed_at = ctx_.Now();
+            tomb.applied = std::move(moved_applied);
+            v->InstallMovedTombstone(msg->moved_dir, tomb);
+          }
           reply = blob;
         }
       }
     } else {
       v->kv.Put(key, rec.inode_value);
       if (msg->inode.type == FileType::kDirectory) {
+        // Arrival era hygiene: drop dead-era lanes for the directory.
+        v->TakeHwmRows(msg->inode.id, 0);
         v->kv.Put(DirIndexKey(msg->inode.id),
                   EncodeDirIndex(key, FingerprintOf(msg->parent_dir,
                                                     msg->parent_entry_name)));
@@ -316,7 +385,10 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
       co_await ctx_.cpu->Run(ctx_.costs->changelog_append);
       if (v->dead) co_return;
       entry.wal_lsn = lsn;
-      clog->Restore(entry);
+      // Re-obtain the log: commit legs do not hold the change-log lock, so
+      // a concurrent moved_fp rebind of the PARENT directory may have
+      // re-keyed (erased) the slot `clog` pointed at while we suspended.
+      v->GetChangeLog(msg->parent_fp, msg->parent_dir).Restore(entry);
     }
   }
 

@@ -31,6 +31,7 @@ SwitchServer::SwitchServer(sim::Simulator* sim, net::Network* net,
       push_(ctx_, agg_),
       links_(ctx_, push_, *this),
       rename_(ctx_, agg_, push_, *this) {
+  agg_.SetRebinder(&push_);  // moved_fp rebind for the aggregation path
   rpc_.SetCpu(&cpu_);
   rpc_.SetRequestHandler([this](net::Packet p) { OnRequest(std::move(p)); });
   rpc_.SetRawHandler([this](net::Packet p) { OnRaw(std::move(p)); });
@@ -216,9 +217,19 @@ void SwitchServer::OnRaw(net::Packet p) {
     case FallbackDone::kType:
       HandleFallbackDone(*static_cast<const FallbackDone*>(p.body.get()), v);
       break;
-    case InvalBroadcast::kType:
-      v->inval.Add(static_cast<const InvalBroadcast*>(p.body.get())->id, Now());
+    case InvalBroadcast::kType: {
+      const auto* msg = static_cast<const InvalBroadcast*>(p.body.get());
+      v->inval.Add(msg->id, Now());
+      if (msg->moved && config_.moved_rebind) {
+        // Rename rebind hint: re-key our old-era change-log for the moved
+        // directory now, before any client can have re-resolved the new
+        // path (keeps old-era entries ordered ahead of same-name new-era
+        // ones; see InvalBroadcast in messages.h).
+        sim::Spawn(push_.EagerRebindMoved(v, msg->id, msg->old_fp,
+                                          msg->new_fp));
+      }
       break;
+    }
     default:
       break;
   }
@@ -384,29 +395,74 @@ sim::Task<void> SwitchServer::PublishUpdate(const net::Packet* client_req,
   }
 }
 
+// Trims the (fp, dir) change-log up to acked_seq, re-finding the log after
+// the caller's suspension points: a concurrent moved_fp rebind may have
+// re-keyed (and erased) the slot, so a ChangeLog reference taken before a
+// co_await must not be reused for the trim.
+void SwitchServer::AckChangeLogUpTo(VolPtr v, psw::Fingerprint fp,
+                                    const InodeId& dir, uint64_t acked_seq) {
+  auto logs = v->changelogs.find(fp);
+  if (logs == v->changelogs.end()) {
+    return;
+  }
+  auto lit = logs->second.find(dir);
+  if (lit == logs->second.end()) {
+    return;
+  }
+  for (uint64_t lsn : lit->second.AckUpTo(acked_seq)) {
+    durable_->wal.MarkApplied(lsn);
+  }
+}
+
 sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
                                                  const InodeId& dir) {
-  ChangeLog& clog = v->GetChangeLog(fp, dir);
-  const uint64_t max_seq = clog.last_appended_seq();
+  uint64_t max_seq = 0;
+  std::vector<ChangeLogEntry> entries;
+  {
+    ChangeLog& clog = v->GetChangeLog(fp, dir);
+    max_seq = clog.last_appended_seq();
+    entries.assign(clog.pending().begin(), clog.pending().end());
+  }
   if (IsOwner(fp)) {
-    std::vector<ChangeLogEntry> entries(clog.pending().begin(),
-                                        clog.pending().end());
-    co_await agg_.ApplyEntries(v, dir, config_.index, std::move(entries), "");
+    co_await agg_.ApplyEntries(v, dir, config_.index, fp,
+                               std::move(entries), "");
     if (v->dead) co_return UnavailableError();
-    for (uint64_t lsn : clog.AckUpTo(max_seq)) {
-      durable_->wal.MarkApplied(lsn);
+    // Classify AFTER the apply: ApplyEntries drops entries silently when
+    // the directory is unknown here, and a rename can commit while the
+    // apply waits on the inode lock — a pre-apply check would let the
+    // blanket trim below swallow entries the rename raced. (Index AND
+    // inode checked: replay can leave a stale dir-index row behind, see
+    // ReplayWalInto — matching PushEngine::ApplySection.)
+    std::string ikey;
+    psw::Fingerprint ifp = 0;
+    if (config_.moved_rebind && (!v->LookupDirIndex(dir, &ikey, &ifp) ||
+                                 !v->kv.Get(ikey).has_value())) {
+      const ServerVolatile::MovedDir* tomb =
+          v->FindMovedTombstone(dir, Now(), config_.moved_tombstone_ttl);
+      if (tomb != nullptr) {
+        // Renamed away from this fingerprint: re-key the backlog toward the
+        // new owner instead of trimming it. Detached — the caller holds
+        // this group's change-log lock, so an inline rebind would
+        // self-deadlock. The op itself is committed; visibility follows
+        // the rebound push.
+        sim::Spawn(push_.RebindMovedLogDetached(
+            v, dir, fp, tomb->new_fp, tomb->AppliedFor(config_.index, fp),
+            /*from_aggregation=*/false));
+        co_return OkStatus();
+      }
     }
+    AckChangeLogUpTo(v, fp, dir, max_seq);
     co_return OkStatus();
   }
   // Synchronous fallback: the whole backlog rides one request (no MTU
-  // split — the op blocks on the apply, so splitting only adds round trips;
-  // see the exception note in messages.h).
+  // split — the op blocks on the apply, so splitting would only add round
+  // trips; see the exception note in messages.h).
   auto push = std::make_shared<PushReq>();
   push->src_server = config_.index;
   PushReq::PerDir pd;
   pd.dir = dir;
   pd.fp = fp;
-  pd.entries.assign(clog.pending().begin(), clog.pending().end());
+  pd.entries = std::move(entries);
   push->dirs.push_back(std::move(pd));
   auto r = co_await rpc_.Call(cluster_->ServerNode(OwnerOf(fp)), push);
   if (v->dead) co_return UnavailableError();
@@ -420,13 +476,20 @@ sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
   uint64_t acked_seq = 0;
   for (const auto& row : resp->acked) {
     if (row.dir == dir) {
+      if (row.status == PushResp::SectionStatus::kMoved) {
+        // Renamed away at the owner: trim only the pre-rename applied prefix
+        // and re-key the rest (detached — see the local branch). The op is
+        // committed either way.
+        sim::Spawn(push_.RebindMovedLogDetached(v, dir, fp, row.new_fp,
+                                                row.acked_seq,
+                                                /*from_aggregation=*/false));
+        co_return OkStatus();
+      }
       acked_seq = row.acked_seq;
       break;
     }
   }
-  for (uint64_t lsn : clog.AckUpTo(acked_seq)) {
-    durable_->wal.MarkApplied(lsn);
-  }
+  AckChangeLogUpTo(v, fp, dir, acked_seq);
   co_return OkStatus();
 }
 
@@ -458,10 +521,29 @@ sim::Task<void> SwitchServer::HandleInsertFallback(net::Packet p, VolPtr v) {
   stats_.fallbacks++;
   co_await cpu_.Run(costs_->op_dispatch);
   if (v->dead) co_return;
-  const uint64_t acked_seq =
-      env->backlog.empty() ? 0 : env->backlog.back().seq;
-  co_await agg_.ApplyEntries(v, env->dir, env->src_server, env->backlog, "");
+  uint64_t acked_seq = env->backlog.empty() ? 0 : env->backlog.back().seq;
+  co_await agg_.ApplyEntries(v, env->dir, env->src_server, env->fp,
+                             env->backlog, "");
   if (v->dead) co_return;
+  {
+    // A backlog for a renamed-away directory must not be acked at max seq
+    // (ApplyEntries drops it silently): ack only the pre-rename applied
+    // prefix, so the source keeps the rest pending and the regular push
+    // path re-keys it via the kMoved verdict. Classified AFTER the apply —
+    // a rename can commit while the apply waits on the inode lock — and
+    // with the inode row checked as well as the index (replay can leave a
+    // stale dir-index row; see ReplayWalInto / PushEngine::ApplySection).
+    std::string ikey;
+    psw::Fingerprint ifp = 0;
+    if (config_.moved_rebind && (!v->LookupDirIndex(env->dir, &ikey, &ifp) ||
+                                 !v->kv.Get(ikey).has_value())) {
+      const ServerVolatile::MovedDir* tomb = v->FindMovedTombstone(
+          env->dir, Now(), config_.moved_tombstone_ttl);
+      if (tomb != nullptr) {
+        acked_seq = tomb->AppliedFor(env->src_server, env->fp);
+      }
+    }
+  }
 
   // Complete the client's operation (the response packet was redirected to
   // us; forward the envelope on to its rightful recipient).
@@ -475,6 +557,7 @@ sim::Task<void> SwitchServer::HandleInsertFallback(net::Packet p, VolPtr v) {
   // Tell the origin to release its locks and mark the backlog applied.
   auto done = std::make_shared<FallbackDone>();
   done->dir = env->dir;
+  done->fp = env->fp;
   done->op_token = env->op_token;
   done->acked_seq = acked_seq;
   rpc_.Notify(cluster_->ServerNode(env->src_server), done);
@@ -486,15 +569,13 @@ void SwitchServer::HandleFallbackDone(const FallbackDone& msg, VolPtr v) {
     return;
   }
   auto wait = it->second;
-  // Mark the applied backlog; the fingerprint is recoverable from the wait.
-  for (auto& [fp, dirs] : v->changelogs) {
-    auto dit = dirs.find(msg.dir);
-    if (dit != dirs.end()) {
-      for (uint64_t lsn : dit->second.AckUpTo(msg.acked_seq)) {
-        durable_->wal.MarkApplied(lsn);
-      }
-    }
-  }
+  // Trim ONLY the fingerprint the backlog was sent under: acked_seq is in
+  // that log's numbering, and a moved_fp rebind racing this notification
+  // may have re-keyed the directory's log under another fingerprint with
+  // fresh seqs — a dir-wide trim would swallow never-applied entries there.
+  // (The rebound copy of the applied prefix is trimmed by the kMoved
+  // verdict's applied marks instead.)
+  AckChangeLogUpTo(v, msg.fp, msg.dir, msg.acked_seq);
   wait->fallback_done = true;
   if (wait->slot != nullptr) {
     wait->slot->Set(2);
@@ -862,9 +943,21 @@ void SwitchServer::ReplayWalInto(ServerVolatile& v) {
                 const std::string name = rec.inode_key.substr(33);
                 InodeId pid;
                 std::memcpy(pid.w.data(), rec.inode_key.data() + 1, 32);
+                if (rec.op == OpType::kRename) {
+                  // Arrival era boundary, as at runtime: earlier-era applied
+                  // marks replayed from EntryApply records must not dedup
+                  // this era's renumbered entries.
+                  v.TakeHwmRows(attr.id, 0);
+                }
                 v.kv.Put(DirIndexKey(attr.id),
                          EncodeDirIndex(rec.inode_key,
                                         FingerprintOf(pid, name)));
+                // Rename destination leg: re-install the migrated entry
+                // list (it is as committed as the attr whose size counts it).
+                for (const DirEntry& e : rec.install_entries) {
+                  v.kv.Put(EntryKey(attr.id, e.name),
+                           EncodeEntryValue(e.type));
+                }
               }
             }
           }
@@ -877,11 +970,31 @@ void SwitchServer::ReplayWalInto(ServerVolatile& v) {
           e.wal_lsn = r.lsn;
           v.GetChangeLog(rec.parent_fp, rec.parent_dir).Restore(std::move(e));
         }
+        if (rec.has_moved_tombstone && config_.moved_rebind) {
+          // Re-install the moved tombstone so rename-away stays
+          // distinguishable from removed across a crash of the old owner
+          // (in-flight change-logs elsewhere still need the rebind verdict).
+          // The TTL restarts at replay time; install order is irrelevant
+          // (newest epoch wins). Departure era boundary, as at runtime: the
+          // tombstone takes over the applied marks, the live rows go — and
+          // so does the dir-index row (the runtime source leg deleted it;
+          // a stale replayed row would mask the tombstone consult).
+          v.kv.Delete(DirIndexKey(rec.moved_dir));
+          v.TakeHwmRows(rec.moved_dir, rec.moved_old_fp);
+          ServerVolatile::MovedDir tomb;
+          tomb.old_fp = rec.moved_old_fp;
+          tomb.new_fp = rec.moved_new_fp;
+          tomb.new_owner = rec.moved_new_owner;
+          tomb.epoch = rec.moved_epoch;
+          tomb.installed_at = Now();
+          tomb.applied = rec.moved_applied;
+          v.InstallMovedTombstone(rec.moved_dir, tomb);
+        }
         break;
       }
       case kWalEntryApply: {
         EntryApplyRecord rec = EntryApplyRecord::Decode(r.payload);
-        uint64_t& high = v.hwm[{rec.dir, rec.src_server}];
+        uint64_t& high = v.hwm[{rec.dir, rec.src_server, rec.fp}];
         if (rec.entry.seq <= high) {
           break;  // already applied (idempotent redo)
         }

@@ -119,6 +119,9 @@ class SwitchServer : public UpdatePublisher {
   // dedicated-tracker overflow fallback).
   sim::Task<Status> SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
                                      const InodeId& dir);
+  // Rebind-safe change-log trim (re-finds the log; see definition).
+  void AckChangeLogUpTo(VolPtr v, psw::Fingerprint fp, const InodeId& dir,
+                        uint64_t acked_seq);
 
   // ---- dirty-set fallback and acks ----
   sim::Task<void> HandleInsertFallback(net::Packet p, VolPtr v);

@@ -74,6 +74,20 @@ struct ServerConfig {
   // consecutive failure up to push_retry_max_backoff_shift doublings.
   sim::SimTime push_retry_backoff = sim::Microseconds(200);
   int push_retry_max_backoff_shift = 6;
+  // Rename-vs-removal disambiguation (§5.2 rename race): the source leg of a
+  // directory rename installs a moved tombstone so in-flight change-log
+  // entries keyed to the old fingerprint are re-keyed to the new owner
+  // instead of trimmed. Off = pre-tombstone behavior (rename-away
+  // indistinguishable from removal; raced entries are lost) — A/B lever for
+  // the rename-race tests.
+  bool moved_rebind = true;
+  // Moved-tombstone retention. This is the change-log retention horizon for
+  // rebinds: a tombstone must outlive any source's unacked backlog for the
+  // old fingerprint (pushes retry with backoff capped at
+  // push_retry_backoff << push_retry_max_backoff_shift, so seconds dwarf the
+  // retry cadence). After expiry a late push for the moved directory
+  // degrades to the removed-directory trim. Expired lazily on lookup.
+  sim::SimTime moved_tombstone_ttl = sim::Seconds(10);
   sim::SimTime owner_quiet_period = sim::Microseconds(400);
   sim::SimTime insert_ack_timeout = sim::Microseconds(150);
   int insert_max_attempts = 100;
@@ -117,6 +131,15 @@ struct ServerStats {
   uint64_t push_dirs_sent = 0;     // PerDir sections across sent packets
   uint64_t push_entries_sent = 0;  // entries across sent packets
   uint64_t pushes_received = 0;
+  // moved_fp rebinds (§5.2 rename race): change-logs re-keyed to a renamed
+  // directory's new fingerprint instead of trimmed, counted at the source
+  // performing the rebind. pushes_rebound/entries_rebound come from kMoved
+  // PushResp sections; agg_rebinds/agg_entries_rebound from AggDone moved
+  // rows (the aggregation-path equivalent).
+  uint64_t pushes_rebound = 0;
+  uint64_t entries_rebound = 0;
+  uint64_t agg_rebinds = 0;
+  uint64_t agg_entries_rebound = 0;
   uint64_t fallbacks = 0;
   uint64_t stale_cache_bounces = 0;
   uint64_t wal_replayed = 0;
@@ -144,6 +167,46 @@ struct ServerVolatile {
     bool fallback_done = false;
     std::shared_ptr<sim::OneShot<int>> slot;  // armed per attempt
   };
+  // Moved tombstone (§5.2 rename race): installed by the source leg of a
+  // directory rename in place of a bare dir-index removal. A push or
+  // aggregation that finds the directory gone consults this map: a hit turns
+  // the ack-at-max-seq trim into a kMoved rebind verdict (new fingerprint,
+  // new owner); a miss keeps the removed-directory trim. `epoch` is the
+  // rename's commit time at this server — newest wins on install, so a
+  // replayed or duplicated commit of an earlier rename cannot clobber the
+  // tombstone of a later one and re-key logs onto a superseded location.
+  struct MovedDir {
+    psw::Fingerprint old_fp = 0;  // the fingerprint this tombstone closed
+    psw::Fingerprint new_fp = 0;
+    uint32_t new_owner = 0;
+    uint64_t epoch = 0;
+    int64_t installed_at = 0;  // lazy TTL expiry base (moved_tombstone_ttl)
+    // Pre-rename applied high-water marks, (source server, seq), snapshotted
+    // from `hwm` when the tombstone is installed. kMoved verdicts hand each
+    // source its row so the already-applied prefix (it migrated with the
+    // entry list) is trimmed, not re-keyed. The live hwm rows are erased at
+    // install: rebound logs are renumbered from 1 at the new owner, so a
+    // directory that later returns to this server must start a fresh
+    // dedup era — stale marks would silently swallow its new entries.
+    std::vector<std::pair<uint32_t, uint64_t>> applied;
+
+    // Marks are meaningful only in the numbering of the era this tombstone
+    // closed: a server that hosted the directory under several fingerprints
+    // across a rename chain keeps one (newest) tombstone, and handing its
+    // marks to a push keyed to an older fingerprint would trim entries of a
+    // numbering they never measured.
+    uint64_t AppliedFor(uint32_t src, psw::Fingerprint section_fp) const {
+      if (section_fp != old_fp) {
+        return 0;
+      }
+      for (const auto& [s, seq] : applied) {
+        if (s == src) {
+          return seq;
+        }
+      }
+      return 0;
+    }
+  };
 
   explicit ServerVolatile(sim::Simulator* sim)
       : inode_locks(sim), changelog_locks(sim), agg_gates(sim) {}
@@ -156,8 +219,16 @@ struct ServerVolatile {
   std::unordered_map<psw::Fingerprint, std::map<InodeId, ChangeLog>>
       changelogs;
   InvalidationList inval;
-  // Owner-side applied high-water marks: (dir, src server) -> seq.
-  std::map<std::pair<InodeId, uint32_t>, uint64_t> hwm;
+  // Owner-side applied high-water marks: (dir, src server, fingerprint the
+  // entries were logged under) -> seq. The fingerprint is part of the key
+  // because each (fp, dir) source log numbers independently: after a rename,
+  // a source may hold both a kept old-fingerprint log (monotonic straggler
+  // seqs) and a fresh new-fingerprint log restarting at 1, and a shared lane
+  // would let one era's resolved-prefix bridge swallow the other era's
+  // entries as duplicates.
+  std::map<std::tuple<InodeId, uint32_t, psw::Fingerprint>, uint64_t> hwm;
+  // Old-owner-side moved tombstones, keyed by the renamed directory's id.
+  std::map<InodeId, MovedDir> moved_dirs;
   std::unordered_map<psw::Fingerprint, std::shared_ptr<AggWait>> agg_waits;
   std::unordered_map<psw::Fingerprint, AggSession> agg_sessions;
   std::unordered_map<uint64_t, std::shared_ptr<OpWait>> op_waits;
@@ -177,11 +248,6 @@ struct ServerVolatile {
     bool idle_timer_armed = false;  // quiet-log flush timer
     bool retry_timer_armed = false;  // failure re-arm (owner unreachable)
     uint64_t activity = 0;  // bumped per enqueue; the idle timer watches it
-    // Entries committed toward this owner since the last drain round: a
-    // sub-MTU trickle spread across many directories still triggers a drain
-    // once an MTU worth accumulates (the idle timer alone would keep
-    // postponing while any of the owner's logs stays active).
-    int enqueued_since_drain = 0;
     int backoff_shift = 0;  // consecutive failed drains (caps the retry delay)
   };
   std::map<uint32_t, OwnerPusher> pushers;  // key: owner server index
@@ -209,6 +275,48 @@ struct ServerVolatile {
     }
     DecodeDirIndex(*value, inode_key, fp);
     return true;
+  }
+
+  // Installs (or refreshes) a moved tombstone. The epoch check makes install
+  // order irrelevant: a replayed commit of an earlier rename cannot displace
+  // the tombstone of a later one.
+  void InstallMovedTombstone(const InodeId& dir, const MovedDir& tomb) {
+    auto& slot = moved_dirs[dir];
+    if (slot.epoch <= tomb.epoch) {
+      slot = tomb;
+    }
+  }
+
+  // Live tombstone for `dir`, or nullptr. Expired tombstones (older than
+  // `ttl`) are erased on the way — after that a late push for the moved
+  // directory degrades to the removed-directory trim.
+  const MovedDir* FindMovedTombstone(const InodeId& dir, int64_t now,
+                                     sim::SimTime ttl) {
+    auto it = moved_dirs.find(dir);
+    if (it == moved_dirs.end()) {
+      return nullptr;
+    }
+    if (now - it->second.installed_at > ttl) {
+      moved_dirs.erase(it);
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  // Snapshot-and-erase of ALL of a directory's applied lanes (rename era
+  // hygiene); returns only the rows of `fp`'s lane — the marks a moved
+  // tombstone serves (MovedDir::AppliedFor is scoped to that fingerprint).
+  std::vector<std::pair<uint32_t, uint64_t>> TakeHwmRows(const InodeId& dir,
+                                                         psw::Fingerprint fp) {
+    std::vector<std::pair<uint32_t, uint64_t>> rows;
+    auto it = hwm.lower_bound({dir, 0, 0});
+    while (it != hwm.end() && std::get<0>(it->first) == dir) {
+      if (std::get<2>(it->first) == fp) {
+        rows.emplace_back(std::get<1>(it->first), it->second);
+      }
+      it = hwm.erase(it);
+    }
+    return rows;
   }
 };
 using VolPtr = std::shared_ptr<ServerVolatile>;

@@ -40,6 +40,24 @@ struct OpCommitRecord {
   psw::Fingerprint parent_fp = 0;
   ChangeLogEntry entry;
   bool has_entry = false;
+  // Directory-rename source leg: the moved tombstone (dir id -> new
+  // fingerprint/owner at rename epoch) rides the commit record so WAL replay
+  // re-installs it — an old-owner crash must not turn rename-away back into
+  // indistinguishable-from-removed for in-flight change-logs.
+  bool has_moved_tombstone = false;
+  InodeId moved_dir;
+  psw::Fingerprint moved_old_fp = 0;
+  psw::Fingerprint moved_new_fp = 0;
+  uint32_t moved_new_owner = 0;
+  uint64_t moved_epoch = 0;
+  // Pre-rename applied marks per source (the tombstone's `applied` snapshot;
+  // the live hwm rows are erased at install — rename era boundary).
+  std::vector<std::pair<uint32_t, uint64_t>> moved_applied;
+  // Directory-rename destination leg: the migrated entry list. The put-leg
+  // commit installs these rows in the KV store; without them in the record a
+  // new-owner crash replays the directory's attr (size included) but loses
+  // every migrated dirent.
+  std::vector<DirEntry> install_entries;
 
   std::string Encode() const {
     Encoder enc;
@@ -52,6 +70,24 @@ struct OpCommitRecord {
     enc.PutBool(has_entry);
     if (has_entry) {
       entry.EncodeTo(enc);
+    }
+    enc.PutBool(has_moved_tombstone);
+    if (has_moved_tombstone) {
+      moved_dir.EncodeTo(enc);
+      enc.PutU64(moved_old_fp);
+      enc.PutU64(moved_new_fp);
+      enc.PutU32(moved_new_owner);
+      enc.PutU64(moved_epoch);
+      enc.PutU32(static_cast<uint32_t>(moved_applied.size()));
+      for (const auto& [src, seq] : moved_applied) {
+        enc.PutU32(src);
+        enc.PutU64(seq);
+      }
+    }
+    enc.PutU32(static_cast<uint32_t>(install_entries.size()));
+    for (const DirEntry& e : install_entries) {
+      enc.PutString(e.name);
+      enc.PutU8(static_cast<uint8_t>(e.type));
     }
     return std::move(enc).Take();
   }
@@ -69,6 +105,29 @@ struct OpCommitRecord {
     if (r.has_entry) {
       r.entry = ChangeLogEntry::DecodeFrom(dec);
     }
+    r.has_moved_tombstone = dec.GetBool();
+    if (r.has_moved_tombstone) {
+      r.moved_dir = InodeId::DecodeFrom(dec);
+      r.moved_old_fp = dec.GetU64();
+      r.moved_new_fp = dec.GetU64();
+      r.moved_new_owner = dec.GetU32();
+      r.moved_epoch = dec.GetU64();
+      const uint32_t rows = dec.GetU32();
+      r.moved_applied.reserve(rows);
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t src = dec.GetU32();
+        const uint64_t seq = dec.GetU64();
+        r.moved_applied.emplace_back(src, seq);
+      }
+    }
+    const uint32_t installs = dec.GetU32();
+    r.install_entries.reserve(installs);
+    for (uint32_t i = 0; i < installs; ++i) {
+      DirEntry e;
+      e.name = dec.GetString();
+      e.type = static_cast<FileType>(dec.GetU8());
+      r.install_entries.push_back(std::move(e));
+    }
     return r;
   }
 };
@@ -76,6 +135,7 @@ struct OpCommitRecord {
 struct EntryApplyRecord {
   InodeId dir;
   uint32_t src_server = 0;
+  psw::Fingerprint fp = 0;  // dedup lane (see ServerVolatile::hwm)
   ChangeLogEntry entry;
   // Resulting absolute directory attributes (idempotent redo).
   uint64_t result_size = 0;
@@ -85,6 +145,7 @@ struct EntryApplyRecord {
     Encoder enc;
     dir.EncodeTo(enc);
     enc.PutU32(src_server);
+    enc.PutU64(fp);
     entry.EncodeTo(enc);
     enc.PutU64(result_size);
     enc.PutI64(result_mtime);
@@ -96,6 +157,7 @@ struct EntryApplyRecord {
     EntryApplyRecord r;
     r.dir = InodeId::DecodeFrom(dec);
     r.src_server = dec.GetU32();
+    r.fp = dec.GetU64();
     r.entry = ChangeLogEntry::DecodeFrom(dec);
     r.result_size = dec.GetU64();
     r.result_mtime = dec.GetI64();

@@ -134,6 +134,136 @@ TEST_P(ConsistencySweep, RandomOpSoupUpholdsInvariants) {
   EXPECT_EQ(population, 0u);
 }
 
+// Rename-storm sweep (§5.2 rename race, moved_fp rebind): concurrent
+// directory renames race create/unlink storms inside the renamed
+// directories. Entries that commit under a directory's old fingerprint in
+// the race window must be re-keyed to the new owner (moved tombstone), so
+// the end-state invariant is absolute: no committed dirent ever vanishes —
+// every directory's listing at its final path equals the exact set of
+// acknowledged creates minus acknowledged unlinks, and size matches.
+class RenameStormSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RenameStormSweep, NoCommittedDirentVanishes) {
+  const uint64_t seed = GetParam();
+  ClusterConfig cfg = SmallClusterConfig(4);
+  cfg.seed = seed;
+  FsHarness fs(cfg);
+
+  constexpr int kSlots = 4;
+  constexpr int kWorkers = 4;
+  constexpr int kOpsPerWorker = 40;
+  constexpr int kRenameRounds = 3;
+
+  // current[i] is directory slot i's path right now; the renamer updates it
+  // after each successful rename (coroutines are cooperative, so workers
+  // read a consistent value).
+  std::vector<std::string> current(kSlots);
+  for (int i = 0; i < kSlots; ++i) {
+    current[i] = "/d" + std::to_string(i);
+    ASSERT_TRUE(fs.Mkdir(current[i]).ok());
+  }
+
+  struct WorkerLog {
+    std::set<std::pair<int, std::string>> live;  // (slot, name) believed alive
+  };
+  std::vector<WorkerLog> logs(kWorkers);
+  std::vector<std::unique_ptr<SwitchFsClient>> clients;
+  for (int w = 0; w < kWorkers; ++w) {
+    clients.push_back(fs.cluster.MakeClient());
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    sim::Spawn([](SwitchFsClient* c, const std::vector<std::string>* cur,
+                  int id, uint64_t seed, WorkerLog* log) -> sim::Task<void> {
+      Rng rng(seed ^ (0x51acULL * (id + 1)));
+      int counter = 0;
+      for (int i = 0; i < kOpsPerWorker; ++i) {
+        const int slot = static_cast<int>(rng.NextBelow(kSlots));
+        if (rng.NextBelow(10) < 7 || log->live.empty()) {
+          const std::string name =
+              "w" + std::to_string(id) + "_" + std::to_string(counter++);
+          Status s = co_await c->Create((*cur)[slot] + "/" + name);
+          // A failed create (NOT_FOUND mid-rename, retries exhausted) did
+          // not execute; only acknowledged creates are expected to survive.
+          if (s.ok() || s.code() == StatusCode::kAlreadyExists) {
+            log->live.insert({slot, name});
+          }
+        } else {
+          const auto [slot2, name] = *log->live.begin();
+          Status s = co_await c->Unlink((*cur)[slot2] + "/" + name);
+          // Names are worker-unique, so the executing server cannot report
+          // NOT_FOUND for a live file; a failure here means the unlink never
+          // resolved (rename race) and the file is still live.
+          if (s.ok()) {
+            log->live.erase({slot2, name});
+          }
+        }
+      }
+    }(clients[w].get(), &current, w, seed, &logs[w]));
+  }
+  // The renamer storms every slot while the workers run.
+  bool renames_done = false;
+  sim::Spawn([](sim::Simulator* sm, SwitchFsClient* c,
+                std::vector<std::string>* cur, uint64_t seed,
+                bool* done) -> sim::Task<void> {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    for (int round = 0; round < kRenameRounds; ++round) {
+      for (int i = 0; i < kSlots; ++i) {
+        co_await sim::Delay(sm, sim::Microseconds(20 + rng.NextBelow(60)));
+        const std::string to =
+            "/m" + std::to_string(i) + "_" + std::to_string(round);
+        Status s = co_await c->Rename((*cur)[i], to);
+        if (!s.ok()) {  // gtest ASSERT cannot `return` from a coroutine
+          ADD_FAILURE() << (*cur)[i] << " -> " << to << ": " << s.ToString();
+          co_return;
+        }
+        (*cur)[i] = to;
+      }
+    }
+    *done = true;
+  }(&fs.cluster.sim(), fs.client.get(), &current, seed, &renames_done));
+  fs.cluster.sim().Run();
+  ASSERT_TRUE(renames_done);
+
+  // Expected exact end state per slot.
+  std::vector<std::set<std::string>> expected(kSlots);
+  for (const WorkerLog& log : logs) {
+    for (const auto& [slot, name] : log.live) {
+      expected[slot].insert(name);
+    }
+  }
+
+  // The storm must actually exercise the race: entries committed under old
+  // fingerprints were re-keyed, not trimmed (with moved_rebind off they are
+  // trimmed and the exact-listing checks below fail).
+  const auto st = fs.cluster.TotalStats();
+  EXPECT_GT(st.entries_rebound + st.agg_entries_rebound, 0u);
+
+  // (I3) nothing pending after the drain, and (I1)+(I2) at the final paths.
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u);
+  for (int i = 0; i < kSlots; ++i) {
+    auto sd = fs.StatDir(current[i]);
+    ASSERT_TRUE(sd.ok()) << current[i];
+    auto listing = fs.Readdir(current[i]);
+    ASSERT_TRUE(listing.ok()) << current[i];
+    std::set<std::string> got;
+    for (const DirEntry& e : *listing) {
+      got.insert(e.name);
+    }
+    EXPECT_EQ(sd->size, got.size()) << current[i];
+    EXPECT_EQ(got, expected[i]) << current[i];
+    for (const std::string& name : expected[i]) {
+      EXPECT_TRUE(fs.Stat(current[i] + "/" + name).ok())
+          << current[i] << "/" << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenameStormSweep,
+                         ::testing::Values(11, 12, 13, 14),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndFaults, ConsistencySweep,
     ::testing::Values(SweepParam{1, 0.0, 0.0, 0},

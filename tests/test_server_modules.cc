@@ -50,6 +50,7 @@ class ModuleHarness : public UpdatePublisher {
                         &config, &cpu, &rpc,          &stats,   &tracker_impl};
     agg = std::make_unique<Aggregation>(ctx);
     push = std::make_unique<PushEngine>(ctx, *agg);
+    agg->SetRebinder(push.get());
     rename = std::make_unique<RenameCoordinator>(ctx, *agg, *push, *this);
     rpc.SetCpu(&cpu);
     rpc.SetRequestHandler([this](net::Packet p) { OnRequest(std::move(p)); });
@@ -245,6 +246,7 @@ class PushHarness {
                              &n->stats,  &tracker_impl};
       n->agg = std::make_unique<Aggregation>(n->ctx);
       n->push = std::make_unique<PushEngine>(n->ctx, *n->agg);
+      n->agg->SetRebinder(n->push.get());
       n->rpc.SetCpu(&n->cpu);
       n->rpc.SetRequestHandler(
           [this, n](net::Packet p) { OnRequest(*n, std::move(p)); });
@@ -388,9 +390,15 @@ TEST(PushEngineModule, BatchesDirsHeadedToSameOwnerIntoOnePacket) {
 }
 
 // A batch never exceeds mtu_entries entries; the overflow splits across
-// packets (29 + 16 here) and every log still drains completely.
+// packets (29 + 16 here) and every log still drains completely. The owner's
+// quiet-period timer is parked: with the exact ready-entry MTU trigger the
+// first batch fires as soon as two logs accumulate an MTU worth, and an
+// owner-side aggregation racing the second packet would drain the split
+// directory's tail out from under the push accounting below.
 TEST(PushEngineModule, SplitsBatchesAtMtuBoundary) {
   PushHarness h;
+  h.src.config.owner_quiet_period = sim::Seconds(100);
+  h.owner.config.owner_quiet_period = sim::Seconds(100);
   const InodeId parent = RootId();
   std::vector<InodeId> ids;
   std::vector<psw::Fingerprint> fps;
@@ -544,6 +552,235 @@ TEST(PushEngineModule, LocalApplyCountsAsLocalPush) {
 }
 
 // ---------------------------------------------------------------------------
+// moved_fp rebind (§5.2 rename race)
+// ---------------------------------------------------------------------------
+
+// An entry that commits under a directory's old fingerprint in the rename
+// race window must be observable at the new owner afterwards. The old owner
+// holds a moved tombstone; the push returns kMoved and the source re-keys
+// the change-log under the new fingerprint (here owned by the source itself,
+// so the rebound push is an owner-local apply) instead of trimming it.
+TEST(PushEngineModule, RenameRacedPushRebindsToNewOwner) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const std::string old_name = h.NameOwnedBy(parent, 1, "mvo");
+  const std::string new_name = h.NameOwnedBy(parent, 0, "mvn");
+  const psw::Fingerprint old_fp = FingerprintOf(parent, old_name);
+  const psw::Fingerprint new_fp = FingerprintOf(parent, new_name);
+  // The directory lives at its post-rename location (owned by node 0); the
+  // old owner only has the tombstone left behind by the rename's source leg.
+  const InodeId dir = h.SeedDirAt(h.src, parent, new_name, 800);
+  ServerVolatile::MovedDir tomb;
+  tomb.old_fp = old_fp;
+  tomb.new_fp = new_fp;
+  tomb.new_owner = 0;
+  tomb.epoch = 7;
+  tomb.installed_at = h.sim.Now();
+  h.owner.vol->InstallMovedTombstone(dir, tomb);
+
+  h.AppendAndSchedule(old_fp, dir, 3);  // the raced commits, keyed to old_fp
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.pushes_rebound, 1u);
+  EXPECT_EQ(h.src.stats.entries_rebound, 3u);
+  EXPECT_EQ(h.owner.stats.entries_applied, 0u);
+  // The rebound log drained through the new owner (the source itself).
+  EXPECT_EQ(h.src.stats.pushes_local, 1u);
+  EXPECT_EQ(h.src.stats.entries_applied, 3u);
+  EXPECT_EQ(h.SrcPending(old_fp, dir), 0u);
+  EXPECT_EQ(h.SrcPending(new_fp, dir), 0u);
+  auto value = h.src.vol->kv.Get(InodeKey(parent, new_name));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(Attr::Decode(*value).size, 3u);
+  // Only the op-commit records: the owner-local apply also appended
+  // EntryApply records, which never carry the remote-applied mark.
+  for (const kv::WalRecord& r : h.src.durable.wal.records()) {
+    if (r.type == 1) {
+      EXPECT_TRUE(r.applied);
+    }
+  }
+}
+
+// A/B companion: with the tombstone lookup disabled (moved_rebind off — the
+// pre-tombstone protocol), the same race trims the committed entries as if
+// the directory had been removed, and they never reach the new location.
+// This is exactly the data-loss window the tombstone closes.
+TEST(PushEngineModule, RenameRacedPushTrimsWhenRebindDisabled) {
+  PushHarness h;
+  h.src.config.moved_rebind = false;
+  h.owner.config.moved_rebind = false;
+  const InodeId parent = RootId();
+  const std::string old_name = h.NameOwnedBy(parent, 1, "dvo");
+  const std::string new_name = h.NameOwnedBy(parent, 0, "dvn");
+  const psw::Fingerprint old_fp = FingerprintOf(parent, old_name);
+  const InodeId dir = h.SeedDirAt(h.src, parent, new_name, 801);
+  ServerVolatile::MovedDir tomb;
+  tomb.old_fp = old_fp;
+  tomb.new_fp = FingerprintOf(parent, new_name);
+  tomb.new_owner = 0;
+  tomb.epoch = 7;
+  tomb.installed_at = h.sim.Now();
+  h.owner.vol->InstallMovedTombstone(dir, tomb);
+
+  h.AppendAndSchedule(old_fp, dir, 3);
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.pushes_rebound, 0u);
+  EXPECT_EQ(h.src.stats.entries_rebound, 0u);
+  EXPECT_EQ(h.SrcPending(old_fp, dir), 0u) << "trimmed as obsolete";
+  EXPECT_EQ(h.src.stats.entries_applied + h.owner.stats.entries_applied, 0u)
+      << "the committed creates are lost — nothing ever applied";
+  auto value = h.src.vol->kv.Get(InodeKey(parent, new_name));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(Attr::Decode(*value).size, 0u);
+}
+
+// The kMoved verdict's acked_seq carries the prefix the old owner applied
+// before the rename (it migrated with the directory's entry list): the
+// source trims that prefix and rebinds only the unapplied suffix, so nothing
+// is double-counted at the new owner.
+TEST(PushEngineModule, RebindTrimsPreRenameAppliedPrefix) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const std::string old_name = h.NameOwnedBy(parent, 1, "pfo");
+  const std::string new_name = h.NameOwnedBy(parent, 0, "pfn");
+  const psw::Fingerprint old_fp = FingerprintOf(parent, old_name);
+  const psw::Fingerprint new_fp = FingerprintOf(parent, new_name);
+  const InodeId dir = h.SeedDirAt(h.src, parent, new_name, 802);
+  ServerVolatile::MovedDir tomb;
+  tomb.old_fp = old_fp;
+  tomb.new_fp = new_fp;
+  tomb.new_owner = 0;
+  tomb.epoch = 9;
+  tomb.installed_at = h.sim.Now();
+  // The old owner had applied seqs 1-2 before the rename; the tombstone
+  // took over those marks (the live hwm rows are erased at install).
+  tomb.applied = {{0u, 2u}};
+  h.owner.vol->InstallMovedTombstone(dir, tomb);
+
+  h.AppendAndSchedule(old_fp, dir, 5);  // seqs 1..5 pending at the source
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.entries_rebound, 3u) << "only the unapplied suffix";
+  EXPECT_EQ(h.src.stats.entries_applied, 3u);
+  EXPECT_EQ(h.SrcPending(old_fp, dir), 0u);
+  EXPECT_EQ(h.SrcPending(new_fp, dir), 0u);
+  auto value = h.src.vol->kv.Get(InodeKey(parent, new_name));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(Attr::Decode(*value).size, 3u);
+  for (const kv::WalRecord& r : h.src.durable.wal.records()) {
+    if (r.type == 1) {
+      EXPECT_TRUE(r.applied);  // the trimmed prefix was marked applied too
+    }
+  }
+}
+
+// Tombstones expire after moved_tombstone_ttl (the rebind retention
+// horizon): a push arriving later degrades to the removed-directory trim.
+TEST(PushEngineModule, ExpiredTombstoneDegradesToRemovedTrim) {
+  PushHarness h;
+  h.owner.config.moved_tombstone_ttl = sim::Microseconds(10);
+  const InodeId parent = RootId();
+  const std::string old_name = h.NameOwnedBy(parent, 1, "tto");
+  const std::string new_name = h.NameOwnedBy(parent, 0, "ttn");
+  const psw::Fingerprint old_fp = FingerprintOf(parent, old_name);
+  const InodeId dir = h.SeedDirAt(h.src, parent, new_name, 803);
+  ServerVolatile::MovedDir tomb;
+  tomb.old_fp = old_fp;
+  tomb.new_fp = FingerprintOf(parent, new_name);
+  tomb.new_owner = 0;
+  tomb.epoch = 3;
+  tomb.installed_at = h.sim.Now();
+  h.owner.vol->InstallMovedTombstone(dir, tomb);
+
+  // The push fires after the idle timeout (300us), far past the 10us TTL.
+  h.AppendAndSchedule(old_fp, dir, 2);
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.pushes_rebound, 0u);
+  EXPECT_EQ(h.SrcPending(old_fp, dir), 0u) << "trimmed: tombstone expired";
+  EXPECT_TRUE(h.owner.vol->moved_dirs.empty()) << "lazy expiry erased it";
+}
+
+// The install-side epoch check: a replayed commit of an EARLIER rename must
+// not clobber the tombstone of a later one — otherwise a raced log would be
+// re-keyed onto the superseded location of the first rename.
+TEST(PushEngineModule, TombstoneInstallKeepsNewestEpoch) {
+  PushHarness h;
+  InodeId dir;
+  dir.w[0] = 804;
+  dir.w[3] = 2;
+  ServerVolatile::MovedDir second;
+  second.new_fp = 222;
+  second.new_owner = 0;
+  second.epoch = 20;
+  second.installed_at = h.sim.Now();
+  h.owner.vol->InstallMovedTombstone(dir, second);
+  ServerVolatile::MovedDir first;  // replayed earlier rename
+  first.new_fp = 111;
+  first.new_owner = 1;
+  first.epoch = 10;
+  first.installed_at = h.sim.Now();
+  h.owner.vol->InstallMovedTombstone(dir, first);
+
+  const ServerVolatile::MovedDir* tomb = h.owner.vol->FindMovedTombstone(
+      dir, h.sim.Now(), h.owner.config.moved_tombstone_ttl);
+  ASSERT_NE(tomb, nullptr);
+  EXPECT_EQ(tomb->new_fp, 222u) << "the second rename's target survives";
+  EXPECT_EQ(tomb->epoch, 20u);
+}
+
+// Aggregation-path rebind: entries collected for a moved directory during an
+// old-fingerprint aggregation become AggDone moved rows (not acks), and each
+// source re-keys its log toward the new owner — agg_rebinds advances instead
+// of the entries being trimmed.
+TEST(PushEngineModule, AggregationMovedRowRebindsCollectedEntries) {
+  PushHarness h;
+  const InodeId parent = RootId();
+  const std::string old_name = h.NameOwnedBy(parent, 1, "ago");
+  const std::string new_name = h.NameOwnedBy(parent, 0, "agn");
+  const psw::Fingerprint old_fp = FingerprintOf(parent, old_name);
+  const psw::Fingerprint new_fp = FingerprintOf(parent, new_name);
+  const InodeId dir = h.SeedDirAt(h.src, parent, new_name, 805);
+  ServerVolatile::MovedDir tomb;
+  tomb.old_fp = old_fp;
+  tomb.new_fp = new_fp;
+  tomb.new_owner = 0;
+  tomb.epoch = 11;
+  tomb.installed_at = h.sim.Now();
+  h.owner.vol->InstallMovedTombstone(dir, tomb);
+
+  // Pending entries at the source; no push scheduled — the owner's
+  // aggregation collects them instead.
+  ChangeLog& clog = h.src.vol->GetChangeLog(old_fp, dir);
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t seq = clog.last_appended_seq() + 1;
+    ChangeLogEntry e = MakeEntry(seq, "e" + std::to_string(seq),
+                                 OpType::kCreate, 100 + static_cast<int>(seq));
+    e.wal_lsn = h.src.durable.wal.Append(1, "op");
+    clog.Restore(std::move(e));
+  }
+  sim::Spawn(h.owner.agg->GateAndAggregate(h.owner.vol, old_fp));
+  h.sim.Run();
+
+  EXPECT_EQ(h.src.stats.agg_rebinds, 1u);
+  EXPECT_EQ(h.src.stats.agg_entries_rebound, 4u);
+  EXPECT_EQ(h.src.stats.pushes_rebound, 0u);
+  EXPECT_EQ(h.owner.stats.entries_applied, 0u);
+  EXPECT_EQ(h.SrcPending(old_fp, dir), 0u);
+  EXPECT_EQ(h.SrcPending(new_fp, dir), 0u) << "rebound then drained locally";
+  EXPECT_EQ(h.src.stats.entries_applied, 4u);
+  auto value = h.src.vol->kv.Get(InodeKey(parent, new_name));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(Attr::Decode(*value).size, 4u);
+  for (const kv::WalRecord& r : h.src.durable.wal.records()) {
+    if (r.type == 1) {
+      EXPECT_TRUE(r.applied);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // OwnerQuietTimer (§5.3 owner-side proactive aggregation)
 // ---------------------------------------------------------------------------
 
@@ -613,7 +850,8 @@ TEST(AggregationModule, ApplyEntriesCompactsAttributeUpdate) {
     entries.push_back(
         MakeEntry(s, "f" + std::to_string(s), OpType::kCreate, 100 + s));
   }
-  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, /*src=*/1, entries, ""));
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, /*src=*/1,
+                                 FingerprintOf(parent, "docs"), entries, ""));
   h.sim.Run();
 
   Attr attr = h.ReadAttr(parent, "docs");
@@ -622,7 +860,7 @@ TEST(AggregationModule, ApplyEntriesCompactsAttributeUpdate) {
   EXPECT_EQ(h.stats.entries_applied, 5u);
   EXPECT_EQ(h.vol->kv.CountPrefix(EntryPrefix(dir)), 5u);
   // The hwm advanced to the batch's tail.
-  EXPECT_EQ((h.vol->hwm[{dir, 1u}]), 5u);
+  EXPECT_EQ((h.vol->hwm[{dir, 1u, FingerprintOf(parent, "docs")}]), 5u);
 }
 
 TEST(AggregationModule, ApplyEntriesDeduplicatesByHighWaterMark) {
@@ -635,10 +873,12 @@ TEST(AggregationModule, ApplyEntriesDeduplicatesByHighWaterMark) {
     entries.push_back(
         MakeEntry(s, "f" + std::to_string(s), OpType::kCreate, 100 + s));
   }
-  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1, entries, ""));
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1,
+                                 FingerprintOf(parent, "docs"), entries, ""));
   h.sim.Run();
   // Replaying the same batch (a duplicated push) applies nothing new.
-  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1, entries, ""));
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1,
+                                 FingerprintOf(parent, "docs"), entries, ""));
   h.sim.Run();
 
   EXPECT_EQ(h.stats.entries_applied, 3u);
@@ -646,22 +886,48 @@ TEST(AggregationModule, ApplyEntriesDeduplicatesByHighWaterMark) {
   EXPECT_EQ(h.ReadAttr(parent, "docs").size, 3u);
 }
 
-TEST(AggregationModule, ApplyEntriesStopsAtSequenceGap) {
+TEST(AggregationModule, ApplyEntriesStopsAtMidBatchSequenceGap) {
   ModuleHarness h;
   const InodeId parent = RootId();
   const InodeId dir = h.SeedDir(parent, "docs", /*tag=*/79);
 
-  // Seqs 2-3 while the hwm expects 1: an earlier push is still in flight, so
-  // nothing may be applied (FIFO per source).
+  // A gap INSIDE a batch (seq 3 missing) means later entries of this very
+  // batch are out of FIFO order: apply the contiguous prefix only.
   std::vector<ChangeLogEntry> entries;
+  entries.push_back(MakeEntry(1, "a", OpType::kCreate, 101));
   entries.push_back(MakeEntry(2, "b", OpType::kCreate, 102));
-  entries.push_back(MakeEntry(3, "c", OpType::kCreate, 103));
-  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1, entries, ""));
+  entries.push_back(MakeEntry(4, "d", OpType::kCreate, 104));
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1,
+                                 FingerprintOf(parent, "docs"), entries, ""));
   h.sim.Run();
 
-  EXPECT_EQ(h.stats.entries_applied, 0u);
-  EXPECT_EQ(h.ReadAttr(parent, "docs").size, 0u);
-  EXPECT_EQ(h.vol->kv.CountPrefix(EntryPrefix(dir)), 0u);
+  EXPECT_EQ(h.stats.entries_applied, 2u);
+  EXPECT_EQ(h.ReadAttr(parent, "docs").size, 2u);
+  EXPECT_EQ(h.vol->kv.CountPrefix(EntryPrefix(dir)), 2u);
+  EXPECT_EQ((h.vol->hwm[{dir, 1u, FingerprintOf(parent, "docs")}]), 2u);
+}
+
+// Resolved-prefix bridge (moved_fp rebind support): a batch always starts
+// at the source log's front, and fronts only advance through resolution —
+// so seqs below the batch's first entry are settled (acked here, migrated
+// with a renamed directory's entry list, or trimmed as obsolete) and must
+// not be waited for. A rebound or straggler batch that resumes above marks
+// this lane never saw applies instead of gap-stalling forever.
+TEST(AggregationModule, ApplyEntriesBridgesResolvedPrefixBelowBatchFront) {
+  ModuleHarness h;
+  const InodeId parent = RootId();
+  const InodeId dir = h.SeedDir(parent, "docs", /*tag=*/81);
+
+  std::vector<ChangeLogEntry> entries;
+  entries.push_back(MakeEntry(3, "c", OpType::kCreate, 103));
+  entries.push_back(MakeEntry(4, "d", OpType::kCreate, 104));
+  sim::Spawn(h.agg->ApplyEntries(h.vol, dir, 1,
+                                 FingerprintOf(parent, "docs"), entries, ""));
+  h.sim.Run();
+
+  EXPECT_EQ(h.stats.entries_applied, 2u);
+  EXPECT_EQ(h.ReadAttr(parent, "docs").size, 2u);
+  EXPECT_EQ((h.vol->hwm[{dir, 1u, FingerprintOf(parent, "docs")}]), 4u);
 }
 
 // GateAndAggregate on the owner collects the local change-log, applies it,

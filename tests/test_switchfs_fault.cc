@@ -304,6 +304,111 @@ TEST(SwitchFsFault, RmdirRaceObsoletePushIsTrimmedNotRepushed) {
   EXPECT_EQ(sd->size, 0u);
 }
 
+TEST(SwitchFsFault, RenameRaceRebindRetriesAcrossNewOwnerCrash) {
+  // §5.2 rename race + new-owner crash: creates race a directory rename, so
+  // some commit under the old fingerprint and are still pending when the
+  // rename finishes. The new owner then crashes BEFORE the rebound push can
+  // land: sources get the kMoved verdict from the old owner's tombstone,
+  // re-key their logs, and the re-push toward the dead new owner must
+  // retry — not strand — until it recovers. Afterwards every acknowledged
+  // create must be observable at the directory's new location.
+  ClusterConfig cfg = SmallClusterConfig();
+  // Pushes idle long enough that raced entries are still pending when the
+  // rename commits (the race window below lasts a few hundred us).
+  cfg.server_template.push_idle_timeout = sim::Milliseconds(2);
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/a").ok());
+  ASSERT_TRUE(fs.Mkdir("/b").ok());
+  ASSERT_TRUE(fs.Mkdir("/a/d").ok());
+  ASSERT_TRUE(fs.Create("/a/d/warm").ok());  // warms the clients' path caches
+
+  const psw::Fingerprint old_fp =
+      FingerprintOf(fs.Stat("/a")->id, "d");
+  const InodeId b_id = fs.Stat("/b")->id;
+  // Pick a destination name whose owner differs from the old owner (same
+  // owner would re-create the dir index in place and never need the
+  // tombstone) so the cross-server rebind actually happens.
+  std::string dst_name;
+  for (int i = 0;; ++i) {
+    dst_name = "d2_" + std::to_string(i);
+    if (fs.cluster.ring().Owner(FingerprintOf(b_id, dst_name)) !=
+        fs.cluster.ring().Owner(old_fp)) {
+      break;
+    }
+  }
+  const uint32_t new_owner =
+      fs.cluster.ring().Owner(FingerprintOf(b_id, dst_name));
+
+  // Concurrent creates from several warmed clients race the rename; the
+  // ones that commit between the rename's pre-lock aggregation snapshot and
+  // its source-leg commit are exactly the moved_fp race window.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::vector<std::unique_ptr<SwitchFsClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(fs.cluster.MakeClient());
+  }
+  // Warm each extra client's cache on the pre-rename path.
+  for (int c = 0; c < kClients; ++c) {
+    Status warm = InternalError("");
+    sim::Spawn([](SwitchFsClient* cl, int c, Status* out) -> sim::Task<void> {
+      *out = co_await cl->Create("/a/d/wc" + std::to_string(c));
+    }(clients[c].get(), c, &warm));
+    fs.cluster.sim().RunUntil(fs.cluster.sim().Now() + sim::Milliseconds(5));
+    ASSERT_TRUE(warm.ok());
+  }
+  int ok_creates = 0;
+  bool renamed = false;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn([](SwitchFsClient* cl, int c, int* ok) -> sim::Task<void> {
+      for (int i = 0; i < kPerClient; ++i) {
+        Status s =
+            co_await cl->Create("/a/d/f" + std::to_string(c) + "_" +
+                                std::to_string(i));
+        if (s.ok()) {
+          (*ok)++;
+        }
+      }
+    }(clients[c].get(), c, &ok_creates));
+  }
+  sim::Spawn([](sim::Simulator* sm, SwitchFsClient* cl, const std::string dst,
+                bool* out) -> sim::Task<void> {
+    // A beat after the burst starts, so creates land on both sides of the
+    // rename's race window.
+    co_await sim::Delay(sm, sim::Microseconds(40));
+    *out = (co_await cl->Rename("/a/d", dst)).ok();
+  }(&fs.cluster.sim(), fs.client.get(), "/b/" + dst_name, &renamed));
+  while (!renamed) {
+    fs.cluster.sim().RunUntil(fs.cluster.sim().Now() + sim::Microseconds(50));
+  }
+  // Rename committed: the tombstone is installed at the old owner. Crash the
+  // new owner before the 2 ms push-idle timers fire, so every raced entry's
+  // rebound push finds it dead.
+  fs.cluster.CrashServer(new_owner);
+  fs.cluster.sim().RunUntil(fs.cluster.sim().Now() + sim::Milliseconds(30));
+
+  const auto mid = fs.cluster.TotalStats();
+  EXPECT_GT(mid.entries_rebound + mid.agg_entries_rebound, 0u)
+      << "the race window was not exercised: no raced entries were rebound";
+  EXPECT_GT(mid.push_failures, 0u)
+      << "rebound pushes must have been retried against the dead new owner";
+  ASSERT_GT(fs.cluster.TotalPendingChangeLogEntries(), 0u)
+      << "rebound entries must stay pending, not be trimmed";
+
+  fs.Run(fs.cluster.RecoverServer(new_owner));
+  EXPECT_EQ(fs.cluster.TotalPendingChangeLogEntries(), 0u)
+      << "rebind retries must drain once the new owner is back";
+
+  // Every acknowledged create (and the five warm files) is observable at the
+  // new location: nothing vanished, nothing double-applied.
+  auto sd = fs.StatDir("/b/" + dst_name);
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->size, static_cast<uint64_t>(ok_creates) + 1 + kClients);
+  auto entries = fs.Readdir("/b/" + dst_name);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<size_t>(ok_creates) + 1 + kClients);
+}
+
 TEST(SwitchFsFault, RecoveryIsIdempotent) {
   // §A.1: recovering twice (nested crash during recovery) must not
   // double-apply entries.
