@@ -39,12 +39,48 @@ sim::Task<void> Tour(core::Cluster* /*cluster*/, core::SwitchFsClient* fs) {
               static_cast<unsigned long long>(attr->size),
               static_cast<long long>(attr->mtime));
 
-  auto entries = co_await fs->Readdir("/projects/switchfs");
-  std::printf("readdir             ->");
-  for (const auto& e : *entries) {
-    std::printf(" %s", e.name.c_str());
+  // Listing is a cookie-paged stream (MetadataService v2): OpenDir pins an
+  // owner-side snapshot — aggregated once, immune to concurrent mutations —
+  // and each page is bounded by mtu_entries.
+  auto dir = co_await fs->OpenDir("/projects/switchfs");
+  std::printf("opendir             -> handle %llu\n",
+              static_cast<unsigned long long>(dir->id));
+  uint64_t cookie = core::kDirStreamStart;
+  int page_no = 0;
+  while (true) {
+    auto page = co_await fs->ReaddirPage(*dir, cookie);
+    std::printf("page %d              ->", page_no++);
+    for (const auto& e : page->entries) {
+      std::printf(" %s", e.name.c_str());
+    }
+    std::printf("%s\n", page->at_end ? "  [end]" : "");
+    if (page->at_end) {
+      break;
+    }
+    cookie = page->next_cookie;
   }
-  std::printf("\n");
+  (void)co_await fs->CloseDir(*dir);
+
+  // Batched lookups: one multi-target RPC per owner server instead of one
+  // round trip per path. (Named vector: GCC 12 miscompiles brace-init lists
+  // inside co_await expressions.)
+  std::vector<std::string> targets = {"/projects/switchfs/src1.cc",
+                                      "/projects/switchfs/src2.cc",
+                                      "/projects/switchfs/nope.cc"};
+  auto stats = co_await fs->BatchStat(targets);
+  std::printf("batchstat           -> src1: %s, src2: %s, nope: %s\n",
+              stats[0].status().ToString().c_str(),
+              stats[1].status().ToString().c_str(),
+              stats[2].status().ToString().c_str());
+
+  // Partial attribute updates commit through the WAL like any mutation.
+  core::AttrDelta delta;
+  delta.set_mode = true;
+  delta.mode = 0600;
+  Status ch = co_await fs->SetAttr("/projects/switchfs/src1.cc", delta);
+  auto after = co_await fs->Stat("/projects/switchfs/src1.cc");
+  std::printf("setattr 0600        -> %s (stat shows %o)\n",
+              ch.ToString().c_str(), after->mode);
 
   // Rename and deletion round out the API.
   Status mv = co_await fs->Rename("/projects/switchfs/src0.cc",

@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""Regression gate for BENCH_push_batching.json.
+"""Regression gate for the committed perf-smoke benches.
 
-Compares a fresh bench run against the committed baseline
-(bench/baselines/push_batching.json) and fails on a >20% regression in any
-gated metric. The bench runs in the deterministic simulator (all latency
-and throughput figures are simulated time), so the comparison is stable
-across machines — the baseline only needs regenerating when the simulated
-protocol or cost model intentionally changes:
+Each bench emits a JSON document with a top-level "bench" name; this script
+compares one or more fresh runs against their committed baselines
+(bench/baselines/<name>.json) and fails on a >20% regression in any gated
+metric. The benches run in the deterministic simulator (all latency and
+throughput figures are simulated time), so the comparison is stable across
+machines — a baseline only needs regenerating when the simulated protocol or
+cost model intentionally changes:
 
     SFS_BENCH_SCALE=small SFS_BENCH_JSON=bench/baselines/push_batching.json \
         ./build/bench_push_batching
+    SFS_BENCH_SCALE=small SFS_BENCH_JSON=bench/baselines/readdir_paging.json \
+        ./build/bench_readdir_paging
 
-Usage: scripts/bench_check.py <current.json> [<baseline.json>]
+Usage: scripts/bench_check.py <current.json> [<current2.json> ...]
+       scripts/bench_check.py <current.json> --baseline <baseline.json>
 """
 import json
 import pathlib
@@ -19,13 +23,22 @@ import sys
 
 TOLERANCE = 0.20
 
-# (json path, higher_is_better, description)
-GATED = [
-    (("per_owner", "apply_keps"), True, "owner-side apply throughput"),
-    (("per_owner", "total_ms"), False, "end-to-end burst + drain time"),
-    (("per_owner", "packets_per_op"), False, "PushReq packets per op"),
-    (("packet_reduction",), True, "per-dir vs per-owner packet reduction"),
-]
+# bench name -> [(json path, higher_is_better, description)]
+GATED = {
+    "push_batching": [
+        (("per_owner", "apply_keps"), True, "owner-side apply throughput"),
+        (("per_owner", "total_ms"), False, "end-to-end burst + drain time"),
+        (("per_owner", "packets_per_op"), False, "PushReq packets per op"),
+        (("packet_reduction",), True, "per-dir vs per-owner packet reduction"),
+    ],
+    "readdir_paging": [
+        (("mono", "total_ms"), False, "monolithic readdir time"),
+        (("paged", "total_ms"), False, "paged scan time"),
+        (("paged", "first_ms"), False, "time to first page"),
+        (("paged", "packets"), False, "pages per scan"),
+        (("paged", "max_packet_entries"), False, "page bound (mtu_entries)"),
+    ],
+}
 
 
 def lookup(doc, path):
@@ -34,24 +47,24 @@ def lookup(doc, path):
     return float(doc)
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    current_path = pathlib.Path(sys.argv[1])
-    baseline_path = pathlib.Path(
-        sys.argv[2]
-        if len(sys.argv) > 2
-        else pathlib.Path(__file__).resolve().parent.parent
-        / "bench"
-        / "baselines"
-        / "push_batching.json"
-    )
+def check_one(current_path: pathlib.Path, baseline_path) -> list:
     current = json.loads(current_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
+    name = current.get("bench")
+    if name not in GATED:
+        print(f"  [skip] {current_path}: unknown bench {name!r}")
+        return []
+    if baseline_path is None:
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "bench"
+            / "baselines"
+            / f"{name}.json"
+        )
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
 
     failures = []
-    for path, higher_is_better, desc in GATED:
+    print(f"== {name} vs {baseline_path} ==")
+    for path, higher_is_better, desc in GATED[name]:
         cur = lookup(current, path)
         base = lookup(baseline, path)
         if base == 0:
@@ -66,16 +79,32 @@ def main() -> int:
             f"baseline {base:g} -> current {cur:g} ({ratio:+.1%} of baseline)"
         )
         if regressed:
-            failures.append(desc)
+            failures.append(f"{name}: {desc}")
+    return failures
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    explicit_baseline = None
+    if "--baseline" in args:
+        i = args.index("--baseline")
+        explicit_baseline = args[i + 1]
+        del args[i : i + 2]
+
+    failures = []
+    for current in args:
+        failures += check_one(pathlib.Path(current), explicit_baseline)
 
     if failures:
         print(
-            f"bench regression >{TOLERANCE:.0%} vs {baseline_path}: "
-            + "; ".join(failures),
+            f"bench regression >{TOLERANCE:.0%}: " + "; ".join(failures),
             file=sys.stderr,
         )
         return 1
-    print(f"bench within {TOLERANCE:.0%} of {baseline_path}")
+    print(f"all benches within {TOLERANCE:.0%} of their baselines")
     return 0
 
 

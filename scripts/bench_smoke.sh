@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Perf smoke for the push-batching trajectory: builds bench_push_batching,
-# runs it at SFS_BENCH_SCALE=small, and emits BENCH_push_batching.json.
+# Perf smoke for the committed bench trajectory: builds the gated benches,
+# runs them at SFS_BENCH_SCALE=small, and emits BENCH_<name>.json for each.
 # Opt-in from scripts/check.sh via SFS_BENCH_SMOKE=1, or run directly:
 #
-#   scripts/bench_smoke.sh                 # writes ./BENCH_push_batching.json
-#   BENCH_JSON=/tmp/b.json scripts/bench_smoke.sh
+#   scripts/bench_smoke.sh            # writes ./BENCH_push_batching.json
+#                                     #    and ./BENCH_readdir_paging.json
+#   BENCHES=bench_push_batching BENCH_JSON=/tmp/b.json scripts/bench_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
-OUT=${BENCH_JSON:-BENCH_push_batching.json}
+BENCHES=${BENCHES:-"bench_push_batching bench_readdir_paging"}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_push_batching
+for bench in $BENCHES; do
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target "$bench"
+done
 
-SFS_BENCH_SCALE=small SFS_BENCH_JSON="$OUT" "$BUILD_DIR/bench_push_batching"
+for bench in $BENCHES; do
+  name=${bench#bench_}
+  out=${BENCH_JSON:-BENCH_${name}.json}
+  SFS_BENCH_SCALE=small SFS_BENCH_JSON="$out" "$BUILD_DIR/$bench"
+done

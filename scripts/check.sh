@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# One-command gate for SwitchFS PRs: configure, build, and run the tier-1
-# test suite, then repeat under ASan/UBSan (-DCMAKE_BUILD_TYPE=Asan).
+# One-command gate for SwitchFS PRs: configure, build, run the tier-1 test
+# suite AND the examples (API changes must not silently rot them), then
+# repeat the tests under ASan/UBSan (-DCMAKE_BUILD_TYPE=Asan).
 #
-#   scripts/check.sh                    # tier-1 + asan
-#   scripts/check.sh --fast             # tier-1 only
-#   SFS_BENCH_SMOKE=1 scripts/check.sh  # also run the perf smoke bench
+#   scripts/check.sh                    # tier-1 + examples + asan
+#   scripts/check.sh --fast             # tier-1 + examples only
+#   SFS_BENCH_SMOKE=1 scripts/check.sh  # also run the perf smoke benches
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,11 +22,19 @@ run_suite() {
 echo "== tier-1: configure/build/ctest =="
 run_suite build
 
+echo "== examples: compile-and-run gate =="
+for example in examples/*.cpp; do
+  name=$(basename "$example" .cpp)
+  echo "-- $name"
+  ./build/"$name" > /dev/null
+done
+
 if [[ "${SFS_BENCH_SMOKE:-0}" == "1" ]]; then
-  echo "== perf smoke: bench_push_batching (SFS_BENCH_SCALE=small) =="
+  echo "== perf smoke: gated benches (SFS_BENCH_SCALE=small) =="
   scripts/bench_smoke.sh
   echo "== perf smoke: regression gate vs bench/baselines =="
-  python3 scripts/bench_check.py "${BENCH_JSON:-BENCH_push_batching.json}"
+  python3 scripts/bench_check.py BENCH_push_batching.json \
+      BENCH_readdir_paging.json
 fi
 
 if [[ "${1:-}" != "--fast" ]]; then

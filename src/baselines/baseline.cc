@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/strings.h"
+#include "src/core/batch_stat.h"
 #include "src/core/keys.h"
 #include "src/sim/task.h"
 
@@ -83,6 +84,7 @@ BaselineServer::BaselineServer(sim::Simulator* sim, net::Network* net,
       cpu_(sim, config.cores_per_server),
       rpc_(sim, net),
       locks_(sim),
+      dir_sessions_(0),
       journal_mu_(sim) {
   rpc_.SetCpu(&cpu_);
   rpc_.SetRequestHandler([this](net::Packet p) { OnRequest(std::move(p)); });
@@ -191,6 +193,21 @@ sim::Task<void> BaselineServer::HandleMeta(net::Packet p) {
     case OpType::kStatDir:
     case OpType::kReaddir:
       co_await DoRead(p, *req);
+      break;
+    case OpType::kOpenDir:
+      co_await DoOpenDir(p, *req);
+      break;
+    case OpType::kReaddirPage:
+      co_await DoReaddirPage(p, *req);
+      break;
+    case OpType::kCloseDir:
+      co_await DoCloseDir(p, *req);
+      break;
+    case OpType::kBatchStat:
+      co_await DoBatchStat(p, *req);
+      break;
+    case OpType::kSetAttr:
+      co_await DoSetAttr(p, *req);
       break;
     case OpType::kRename:
       co_await HandleRename(std::move(p));
@@ -555,6 +572,175 @@ sim::Task<void> BaselineServer::DoRead(net::Packet p, const MetaReq& req) {
   rpc_.Respond(p, resp);
 }
 
+// ---------------------------------------------------------------------------
+// MetadataService v2: directory streams, batched lookups, attr deltas
+// ---------------------------------------------------------------------------
+
+sim::Task<void> BaselineServer::DoOpenDir(net::Packet p, const MetaReq& req) {
+  const PathRef& ref = req.ref;
+  co_await cpu_.Run(ReadOverhead());
+  co_await cpu_.Run(costs_->path_check *
+                    static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+  auto stale = inval_.Check(ref.ancestors);
+  if (!stale.empty()) {
+    auto resp = std::make_shared<MetaResp>(StatusCode::kStaleCache);
+    resp->stale_ids = std::move(stale);
+    rpc_.Respond(p, resp);
+    co_return;
+  }
+  // Directory content lives here (home server); ref.pid carries the dir id
+  // (the client resolves the directory itself, as for statdir/readdir).
+  const InodeId dir = ref.pid;
+  auto lock = co_await locks_.AcquireShared(core::ContentKey(dir));
+  co_await cpu_.Run(costs_->kv_get);
+  auto value = kv_.Get(core::ContentKey(dir));
+  if (!value.has_value()) {
+    RespondStatus(p, StatusCode::kNotFound);
+    co_return;
+  }
+  Attr attr = Attr::Decode(*value);
+
+  // Snapshot under the content lock: the stream's one scan (pages pay only
+  // their own marshalling, exactly as on SwitchFS).
+  std::vector<DirEntry> entries;
+  kv_.ScanPrefix(EntryPrefix(dir),
+                 [&](const std::string& k, const std::string& val) {
+                   entries.push_back(
+                       DirEntry{std::string(core::EntryNameFromKey(k)),
+                                core::DecodeEntryValue(val)});
+                   return true;
+                 });
+  co_await cpu_.Run(static_cast<sim::SimTime>(entries.size()) *
+                    costs_->kv_scan_per_entry);
+  core::DirSession& session =
+      dir_sessions_.Open(dir, std::move(entries), sim_->Now());
+  sim::Spawn(DirSessionWatchdog(session.id));
+
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->attr = attr;
+  resp->dir_session = session.id;
+  resp->dir_entries = session.entries.size();
+  co_await cpu_.Run(costs_->reply_build);
+  rpc_.Respond(p, resp);
+}
+
+sim::Task<void> BaselineServer::DirSessionWatchdog(uint64_t session_id) {
+  while (true) {
+    co_await sim::Delay(sim_, config_.dir_session_ttl);
+    if (dir_sessions_.ExpireIfIdle(session_id, sim_->Now(),
+                                   config_.dir_session_ttl)) {
+      co_return;
+    }
+  }
+}
+
+sim::Task<void> BaselineServer::DoReaddirPage(net::Packet p,
+                                              const MetaReq& req) {
+  co_await cpu_.Run(ReadOverhead());
+  core::DirSession* session = dir_sessions_.Touch(req.dir_session, sim_->Now(),
+                                                  config_.dir_session_ttl);
+  if (session == nullptr) {
+    RespondStatus(p, StatusCode::kStaleHandle);
+    co_return;
+  }
+  // Build before suspending: the watchdog may expire the session mid-await.
+  core::DirPage page =
+      core::DirSessionTable::PageOf(*session, req.cookie, config_.mtu_entries);
+  co_await cpu_.Run(static_cast<sim::SimTime>(page.entries.size()) *
+                        costs_->readdir_per_entry +
+                    costs_->reply_build);
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->entries = std::move(page.entries);
+  resp->next_cookie = page.next_cookie;
+  resp->at_end = page.at_end;
+  rpc_.Respond(p, resp);
+}
+
+sim::Task<void> BaselineServer::DoCloseDir(net::Packet p, const MetaReq& req) {
+  co_await cpu_.Run(costs_->reply_build);
+  dir_sessions_.Close(req.dir_session);
+  RespondStatus(p, StatusCode::kOk);
+}
+
+sim::Task<void> BaselineServer::DoBatchStat(net::Packet p, const MetaReq& req) {
+  co_await cpu_.Run(ReadOverhead());
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->batch_status.reserve(req.targets.size());
+  resp->batch_attrs.resize(req.targets.size());
+  for (size_t i = 0; i < req.targets.size(); ++i) {
+    const PathRef& ref = req.targets[i];
+    const std::string ikey = InodeKey(ref.pid, ref.name);
+    auto lock = co_await locks_.AcquireShared(ikey);
+    co_await cpu_.Run(costs_->path_check *
+                      static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+    auto stale = inval_.Check(ref.ancestors);
+    if (!stale.empty()) {
+      for (core::InodeId& id : stale) {
+        resp->stale_ids.push_back(id);
+      }
+      resp->batch_status.push_back(StatusCode::kStaleCache);
+      continue;
+    }
+    co_await cpu_.Run(costs_->kv_get);
+    auto value = kv_.Get(ikey);
+    if (!value.has_value()) {
+      resp->batch_status.push_back(StatusCode::kNotFound);
+      continue;
+    }
+    resp->batch_attrs[i] = Attr::Decode(*value);
+    resp->batch_status.push_back(StatusCode::kOk);
+  }
+  co_await cpu_.Run(costs_->reply_build);
+  rpc_.Respond(p, resp);
+}
+
+sim::Task<void> BaselineServer::DoSetAttr(net::Packet p, const MetaReq& req) {
+  const PathRef& ref = req.ref;
+  co_await cpu_.Run(UpdateOverhead());
+  const std::string ikey = InodeKey(ref.pid, ref.name);
+  auto lock = co_await locks_.AcquireExclusive(ikey);
+  co_await cpu_.Run(costs_->path_check *
+                    static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+  auto stale = inval_.Check(ref.ancestors);
+  if (!stale.empty()) {
+    auto resp = std::make_shared<MetaResp>(StatusCode::kStaleCache);
+    resp->stale_ids = std::move(stale);
+    rpc_.Respond(p, resp);
+    co_return;
+  }
+  co_await cpu_.Run(costs_->kv_get);
+  auto value = kv_.Get(ikey);
+  if (!value.has_value()) {
+    RespondStatus(p, StatusCode::kNotFound);
+    co_return;
+  }
+  Attr attr = Attr::Decode(*value);
+  if (req.delta.ApplyTo(attr, sim_->Now())) {
+    // WAL-backed like the other synchronous mutations. (The identity row is
+    // authoritative for path resolution; the emulated systems keep the
+    // directory content row's mode in sync only lazily, a simplification
+    // shared with the pre-v2 chmod path.)
+    co_await cpu_.Run(costs_->wal_append + costs_->kv_put);
+    wal_.Append(1, ikey);
+    kv_.Put(ikey, attr.Encode());
+    if (attr.is_dir() && req.delta.set_mode &&
+        config_.kind != SystemKind::kCephFS) {
+      inval_.Add(attr.id, sim_->Now());
+      auto bcast = std::make_shared<core::InvalBroadcast>();
+      bcast->id = attr.id;
+      net::Packet mc;
+      mc.dst = net::kServerMulticast;
+      mc.ds.origin = node_id();
+      mc.body = bcast;
+      rpc_.Send(std::move(mc));
+    }
+  }
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->attr = attr;
+  co_await cpu_.Run(costs_->reply_build);
+  rpc_.Respond(p, resp);
+}
+
 sim::Task<void> BaselineServer::HandleLookup(net::Packet p) {
   const auto* req = static_cast<const LookupReq*>(p.body.get());
   co_await cpu_.Run(costs_->op_dispatch + ReadOverhead());
@@ -796,6 +982,10 @@ BaselineClient::BaselineClient(sim::Simulator* sim, net::Network* net,
     txn_call_.timeout = sim::Milliseconds(50);
     txn_call_.max_attempts = 3;
   }
+  // OpenDir scans the whole entry list into the session snapshot — an
+  // O(directory) op; see SwitchFsClient::Config::opendir_call.
+  opendir_call_.timeout = sim::Seconds(2);
+  opendir_call_.max_attempts = 3;
   CachedDir root;
   root.id = RootId();
   root.mode = 0755;
@@ -872,10 +1062,12 @@ sim::Task<StatusOr<PathRef>> BaselineClient::ResolveParent(
 }
 
 sim::Task<BaselineClient::OpResult> BaselineClient::Issue(
-    OpType op, const std::string& path, bool want_entries) {
+    OpType op, const std::string& path, bool want_entries,
+    const core::AttrDelta* delta) {
   OpResult out;
   co_await sim::Delay(sim_, costs_->client_op_cost);
-  const bool dir_read = op == OpType::kStatDir || op == OpType::kReaddir;
+  const bool dir_read = op == OpType::kStatDir || op == OpType::kReaddir ||
+                        op == OpType::kOpenDir;
 
   for (int attempt = 0; attempt < 12; ++attempt) {
     std::string top = path == "/" ? "/" : std::string(SplitPath(path)[0]);
@@ -915,7 +1107,11 @@ sim::Task<BaselineClient::OpResult> BaselineClient::Issue(
     req->ref = ref;
     req->want_entries = want_entries;
     req->top = top;  // CephFS subtree routing key
-    auto r = co_await rpc_.Call(cluster_->ServerNode(server), req, call_);
+    if (delta != nullptr) {
+      req->delta = *delta;
+    }
+    auto r = co_await rpc_.Call(cluster_->ServerNode(server), req,
+                                op == OpType::kOpenDir ? opendir_call_ : call_);
     if (!r.ok()) {
       co_await sim::Delay(sim_, sim::Microseconds(100));
       continue;
@@ -934,9 +1130,46 @@ sim::Task<BaselineClient::OpResult> BaselineClient::Issue(
     out.status = Status(resp->status);
     out.attr = resp->attr;
     out.entries = resp->entries;
+    out.dir_session = resp->dir_session;
+    out.next_cookie = resp->next_cookie;
+    out.at_end = resp->at_end;
     co_return out;
   }
   out.status = TimeoutError("op retries exhausted");
+  co_return out;
+}
+
+sim::Task<BaselineClient::OpResult> BaselineClient::IssueSessionOp(
+    OpType op, uint32_t server, uint64_t session, uint64_t cookie) {
+  OpResult out;
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    auto req = std::make_shared<MetaReq>();
+    req->op = op;
+    req->dir_session = session;
+    req->cookie = cookie;
+    auto r = co_await rpc_.Call(cluster_->ServerNode(server), req, call_);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kTimeout) {
+        out.status = StaleHandleError("dir session unreachable");
+        co_return out;
+      }
+      co_await sim::Delay(sim_, sim::Microseconds(100));
+      continue;
+    }
+    const auto* resp = net::MsgAs<MetaResp>(*r);
+    if (resp == nullptr) {
+      out.status = InternalError("bad response");
+      co_return out;
+    }
+    out.status = Status(resp->status);
+    out.attr = resp->attr;
+    out.entries = resp->entries;
+    out.next_cookie = resp->next_cookie;
+    out.at_end = resp->at_end;
+    co_return out;
+  }
+  out.status = TimeoutError("session op retries exhausted");
   co_return out;
 }
 
@@ -973,14 +1206,6 @@ sim::Task<StatusOr<Attr>> BaselineClient::StatDir(const std::string& path) {
   }
   co_return r.attr;
 }
-sim::Task<StatusOr<std::vector<DirEntry>>> BaselineClient::Readdir(
-    const std::string& path) {
-  OpResult r = co_await Issue(OpType::kReaddir, path, true);
-  if (!r.status.ok()) {
-    co_return r.status;
-  }
-  co_return r.entries;
-}
 sim::Task<StatusOr<Attr>> BaselineClient::Open(const std::string& path) {
   OpResult r = co_await Issue(OpType::kOpen, path, false);
   if (!r.status.ok()) {
@@ -991,6 +1216,91 @@ sim::Task<StatusOr<Attr>> BaselineClient::Open(const std::string& path) {
 sim::Task<Status> BaselineClient::Close(const std::string& path) {
   OpResult r = co_await Issue(OpType::kClose, path, false);
   co_return r.status;
+}
+sim::Task<Status> BaselineClient::SetAttr(const std::string& path,
+                                          const core::AttrDelta& delta) {
+  OpResult r = co_await Issue(OpType::kSetAttr, path, false, &delta);
+  co_return r.status;
+}
+
+// --- MetadataService v2: directory streams & batched lookups ---
+
+sim::Task<StatusOr<core::DirHandle>> BaselineClient::OpenDir(
+    const std::string& path) {
+  OpResult r = co_await Issue(OpType::kOpenDir, path, false);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  // Pin the routing: pages must go back to the home server that holds the
+  // snapshot session.
+  const std::string top = path == "/" ? "/" : std::string(SplitPath(path)[0]);
+  core::OpenDirState state;
+  state.path = path;
+  state.dir = r.attr.id;
+  state.server = cluster_->placement().DirServer(r.attr.id, top);
+  state.session = r.dir_session;
+  core::DirHandle handle;
+  handle.id = cache_.PutHandle(std::move(state));
+  co_return handle;
+}
+
+sim::Task<StatusOr<core::DirPage>> BaselineClient::ReaddirPage(
+    const core::DirHandle& handle, uint64_t cookie) {
+  core::OpenDirState* state = cache_.GetHandle(handle.id);
+  if (state == nullptr) {
+    co_return InvalidArgumentError("unknown dir handle");
+  }
+  OpResult r = co_await IssueSessionOp(OpType::kReaddirPage, state->server,
+                                       state->session, cookie);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  core::DirPage page;
+  page.entries = std::move(r.entries);
+  page.next_cookie = r.next_cookie;
+  page.at_end = r.at_end;
+  co_return page;
+}
+
+sim::Task<Status> BaselineClient::CloseDir(const core::DirHandle& handle) {
+  core::OpenDirState* state = cache_.GetHandle(handle.id);
+  if (state == nullptr) {
+    co_return OkStatus();  // already closed (idempotent)
+  }
+  const uint32_t server = state->server;
+  const uint64_t session = state->session;
+  cache_.EraseHandle(handle.id);
+  OpResult r = co_await IssueSessionOp(OpType::kCloseDir, server, session,
+                                       /*cookie=*/0);
+  (void)r;  // best-effort: the TTL watchdog reclaims lost closes
+  co_return OkStatus();
+}
+
+sim::Task<std::vector<StatusOr<Attr>>> BaselineClient::BatchStat(
+    const std::vector<std::string>& paths) {
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  // Targets group by the system's file placement: E-InfiniFS/IndexFS
+  // collapse a directory's files onto one server, E-CFS spreads them per
+  // (pid, name), CephFS routes whole subtrees — the grouping (and so the
+  // RPC count) follows each system's own placement function. Scaffolding
+  // shared with SwitchFsClient via core::RunBatchStat.
+  co_return co_await core::RunBatchStat(
+      sim_, rpc_, cache_, paths, /*max_attempts=*/12,
+      sim::Microseconds(100), call_,
+      [this](const std::string& path)
+          -> sim::Task<StatusOr<core::BatchTarget>> {
+        auto ref = co_await ResolveParent(path);
+        if (!ref.ok()) {
+          co_return ref.status();
+        }
+        const std::string top(SplitPath(path)[0]);
+        core::BatchTarget target;
+        target.server =
+            cluster_->placement().FileServer(ref->pid, ref->name, top);
+        target.ref = *std::move(ref);
+        co_return target;
+      },
+      [this](uint32_t server) { return cluster_->ServerNode(server); });
 }
 
 sim::Task<Status> BaselineClient::Rename(const std::string& from,

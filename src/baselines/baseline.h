@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/core/client_cache.h"
+#include "src/core/dir_session.h"
 #include "src/core/fs_world.h"
 #include "src/core/invalidation.h"
 #include "src/core/lock_table.h"
@@ -60,6 +61,11 @@ struct BaselineConfig {
   net::Network::FaultConfig faults;
   uint64_t seed = 42;
   uint32_t rename_coordinator = 0;
+  // MetadataService v2 directory streams: page bound and session-inactivity
+  // TTL (named after SwitchFS's MTU-derived bound so the shared suites can
+  // assert one page-size contract across all five systems).
+  int mtu_entries = 29;
+  sim::SimTime dir_session_ttl = sim::Milliseconds(20);
 };
 
 // --- placement ---
@@ -158,6 +164,13 @@ class BaselineServer {
   sim::Task<void> DoUpsert(net::Packet p, const core::MetaReq& req);
   sim::Task<void> DoRmdir(net::Packet p, const core::MetaReq& req);
   sim::Task<void> DoRead(net::Packet p, const core::MetaReq& req);
+  // MetadataService v2: directory streams, batched lookups, attr deltas.
+  sim::Task<void> DoOpenDir(net::Packet p, const core::MetaReq& req);
+  sim::Task<void> DoReaddirPage(net::Packet p, const core::MetaReq& req);
+  sim::Task<void> DoCloseDir(net::Packet p, const core::MetaReq& req);
+  sim::Task<void> DoBatchStat(net::Packet p, const core::MetaReq& req);
+  sim::Task<void> DoSetAttr(net::Packet p, const core::MetaReq& req);
+  sim::Task<void> DirSessionWatchdog(uint64_t session_id);
 
   // Applies a directory entry/attr update locally under the dir lock,
   // charging the serialized critical section.
@@ -187,6 +200,9 @@ class BaselineServer {
   kv::Wal wal_;
   core::LockTable locks_;
   core::InvalidationList inval_;
+  // Directory-stream sessions (MetadataService v2). Baseline servers have
+  // no crash/recovery machinery, so epoch 0 suffices.
+  core::DirSessionTable dir_sessions_;
   // CephFS-sim: the MDS journal serializes update commits per server.
   sim::Mutex journal_mu_;
   std::unordered_map<uint64_t, std::vector<core::LockTable::Handle>> txn_locks_;
@@ -206,10 +222,17 @@ class BaselineClient : public core::MetadataService {
   sim::Task<Status> Rmdir(const std::string& path) override;
   sim::Task<StatusOr<core::Attr>> Stat(const std::string& path) override;
   sim::Task<StatusOr<core::Attr>> StatDir(const std::string& path) override;
-  sim::Task<StatusOr<std::vector<core::DirEntry>>> Readdir(
-      const std::string& path) override;
   sim::Task<StatusOr<core::Attr>> Open(const std::string& path) override;
   sim::Task<Status> Close(const std::string& path) override;
+  sim::Task<Status> SetAttr(const std::string& path,
+                            const core::AttrDelta& delta) override;
+  sim::Task<StatusOr<core::DirHandle>> OpenDir(
+      const std::string& path) override;
+  sim::Task<StatusOr<core::DirPage>> ReaddirPage(const core::DirHandle& handle,
+                                                 uint64_t cookie) override;
+  sim::Task<Status> CloseDir(const core::DirHandle& handle) override;
+  sim::Task<std::vector<StatusOr<core::Attr>>> BatchStat(
+      const std::vector<std::string>& paths) override;
   sim::Task<Status> Rename(const std::string& from,
                            const std::string& to) override;
 
@@ -222,19 +245,28 @@ class BaselineClient : public core::MetadataService {
     Status status;
     core::Attr attr;
     std::vector<core::DirEntry> entries;
+    uint64_t dir_session = 0;
+    uint64_t next_cookie = 0;
+    bool at_end = false;
   };
 
   sim::Task<StatusOr<core::CachedDir>> ResolveDir(const std::string& path);
   sim::Task<StatusOr<core::PathRef>> ResolveParent(const std::string& path);
   sim::Task<OpResult> Issue(core::OpType op, const std::string& path,
-                            bool want_entries);
+                            bool want_entries,
+                            const core::AttrDelta* delta = nullptr);
+  // Session-addressed ops (ReaddirPage / CloseDir): routed straight to the
+  // home server pinned in the handle state, no path resolution.
+  sim::Task<OpResult> IssueSessionOp(core::OpType op, uint32_t server,
+                                     uint64_t session, uint64_t cookie);
 
   sim::Simulator* sim_;
   BaselineCluster* cluster_;
   const sim::CostModel* costs_;
   net::RpcEndpoint rpc_;
   net::CallOptions call_;
-  net::CallOptions txn_call_;  // renames (multi-RPC transactions)
+  net::CallOptions txn_call_;      // renames (multi-RPC transactions)
+  net::CallOptions opendir_call_;  // O(directory) snapshot scan at the server
   core::ClientCache cache_;
 };
 

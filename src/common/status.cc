@@ -34,6 +34,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "CROSS_DEVICE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kStaleHandle:
+      return "STALE_HANDLE";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,9 @@ enum class StatusCode : int {
   kConflict = 12,       // transaction conflict, retry (internal)
   kCrossDevice = 13,    // EXDEV (rename would create orphaned loop)
   kInternal = 14,
+  // Directory-handle session unknown at the server (expired, closed, or
+  // wiped by an owner crash): the caller must re-open the directory.
+  kStaleHandle = 15,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -88,6 +91,9 @@ inline Status StaleCacheError(std::string m = "") {
 }
 inline Status InternalError(std::string m = "") {
   return Status(StatusCode::kInternal, std::move(m));
+}
+inline Status StaleHandleError(std::string m = "") {
+  return Status(StatusCode::kStaleHandle, std::move(m));
 }
 
 // StatusOr<T>: either an OK status with a value, or a non-OK status.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/strings.h"
+#include "src/core/batch_stat.h"
 #include "src/sim/sync.h"
 #include "src/tracker/dirty_tracker.h"
 
@@ -107,15 +108,14 @@ sim::Task<StatusOr<PathRef>> SwitchFsClient::ResolveParent(
   co_return ref;
 }
 
-sim::Task<SwitchFsClient::OpResult> SwitchFsClient::Issue(
-    OpType op, const std::string& path, bool want_entries) {
+sim::Task<SwitchFsClient::OpResult> SwitchFsClient::IssueOp(
+    MetaCall call, const std::string& path) {
   OpResult out;
   co_await sim::Delay(sim_, costs_->client_op_cost);
-  const bool dir_read = op == OpType::kStatDir || op == OpType::kReaddir;
 
   for (int attempt = 0; attempt < config_.max_op_retries; ++attempt) {
     PathRef ref;
-    if (path == "/" && dir_read) {
+    if (path == "/" && call.dir_target) {
       // The root's inode is keyed (0, "/"). NOTE: assign(n, c) rather than a
       // literal assignment — GCC 12 flags the literal's inlined memcpy into
       // the coroutine frame with a spurious -Wrestrict.
@@ -139,16 +139,19 @@ sim::Task<SwitchFsClient::OpResult> SwitchFsClient::Issue(
     }
 
     auto req = std::make_shared<MetaReq>();
-    req->op = op;
+    req->op = call.op;
     req->ref = ref;
-    req->want_entries = want_entries;
+    req->want_entries = call.want_entries;
+    req->mode = call.mode;
+    req->delta = call.delta;
 
     const psw::Fingerprint target_fp = FingerprintOf(ref.pid, ref.name);
     const net::NodeId dst =
         cluster_->ServerNode(cluster_->ring().Owner(target_fp));
 
-    net::CallOptions opts = config_.call;
-    if (dir_read && config_.dirty_tracker != nullptr) {
+    net::CallOptions opts =
+        call.op == OpType::kOpenDir ? config_.opendir_call : config_.call;
+    if (call.pre_read && config_.dirty_tracker != nullptr) {
       co_await config_.dirty_tracker->ClientPreRead(rpc_, target_fp, *req,
                                                     opts);
     }
@@ -176,29 +179,76 @@ sim::Task<SwitchFsClient::OpResult> SwitchFsClient::Issue(
     out.status = Status(resp->status);
     out.attr = resp->attr;
     out.entries = resp->entries;
+    out.dir_session = resp->dir_session;
+    out.next_cookie = resp->next_cookie;
+    out.at_end = resp->at_end;
+    out.target_fp = target_fp;
     co_return out;
   }
   out.status = TimeoutError("op retries exhausted");
   co_return out;
 }
 
+sim::Task<SwitchFsClient::OpResult> SwitchFsClient::IssueSessionOp(
+    OpType op, psw::Fingerprint target_fp, uint64_t session, uint64_t cookie) {
+  OpResult out;
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  const net::NodeId dst =
+      cluster_->ServerNode(cluster_->ring().Owner(target_fp));
+  // Transport-level retries only: the session either answers or is gone.
+  // kUnavailable (owner recovering) maps to kStaleHandle — the recovering
+  // incarnation wiped its session table, so the stream cannot resume.
+  for (int attempt = 0; attempt < config_.max_op_retries; ++attempt) {
+    auto req = std::make_shared<MetaReq>();
+    req->op = op;
+    req->dir_session = session;
+    req->cookie = cookie;
+    auto r = co_await rpc_.Call(dst, req, config_.call);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kTimeout) {
+        out.status = StaleHandleError("dir session unreachable");
+        co_return out;
+      }
+      co_await sim::Delay(sim_, config_.retry_backoff);
+      continue;
+    }
+    const MetaResp* resp = UnwrapResponse(*r);
+    if (resp == nullptr) {
+      out.status = InternalError("bad response");
+      co_return out;
+    }
+    if (resp->status == StatusCode::kUnavailable) {
+      out.status = StaleHandleError("owner recovering; session lost");
+      co_return out;
+    }
+    out.status = Status(resp->status);
+    out.attr = resp->attr;
+    out.entries = resp->entries;
+    out.next_cookie = resp->next_cookie;
+    out.at_end = resp->at_end;
+    co_return out;
+  }
+  out.status = TimeoutError("session op retries exhausted");
+  co_return out;
+}
+
 sim::Task<Status> SwitchFsClient::Create(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kCreate, path, false);
+  OpResult r = co_await IssueOp(MetaCall::Mutation(OpType::kCreate), path);
   co_return r.status;
 }
 
 sim::Task<Status> SwitchFsClient::Unlink(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kUnlink, path, false);
+  OpResult r = co_await IssueOp(MetaCall::Mutation(OpType::kUnlink), path);
   co_return r.status;
 }
 
 sim::Task<Status> SwitchFsClient::Mkdir(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kMkdir, path, false);
+  OpResult r = co_await IssueOp(MetaCall::Mutation(OpType::kMkdir), path);
   co_return r.status;
 }
 
 sim::Task<Status> SwitchFsClient::Rmdir(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kRmdir, path, false);
+  OpResult r = co_await IssueOp(MetaCall::Mutation(OpType::kRmdir), path);
   if (r.status.ok()) {
     cache_.ErasePath(path);
   }
@@ -206,7 +256,7 @@ sim::Task<Status> SwitchFsClient::Rmdir(const std::string& path) {
 }
 
 sim::Task<StatusOr<Attr>> SwitchFsClient::Stat(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kStat, path, false);
+  OpResult r = co_await IssueOp(MetaCall::FileRead(OpType::kStat), path);
   if (!r.status.ok()) {
     co_return r.status;
   }
@@ -214,16 +264,18 @@ sim::Task<StatusOr<Attr>> SwitchFsClient::Stat(const std::string& path) {
 }
 
 sim::Task<StatusOr<Attr>> SwitchFsClient::StatDir(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kStatDir, path, false);
+  OpResult r = co_await IssueOp(
+      MetaCall::DirRead(OpType::kStatDir, /*want_entries=*/false), path);
   if (!r.status.ok()) {
     co_return r.status;
   }
   co_return r.attr;
 }
 
-sim::Task<StatusOr<std::vector<DirEntry>>> SwitchFsClient::Readdir(
+sim::Task<StatusOr<std::vector<DirEntry>>> SwitchFsClient::ReaddirMonolithic(
     const std::string& path) {
-  OpResult r = co_await Issue(OpType::kReaddir, path, true);
+  OpResult r = co_await IssueOp(
+      MetaCall::DirRead(OpType::kReaddir, /*want_entries=*/true), path);
   if (!r.status.ok()) {
     co_return r.status;
   }
@@ -231,7 +283,7 @@ sim::Task<StatusOr<std::vector<DirEntry>>> SwitchFsClient::Readdir(
 }
 
 sim::Task<StatusOr<Attr>> SwitchFsClient::Open(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kOpen, path, false);
+  OpResult r = co_await IssueOp(MetaCall::FileRead(OpType::kOpen), path);
   if (!r.status.ok()) {
     co_return r.status;
   }
@@ -239,8 +291,103 @@ sim::Task<StatusOr<Attr>> SwitchFsClient::Open(const std::string& path) {
 }
 
 sim::Task<Status> SwitchFsClient::Close(const std::string& path) {
-  OpResult r = co_await Issue(OpType::kClose, path, false);
+  OpResult r = co_await IssueOp(MetaCall::FileRead(OpType::kClose), path);
   co_return r.status;
+}
+
+sim::Task<Status> SwitchFsClient::SetAttr(const std::string& path,
+                                          const AttrDelta& delta) {
+  OpResult r = co_await IssueOp(MetaCall::AttrUpdate(delta), path);
+  co_return r.status;
+}
+
+// ---------------------------------------------------------------------------
+// Directory streams (MetadataService v2)
+// ---------------------------------------------------------------------------
+
+sim::Task<StatusOr<DirHandle>> SwitchFsClient::OpenDir(
+    const std::string& path) {
+  // OpenDir is the consistency point of the stream: the owner aggregates
+  // under the agg gate (dirty-tracker pre-read hook attached) and pins the
+  // snapshot session the pages will be served from.
+  MetaCall call = MetaCall::DirRead(OpType::kOpenDir, /*want_entries=*/false);
+  OpResult r = co_await IssueOp(call, path);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  OpenDirState state;
+  state.path = path;
+  state.dir = r.attr.id;
+  state.session = r.dir_session;
+  // Pin the routing to the fingerprint the open was actually sent by: the
+  // session lives at that owner, and a re-resolution here could diverge
+  // (concurrent rename/invalidation) and point every page at the wrong
+  // server.
+  state.target_fp = r.target_fp;
+  DirHandle handle;
+  handle.id = cache_.PutHandle(std::move(state));
+  co_return handle;
+}
+
+sim::Task<StatusOr<DirPage>> SwitchFsClient::ReaddirPage(
+    const DirHandle& handle, uint64_t cookie) {
+  OpenDirState* state = cache_.GetHandle(handle.id);
+  if (state == nullptr) {
+    co_return InvalidArgumentError("unknown dir handle");
+  }
+  OpResult r = co_await IssueSessionOp(OpType::kReaddirPage, state->target_fp,
+                                       state->session, cookie);
+  if (!r.status.ok()) {
+    co_return r.status;
+  }
+  DirPage page;
+  page.entries = std::move(r.entries);
+  page.next_cookie = r.next_cookie;
+  page.at_end = r.at_end;
+  co_return page;
+}
+
+sim::Task<Status> SwitchFsClient::CloseDir(const DirHandle& handle) {
+  OpenDirState* state = cache_.GetHandle(handle.id);
+  if (state == nullptr) {
+    co_return OkStatus();  // already closed (idempotent)
+  }
+  const psw::Fingerprint target_fp = state->target_fp;
+  const uint64_t session = state->session;
+  cache_.EraseHandle(handle.id);
+  // Best-effort server-side release; the TTL watchdog reclaims the session
+  // anyway if this notification is lost.
+  OpResult r = co_await IssueSessionOp(OpType::kCloseDir, target_fp, session,
+                                       /*cookie=*/0);
+  (void)r;
+  co_return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Batched lookups (MetadataService v2)
+// ---------------------------------------------------------------------------
+
+sim::Task<std::vector<StatusOr<Attr>>> SwitchFsClient::BatchStat(
+    const std::vector<std::string>& paths) {
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  // Targets group by the (pid, name) hash owner — the read-path mirror of
+  // the per-owner push batching. The scaffolding (grouping, multi-target
+  // RPCs, per-target verdicts, retries) is shared with the baselines.
+  co_return co_await RunBatchStat(
+      sim_, rpc_, cache_, paths, config_.max_op_retries,
+      config_.retry_backoff, config_.call,
+      [this](const std::string& path) -> sim::Task<StatusOr<BatchTarget>> {
+        auto ref = co_await ResolveParent(path);
+        if (!ref.ok()) {
+          co_return ref.status();
+        }
+        BatchTarget target;
+        target.server =
+            cluster_->ring().Owner(FingerprintOf(ref->pid, ref->name));
+        target.ref = *std::move(ref);
+        co_return target;
+      },
+      [this](uint32_t server) { return cluster_->ServerNode(server); });
 }
 
 sim::Task<Status> SwitchFsClient::Link(const std::string& src,

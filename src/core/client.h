@@ -46,6 +46,17 @@ class SwitchFsClient : public MetadataService {
       o.max_attempts = 3;
       return o;
     }();
+    // OpenDir is the directory stream's one heavyweight op: the owner
+    // aggregates and scans the whole entry list into the session snapshot,
+    // which is O(directory) work (a million-entry directory scans for
+    // ~140 ms of simulated time). Pages stay on the tight `call` deadline —
+    // they are mtu-bounded — but the open needs a directory-scale one.
+    net::CallOptions opendir_call = [] {
+      net::CallOptions o;
+      o.timeout = sim::Seconds(2);
+      o.max_attempts = 3;
+      return o;
+    }();
   };
 
   SwitchFsClient(sim::Simulator* sim, net::Network* net,
@@ -59,12 +70,23 @@ class SwitchFsClient : public MetadataService {
   sim::Task<Status> Rmdir(const std::string& path) override;
   sim::Task<StatusOr<Attr>> Stat(const std::string& path) override;
   sim::Task<StatusOr<Attr>> StatDir(const std::string& path) override;
-  sim::Task<StatusOr<std::vector<DirEntry>>> Readdir(
-      const std::string& path) override;
   sim::Task<StatusOr<Attr>> Open(const std::string& path) override;
   sim::Task<Status> Close(const std::string& path) override;
+  sim::Task<Status> SetAttr(const std::string& path,
+                            const AttrDelta& delta) override;
+  sim::Task<StatusOr<DirHandle>> OpenDir(const std::string& path) override;
+  sim::Task<StatusOr<DirPage>> ReaddirPage(const DirHandle& handle,
+                                           uint64_t cookie) override;
+  sim::Task<Status> CloseDir(const DirHandle& handle) override;
+  sim::Task<std::vector<StatusOr<Attr>>> BatchStat(
+      const std::vector<std::string>& paths) override;
   sim::Task<Status> Rename(const std::string& from,
                            const std::string& to) override;
+  // Whole-directory listing in ONE RPC (the pre-v2 shape). Kept as the A/B
+  // lever for bench_readdir_paging and for recovery tooling; the inherited
+  // MetadataService::Readdir pages through OpenDir/ReaddirPage instead.
+  sim::Task<StatusOr<std::vector<DirEntry>>> ReaddirMonolithic(
+      const std::string& path);
   // Hard link (§5.5): `dst` becomes another name for `src`'s file. Not part
   // of MetadataService — the baselines do not implement hard links.
   sim::Task<Status> Link(const std::string& src, const std::string& dst);
@@ -78,10 +100,53 @@ class SwitchFsClient : public MetadataService {
   }
 
  private:
+  // Typed request description — the v2 replacement for the old
+  // Issue(OpType, path, want_entries) funnel. Call sites build the request
+  // through the named factories; IssueOp owns resolution, routing, and the
+  // stale-cache/transport retry loop for every path-addressed op.
+  struct MetaCall {
+    OpType op = OpType::kStat;
+    bool dir_target = false;    // the path itself is the target directory
+    bool want_entries = false;  // monolithic readdir payload
+    bool pre_read = false;      // run the dirty-tracker pre-read hook
+    uint32_t mode = 0644;
+    AttrDelta delta;
+
+    static MetaCall Mutation(OpType op, uint32_t mode = 0644) {
+      MetaCall c;
+      c.op = op;
+      c.mode = mode;
+      return c;
+    }
+    static MetaCall FileRead(OpType op) {
+      MetaCall c;
+      c.op = op;
+      return c;
+    }
+    static MetaCall DirRead(OpType op, bool want_entries) {
+      MetaCall c;
+      c.op = op;
+      c.dir_target = true;
+      c.want_entries = want_entries;
+      c.pre_read = true;
+      return c;
+    }
+    static MetaCall AttrUpdate(const AttrDelta& delta) {
+      MetaCall c;
+      c.op = OpType::kSetAttr;
+      c.delta = delta;
+      return c;
+    }
+  };
+
   struct OpResult {
     Status status;
     Attr attr;
     std::vector<DirEntry> entries;
+    uint64_t dir_session = 0;        // kOpenDir
+    uint64_t next_cookie = 0;        // kReaddirPage
+    bool at_end = false;             // kReaddirPage
+    psw::Fingerprint target_fp = 0;  // the fingerprint the op was routed by
   };
 
   // Resolves the parent directory of `path` into a PathRef. May issue
@@ -90,8 +155,11 @@ class SwitchFsClient : public MetadataService {
   // Resolves one directory path to a cache entry (see ResolveParent).
   sim::Task<StatusOr<CachedDir>> ResolveDir(const std::string& path);
 
-  sim::Task<OpResult> Issue(OpType op, const std::string& path,
-                            bool want_entries);
+  sim::Task<OpResult> IssueOp(MetaCall call, const std::string& path);
+  // Session-addressed ops (ReaddirPage / CloseDir): no path resolution —
+  // routed straight to the owner pinned in the handle state.
+  sim::Task<OpResult> IssueSessionOp(OpType op, psw::Fingerprint target_fp,
+                                     uint64_t session, uint64_t cookie);
   // Unwraps InsertEnvelope responses and maps the response message.
   static const MetaResp* UnwrapResponse(const net::MsgPtr& msg);
 

@@ -25,6 +25,18 @@ struct CachedDir {
   std::vector<AncestorRef> ancestors;
 };
 
+// Client-side state behind one DirHandle (MetadataService v2): where the
+// owner-side session lives and how to route page requests back to it. The
+// routing is pinned at OpenDir — the session stays at the server that built
+// the snapshot even if the directory is renamed away mid-stream.
+struct OpenDirState {
+  std::string path;
+  InodeId dir;                     // directory id (observability)
+  psw::Fingerprint target_fp = 0;  // SwitchFS: owner routing of the (pid, name)
+  uint32_t server = 0;             // baselines: the dir's home-server index
+  uint64_t session = 0;            // owner-side session id
+};
+
 class ClientCache {
  public:
   const CachedDir* Get(const std::string& path) const {
@@ -63,11 +75,26 @@ class ClientCache {
   void Clear() { map_.clear(); }
   size_t size() const { return map_.size(); }
 
+  // --- directory-handle table (MetadataService v2) ---
+  uint64_t PutHandle(OpenDirState state) {
+    const uint64_t id = next_handle_++;
+    handles_.emplace(id, std::move(state));
+    return id;
+  }
+  OpenDirState* GetHandle(uint64_t id) {
+    auto it = handles_.find(id);
+    return it == handles_.end() ? nullptr : &it->second;
+  }
+  void EraseHandle(uint64_t id) { handles_.erase(id); }
+  size_t handle_count() const { return handles_.size(); }
+
   uint64_t hits = 0;
   uint64_t misses = 0;
 
  private:
   std::unordered_map<std::string, CachedDir> map_;
+  std::unordered_map<uint64_t, OpenDirState> handles_;
+  uint64_t next_handle_ = 1;
 };
 
 }  // namespace switchfs::core

@@ -318,6 +318,14 @@ SwitchServer::Stats Cluster::TotalStats() const {
     total.stale_cache_bounces += st.stale_cache_bounces;
     total.wal_replayed += st.wal_replayed;
     total.insert_exhausted += st.insert_exhausted;
+    total.dir_opens += st.dir_opens;
+    total.dir_pages += st.dir_pages;
+    total.dir_page_entries += st.dir_page_entries;
+    total.dir_sessions_expired += st.dir_sessions_expired;
+    total.stale_handle_bounces += st.stale_handle_bounces;
+    total.batch_stats += st.batch_stats;
+    total.batch_stat_targets += st.batch_stat_targets;
+    total.setattrs += st.setattrs;
   }
   return total;
 }

@@ -1,0 +1,125 @@
+// Owner-side directory-stream sessions (MetadataService v2). An OpenDir
+// pins a snapshot of one directory's entry list; ReaddirPage serves bounded
+// pages from it via a positional cookie. The table is shared by the SwitchFS
+// server and the four baseline servers so the stream semantics are identical
+// across systems:
+//
+//  * The snapshot is immutable: a page stream never drops an entry that was
+//    committed before the open (SwitchFS aggregates under the agg gate
+//    first, so deferred pre-open entries are in the list) and never
+//    duplicates an entry across pages — concurrent creates/unlinks/renames
+//    mutate the live entry list, not the snapshot.
+//  * Sessions are volatile: they expire after an inactivity TTL (watchdog +
+//    lazy check, mirroring the aggregation responder-session watchdog) and
+//    die with the server incarnation. A page call against a missing session
+//    fails with kStaleHandle and the client re-opens.
+//  * Session ids embed an incarnation epoch so a handle minted before a
+//    crash can never alias a session created after recovery.
+#ifndef SRC_CORE_DIR_SESSION_H_
+#define SRC_CORE_DIR_SESSION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/core/metadata_service.h"
+#include "src/core/types.h"
+#include "src/sim/time.h"
+
+namespace switchfs::core {
+
+struct DirSession {
+  uint64_t id = 0;
+  InodeId dir;
+  // Stamp of the consistency point the snapshot represents: the simulated
+  // time the owner snapshotted the entry list (after the OpenDir-time
+  // aggregation on SwitchFS). Monotone per directory, so two handles can be
+  // ordered by freshness.
+  int64_t snapshot_at = 0;
+  std::vector<DirEntry> entries;  // key-ordered snapshot of the entry list
+  int64_t last_access = 0;        // inactivity-TTL base
+};
+
+class DirSessionTable {
+ public:
+  // `epoch` disambiguates server incarnations (pass the sim time the
+  // incarnation was created; only one incarnation can exist per instant).
+  explicit DirSessionTable(int64_t epoch)
+      : epoch_(static_cast<uint64_t>(epoch)) {}
+
+  DirSession& Open(const InodeId& dir, std::vector<DirEntry> entries,
+                   int64_t now) {
+    DirSession s;
+    s.id = (epoch_ << 20) | next_id_++;
+    s.dir = dir;
+    s.snapshot_at = now;
+    s.entries = std::move(entries);
+    s.last_access = now;
+    return sessions_.emplace(s.id, std::move(s)).first->second;
+  }
+
+  // Live session or nullptr; refreshes the inactivity clock on a hit and
+  // lazily expires on a miss-by-TTL.
+  DirSession* Touch(uint64_t id, int64_t now, sim::SimTime ttl) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return nullptr;
+    }
+    if (now - it->second.last_access > ttl) {
+      sessions_.erase(it);
+      return nullptr;
+    }
+    it->second.last_access = now;
+    return &it->second;
+  }
+
+  bool Close(uint64_t id) { return sessions_.erase(id) > 0; }
+
+  // Watchdog sweep: erases the session if it has been idle past `ttl`.
+  // Returns true when the session is gone (expired now or already closed) —
+  // the watchdog coroutine exits; false keeps it watching.
+  bool ExpireIfIdle(uint64_t id, int64_t now, sim::SimTime ttl) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return true;
+    }
+    if (now - it->second.last_access > ttl) {
+      sessions_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
+  size_t size() const { return sessions_.size(); }
+
+  // Builds the page at `cookie` (a position into the snapshot), at most
+  // `limit` entries. The returned next_cookie continues the stream; at_end
+  // marks exhaustion. A cookie beyond the snapshot yields an empty at_end
+  // page (idempotent tail re-reads are harmless).
+  static DirPage PageOf(const DirSession& s, uint64_t cookie, int limit) {
+    DirPage page;
+    const uint64_t n = s.entries.size();
+    const uint64_t start = cookie > n ? n : cookie;
+    const uint64_t count =
+        std::min<uint64_t>(static_cast<uint64_t>(limit > 0 ? limit : 1),
+                           n - start);
+    page.entries.reserve(count);
+    for (uint64_t i = start; i < start + count; ++i) {
+      page.entries.push_back(s.entries[i]);
+    }
+    page.next_cookie = start + count;
+    page.at_end = page.next_cookie >= n;
+    return page;
+  }
+
+ private:
+  uint64_t epoch_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, DirSession> sessions_;
+};
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_DIR_SESSION_H_

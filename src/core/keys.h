@@ -35,6 +35,21 @@ inline std::string IdKey(char prefix, const InodeId& id) {
 // Key of a shared attributes object (hard links, §5.5).
 inline std::string AttrKey(const InodeId& id) { return IdKey('a', id); }
 
+// Lock-table key of ONE change-log's append mutex: "l" + fingerprint + dir.
+// Serializes sequence-number assignment against the log (upsert/rmdir/rename
+// commit legs/link legs/moved_fp renumbering) independently of the fp-group
+// change-log lock — commit legs cannot take the group lock (it would invert
+// the upsert's cl-then-inode order), so a seq captured before their WAL
+// suspension used to go stale against a concurrent append or rebind.
+inline std::string ClAppendKey(psw::Fingerprint fp, const InodeId& dir) {
+  std::string key;
+  key.reserve(1 + sizeof(fp) + 32);
+  key.push_back('l');
+  key.append(reinterpret_cast<const char*>(&fp), sizeof(fp));
+  key += dir.ToKeyBytes();
+  return key;
+}
+
 // Key of the "d" (dir-id -> inode key) index used by aggregation applies.
 inline std::string DirIndexKey(const InodeId& id) { return IdKey('d', id); }
 // Prefix covering every dir-index row (recovery re-aggregation scan).

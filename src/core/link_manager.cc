@@ -13,7 +13,7 @@ namespace switchfs::core {
 sim::Task<Status> LinkManager::UpdateLinkCount(VolPtr v, InodeId file_id,
                                                uint32_t attr_server,
                                                int32_t delta, Attr* out,
-                                               bool set_mode, uint32_t mode) {
+                                               const AttrDelta& attr_delta) {
   if (attr_server == ctx_.config->index) {
     const std::string akey = AttrKey(file_id);
     auto lock = co_await v->inode_locks.AcquireExclusive(akey);
@@ -27,11 +27,8 @@ sim::Task<Status> LinkManager::UpdateLinkCount(VolPtr v, InodeId file_id,
     Attr attrs = Attr::Decode(*value);
     attrs.nlink = static_cast<uint32_t>(
         std::max<int64_t>(0, static_cast<int64_t>(attrs.nlink) + delta));
-    if (set_mode) {
-      attrs.mode = mode;
-      attrs.ctime = ctx_.Now();
-    }
-    if (delta != 0 || set_mode) {
+    const bool changed = attr_delta.ApplyTo(attrs, ctx_.Now());
+    if (delta != 0 || changed) {
       OpCommitRecord rec;
       rec.op = OpType::kLink;
       rec.inode_key = akey;
@@ -59,8 +56,7 @@ sim::Task<Status> LinkManager::UpdateLinkCount(VolPtr v, InodeId file_id,
   auto msg = std::make_shared<LinkRefUpdate>();
   msg->file_id = file_id;
   msg->delta = delta;
-  msg->set_mode = set_mode;
-  msg->mode = mode;
+  msg->attr = attr_delta;
   auto r = co_await ctx_.rpc->Call(ctx_.cluster->ServerNode(attr_server), msg);
   if (v->dead) co_return UnavailableError();
   if (!r.ok()) {
@@ -83,8 +79,7 @@ sim::Task<void> LinkManager::HandleLinkRefUpdate(net::Packet p, VolPtr v) {
   auto resp = std::make_shared<LinkRefUpdateResp>();
   Attr attrs;
   Status s = co_await UpdateLinkCount(v, msg->file_id, ctx_.config->index,
-                                      msg->delta, &attrs, msg->set_mode,
-                                      msg->mode);
+                                      msg->delta, &attrs, msg->attr);
   if (v->dead) co_return;
   resp->status = s.ok() ? StatusCode::kOk : s.code();
   resp->nlink = attrs.nlink;
@@ -215,32 +210,40 @@ sim::Task<void> LinkManager::HandleLink(net::Packet p, VolPtr v) {
   ref.type = FileType::kReference;
   ref.size = conv->attr_server;
 
-  ChangeLog& clog = v->GetChangeLog(pfp, dst.pid);
-  ChangeLogEntry entry;
-  entry.timestamp = ctx_.Now();
-  entry.op = OpType::kCreate;
-  entry.name = dst.name;
-  entry.entry_type = FileType::kFile;
-  entry.size_delta = 1;
-  entry.seq = clog.last_appended_seq() + 1;
+  {
+    // Per-log append mutex (see HandleRenameCommit): this leg appends while
+    // holding only the destination inode lock, so the captured seq must be
+    // pinned against concurrent appends/renumbering across the WAL await.
+    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
+        ClAppendKey(pfp, dst.pid));
+    if (v->dead) co_return;
+    ChangeLog& clog = v->GetChangeLog(pfp, dst.pid);
+    ChangeLogEntry entry;
+    entry.timestamp = ctx_.Now();
+    entry.op = OpType::kCreate;
+    entry.name = dst.name;
+    entry.entry_type = FileType::kFile;
+    entry.size_delta = 1;
+    entry.seq = clog.last_appended_seq() + 1;
 
-  OpCommitRecord rec;
-  rec.op = OpType::kLink;
-  rec.inode_key = ikey;
-  rec.inode_value = ref.Encode();
-  rec.parent_dir = dst.pid;
-  rec.parent_fp = pfp;
-  rec.entry = entry;
-  rec.has_entry = true;
-  co_await ctx_.cpu->Run(ctx_.costs->wal_append);
-  if (v->dead) co_return;
-  entry.wal_lsn = ctx_.durable->wal.Append(kWalOpCommit, rec.Encode());
-  co_await ctx_.cpu->Run(ctx_.costs->kv_put);
-  if (v->dead) co_return;
-  v->kv.Put(ikey, ref.Encode());
-  co_await ctx_.cpu->Run(ctx_.costs->changelog_append);
-  if (v->dead) co_return;
-  clog.Restore(entry);
+    OpCommitRecord rec;
+    rec.op = OpType::kLink;
+    rec.inode_key = ikey;
+    rec.inode_value = ref.Encode();
+    rec.parent_dir = dst.pid;
+    rec.parent_fp = pfp;
+    rec.entry = entry;
+    rec.has_entry = true;
+    co_await ctx_.cpu->Run(ctx_.costs->wal_append);
+    if (v->dead) co_return;
+    entry.wal_lsn = ctx_.durable->wal.Append(kWalOpCommit, rec.Encode());
+    co_await ctx_.cpu->Run(ctx_.costs->kv_put);
+    if (v->dead) co_return;
+    v->kv.Put(ikey, ref.Encode());
+    co_await ctx_.cpu->Run(ctx_.costs->changelog_append);
+    if (v->dead) co_return;
+    clog.Restore(entry);
+  }
 
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
   resp->attr = ref;

@@ -29,12 +29,13 @@ class LinkManager {
   sim::Task<void> HandleLinkConvert(net::Packet p, VolPtr v);
   // Reference-count update at the attributes object's home server.
   sim::Task<void> HandleLinkRefUpdate(net::Packet p, VolPtr v);
-  // delta: +1 link, -1 unlink, 0 read; optionally rewrites the mode. Local
-  // when this server holds the attributes object, else one RPC.
+  // delta: +1 link, -1 unlink, 0 read; `attr_delta` optionally rewrites the
+  // shared mode/timestamps (SetAttr on a hard-linked file). Local when this
+  // server holds the attributes object, else one RPC.
   sim::Task<Status> UpdateLinkCount(VolPtr v, InodeId file_id,
                                     uint32_t attr_server, int32_t delta,
-                                    Attr* out, bool set_mode = false,
-                                    uint32_t mode = 0);
+                                    Attr* out,
+                                    const AttrDelta& attr_delta = {});
 
  private:
   ServerContext& ctx_;

@@ -45,7 +45,7 @@ struct MetaReq : net::Message {
   PathRef ref;
   uint32_t mode = 0644;       // create/mkdir permission bits
   PathRef ref2;               // rename destination / link source
-  bool want_entries = false;  // readdir
+  bool want_entries = false;  // monolithic readdir (A/B + recovery tooling)
   // Dedicated-tracker mode (§7.3.3): the client pre-queried the tracker and
   // forwards the scattered bit here (the switch path stamps ds.ret instead).
   bool scattered_hint = false;
@@ -53,6 +53,14 @@ struct MetaReq : net::Message {
   // path (and of the rename destination).
   std::string top;
   std::string top2;
+  // --- MetadataService v2 ---
+  uint64_t dir_session = 0;  // kReaddirPage / kCloseDir: owner-side session
+  uint64_t cookie = 0;       // kReaddirPage: resume position
+  AttrDelta delta;           // kSetAttr
+  // kBatchStat: every target the client resolved to this server. `ref` is
+  // unused; per-target verdicts return in MetaResp::batch_status/batch_attrs
+  // (parallel to this vector).
+  std::vector<PathRef> targets;
 };
 
 struct MetaResp : net::Message {
@@ -61,8 +69,18 @@ struct MetaResp : net::Message {
   explicit MetaResp(StatusCode s) : Message(kType), status(s) {}
   StatusCode status = StatusCode::kOk;
   Attr attr;
-  std::vector<DirEntry> entries;      // readdir payload
+  std::vector<DirEntry> entries;      // readdir payload (one page for v2)
   std::vector<InodeId> stale_ids;     // kStaleCache: ancestors to invalidate
+  // --- MetadataService v2 ---
+  uint64_t dir_session = 0;  // kOpenDir: session the pages are served from
+  uint64_t next_cookie = 0;  // kReaddirPage: pass to the next page call
+  bool at_end = false;       // kReaddirPage: stream exhausted
+  uint64_t dir_entries = 0;  // kOpenDir: snapshot cardinality (observability)
+  // kBatchStat verdicts, parallel to MetaReq::targets. A per-target
+  // kStaleCache points at stale_ids (union across targets); the overall
+  // `status` stays kOk so healthy targets in the batch still resolve.
+  std::vector<StatusCode> batch_status;
+  std::vector<Attr> batch_attrs;
 };
 
 // --- dirty-set insert envelope (rides the kInsert packet, §5.2.1 step 6) ---
@@ -315,8 +333,7 @@ struct LinkRefUpdate : net::Message {
   LinkRefUpdate() : Message(kType) {}
   InodeId file_id;   // attributes-object id
   int32_t delta = 0; // +1 link, -1 unlink, 0 read
-  bool set_mode = false;  // chmod on a hard-linked file
-  uint32_t mode = 0;
+  AttrDelta attr;    // setattr on a hard-linked file (mode / times)
 };
 
 struct LinkRefUpdateResp : net::Message {

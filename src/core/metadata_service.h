@@ -1,12 +1,33 @@
-// The public client-facing API. Every system in the repository — SwitchFS
-// and the four baselines — exposes this interface, so workloads, examples,
-// benches, and the consistency tests run unmodified across systems.
+// The public client-facing API (MetadataService v2). Every system in the
+// repository — SwitchFS and the four baselines — exposes this interface, so
+// workloads, examples, benches, and the consistency tests run unmodified
+// across systems.
+//
+// v2 redesign (directory handles, cookie-paged readdir, batched lookups):
+//
+//  * OpenDir / ReaddirPage / CloseDir replace the monolithic everything-in-
+//    one-RPC directory listing. OpenDir makes the directory consistent once
+//    (SwitchFS: dirty-set check + aggregation under the owner's agg gate)
+//    and pins an owner-side snapshot session; ReaddirPage serves bounded
+//    pages from that snapshot via an opaque cookie. The page stream never
+//    drops an entry committed before the open and never duplicates an entry
+//    across pages, regardless of concurrent creates/unlinks/renames — they
+//    land in the live entry list, not the pinned snapshot. Sessions expire
+//    server-side after an inactivity TTL (and die with an owner crash);
+//    a page call against a dead session fails with kStaleHandle and the
+//    caller re-opens.
+//  * BatchStat amortizes lookup fan-out: the client groups targets by owner
+//    placement and ships one multi-target request per server (the read-path
+//    mirror of the per-owner push batching).
+//  * SetAttr is the chmod/utimens-class partial attribute update, committed
+//    through the same WAL path as the other mutations.
 //
 // All calls are coroutines driven by the discrete-event simulator; latency
 // and throughput fall out of simulated time.
 #ifndef SRC_CORE_METADATA_SERVICE_H_
 #define SRC_CORE_METADATA_SERVICE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,6 +36,27 @@
 #include "src/sim/task.h"
 
 namespace switchfs::core {
+
+// Client-local directory handle returned by OpenDir. Opaque: the id indexes
+// the client's handle table (which remembers the owner routing and the
+// server-side session); handles are not transferable between clients.
+struct DirHandle {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+// One page of a directory stream. `next_cookie` feeds the next ReaddirPage
+// call; when `at_end` is set the stream is exhausted (next_cookie is then
+// meaningless). Cookies are opaque to callers and only valid for the handle
+// they came from.
+struct DirPage {
+  std::vector<DirEntry> entries;
+  uint64_t next_cookie = 0;
+  bool at_end = false;
+};
+
+// Cookie that starts a directory stream from the beginning.
+inline constexpr uint64_t kDirStreamStart = 0;
 
 class MetadataService {
  public:
@@ -29,14 +71,40 @@ class MetadataService {
   // Single-inode operations.
   virtual sim::Task<StatusOr<Attr>> Stat(const std::string& path) = 0;
   virtual sim::Task<StatusOr<Attr>> StatDir(const std::string& path) = 0;
-  virtual sim::Task<StatusOr<std::vector<DirEntry>>> Readdir(
-      const std::string& path) = 0;
   virtual sim::Task<StatusOr<Attr>> Open(const std::string& path) = 0;
   virtual sim::Task<Status> Close(const std::string& path) = 0;
+
+  // Partial attribute update (chmod / utimens). Commits at the target's
+  // owner through the regular mutation WAL path.
+  virtual sim::Task<Status> SetAttr(const std::string& path,
+                                    const AttrDelta& delta) = 0;
+
+  // --- directory streams (v2) ---
+  virtual sim::Task<StatusOr<DirHandle>> OpenDir(const std::string& path) = 0;
+  // Serves the page at `cookie` (kDirStreamStart begins the stream). Pages
+  // hold at most the system's configured page size (SwitchFS: mtu_entries).
+  // Fails with kStaleHandle when the server-side session expired or died.
+  virtual sim::Task<StatusOr<DirPage>> ReaddirPage(const DirHandle& handle,
+                                                   uint64_t cookie) = 0;
+  virtual sim::Task<Status> CloseDir(const DirHandle& handle) = 0;
+
+  // --- batched lookups (v2) ---
+  // Stats every path; result i corresponds to paths[i]. Targets are grouped
+  // by owner placement into multi-target requests (one RPC per server, not
+  // per path).
+  virtual sim::Task<std::vector<StatusOr<Attr>>> BatchStat(
+      const std::vector<std::string>& paths) = 0;
 
   // Rename (§5.2: distributed transaction through a central coordinator).
   virtual sim::Task<Status> Rename(const std::string& from,
                                    const std::string& to) = 0;
+
+  // Whole-directory listing, built on the paged stream: OpenDir, drain the
+  // pages, CloseDir. Restarts from scratch on a kStaleHandle mid-stream
+  // (expired session / owner crash), so the returned listing is always one
+  // coherent snapshot. Overridable for systems with a cheaper native path.
+  virtual sim::Task<StatusOr<std::vector<DirEntry>>> Readdir(
+      const std::string& path);
 };
 
 }  // namespace switchfs::core

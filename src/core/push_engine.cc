@@ -423,6 +423,27 @@ sim::Task<bool> PushEngine::RebindMovedLog(VolPtr v, InodeId dir,
     }
     if (v->dead) co_return false;
 
+    // Per-log append mutexes, in key order: DrainInto renumbers the target
+    // log and drains the source, and rename/link commit legs append to
+    // either without the group locks above — the append mutex is the only
+    // thing pinning their captured seqs against this renumbering.
+    LockTable::Handle append_first;
+    LockTable::Handle append_second;
+    if (old_fp < new_fp) {
+      append_first = co_await v->changelog_append_locks.AcquireExclusive(
+          ClAppendKey(old_fp, dir));
+      if (v->dead) co_return false;
+      append_second = co_await v->changelog_append_locks.AcquireExclusive(
+          ClAppendKey(new_fp, dir));
+    } else {
+      append_first = co_await v->changelog_append_locks.AcquireExclusive(
+          ClAppendKey(new_fp, dir));
+      if (v->dead) co_return false;
+      append_second = co_await v->changelog_append_locks.AcquireExclusive(
+          ClAppendKey(old_fp, dir));
+    }
+    if (v->dead) co_return false;
+
     auto logs = v->changelogs.find(old_fp);
     if (logs == v->changelogs.end()) {
       co_return false;  // already rebound (push and aggregation verdicts race)

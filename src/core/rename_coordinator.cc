@@ -319,8 +319,17 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
       rec.moved_applied = moved_applied;
     }
 
+    // Per-log append mutex: commit legs cannot take the fp-group change-log
+    // lock (it would invert the upsert's cl-then-inode order and deadlock),
+    // so without it the seq captured here went stale against a concurrent
+    // append or moved_fp renumber during the WAL suspension below — the
+    // ROADMAP PR-4 follow-up exposure. Innermost lock; held through Restore.
+    LockTable::Handle append_lock;
     ChangeLog* clog = nullptr;
     if (msg->log_parent_update) {
+      append_lock = co_await v->changelog_append_locks.AcquireExclusive(
+          ClAppendKey(msg->parent_fp, msg->parent_dir));
+      if (v->dead) co_return;
       clog = &v->GetChangeLog(msg->parent_fp, msg->parent_dir);
       entry.seq = clog->last_appended_seq() + 1;
       rec.entry = entry;
@@ -385,9 +394,10 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
       co_await ctx_.cpu->Run(ctx_.costs->changelog_append);
       if (v->dead) co_return;
       entry.wal_lsn = lsn;
-      // Re-obtain the log: commit legs do not hold the change-log lock, so
-      // a concurrent moved_fp rebind of the PARENT directory may have
-      // re-keyed (erased) the slot `clog` pointed at while we suspended.
+      // Re-obtain the log rather than reuse `clog`: the append mutex held
+      // above excludes concurrent appends and rebind renumbering, but the
+      // slot map itself is not under it, so a stale pointer is still not
+      // worth the risk across the suspensions above.
       v->GetChangeLog(msg->parent_fp, msg->parent_dir).Restore(entry);
     }
   }

@@ -30,6 +30,16 @@ const char* OpTypeName(OpType op) {
       return "chmod";
     case OpType::kLink:
       return "link";
+    case OpType::kOpenDir:
+      return "opendir";
+    case OpType::kReaddirPage:
+      return "readdirpage";
+    case OpType::kCloseDir:
+      return "closedir";
+    case OpType::kBatchStat:
+      return "batchstat";
+    case OpType::kSetAttr:
+      return "setattr";
   }
   return "unknown";
 }

@@ -117,6 +117,21 @@ void SwitchServer::OnRequest(net::Packet p) {
         case OpType::kReaddir:
           sim::Spawn(HandleDirRead(std::move(p), std::move(v)));
           break;
+        case OpType::kOpenDir:
+          sim::Spawn(HandleOpenDir(std::move(p), std::move(v)));
+          break;
+        case OpType::kReaddirPage:
+          sim::Spawn(HandleReaddirPage(std::move(p), std::move(v)));
+          break;
+        case OpType::kCloseDir:
+          sim::Spawn(HandleCloseDir(std::move(p), std::move(v)));
+          break;
+        case OpType::kBatchStat:
+          sim::Spawn(HandleBatchStat(std::move(p), std::move(v)));
+          break;
+        case OpType::kSetAttr:
+          sim::Spawn(HandleSetAttr(std::move(p), std::move(v)));
+          break;
         case OpType::kStat:
         case OpType::kOpen:
         case OpType::kClose:
@@ -318,42 +333,51 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
       co_return;
   }
 
-  // Step 4: persistent commit (WAL).
-  ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
-  entry.seq = clog.last_appended_seq() + 1;
-  OpCommitRecord rec;
-  rec.op = req->op;
-  rec.inode_key = ikey;
-  rec.inode_delete = req->op == OpType::kUnlink;
-  if (!rec.inode_delete) {
-    rec.inode_value = attr.Encode();
-  }
-  rec.parent_dir = ref.pid;
-  rec.parent_fp = pfp;
-  rec.entry = entry;
-  rec.has_entry = true;
-  co_await cpu_.Run(costs_->wal_append);
-  if (v->dead) co_return;
-  const uint64_t lsn = durable_->wal.Append(kWalOpCommit, rec.Encode());
-
-  // Step 5: execute locally.
-  co_await cpu_.Run(rec.inode_delete ? costs_->kv_delete : costs_->kv_put);
-  if (v->dead) co_return;
-  if (rec.inode_delete) {
-    v->kv.Delete(ikey);
-  } else {
-    v->kv.Put(ikey, rec.inode_value);
-    if (req->op == OpType::kMkdir) {
-      // New directory: its fingerprint group is this very key's hash, so we
-      // are its owner; index id -> inode key for aggregation applies.
-      v->kv.Put(DirIndexKey(attr.id),
-                EncodeDirIndex(ikey, FingerprintOf(ref.pid, ref.name)));
+  // Step 4: persistent commit (WAL). The per-log append mutex pins the
+  // captured seq across the WAL/KV suspensions: rename and link commit legs
+  // append to this log WITHOUT the fp-group lock (taking it would invert
+  // the cl-then-inode order), so the group lock alone does not serialize
+  // sequence assignment.
+  {
+    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
+        ClAppendKey(pfp, ref.pid));
+    if (v->dead) co_return;
+    ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
+    entry.seq = clog.last_appended_seq() + 1;
+    OpCommitRecord rec;
+    rec.op = req->op;
+    rec.inode_key = ikey;
+    rec.inode_delete = req->op == OpType::kUnlink;
+    if (!rec.inode_delete) {
+      rec.inode_value = attr.Encode();
     }
+    rec.parent_dir = ref.pid;
+    rec.parent_fp = pfp;
+    rec.entry = entry;
+    rec.has_entry = true;
+    co_await cpu_.Run(costs_->wal_append);
+    if (v->dead) co_return;
+    const uint64_t lsn = durable_->wal.Append(kWalOpCommit, rec.Encode());
+
+    // Step 5: execute locally.
+    co_await cpu_.Run(rec.inode_delete ? costs_->kv_delete : costs_->kv_put);
+    if (v->dead) co_return;
+    if (rec.inode_delete) {
+      v->kv.Delete(ikey);
+    } else {
+      v->kv.Put(ikey, rec.inode_value);
+      if (req->op == OpType::kMkdir) {
+        // New directory: its fingerprint group is this very key's hash, so
+        // we are its owner; index id -> inode key for aggregation applies.
+        v->kv.Put(DirIndexKey(attr.id),
+                  EncodeDirIndex(ikey, FingerprintOf(ref.pid, ref.name)));
+      }
+    }
+    co_await cpu_.Run(costs_->changelog_append);
+    if (v->dead) co_return;
+    entry.wal_lsn = lsn;
+    clog.Restore(entry);
   }
-  co_await cpu_.Run(costs_->changelog_append);
-  if (v->dead) co_return;
-  entry.wal_lsn = lsn;
-  clog.Restore(entry);
 
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
   resp->attr = attr;
@@ -586,6 +610,38 @@ void SwitchServer::HandleFallbackDone(const FallbackDone& msg, VolPtr v) {
 // Directory reads: statdir / readdir (§5.2.2)
 // ---------------------------------------------------------------------------
 
+sim::Task<LockTable::Handle> SwitchServer::GateDirRead(VolPtr v,
+                                                       const net::Packet& p,
+                                                       const MetaReq& req,
+                                                       psw::Fingerprint dir_fp) {
+  bool scattered = ctx_.dirty_tracker->ReadScattered(ctx_, *v, p, req, dir_fp);
+  const int64_t observed_at = Now();
+
+  LockTable::Handle gate;
+  while (true) {
+    gate = co_await v->agg_gates.AcquireShared(FpKey(dir_fp));
+    if (v->dead) co_return LockTable::Handle();
+    if (!scattered) {
+      break;
+    }
+    auto last = v->last_agg_complete.find(dir_fp);
+    if (last != v->last_agg_complete.end() && last->second > observed_at) {
+      break;  // someone aggregated after our dirty-set observation
+    }
+    gate.Release();
+    auto xgate = co_await v->agg_gates.AcquireExclusive(FpKey(dir_fp));
+    if (v->dead) co_return LockTable::Handle();
+    last = v->last_agg_complete.find(dir_fp);
+    if (last == v->last_agg_complete.end() || last->second <= observed_at) {
+      co_await agg_.RunAggregation(v, dir_fp, std::nullopt, 0, "", false);
+      if (v->dead) co_return LockTable::Handle();
+    }
+    xgate.Release();
+    scattered = false;
+  }
+  co_return gate;
+}
+
 sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
   const auto* req = static_cast<const MetaReq*>(p.body.get());
   stats_.ops++;
@@ -596,31 +652,8 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
   const psw::Fingerprint dir_fp = FingerprintOf(ref.pid, ref.name);
   const std::string ikey = InodeKey(ref.pid, ref.name);
 
-  bool scattered = ctx_.dirty_tracker->ReadScattered(ctx_, *v, p, *req, dir_fp);
-  const int64_t observed_at = Now();
-
-  LockTable::Handle gate;
-  while (true) {
-    gate = co_await v->agg_gates.AcquireShared(FpKey(dir_fp));
-    if (v->dead) co_return;
-    if (!scattered) {
-      break;
-    }
-    auto last = v->last_agg_complete.find(dir_fp);
-    if (last != v->last_agg_complete.end() && last->second > observed_at) {
-      break;  // someone aggregated after our dirty-set observation
-    }
-    gate.Release();
-    auto xgate = co_await v->agg_gates.AcquireExclusive(FpKey(dir_fp));
-    if (v->dead) co_return;
-    last = v->last_agg_complete.find(dir_fp);
-    if (last == v->last_agg_complete.end() || last->second <= observed_at) {
-      co_await agg_.RunAggregation(v, dir_fp, std::nullopt, 0, "", false);
-      if (v->dead) co_return;
-    }
-    xgate.Release();
-    scattered = false;
-  }
+  LockTable::Handle gate = co_await GateDirRead(v, p, *req, dir_fp);
+  if (v->dead) co_return;
 
   auto ino = co_await v->inode_locks.AcquireShared(ikey);
   if (v->dead) co_return;
@@ -648,6 +681,9 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
   resp->attr = attr;
   if (req->op == OpType::kReaddir && req->want_entries) {
+    // Monolithic listing (A/B + recovery tooling): one scan AND the full
+    // marshalling land on this single request — the paged path instead
+    // charges the scan once at OpenDir and marshalling per page.
     size_t n = 0;
     v->kv.ScanPrefix(EntryPrefix(attr.id),
                      [&](const std::string& k, const std::string& val) {
@@ -661,6 +697,288 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
                       (costs_->kv_scan_per_entry + costs_->readdir_per_entry));
     if (v->dead) co_return;
   }
+  co_await cpu_.Run(costs_->reply_build);
+  if (v->dead) co_return;
+  rpc_.Respond(p, resp);
+}
+
+// ---------------------------------------------------------------------------
+// Directory streams (MetadataService v2): OpenDir / ReaddirPage / CloseDir
+// ---------------------------------------------------------------------------
+
+sim::Task<void> SwitchServer::HandleOpenDir(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  stats_.ops++;
+  co_await cpu_.Run(costs_->op_dispatch);
+  if (v->dead) co_return;
+
+  const PathRef& ref = req->ref;
+  const psw::Fingerprint dir_fp = FingerprintOf(ref.pid, ref.name);
+  const std::string ikey = InodeKey(ref.pid, ref.name);
+
+  // Aggregate ONCE at open (§5.2.2 under the agg gate): every entry
+  // committed before the open is in the list the snapshot below pins, so
+  // the page stream can never drop a pre-open entry. Pages themselves skip
+  // the gate — they serve the pinned snapshot.
+  LockTable::Handle gate = co_await GateDirRead(v, p, *req, dir_fp);
+  if (v->dead) co_return;
+
+  auto ino = co_await v->inode_locks.AcquireShared(ikey);
+  if (v->dead) co_return;
+  co_await cpu_.Run(costs_->path_check *
+                    static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+  if (v->dead) co_return;
+  auto stale = v->inval.Check(ref.ancestors);
+  if (!stale.empty()) {
+    stats_.stale_cache_bounces++;
+    RespondStale(p, std::move(stale));
+    co_return;
+  }
+  co_await cpu_.Run(costs_->kv_get);
+  if (v->dead) co_return;
+  auto value = v->kv.Get(ikey);
+  if (!value.has_value()) {
+    RespondStatus(p, StatusCode::kNotFound);
+    co_return;
+  }
+  Attr attr = Attr::Decode(*value);
+  if (!attr.is_dir()) {
+    RespondStatus(p, StatusCode::kNotADirectory);
+    co_return;
+  }
+
+  // Snapshot the entry list under the inode lock: this is the stream's one
+  // scan (charged here); pages charge only their own marshalling. The
+  // snapshot is immune to concurrent creates/unlinks/renames — including a
+  // rename or rmdir of the directory itself: the session outlives the
+  // directory's presence here and keeps serving the pinned listing.
+  std::vector<DirEntry> entries;
+  v->kv.ScanPrefix(EntryPrefix(attr.id),
+                   [&](const std::string& k, const std::string& val) {
+                     entries.push_back(DirEntry{
+                         std::string(EntryNameFromKey(k)),
+                         DecodeEntryValue(val)});
+                     return true;
+                   });
+  co_await cpu_.Run(static_cast<sim::SimTime>(entries.size()) *
+                    costs_->kv_scan_per_entry);
+  if (v->dead) co_return;
+
+  DirSession& session = v->dir_sessions.Open(attr.id, std::move(entries), Now());
+  stats_.dir_opens++;
+  sim::Spawn(DirSessionWatchdog(v, session.id));
+
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->attr = attr;
+  resp->dir_session = session.id;
+  resp->dir_entries = session.entries.size();
+  co_await cpu_.Run(costs_->reply_build);
+  if (v->dead) co_return;
+  rpc_.Respond(p, resp);
+}
+
+sim::Task<void> SwitchServer::DirSessionWatchdog(VolPtr v, uint64_t session_id) {
+  while (true) {
+    co_await sim::Delay(sim_, config_.dir_session_ttl);
+    if (v->dead) co_return;
+    const size_t before = v->dir_sessions.size();
+    if (v->dir_sessions.ExpireIfIdle(session_id, Now(),
+                                     config_.dir_session_ttl)) {
+      if (v->dir_sessions.size() < before) {
+        stats_.dir_sessions_expired++;
+      }
+      co_return;
+    }
+  }
+}
+
+sim::Task<void> SwitchServer::HandleReaddirPage(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  stats_.ops++;
+  co_await cpu_.Run(costs_->op_dispatch);
+  if (v->dead) co_return;
+
+  DirSession* session = v->dir_sessions.Touch(req->dir_session, Now(),
+                                              config_.dir_session_ttl);
+  if (session == nullptr) {
+    // Expired, closed, or minted by a previous incarnation: the snapshot is
+    // gone and resuming mid-stream could drop or duplicate entries, so the
+    // client must re-open.
+    stats_.stale_handle_bounces++;
+    RespondStatus(p, StatusCode::kStaleHandle);
+    co_return;
+  }
+  // Build the page BEFORE suspending again: the watchdog may expire the
+  // session during an await, invalidating `session`.
+  DirPage page =
+      DirSessionTable::PageOf(*session, req->cookie, config_.mtu_entries);
+
+  // Per-page accounting: the snapshot scan was charged once at OpenDir; a
+  // page pays only its marshalling (readdir_per_entry) and reply build.
+  co_await cpu_.Run(static_cast<sim::SimTime>(page.entries.size()) *
+                        costs_->readdir_per_entry +
+                    costs_->reply_build);
+  if (v->dead) co_return;
+  stats_.dir_pages++;
+  stats_.dir_page_entries += page.entries.size();
+
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->entries = std::move(page.entries);
+  resp->next_cookie = page.next_cookie;
+  resp->at_end = page.at_end;
+  rpc_.Respond(p, resp);
+}
+
+sim::Task<void> SwitchServer::HandleCloseDir(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  stats_.ops++;
+  co_await cpu_.Run(costs_->op_dispatch);
+  if (v->dead) co_return;
+  v->dir_sessions.Close(req->dir_session);
+  RespondStatus(p, StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Batched lookups & attr deltas (MetadataService v2)
+// ---------------------------------------------------------------------------
+
+sim::Task<void> SwitchServer::HandleBatchStat(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  stats_.ops++;
+  stats_.batch_stats++;
+  co_await cpu_.Run(costs_->op_dispatch);
+  if (v->dead) co_return;
+
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->batch_status.reserve(req->targets.size());
+  resp->batch_attrs.resize(req->targets.size());
+  for (size_t i = 0; i < req->targets.size(); ++i) {
+    const PathRef& ref = req->targets[i];
+    stats_.batch_stat_targets++;
+    const std::string ikey = InodeKey(ref.pid, ref.name);
+    auto lock = co_await v->inode_locks.AcquireShared(ikey);
+    if (v->dead) co_return;
+    co_await cpu_.Run(costs_->path_check *
+                      static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+    if (v->dead) co_return;
+    auto stale = v->inval.Check(ref.ancestors);
+    if (!stale.empty()) {
+      // Per-target verdict; the batch itself stays kOk so healthy targets
+      // still resolve. stale_ids accumulates the union for the client.
+      stats_.stale_cache_bounces++;
+      for (InodeId& id : stale) {
+        resp->stale_ids.push_back(id);
+      }
+      resp->batch_status.push_back(StatusCode::kStaleCache);
+      continue;
+    }
+    co_await cpu_.Run(costs_->kv_get);
+    if (v->dead) co_return;
+    auto value = v->kv.Get(ikey);
+    if (!value.has_value()) {
+      resp->batch_status.push_back(StatusCode::kNotFound);
+      continue;
+    }
+    Attr attr = Attr::Decode(*value);
+    if (attr.type == FileType::kReference) {
+      // Hard link: chase the shared attributes object (§5.5). A failed
+      // chase (attributes owner unreachable) is that target's verdict —
+      // reporting kOk with a default Attr would hand the client garbage.
+      Attr shared;
+      Status s = co_await links_.UpdateLinkCount(
+          v, attr.id, static_cast<uint32_t>(attr.size), /*delta=*/0, &shared);
+      if (v->dead) co_return;
+      if (!s.ok()) {
+        resp->batch_status.push_back(s.code());
+        continue;
+      }
+      attr = shared;
+    }
+    resp->batch_attrs[i] = attr;
+    resp->batch_status.push_back(StatusCode::kOk);
+  }
+  co_await cpu_.Run(costs_->reply_build);
+  if (v->dead) co_return;
+  rpc_.Respond(p, resp);
+}
+
+sim::Task<void> SwitchServer::HandleSetAttr(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  stats_.ops++;
+  stats_.setattrs++;
+  co_await cpu_.Run(costs_->op_dispatch);
+  if (v->dead) co_return;
+
+  const PathRef& ref = req->ref;
+  const std::string ikey = InodeKey(ref.pid, ref.name);
+  auto lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  if (v->dead) co_return;
+  co_await cpu_.Run(costs_->path_check *
+                    static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+  if (v->dead) co_return;
+  auto stale = v->inval.Check(ref.ancestors);
+  if (!stale.empty()) {
+    stats_.stale_cache_bounces++;
+    RespondStale(p, std::move(stale));
+    co_return;
+  }
+  co_await cpu_.Run(costs_->kv_get);
+  if (v->dead) co_return;
+  auto value = v->kv.Get(ikey);
+  if (!value.has_value()) {
+    RespondStatus(p, StatusCode::kNotFound);
+    co_return;
+  }
+  Attr attr = Attr::Decode(*value);
+  if (attr.type == FileType::kReference) {
+    // Hard link: the delta applies to the shared attributes object (§5.5).
+    // A failed update (attributes owner unreachable) must surface — the
+    // mutation did NOT commit, and the client's retry loop handles it.
+    Attr shared;
+    Status s = co_await links_.UpdateLinkCount(
+        v, attr.id, static_cast<uint32_t>(attr.size), /*delta=*/0, &shared,
+        req->delta);
+    if (v->dead) co_return;
+    if (!s.ok()) {
+      RespondStatus(p, s.code());
+      co_return;
+    }
+    auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+    resp->attr = shared;
+    co_await cpu_.Run(costs_->reply_build);
+    if (v->dead) co_return;
+    rpc_.Respond(p, resp);
+    co_return;
+  }
+
+  if (req->delta.ApplyTo(attr, Now())) {
+    // Commit through the WAL like every other mutation (the legacy chmod
+    // path mutated the KV row only, losing the change across a crash).
+    OpCommitRecord rec;
+    rec.op = OpType::kSetAttr;
+    rec.inode_key = ikey;
+    rec.inode_value = attr.Encode();
+    co_await cpu_.Run(costs_->wal_append);
+    if (v->dead) co_return;
+    durable_->wal.Append(kWalOpCommit, rec.Encode());
+    co_await cpu_.Run(costs_->kv_put);
+    if (v->dead) co_return;
+    v->kv.Put(ikey, attr.Encode());
+    if (req->delta.set_mode && attr.is_dir() && attr.id != RootId()) {
+      // Permission changes on directories invalidate client caches (§4.2);
+      // the root is exempt (clients cannot re-look it up).
+      v->inval.Add(attr.id, Now());
+      auto bcast = std::make_shared<InvalBroadcast>();
+      bcast->id = attr.id;
+      net::Packet mc;
+      mc.dst = net::kServerMulticast;
+      mc.ds.origin = node_id();
+      mc.body = bcast;
+      rpc_.Send(std::move(mc));
+    }
+  }
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->attr = attr;
   co_await cpu_.Run(costs_->reply_build);
   if (v->dead) co_return;
   rpc_.Respond(p, resp);
@@ -749,35 +1067,40 @@ sim::Task<void> SwitchServer::HandleRmdir(net::Packet p, VolPtr v) {
     co_return;
   }
 
-  // Step 8: commit.
-  ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
-  ChangeLogEntry entry;
-  entry.timestamp = Now();
-  entry.op = OpType::kRmdir;
-  entry.name = ref.name;
-  entry.entry_type = FileType::kDirectory;
-  entry.size_delta = -1;
-  entry.seq = clog.last_appended_seq() + 1;
+  // Step 8: commit (append mutex: see HandleUpsert's commit section).
+  {
+    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
+        ClAppendKey(pfp, ref.pid));
+    if (v->dead) co_return;
+    ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
+    ChangeLogEntry entry;
+    entry.timestamp = Now();
+    entry.op = OpType::kRmdir;
+    entry.name = ref.name;
+    entry.entry_type = FileType::kDirectory;
+    entry.size_delta = -1;
+    entry.seq = clog.last_appended_seq() + 1;
 
-  OpCommitRecord rec;
-  rec.op = OpType::kRmdir;
-  rec.inode_key = ikey;
-  rec.inode_delete = true;
-  rec.parent_dir = ref.pid;
-  rec.parent_fp = pfp;
-  rec.entry = entry;
-  rec.has_entry = true;
-  co_await cpu_.Run(costs_->wal_append);
-  if (v->dead) co_return;
-  entry.wal_lsn = durable_->wal.Append(kWalOpCommit, rec.Encode());
+    OpCommitRecord rec;
+    rec.op = OpType::kRmdir;
+    rec.inode_key = ikey;
+    rec.inode_delete = true;
+    rec.parent_dir = ref.pid;
+    rec.parent_fp = pfp;
+    rec.entry = entry;
+    rec.has_entry = true;
+    co_await cpu_.Run(costs_->wal_append);
+    if (v->dead) co_return;
+    entry.wal_lsn = durable_->wal.Append(kWalOpCommit, rec.Encode());
 
-  co_await cpu_.Run(costs_->kv_delete);
-  if (v->dead) co_return;
-  v->kv.Delete(ikey);
-  v->kv.Delete(DirIndexKey(attr.id));
-  co_await cpu_.Run(costs_->changelog_append);
-  if (v->dead) co_return;
-  clog.Restore(entry);
+    co_await cpu_.Run(costs_->kv_delete);
+    if (v->dead) co_return;
+    v->kv.Delete(ikey);
+    v->kv.Delete(DirIndexKey(attr.id));
+    co_await cpu_.Run(costs_->changelog_append);
+    if (v->dead) co_return;
+    clog.Restore(entry);
+  }
 
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
   co_await PublishUpdate(&p, v, pfp, ref.pid, resp);
@@ -838,11 +1161,15 @@ sim::Task<void> SwitchServer::HandleFileOp(net::Packet p, VolPtr v) {
   Attr attr = Attr::Decode(*value);
   if (attr.type == FileType::kReference) {
     // Hard link: the real attributes live in the shared object (§5.5).
+    AttrDelta delta;
+    if (req->op == OpType::kChmod) {
+      delta.set_mode = true;
+      delta.mode = req->mode;
+    }
     Attr shared;
     co_await links_.UpdateLinkCount(v, attr.id,
                                     static_cast<uint32_t>(attr.size),
-                                    /*delta=*/0, &shared,
-                                    req->op == OpType::kChmod, req->mode);
+                                    /*delta=*/0, &shared, delta);
     if (v->dead) co_return;
     auto resp2 = std::make_shared<MetaResp>(StatusCode::kOk);
     resp2->attr = shared;

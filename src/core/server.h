@@ -113,6 +113,22 @@ class SwitchServer : public UpdatePublisher {
   sim::Task<void> HandleDirRead(net::Packet p, VolPtr v);  // statdir/readdir
   sim::Task<void> HandleFileOp(net::Packet p, VolPtr v);   // stat/open/close/chmod
   sim::Task<void> HandleLookup(net::Packet p, VolPtr v);
+  // MetadataService v2: directory streams, batched lookups, attr deltas.
+  sim::Task<void> HandleOpenDir(net::Packet p, VolPtr v);
+  sim::Task<void> HandleReaddirPage(net::Packet p, VolPtr v);
+  sim::Task<void> HandleCloseDir(net::Packet p, VolPtr v);
+  sim::Task<void> HandleBatchStat(net::Packet p, VolPtr v);
+  sim::Task<void> HandleSetAttr(net::Packet p, VolPtr v);
+  // Ensures the directory group's deferred entries are applied before a
+  // read: dirty-set check, then aggregation under the exclusive agg gate if
+  // needed; returns a held SHARED gate handle (empty if the incarnation
+  // died). Shared by statdir/readdir and OpenDir.
+  sim::Task<LockTable::Handle> GateDirRead(VolPtr v, const net::Packet& p,
+                                           const MetaReq& req,
+                                           psw::Fingerprint dir_fp);
+  // Expires an idle directory-stream session after dir_session_ttl
+  // (responder-watchdog pattern; the table also expires lazily on access).
+  sim::Task<void> DirSessionWatchdog(VolPtr v, uint64_t session_id);
 
   // ---- asynchronous update machinery ----
   // Synchronous parent update at the parent's owner (Baseline mode §7.3.1 and

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/core/change_log.h"
+#include "src/core/dir_session.h"
 #include "src/core/invalidation.h"
 #include "src/core/keys.h"
 #include "src/core/lock_table.h"
@@ -94,6 +95,11 @@ struct ServerConfig {
   sim::SimTime agg_reply_timeout = sim::Milliseconds(2);
   int agg_max_retries = 12;
   sim::SimTime responder_session_timeout = sim::Milliseconds(20);
+  // Directory-stream sessions (MetadataService v2): inactivity TTL of an
+  // OpenDir snapshot at the owner. A page call after expiry gets
+  // kStaleHandle and the client re-opens. The watchdog reuses the responder-
+  // session pattern; the TTL must dwarf the per-page RPC cadence (~µs).
+  sim::SimTime dir_session_ttl = sim::Milliseconds(20);
   uint32_t rename_coordinator = 0;  // server index of the rename coordinator
 };
 
@@ -143,6 +149,15 @@ struct ServerStats {
   uint64_t fallbacks = 0;
   uint64_t stale_cache_bounces = 0;
   uint64_t wal_replayed = 0;
+  // MetadataService v2 (directory streams, batched lookups, setattr).
+  uint64_t dir_opens = 0;
+  uint64_t dir_pages = 0;           // ReaddirPage calls served
+  uint64_t dir_page_entries = 0;    // entries across served pages
+  uint64_t dir_sessions_expired = 0;  // watchdog/lazy TTL expiries
+  uint64_t stale_handle_bounces = 0;  // pages against dead sessions
+  uint64_t batch_stats = 0;           // BatchStat requests served
+  uint64_t batch_stat_targets = 0;    // targets across those requests
+  uint64_t setattrs = 0;
   // Dirty-set inserts whose ack retry budget ran out (the entry stays in the
   // change-log; the push path repairs tracker visibility).
   uint64_t insert_exhausted = 0;
@@ -209,13 +224,28 @@ struct ServerVolatile {
   };
 
   explicit ServerVolatile(sim::Simulator* sim)
-      : inode_locks(sim), changelog_locks(sim), agg_gates(sim) {}
+      : inode_locks(sim),
+        changelog_locks(sim),
+        agg_gates(sim),
+        changelog_append_locks(sim),
+        dir_sessions(sim->Now()) {}
 
   bool dead = false;
   kv::KvStore kv;
   LockTable inode_locks;      // key: inode key
   LockTable changelog_locks;  // key: FpKey(fp) — one per fingerprint group
   LockTable agg_gates;        // key: FpKey(fp) — owner-side read/agg gate
+  // Per-change-log append mutex (key: ClAppendKey(fp, dir)), innermost in
+  // the lock order: held only across {seq capture -> WAL append -> Restore}
+  // (or a rebind's renumbering DrainInto) with no other lock acquired
+  // inside. Every appender takes it — including the rename/link commit legs
+  // that cannot take the fp-group lock — so a captured seq can no longer go
+  // stale against a concurrent append or rebind renumber of the same log.
+  LockTable changelog_append_locks;
+  // Directory-stream sessions (MetadataService v2). Seeded with the
+  // incarnation's creation time so a handle minted before a crash cannot
+  // alias a post-recovery session.
+  DirSessionTable dir_sessions;
   std::unordered_map<psw::Fingerprint, std::map<InodeId, ChangeLog>>
       changelogs;
   InvalidationList inval;

@@ -148,9 +148,51 @@ enum class OpType : uint8_t {
   kLookup = 10,
   kChmod = 11,
   kLink = 12,
+  // MetadataService v2 (directory handles, batched lookups, attr deltas).
+  kOpenDir = 13,
+  kReaddirPage = 14,
+  kCloseDir = 15,
+  kBatchStat = 16,
+  kSetAttr = 17,
 };
 
 const char* OpTypeName(OpType op);
+
+// Partial attribute update (SetAttr, chmod/utimens-class). Unset fields keep
+// their current value; mtime/atime move only forward (concurrent deferred
+// entry applies use max-merge, so a backward explicit stamp would be
+// silently re-overwritten anyway).
+struct AttrDelta {
+  bool set_mode = false;
+  uint32_t mode = 0644;
+  bool set_times = false;
+  int64_t mtime = 0;
+  int64_t atime = 0;
+
+  bool empty() const { return !set_mode && !set_times; }
+  // Applies the delta in place; returns true if anything changed.
+  bool ApplyTo(Attr& attr, int64_t now) const {
+    bool changed = false;
+    if (set_mode && attr.mode != mode) {
+      attr.mode = mode;
+      changed = true;
+    }
+    if (set_times) {
+      if (mtime > attr.mtime) {
+        attr.mtime = mtime;
+        changed = true;
+      }
+      if (atime > attr.atime) {
+        attr.atime = atime;
+        changed = true;
+      }
+    }
+    if (changed) {
+      attr.ctime = now;
+    }
+    return changed;
+  }
+};
 
 }  // namespace switchfs::core
 

@@ -1,5 +1,6 @@
 #include "src/workload/generator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace switchfs::wl {
@@ -63,6 +64,9 @@ enum MixOp {
   kMixRmdir,
   kMixDataRead,
   kMixDataWrite,
+  kMixPagedReaddir,
+  kMixStatBurst,
+  kMixSetAttr,
 };
 
 }  // namespace
@@ -91,6 +95,9 @@ MixStream::MixStream(MixRatios ratios, std::vector<std::string> dirs,
         add(ratios.rmdir, kMixRmdir);
         add(ratios.data_read, kMixDataRead);
         add(ratios.data_write, kMixDataWrite);
+        add(ratios.paged_readdir, kMixPagedReaddir);
+        add(ratios.stat_burst, kMixStatBurst);
+        add(ratios.setattr, kMixSetAttr);
         return DiscreteSampler(weights);
       }()),
       skew_(skew),
@@ -128,6 +135,7 @@ std::optional<Op> MixStream::Next(Rng& rng) {
     case kMixOpen:
     case kMixStat:
     case kMixChmod:
+    case kMixSetAttr:
     case kMixDataRead: {
       if (ds.live.empty()) {
         op.type = core::OpType::kStatDir;
@@ -135,8 +143,13 @@ std::optional<Op> MixStream::Next(Rng& rng) {
         return op;
       }
       const std::string& name = ds.live[rng.NextBelow(ds.live.size())];
-      op.type = kind == kMixStat || kind == kMixChmod ? core::OpType::kStat
-                                                      : core::OpType::kOpen;
+      if (kind == kMixChmod || kind == kMixSetAttr) {
+        op.type = core::OpType::kSetAttr;
+      } else if (kind == kMixStat) {
+        op.type = core::OpType::kStat;
+      } else {
+        op.type = core::OpType::kOpen;
+      }
       op.path = dir + "/" + name;
       if (kind == kMixDataRead) {
         op.io_bytes = io_bytes_;
@@ -144,6 +157,24 @@ std::optional<Op> MixStream::Next(Rng& rng) {
       }
       return op;
     }
+    case kMixStatBurst: {
+      if (ds.live.empty()) {
+        op.type = core::OpType::kStatDir;
+        op.path = dir;
+        return op;
+      }
+      op.type = core::OpType::kBatchStat;
+      const int burst = std::max(1, stat_burst_size);
+      op.batch.reserve(burst);
+      for (int i = 0; i < burst; ++i) {
+        op.batch.push_back(dir + "/" + ds.live[rng.NextBelow(ds.live.size())]);
+      }
+      return op;
+    }
+    case kMixPagedReaddir:
+      op.type = core::OpType::kReaddirPage;
+      op.path = dir;
+      return op;
     case kMixCreate:
     case kMixDataWrite: {
       const std::string name = "n" + std::to_string(ds.next_fresh++);

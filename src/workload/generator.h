@@ -125,13 +125,17 @@ struct MixRatios {
   double create = 0;
   double unlink = 0;
   double rename = 0;
-  double chmod = 0;
+  double chmod = 0;       // setattr-class (mode delta)
   double readdir = 0;
   double statdir = 0;
   double mkdir = 0;
   double rmdir = 0;
   double data_read = 0;   // open+read of io_bytes
   double data_write = 0;  // create+write of io_bytes
+  // MetadataService v2 op kinds:
+  double paged_readdir = 0;  // full OpenDir/ReaddirPage*/CloseDir scan
+  double stat_burst = 0;     // one BatchStat over stat_burst_size live files
+  double setattr = 0;        // explicit setattr weight (chmod also maps here)
 };
 
 // The PanguFS data-center mix (Tab 5 row 1 / Tab 2).
@@ -151,6 +155,9 @@ class MixStream : public OpStream {
 
   std::optional<Op> Next(Rng& rng) override;
 
+  // Targets per stat_burst op (drawn from the directory's live files).
+  int stat_burst_size = 8;
+
  private:
   struct DirState {
     std::vector<std::string> live;  // names of existing files
@@ -167,6 +174,28 @@ class MixStream : public OpStream {
   DiscreteSampler sampler_;
   double skew_;
   uint64_t io_bytes_;
+};
+
+// Stat bursts over a fixed population: each op is one BatchStat of
+// `burst_size` paths drawn uniformly (with replacement). Unbounded.
+class StatBurstStream : public OpStream {
+ public:
+  StatBurstStream(std::vector<std::string> paths, int burst_size)
+      : paths_(std::move(paths)), burst_size_(burst_size) {}
+
+  std::optional<Op> Next(Rng& rng) override {
+    Op op;
+    op.type = core::OpType::kBatchStat;
+    op.batch.reserve(burst_size_);
+    for (int i = 0; i < burst_size_; ++i) {
+      op.batch.push_back(paths_[rng.NextBelow(paths_.size())]);
+    }
+    return op;
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  int burst_size_;
 };
 
 // Helper: builds "/dir<i>" path lists and preloads them (with files) into a

@@ -52,6 +52,47 @@ sim::Task<Status> Execute(core::MetadataService& client, const Op& op,
       auto r = co_await client.Readdir(op.path);
       co_return r.status();
     }
+    case core::OpType::kReaddirPage: {
+      // Paged scan: drive the v2 stream explicitly (Readdir() would hide the
+      // handle lifecycle; benches want the open/page/close shape on the wire).
+      auto handle = co_await client.OpenDir(op.path);
+      if (!handle.ok()) {
+        co_return handle.status();
+      }
+      uint64_t cookie = core::kDirStreamStart;
+      Status result = OkStatus();
+      while (true) {
+        auto page = co_await client.ReaddirPage(*handle, cookie);
+        if (!page.ok()) {
+          result = page.status();
+          break;
+        }
+        if (page->at_end) {
+          break;
+        }
+        cookie = page->next_cookie;
+      }
+      (void)co_await client.CloseDir(*handle);
+      co_return result;
+    }
+    case core::OpType::kBatchStat: {
+      auto results = co_await client.BatchStat(op.batch);
+      for (const auto& r : results) {
+        if (!r.ok()) {
+          co_return r.status();
+        }
+      }
+      co_return OkStatus();
+    }
+    case core::OpType::kChmod:  // pre-v2 tag for the same op class
+    case core::OpType::kSetAttr: {
+      // chmod-class delta; 0640/0641 differ from the 0644 creation default,
+      // so the first setattr per file always commits through the WAL.
+      core::AttrDelta delta;
+      delta.set_mode = true;
+      delta.mode = 0640 | (op.path.size() & 1);
+      co_return co_await client.SetAttr(op.path, delta);
+    }
     case core::OpType::kOpen: {
       auto r = co_await client.Open(op.path);
       if (r.ok() && data != nullptr && op.io_bytes > 0) {
@@ -63,11 +104,6 @@ sim::Task<Status> Execute(core::MetadataService& client, const Op& op,
       co_return co_await client.Close(op.path);
     case core::OpType::kRename:
       co_return co_await client.Rename(op.path, op.path2);
-    case core::OpType::kChmod: {
-      // Modeled as a stat-weight op via Open (permission rewrite path).
-      auto r = co_await client.Stat(op.path);
-      co_return r.status();
-    }
     default:
       co_return InvalidArgumentError("unsupported op");
   }

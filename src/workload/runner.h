@@ -26,6 +26,12 @@ struct Op {
   uint64_t io_bytes = 0;  // data read/write volume (end-to-end runs)
   bool is_data_read = false;
   bool is_data_write = false;
+  // v2 op kinds:
+  //  * kReaddirPage — paged scan: OpenDir(path), drain the page stream,
+  //    CloseDir; one Op covers the whole scan.
+  //  * kBatchStat — stat burst: one BatchStat over `batch`.
+  //  * kSetAttr — chmod-class delta on `path` (kChmod maps here too).
+  std::vector<std::string> batch;
 };
 
 // A stream of operations. Next() returns nullopt when the workload is

@@ -106,6 +106,59 @@ TEST(Generators, MixStreamSkewConcentratesOnHotDirs) {
   EXPECT_GT(hot / double(kN), 0.7);
 }
 
+TEST(Generators, StatBurstStreamEmitsFixedSizeBatches) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < 40; ++i) {
+    paths.push_back("/d/f" + std::to_string(i));
+  }
+  StatBurstStream stream(paths, 8);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    auto op = stream.Next(rng);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_EQ(op->type, core::OpType::kBatchStat);
+    EXPECT_EQ(op->batch.size(), 8u);
+    for (const std::string& p : op->batch) {
+      EXPECT_EQ(p.rfind("/d/f", 0), 0u);
+    }
+  }
+}
+
+TEST(Generators, MixStreamEmitsV2OpKinds) {
+  MixRatios ratios;
+  ratios.paged_readdir = 30;
+  ratios.stat_burst = 40;
+  ratios.setattr = 30;
+  std::vector<std::string> dirs = {"/a", "/b"};
+  MixStream stream(ratios, dirs, /*preloaded_per_dir=*/10, 0.0, 0, 9);
+  stream.stat_burst_size = 5;
+  Rng rng(3);
+  int scans = 0;
+  int bursts = 0;
+  int setattrs = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto op = stream.Next(rng);
+    ASSERT_TRUE(op.has_value());
+    switch (op->type) {
+      case core::OpType::kReaddirPage:
+        scans++;
+        break;
+      case core::OpType::kBatchStat:
+        bursts++;
+        EXPECT_EQ(op->batch.size(), 5u);
+        break;
+      case core::OpType::kSetAttr:
+        setattrs++;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected op kind";
+    }
+  }
+  EXPECT_GT(scans, 50);
+  EXPECT_GT(bursts, 70);
+  EXPECT_GT(setattrs, 50);
+}
+
 TEST(Traces, CvTrainingHasThreePhases) {
   TraceConfig cfg;
   cfg.num_dirs = 2;
@@ -172,6 +225,40 @@ TEST(Runner, DrivesEverySystemUniformly) {
     EXPECT_EQ(result.completed, 500u) << world->name();
     EXPECT_EQ(result.failed, 0u) << world->name();
     EXPECT_GT(result.ThroughputOpsPerSec(), 1000.0) << world->name();
+  }
+}
+
+TEST(Runner, ExecutesV2OpKindsOnEverySystem) {
+  // Paged scans, stat bursts, and setattrs must run on all five systems
+  // through the shared runner (the v2 fan-out of DrivesEverySystemUniformly).
+  std::vector<std::unique_ptr<core::FsWorld>> worlds;
+  {
+    core::ClusterConfig cfg = core::SmallClusterConfig();
+    worlds.push_back(std::make_unique<core::Cluster>(cfg));
+  }
+  for (auto kind :
+       {baselines::SystemKind::kEInfiniFS, baselines::SystemKind::kECfs,
+        baselines::SystemKind::kIndexFS}) {
+    baselines::BaselineConfig cfg;
+    cfg.kind = kind;
+    cfg.num_servers = 4;
+    worlds.push_back(std::make_unique<baselines::BaselineCluster>(cfg));
+  }
+  MixRatios ratios;
+  ratios.paged_readdir = 10;
+  ratios.stat_burst = 45;
+  ratios.setattr = 45;
+  for (auto& world : worlds) {
+    auto dirs = PreloadDirs(*world, 4);
+    PreloadFiles(*world, dirs, 40);
+    MixStream stream(ratios, dirs, 40, 0.0, 0, 11);
+    RunnerConfig rc;
+    rc.workers = 8;
+    rc.total_ops = 400;
+    rc.warmup_ops = 50;
+    RunResult result = RunWorkload(*world, stream, rc);
+    EXPECT_EQ(result.completed, 350u) << world->name();
+    EXPECT_EQ(result.failed, 0u) << world->name();
   }
 }
 
