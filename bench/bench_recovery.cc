@@ -66,7 +66,7 @@ int main() {
     cfg.cores_per_server = 4;
     cfg.server_template.push_idle_timeout = switchfs::sim::Seconds(3600);
     cfg.server_template.owner_quiet_period = switchfs::sim::Seconds(3600);
-    cfg.server_template.mtu_entries = 1 << 20;
+    cfg.server_template.push_mtu_entries = 1 << 20;
     auto world = std::make_unique<switchfs::core::Cluster>(cfg);
     auto dirs = switchfs::wl::PreloadDirs(*world, dirs_n);
     auto client = world->NewClient(true);

@@ -33,10 +33,29 @@ GATED = {
     ],
     "readdir_paging": [
         (("mono", "total_ms"), False, "monolithic readdir time"),
-        (("paged", "total_ms"), False, "paged scan time"),
+        (("paged", "total_ms"), False, "pipelined paged scan time"),
         (("paged", "first_ms"), False, "time to first page"),
         (("paged", "packets"), False, "pages per scan"),
-        (("paged", "max_packet_entries"), False, "page bound (mtu_entries)"),
+        (("paged", "max_packet_entries"), False, "page fill (mtu budget)"),
+        (("bulk_insert", "bulk_ms"), False, "bulk insert time"),
+        (("bulk_insert", "bulk_packets"), False, "bulk insert packets"),
+    ],
+}
+
+# Comparative gates evaluated on the CURRENT run alone: metric A must be
+# strictly less than metric B. These encode the claims the benches exist to
+# prove (paged beats monolithic on BOTH first page and total; BulkInsert
+# beats the per-entry loop), independent of baseline drift.
+COMPARATIVE = {
+    "readdir_paging": [
+        (("paged", "total_ms"), ("mono", "total_ms"),
+         "pipelined paged total beats monolithic"),
+        (("paged", "first_ms"), ("mono", "first_ms"),
+         "paged first page beats monolithic"),
+        (("bulk_insert", "bulk_ms"), ("bulk_insert", "loop_ms"),
+         "bulk insert beats the per-entry create loop"),
+        (("bulk_insert", "bulk_packets"), ("bulk_insert", "loop_packets"),
+         "bulk insert sends fewer packets than the loop"),
     ],
 }
 
@@ -79,6 +98,17 @@ def check_one(current_path: pathlib.Path, baseline_path) -> list:
             f"baseline {base:g} -> current {cur:g} ({ratio:+.1%} of baseline)"
         )
         if regressed:
+            failures.append(f"{name}: {desc}")
+    for path_a, path_b, desc in COMPARATIVE.get(name, []):
+        a = lookup(current, path_a)
+        b = lookup(current, path_b)
+        holds = a < b
+        marker = "ok" if holds else "FAIL"
+        print(
+            f"  [{marker}] {'.'.join(path_a)} < {'.'.join(path_b)}: "
+            f"{desc} ({a:g} vs {b:g})"
+        )
+        if not holds:
             failures.append(f"{name}: {desc}")
     return failures
 

@@ -1,6 +1,9 @@
 #include "src/baselines/baseline.h"
 
+#include <algorithm>
 #include <cassert>
+#include <map>
+#include <set>
 #include <utility>
 
 #include "src/common/strings.h"
@@ -208,6 +211,9 @@ sim::Task<void> BaselineServer::HandleMeta(net::Packet p) {
       break;
     case OpType::kSetAttr:
       co_await DoSetAttr(p, *req);
+      break;
+    case OpType::kBulkInsert:
+      co_await DoBulkInsert(p, *req);
       break;
     case OpType::kRename:
       co_await HandleRename(std::move(p));
@@ -644,8 +650,8 @@ sim::Task<void> BaselineServer::DoReaddirPage(net::Packet p,
     co_return;
   }
   // Build before suspending: the watchdog may expire the session mid-await.
-  core::DirPage page =
-      core::DirSessionTable::PageOf(*session, req.cookie, config_.mtu_entries);
+  core::DirPage page = core::DirSessionTable::PageOf(
+      *session, req.cookie, config_.mtu_entries, config_.mtu_bytes);
   co_await cpu_.Run(static_cast<sim::SimTime>(page.entries.size()) *
                         costs_->readdir_per_entry +
                     costs_->reply_build);
@@ -737,6 +743,94 @@ sim::Task<void> BaselineServer::DoSetAttr(net::Packet p, const MetaReq& req) {
   }
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
   resp->attr = attr;
+  co_await cpu_.Run(costs_->reply_build);
+  rpc_.Respond(p, resp);
+}
+
+sim::Task<void> BaselineServer::DoBulkInsert(net::Packet p,
+                                             const MetaReq& req) {
+  const PathRef& ref = req.ref;  // the shared parent; names in bulk_names
+  const std::string top = req.top;
+  const std::string parent_top = ref.pid == RootId() ? "/" : top;
+  co_await cpu_.Run(UpdateOverhead());
+
+  // Per-entry inode locks in name order, held through the batch.
+  std::vector<size_t> order(req.bulk_names.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return req.bulk_names[a] < req.bulk_names[b];
+  });
+  std::vector<core::LockTable::Handle> ino_locks;
+  ino_locks.reserve(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    const std::string& name = req.bulk_names[order[k]];
+    if (k > 0 && name == req.bulk_names[order[k - 1]]) {
+      continue;
+    }
+    ino_locks.push_back(
+        co_await locks_.AcquireExclusive(InodeKey(ref.pid, name)));
+  }
+
+  co_await cpu_.Run(costs_->path_check *
+                    static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+  auto stale = inval_.Check(ref.ancestors);
+  if (!stale.empty()) {
+    auto resp = std::make_shared<MetaResp>(StatusCode::kStaleCache);
+    resp->stale_ids = std::move(stale);
+    rpc_.Respond(p, resp);
+    co_return;
+  }
+
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->batch_status.assign(req.bulk_names.size(), StatusCode::kOk);
+  resp->batch_attrs.resize(req.bulk_names.size());
+  std::set<std::string> admitted;
+  std::vector<size_t> admitted_idx;
+  for (size_t i = 0; i < req.bulk_names.size(); ++i) {
+    const std::string& name = req.bulk_names[i];
+    co_await cpu_.Run(costs_->kv_get);
+    if (kv_.Get(InodeKey(ref.pid, name)).has_value() ||
+        !admitted.insert(name).second) {
+      resp->batch_status[i] = StatusCode::kAlreadyExists;
+      continue;
+    }
+    admitted_idx.push_back(i);
+  }
+  if (admitted_idx.empty()) {
+    co_await cpu_.Run(costs_->reply_build);
+    rpc_.Respond(p, resp);
+    co_return;
+  }
+
+  // One WAL append covers the batch (first entry pays the full append, the
+  // rest the batched marginal cost); the inode rows commit individually.
+  co_await cpu_.Run(costs_->wal_append +
+                    static_cast<sim::SimTime>(admitted_idx.size() - 1) *
+                        costs_->wal_append_batched);
+  wal_.Append(1, "bulk");
+  for (size_t i : admitted_idx) {
+    const std::string& name = req.bulk_names[i];
+    Attr attr;
+    attr.id.w[0] = (static_cast<uint64_t>(index_) << 48) | id_counter_++;
+    attr.id.w[1] = Mix64(attr.id.w[0]);
+    attr.id.w[3] = 5;
+    attr.type = FileType::kFile;
+    attr.mode = req.mode;
+    attr.ctime = attr.mtime = attr.atime = sim_->Now();
+    co_await cpu_.Run(costs_->kv_put);
+    kv_.Put(InodeKey(ref.pid, name), attr.Encode());
+    resp->batch_attrs[i] = attr;
+    // Synchronous parent update per entry — the defining property of the
+    // baselines (no deferred path to batch the visibility through).
+    Status dir_status =
+        co_await DirUpdate(ref.pid, parent_top, name, FileType::kFile,
+                           /*remove=*/false);
+    if (!dir_status.ok()) {
+      resp->batch_status[i] = dir_status.code();
+    }
+  }
   co_await cpu_.Run(costs_->reply_build);
   rpc_.Respond(p, resp);
 }
@@ -1301,6 +1395,115 @@ sim::Task<std::vector<StatusOr<Attr>>> BaselineClient::BatchStat(
         co_return target;
       },
       [this](uint32_t server) { return cluster_->ServerNode(server); });
+}
+
+sim::Task<std::vector<Status>> BaselineClient::BulkInsert(
+    const core::DirHandle& handle, const std::vector<std::string>& names) {
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  std::vector<Status> out(names.size(), OkStatus());
+  if (names.empty()) {
+    co_return out;
+  }
+  core::OpenDirState* state = cache_.GetHandle(handle.id);
+  if (state == nullptr) {
+    for (Status& s : out) {
+      s = InvalidArgumentError("unknown dir handle");
+    }
+    co_return out;
+  }
+  const std::string dir_path = state->path;
+  const InodeId dir = state->dir;
+  const std::string top =
+      dir_path == "/" ? "/" : std::string(SplitPath(dir_path)[0]);
+
+  // Group by each system's file placement (like BatchStat), then chunk each
+  // group to the transport page budget — one multi-entry RPC per chunk.
+  std::map<uint32_t, std::vector<size_t>> by_server;
+  for (size_t i = 0; i < names.size(); ++i) {
+    by_server[cluster_->placement().FileServer(dir, names[i], top)]
+        .push_back(i);
+  }
+  const BaselineConfig& cfg = cluster_->config();
+  for (auto& [server, idxs] : by_server) {
+    size_t start = 0;
+    while (start < idxs.size()) {
+      size_t used = 0;
+      size_t end = start;
+      while (end < idxs.size() &&
+             core::PageHasRoom(used, static_cast<int>(end - start),
+                               core::DirEntryWireSize(names[idxs[end]]),
+                               cfg.mtu_bytes, cfg.mtu_entries)) {
+        used += core::DirEntryWireSize(names[idxs[end]]);
+        ++end;
+      }
+      const std::vector<size_t> chunk(
+          idxs.begin() + static_cast<ptrdiff_t>(start),
+          idxs.begin() + static_cast<ptrdiff_t>(end));
+      start = end;
+      bool settled = false;
+      for (int attempt = 0; attempt < 12 && !settled; ++attempt) {
+        auto resolved = co_await ResolveDir(dir_path);
+        if (!resolved.ok()) {
+          if (resolved.status().code() == StatusCode::kStaleCache ||
+              resolved.status().code() == StatusCode::kTimeout) {
+            co_await sim::Delay(sim_, sim::Microseconds(100));
+            continue;
+          }
+          for (size_t i : chunk) {
+            out[i] = resolved.status();
+          }
+          break;
+        }
+        auto req = std::make_shared<MetaReq>();
+        req->op = OpType::kBulkInsert;
+        req->ref.pid = dir;
+        req->ref.ancestors = resolved->ancestors;
+        req->top = top;
+        req->bulk_names.reserve(chunk.size());
+        for (size_t i : chunk) {
+          req->bulk_names.push_back(names[i]);
+        }
+        auto r = co_await rpc_.Call(cluster_->ServerNode(server), req, call_);
+        if (!r.ok()) {
+          co_await sim::Delay(sim_, sim::Microseconds(100));
+          continue;
+        }
+        const auto* resp = net::MsgAs<MetaResp>(*r);
+        if (resp == nullptr) {
+          for (size_t i : chunk) {
+            out[i] = InternalError("bad bulk response");
+          }
+          break;
+        }
+        if (resp->status == StatusCode::kStaleCache) {
+          for (const InodeId& id : resp->stale_ids) {
+            cache_.InvalidateId(id);
+          }
+          continue;
+        }
+        if (resp->status != StatusCode::kOk) {
+          for (size_t i : chunk) {
+            out[i] = Status(resp->status);
+          }
+          break;
+        }
+        for (size_t k = 0; k < chunk.size(); ++k) {
+          out[chunk[k]] = k < resp->batch_status.size()
+                              ? Status(resp->batch_status[k])
+                              : InternalError("truncated bulk verdicts");
+        }
+        settled = true;
+      }
+      if (!settled) {
+        for (size_t i : chunk) {
+          if (out[i].ok()) {
+            out[i] = TimeoutError("bulk insert retries exhausted");
+          }
+        }
+      }
+    }
+  }
+  co_return out;
 }
 
 sim::Task<Status> BaselineClient::Rename(const std::string& from,

@@ -61,10 +61,13 @@ struct BaselineConfig {
   net::Network::FaultConfig faults;
   uint64_t seed = 42;
   uint32_t rename_coordinator = 0;
-  // MetadataService v2 directory streams: page bound and session-inactivity
-  // TTL (named after SwitchFS's MTU-derived bound so the shared suites can
-  // assert one page-size contract across all five systems).
-  int mtu_entries = 29;
+  // MetadataService v2 directory streams: pages fill to the transport byte
+  // budget (DirEntryWireSize per entry) with mtu_entries as the hard
+  // entry-count cap, plus the session-inactivity TTL. Named after
+  // SwitchFS's MTU-derived bounds so the shared suites can assert one
+  // page-size contract across all five systems.
+  int mtu_bytes = 1400;
+  int mtu_entries = 128;
   sim::SimTime dir_session_ttl = sim::Milliseconds(20);
 };
 
@@ -170,6 +173,7 @@ class BaselineServer {
   sim::Task<void> DoCloseDir(net::Packet p, const core::MetaReq& req);
   sim::Task<void> DoBatchStat(net::Packet p, const core::MetaReq& req);
   sim::Task<void> DoSetAttr(net::Packet p, const core::MetaReq& req);
+  sim::Task<void> DoBulkInsert(net::Packet p, const core::MetaReq& req);
   sim::Task<void> DirSessionWatchdog(uint64_t session_id);
 
   // Applies a directory entry/attr update locally under the dir lock,
@@ -233,6 +237,9 @@ class BaselineClient : public core::MetadataService {
   sim::Task<Status> CloseDir(const core::DirHandle& handle) override;
   sim::Task<std::vector<StatusOr<core::Attr>>> BatchStat(
       const std::vector<std::string>& paths) override;
+  sim::Task<std::vector<Status>> BulkInsert(
+      const core::DirHandle& handle,
+      const std::vector<std::string>& names) override;
   sim::Task<Status> Rename(const std::string& from,
                            const std::string& to) override;
 

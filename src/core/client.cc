@@ -1,5 +1,8 @@
 #include "src/core/client.h"
 
+#include <algorithm>
+#include <deque>
+#include <map>
 #include <utility>
 
 #include "src/common/strings.h"
@@ -363,6 +366,82 @@ sim::Task<Status> SwitchFsClient::CloseDir(const DirHandle& handle) {
   co_return OkStatus();
 }
 
+sim::Task<void> SwitchFsClient::FetchPage(DirHandle handle, uint64_t cookie,
+                                          std::shared_ptr<PageSlot> slot) {
+  slot->result = co_await ReaddirPage(handle, cookie);
+  slot->done.Set(0);
+}
+
+sim::Task<StatusOr<std::vector<DirEntry>>> SwitchFsClient::Readdir(
+    const std::string& path) {
+  // Pipelined drain: keep a window of page RPCs in flight with sequential
+  // cookies. The owner serves page p, advances the stream state, and only
+  // then pays for marshalling — so page p+1's scan overlaps page p's
+  // marshal on another core, and the link is never idle between pages.
+  // Speculation is safe because SwitchFS pages are served (and re-served)
+  // idempotently by sequence number; a stale handle on ANY in-flight page
+  // restarts the whole scan, exactly like the base implementation.
+  const int window = std::max(1, config_.prefetch_pages);
+  constexpr int kMaxRestarts = 4;
+  for (int attempt = 0; attempt <= kMaxRestarts; ++attempt) {
+    auto handle = co_await OpenDir(path);
+    if (!handle.ok()) {
+      co_return handle.status();
+    }
+    std::vector<DirEntry> all;
+    std::deque<std::shared_ptr<PageSlot>> inflight;
+    uint64_t next_cookie = kDirStreamStart;
+    for (int i = 0; i < window; ++i) {
+      auto slot = std::make_shared<PageSlot>(sim_);
+      sim::Spawn(FetchPage(*handle, next_cookie++, slot));
+      inflight.push_back(std::move(slot));
+    }
+    bool stale = false;
+    Status fail = OkStatus();
+    bool done = false;
+    while (!done && !inflight.empty()) {
+      std::shared_ptr<PageSlot> slot = inflight.front();
+      inflight.pop_front();
+      co_await slot->done.Wait();
+      if (!slot->result.ok()) {
+        if (slot->result.status().code() == StatusCode::kStaleHandle) {
+          stale = true;
+        } else {
+          fail = slot->result.status();
+        }
+        break;
+      }
+      DirPage& page = *slot->result;
+      for (DirEntry& e : page.entries) {
+        all.push_back(std::move(e));
+      }
+      if (page.at_end) {
+        done = true;
+        break;
+      }
+      auto next = std::make_shared<PageSlot>(sim_);
+      sim::Spawn(FetchPage(*handle, next_cookie++, next));
+      inflight.push_back(std::move(next));
+    }
+    // Join the remaining speculative fetches before touching the handle:
+    // past the end they resolve as cheap empty tail pages, after a failure
+    // they resolve with the same verdict. Either way the handle must not be
+    // closed (or the scan restarted) under them.
+    while (!inflight.empty()) {
+      co_await inflight.front()->done.Wait();
+      inflight.pop_front();
+    }
+    (void)co_await CloseDir(*handle);
+    if (done) {
+      co_return all;
+    }
+    if (!stale) {
+      co_return fail;
+    }
+  }
+  co_return StaleHandleError("readdir restarts exhausted");
+}
+
 // ---------------------------------------------------------------------------
 // Batched lookups (MetadataService v2)
 // ---------------------------------------------------------------------------
@@ -388,6 +467,130 @@ sim::Task<std::vector<StatusOr<Attr>>> SwitchFsClient::BatchStat(
         co_return target;
       },
       [this](uint32_t server) { return cluster_->ServerNode(server); });
+}
+
+// ---------------------------------------------------------------------------
+// Bulk insert (MetadataService v2)
+// ---------------------------------------------------------------------------
+
+sim::Task<void> SwitchFsClient::SendBulkChunk(
+    std::string dir_path, InodeId dir, psw::Fingerprint parent_fp,
+    uint32_t owner, const std::vector<std::string>& names,
+    std::vector<size_t> idxs, std::vector<Status>* out) {
+  for (int attempt = 0; attempt < config_.max_op_retries; ++attempt) {
+    // Re-resolve the directory each attempt for fresh ancestors (the
+    // identity — pid and change-log fingerprint — is pinned by the handle).
+    auto resolved = co_await ResolveDir(dir_path);
+    if (!resolved.ok()) {
+      if (resolved.status().code() == StatusCode::kStaleCache ||
+          resolved.status().code() == StatusCode::kTimeout ||
+          resolved.status().code() == StatusCode::kUnavailable) {
+        co_await sim::Delay(sim_, config_.retry_backoff);
+        continue;
+      }
+      for (size_t i : idxs) {
+        (*out)[i] = resolved.status();
+      }
+      co_return;
+    }
+    auto req = std::make_shared<MetaReq>();
+    req->op = OpType::kBulkInsert;
+    req->ref.pid = dir;
+    req->ref.parent_fp = parent_fp;
+    req->ref.ancestors = resolved->ancestors;
+    req->bulk_names.reserve(idxs.size());
+    for (size_t i : idxs) {
+      req->bulk_names.push_back(names[i]);
+    }
+    auto r = co_await rpc_.Call(cluster_->ServerNode(owner), req, config_.call);
+    if (!r.ok()) {
+      co_await sim::Delay(sim_, config_.retry_backoff);
+      continue;
+    }
+    const MetaResp* resp = UnwrapResponse(*r);
+    if (resp == nullptr) {
+      for (size_t i : idxs) {
+        (*out)[i] = InternalError("bad bulk response");
+      }
+      co_return;
+    }
+    if (resp->status == StatusCode::kStaleCache) {
+      for (const InodeId& id : resp->stale_ids) {
+        cache_.InvalidateId(id);
+      }
+      continue;
+    }
+    if (resp->status == StatusCode::kUnavailable) {
+      co_await sim::Delay(sim_, config_.retry_backoff);
+      continue;
+    }
+    if (resp->status != StatusCode::kOk) {
+      for (size_t i : idxs) {
+        (*out)[i] = Status(resp->status);
+      }
+      co_return;
+    }
+    for (size_t k = 0; k < idxs.size(); ++k) {
+      (*out)[idxs[k]] = k < resp->batch_status.size()
+                            ? Status(resp->batch_status[k])
+                            : InternalError("truncated bulk verdicts");
+    }
+    co_return;
+  }
+  for (size_t i : idxs) {
+    (*out)[i] = TimeoutError("bulk insert retries exhausted");
+  }
+}
+
+sim::Task<std::vector<Status>> SwitchFsClient::BulkInsert(
+    const DirHandle& handle, const std::vector<std::string>& names) {
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  std::vector<Status> out(names.size(), OkStatus());
+  if (names.empty()) {
+    co_return out;
+  }
+  OpenDirState* state = cache_.GetHandle(handle.id);
+  if (state == nullptr) {
+    for (Status& s : out) {
+      s = InvalidArgumentError("unknown dir handle");
+    }
+    co_return out;
+  }
+  // Copy the routing identity out of the handle table: the state pointer
+  // must not be held across a suspension.
+  const std::string dir_path = state->path;
+  const InodeId dir = state->dir;
+  const psw::Fingerprint parent_fp = state->target_fp;
+
+  // The create-path mirror of BatchStat: group names by the owner of their
+  // (dir, name) hash, then chunk each group to the transport page budget —
+  // one multi-entry RPC (and one server-side WAL record) per chunk instead
+  // of one round trip per name.
+  std::map<uint32_t, std::vector<size_t>> by_owner;
+  for (size_t i = 0; i < names.size(); ++i) {
+    by_owner[cluster_->ring().Owner(FingerprintOf(dir, names[i]))].push_back(i);
+  }
+  for (auto& [owner, idxs] : by_owner) {
+    size_t start = 0;
+    while (start < idxs.size()) {
+      size_t used = 0;
+      size_t end = start;
+      while (end < idxs.size() &&
+             PageHasRoom(used, static_cast<int>(end - start),
+                         DirEntryWireSize(names[idxs[end]]), config_.mtu_bytes,
+                         config_.mtu_entries)) {
+        used += DirEntryWireSize(names[idxs[end]]);
+        ++end;
+      }
+      co_await SendBulkChunk(
+          dir_path, dir, parent_fp, owner, names,
+          std::vector<size_t>(idxs.begin() + static_cast<ptrdiff_t>(start),
+                              idxs.begin() + static_cast<ptrdiff_t>(end)),
+          &out);
+      start = end;
+    }
+  }
+  co_return out;
 }
 
 sim::Task<Status> SwitchFsClient::Link(const std::string& src,

@@ -15,6 +15,7 @@
 #include "src/core/metadata_service.h"
 #include "src/core/server.h"
 #include "src/net/rpc.h"
+#include "src/sim/sync.h"
 
 namespace switchfs::tracker {
 class DirtyTracker;  // src/tracker/dirty_tracker.h
@@ -57,6 +58,15 @@ class SwitchFsClient : public MetadataService {
       o.max_attempts = 3;
       return o;
     }();
+    // Depth of the Readdir prefetch pipeline: how many page RPCs are kept in
+    // flight at once. SwitchFS page cookies are sequence numbers, so the
+    // client can speculatively request page p+1..p+k while consuming page p;
+    // the owner overlaps their scans across its cores. 1 disables prefetch.
+    int prefetch_pages = 3;
+    // Transport page budget for BulkInsert chunking — must match the
+    // servers' mtu_bytes / mtu_entries (cluster MakeClient copies them).
+    int mtu_bytes = 1400;
+    int mtu_entries = 128;
   };
 
   SwitchFsClient(sim::Simulator* sim, net::Network* net,
@@ -80,8 +90,16 @@ class SwitchFsClient : public MetadataService {
   sim::Task<Status> CloseDir(const DirHandle& handle) override;
   sim::Task<std::vector<StatusOr<Attr>>> BatchStat(
       const std::vector<std::string>& paths) override;
+  sim::Task<std::vector<Status>> BulkInsert(
+      const DirHandle& handle, const std::vector<std::string>& names) override;
   sim::Task<Status> Rename(const std::string& from,
                            const std::string& to) override;
+  // Pipelined whole-directory listing: overrides the base one-page-at-a-time
+  // drain with a `prefetch_pages`-deep window of speculative page RPCs.
+  // Pages are served idempotently by sequence number, so speculation is
+  // safe; a kStaleHandle on any page restarts the scan like the base path.
+  sim::Task<StatusOr<std::vector<DirEntry>>> Readdir(
+      const std::string& path) override;
   // Whole-directory listing in ONE RPC (the pre-v2 shape). Kept as the A/B
   // lever for bench_readdir_paging and for recovery tooling; the inherited
   // MetadataService::Readdir pages through OpenDir/ReaddirPage instead.
@@ -154,6 +172,25 @@ class SwitchFsClient : public MetadataService {
   sim::Task<StatusOr<PathRef>> ResolveParent(const std::string& path);
   // Resolves one directory path to a cache entry (see ResolveParent).
   sim::Task<StatusOr<CachedDir>> ResolveDir(const std::string& path);
+
+  // One prefetched page in flight: FetchPage runs detached and joins the
+  // Readdir loop through the slot's completion event.
+  struct PageSlot {
+    explicit PageSlot(sim::Simulator* sim)
+        : result(InternalError("pending")), done(sim) {}
+    StatusOr<DirPage> result;
+    sim::OneShot<int> done;
+  };
+  sim::Task<void> FetchPage(DirHandle handle, uint64_t cookie,
+                            std::shared_ptr<PageSlot> slot);
+  // One BulkInsert chunk (one owner, one page-fill of names): builds the
+  // multi-entry request, runs the stale-cache/transport retry loop, and
+  // writes the per-name verdicts into `out` at positions `idxs`.
+  sim::Task<void> SendBulkChunk(std::string dir_path, InodeId dir,
+                                psw::Fingerprint parent_fp, uint32_t owner,
+                                const std::vector<std::string>& names,
+                                std::vector<size_t> idxs,
+                                std::vector<Status>* out);
 
   sim::Task<OpResult> IssueOp(MetaCall call, const std::string& path);
   // Session-addressed ops (ReaddirPage / CloseDir): no path resolution —

@@ -91,6 +91,8 @@ std::unique_ptr<SwitchFsClient> Cluster::MakeClient() {
   SwitchFsClient::Config cc;
   cc.dirty_tracker = dirty_tracker_.get();
   cc.rename_coordinator = config_.server_template.rename_coordinator;
+  cc.mtu_bytes = config_.server_template.mtu_bytes;
+  cc.mtu_entries = config_.server_template.mtu_entries;
   return std::make_unique<SwitchFsClient>(&sim_, net_.get(), this,
                                           &config_.costs, cc);
 }
@@ -322,7 +324,10 @@ SwitchServer::Stats Cluster::TotalStats() const {
     total.dir_pages += st.dir_pages;
     total.dir_page_entries += st.dir_page_entries;
     total.dir_sessions_expired += st.dir_sessions_expired;
+    total.dir_sessions_evicted += st.dir_sessions_evicted;
     total.stale_handle_bounces += st.stale_handle_bounces;
+    total.bulk_inserts += st.bulk_inserts;
+    total.bulk_insert_entries += st.bulk_insert_entries;
     total.batch_stats += st.batch_stats;
     total.batch_stat_targets += st.batch_stat_targets;
     total.setattrs += st.setattrs;

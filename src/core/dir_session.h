@@ -1,26 +1,46 @@
 // Owner-side directory-stream sessions (MetadataService v2). An OpenDir
-// pins a snapshot of one directory's entry list; ReaddirPage serves bounded
-// pages from it via a positional cookie. The table is shared by the SwitchFS
-// server and the four baseline servers so the stream semantics are identical
-// across systems:
+// pins a stream over one directory's entry list; ReaddirPage serves
+// byte-budget pages from it. The table is shared by the SwitchFS server and
+// the four baseline servers so the stream semantics are identical across
+// systems. Two session flavours:
 //
-//  * The snapshot is immutable: a page stream never drops an entry that was
-//    committed before the open (SwitchFS aggregates under the agg gate
-//    first, so deferred pre-open entries are in the list) and never
-//    duplicates an entry across pages — concurrent creates/unlinks/renames
-//    mutate the live entry list, not the snapshot.
-//  * Sessions are volatile: they expire after an inactivity TTL (watchdog +
-//    lazy check, mirroring the aggregation responder-session watchdog) and
-//    die with the server incarnation. A page call against a missing session
-//    fails with kStaleHandle and the client re-opens.
-//  * Session ids embed an incarnation epoch so a handle minted before a
-//    crash can never alias a session created after recovery.
+//  * Snapshot sessions (baselines; SwitchFS with `snapshot_sessions`) copy
+//    the entry list at open. The snapshot is immutable: a page stream never
+//    drops an entry that was committed before the open (SwitchFS aggregates
+//    under the agg gate first, so deferred pre-open entries are in the list)
+//    and never duplicates an entry across pages — concurrent creates/
+//    unlinks/renames mutate the live entry list, not the snapshot.
+//  * Cursor sessions (SwitchFS default) store only the scan position — the
+//    KV key of the last served entry — and each page does a bounded KV seek
+//    from it. OpenDir is O(1) instead of O(directory). The entry keyspace
+//    is ordered and deletes remove keys outright (no tombstone rows), so
+//    the seek's implicit skip over deleted cursors preserves the no-dup/
+//    no-loss guarantee: a key is served at most once, and every pre-open
+//    entry that survives the scan window is reached. Entries created or
+//    renamed ahead of the cursor may appear (live semantics, like POSIX
+//    readdir); entries behind it never re-appear.
+//
+// SwitchFS streams are page-sequenced: the cookie is the page's sequence
+// number, so a client can speculatively issue page p+1 while consuming page
+// p (pipelined prefetch). The session caches the last served page for
+// idempotent re-serves and briefly parks pages that arrive ahead of their
+// turn (network jitter reorders packets). Baseline streams keep positional
+// cookies (index into the snapshot) — they never prefetch.
+//
+// Sessions are volatile: they expire after an inactivity TTL (watchdog +
+// lazy check), are LRU-evicted past the table-wide cap (a crash-looping
+// scanner abandoning handles must not bloat the owner), and die with the
+// server incarnation. A page call against a missing session fails with
+// kStaleHandle and the client re-opens. Session ids embed an incarnation
+// epoch so a handle minted before a crash can never alias a session created
+// after recovery.
 #ifndef SRC_CORE_DIR_SESSION_H_
 #define SRC_CORE_DIR_SESSION_H_
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -33,13 +53,22 @@ namespace switchfs::core {
 struct DirSession {
   uint64_t id = 0;
   InodeId dir;
-  // Stamp of the consistency point the snapshot represents: the simulated
-  // time the owner snapshotted the entry list (after the OpenDir-time
-  // aggregation on SwitchFS). Monotone per directory, so two handles can be
-  // ordered by freshness.
+  // Stamp of the consistency point the stream represents: the simulated
+  // time the owner opened it (after the OpenDir-time aggregation on
+  // SwitchFS). Monotone per directory, so two handles can be ordered by
+  // freshness.
   int64_t snapshot_at = 0;
-  std::vector<DirEntry> entries;  // key-ordered snapshot of the entry list
-  int64_t last_access = 0;        // inactivity-TTL base
+  bool cursor = false;            // cursor session (no pinned snapshot)
+  std::vector<DirEntry> entries;  // snapshot sessions: key-ordered copy
+
+  // Page-sequenced stream state (SwitchFS, both flavours).
+  uint64_t next_page = 0;   // sequence number the stream serves next
+  uint64_t offset = 0;      // snapshot: index of the next unserved entry
+  std::string cursor_key;   // cursor: KV key of the last served entry
+  bool at_end = false;      // the stream has served its final entry
+  DirPage last_page;        // cached last-served page (idempotent re-serve)
+
+  int64_t last_access = 0;  // inactivity-TTL base
 };
 
 class DirSessionTable {
@@ -49,6 +78,7 @@ class DirSessionTable {
   explicit DirSessionTable(int64_t epoch)
       : epoch_(static_cast<uint64_t>(epoch)) {}
 
+  // Opens a snapshot session over a pre-scanned entry list.
   DirSession& Open(const InodeId& dir, std::vector<DirEntry> entries,
                    int64_t now) {
     DirSession s;
@@ -58,6 +88,13 @@ class DirSessionTable {
     s.entries = std::move(entries);
     s.last_access = now;
     return sessions_.emplace(s.id, std::move(s)).first->second;
+  }
+
+  // Opens a cursor session: no snapshot copy, O(1).
+  DirSession& OpenCursor(const InodeId& dir, int64_t now) {
+    DirSession& s = Open(dir, {}, now);
+    s.cursor = true;
+    return s;
   }
 
   // Live session or nullptr; refreshes the inactivity clock on a hit and
@@ -92,25 +129,50 @@ class DirSessionTable {
     return false;
   }
 
+  // Table-wide cap: evicts least-recently-used sessions until at most `cap`
+  // remain (0 = uncapped). Returns the number evicted; the abandoned
+  // handles surface as kStaleHandle on their next page call.
+  size_t EvictLruOverCap(size_t cap) {
+    if (cap == 0) {
+      return 0;
+    }
+    size_t evicted = 0;
+    while (sessions_.size() > cap) {
+      auto victim = sessions_.begin();
+      for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+        if (it->second.last_access < victim->second.last_access) {
+          victim = it;
+        }
+      }
+      sessions_.erase(victim);
+      ++evicted;
+    }
+    return evicted;
+  }
+
   size_t size() const { return sessions_.size(); }
 
-  // Builds the page at `cookie` (a position into the snapshot), at most
-  // `limit` entries. The returned next_cookie continues the stream; at_end
-  // marks exhaustion. A cookie beyond the snapshot yields an empty at_end
-  // page (idempotent tail re-reads are harmless).
-  static DirPage PageOf(const DirSession& s, uint64_t cookie, int limit) {
+  // Builds the page at `cookie` (a position into the snapshot): entries are
+  // admitted until the next one would overflow `mtu_bytes` (0 disables the
+  // byte budget), capped at `limit` entries. The returned next_cookie
+  // continues the stream; at_end marks exhaustion. A cookie beyond the
+  // snapshot yields an empty at_end page (idempotent tail re-reads are
+  // harmless).
+  static DirPage PageOf(const DirSession& s, uint64_t cookie, int limit,
+                        int mtu_bytes = 0) {
     DirPage page;
     const uint64_t n = s.entries.size();
-    const uint64_t start = cookie > n ? n : cookie;
-    const uint64_t count =
-        std::min<uint64_t>(static_cast<uint64_t>(limit > 0 ? limit : 1),
-                           n - start);
-    page.entries.reserve(count);
-    for (uint64_t i = start; i < start + count; ++i) {
+    uint64_t i = cookie > n ? n : cookie;
+    size_t used = 0;
+    while (i < n && PageHasRoom(used, static_cast<int>(page.entries.size()),
+                                DirEntryWireSize(s.entries[i].name), mtu_bytes,
+                                limit)) {
+      used += DirEntryWireSize(s.entries[i].name);
       page.entries.push_back(s.entries[i]);
+      ++i;
     }
-    page.next_cookie = start + count;
-    page.at_end = page.next_cookie >= n;
+    page.next_cookie = i;
+    page.at_end = i >= n;
     return page;
   }
 

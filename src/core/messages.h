@@ -61,6 +61,11 @@ struct MetaReq : net::Message {
   // unused; per-target verdicts return in MetaResp::batch_status/batch_attrs
   // (parallel to this vector).
   std::vector<PathRef> targets;
+  // kBulkInsert: names to create inside the directory `ref` points at (ref
+  // carries pid / parent_fp / ancestors with an empty name). Every name in
+  // one request hashes to this server; per-name verdicts return in
+  // MetaResp::batch_status.
+  std::vector<std::string> bulk_names;
 };
 
 struct MetaResp : net::Message {
@@ -173,7 +178,7 @@ struct AggDone : net::Message {
 //
 // Pushes are batched per owner server, not per directory: one PushReq
 // coalesces every ready change-log headed to the same owner into PerDir
-// sections, up to mtu_entries entries total (overflow splits across
+// sections, up to push_mtu_entries entries total (overflow splits across
 // packets). The owner applies each section through Aggregation::ApplyEntries
 // and replies with a per-directory acked-seq vector. Exception: the
 // synchronous-fallback path (SwitchServer::SyncParentUpdate) sends one

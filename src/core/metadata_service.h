@@ -58,6 +58,34 @@ struct DirPage {
 // Cookie that starts a directory stream from the beginning.
 inline constexpr uint64_t kDirStreamStart = 0;
 
+// --- byte-budget page packing (shared by all five systems) ---
+//
+// A readdir page is filled until the next entry would overflow the
+// transport's `mtu_bytes` budget; `mtu_entries` remains only a hard cap.
+// Each entry's wire footprint is its name plus the fixed framing a
+// production page carries per entry: a type tag, a length-prefixed name,
+// and the readdirplus-style attr summary (id + size + mtime).
+inline constexpr size_t kDirEntryWireFixed = 19;
+
+inline size_t DirEntryWireSize(const std::string& name) {
+  return kDirEntryWireFixed + name.size();
+}
+
+// True if an entry of `wire` bytes still fits a page currently holding
+// `used` bytes / `count` entries. Every page admits at least one entry so
+// oversized names cannot wedge a stream. `mtu_bytes <= 0` disables the byte
+// budget (entry-count-only paging).
+inline bool PageHasRoom(size_t used, int count, size_t wire, int mtu_bytes,
+                        int max_entries) {
+  if (count == 0) {
+    return true;
+  }
+  if (max_entries > 0 && count >= max_entries) {
+    return false;
+  }
+  return mtu_bytes <= 0 || used + wire <= static_cast<size_t>(mtu_bytes);
+}
+
 class MetadataService {
  public:
   virtual ~MetadataService() = default;
@@ -82,7 +110,8 @@ class MetadataService {
   // --- directory streams (v2) ---
   virtual sim::Task<StatusOr<DirHandle>> OpenDir(const std::string& path) = 0;
   // Serves the page at `cookie` (kDirStreamStart begins the stream). Pages
-  // hold at most the system's configured page size (SwitchFS: mtu_entries).
+  // fill to the system's `mtu_bytes` budget (DirEntryWireSize per entry),
+  // with `mtu_entries` as the hard entry-count cap.
   // Fails with kStaleHandle when the server-side session expired or died.
   virtual sim::Task<StatusOr<DirPage>> ReaddirPage(const DirHandle& handle,
                                                    uint64_t cookie) = 0;
@@ -94,6 +123,16 @@ class MetadataService {
   // per path).
   virtual sim::Task<std::vector<StatusOr<Attr>>> BatchStat(
       const std::vector<std::string>& paths) = 0;
+
+  // --- bulk insert (v2) ---
+  // Creates `names` inside the open directory `handle` — the create-path
+  // mirror of BatchStat. The client groups names by owner placement and
+  // ships one multi-entry request per server per page-fill, each committed
+  // as a single WAL record. Result i corresponds to names[i] (kOk or
+  // kAlreadyExists per entry; a whole-request failure such as kStaleHandle
+  // is replicated to every slot it covered).
+  virtual sim::Task<std::vector<Status>> BulkInsert(
+      const DirHandle& handle, const std::vector<std::string>& names) = 0;
 
   // Rename (§5.2: distributed transaction through a central coordinator).
   virtual sim::Task<Status> Rename(const std::string& from,

@@ -34,9 +34,9 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
     // attempt instead of hammering a down owner at traffic rate.
     return;
   }
-  if (static_cast<int>(it->second.size()) >= ctx_.config->mtu_entries ||
-      ReadyEntries(*v, st, ctx_.config->mtu_entries) >=
-          ctx_.config->mtu_entries) {
+  if (static_cast<int>(it->second.size()) >= ctx_.config->push_mtu_entries ||
+      ReadyEntries(*v, st, ctx_.config->push_mtu_entries) >=
+          ctx_.config->push_mtu_entries) {
     sim::Spawn(DrainOwner(v, owner));
     return;
   }
@@ -141,14 +141,14 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
     auto req = std::make_shared<PushReq>();
     req->src_server = ctx_.config->index;
     std::vector<std::pair<psw::Fingerprint, InodeId>> took;
-    int budget = ctx_.config->mtu_entries;
+    int budget = ctx_.config->push_mtu_entries;
     // Snapshot at most one batch's worth of keys: every gathered section
     // carries at least one entry, so a batch never spans more than
     // mtu_entries logs (one log in per-dir mode). Gathered keys are erased,
     // so successive rounds walk the queue without re-copying it.
     std::vector<std::pair<psw::Fingerprint, InodeId>> want;
     const size_t key_cap = ctx_.config->batch_pushes
-                               ? static_cast<size_t>(ctx_.config->mtu_entries)
+                               ? static_cast<size_t>(ctx_.config->push_mtu_entries)
                                : size_t{1};
     for (auto it = st.ready.begin();
          it != st.ready.end() && want.size() < key_cap; ++it) {
@@ -286,7 +286,7 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
       }
       if (!lit->second.empty()) {
         st.ready.insert({pd.fp, pd.dir});
-        if (static_cast<int>(lit->second.size()) >= ctx_.config->mtu_entries) {
+        if (static_cast<int>(lit->second.size()) >= ctx_.config->push_mtu_entries) {
           heavy_leftover = true;
         }
       }
@@ -312,8 +312,8 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
     }
     st.backoff_shift = 0;
     if (!to_completion && !heavy_leftover && !st.ready.empty() &&
-        ReadyEntries(*v, st, ctx_.config->mtu_entries) <
-            ctx_.config->mtu_entries) {
+        ReadyEntries(*v, st, ctx_.config->push_mtu_entries) <
+            ctx_.config->push_mtu_entries) {
       // The remainder is a sub-MTU tail that trickled in while we were
       // pushing. Hand it to the idle timer (or the aggregate MTU trigger,
       // whichever fires first) instead of spraying small batches at

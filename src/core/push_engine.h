@@ -6,7 +6,7 @@
 // Pushes are scheduled per OWNER, not per directory: every source server
 // keeps one outbound queue per owner server (ServerVolatile::OwnerPusher)
 // and a drain coroutine coalesces all ready (fp, dir) logs for that owner
-// into batched PushReqs of up to mtu_entries entries (overflow splits across
+// into batched PushReqs of up to push_mtu_entries entries (overflow splits across
 // packets). A failed push re-queues its sections and re-arms a retry timer
 // with exponential backoff, so an unreachable owner can never strand a
 // backlog.
@@ -31,7 +31,7 @@ class PushEngine {
 
   // ---- source side ----
   // After a deferred update commits: queue the log on its owner's pusher,
-  // drain immediately when the backlog reaches mtu_entries, else (re)arm the
+  // drain immediately when the backlog reaches push_mtu_entries, else (re)arm the
   // owner's idle-flush timer.
   void MaybeSchedulePush(VolPtr v, psw::Fingerprint fp, const InodeId& dir);
   // Queues a log on its owner's pusher without arming timers (recovery
@@ -105,7 +105,7 @@ class PushEngine {
   void ArmRetry(VolPtr v, uint32_t owner);
   // Exact count of live pending entries across the owner's ready logs,
   // saturating at `cap` (the aggregate-MTU trigger only compares against
-  // mtu_entries, so the scan is O(mtu) amortized: entries whose logs turned
+  // push_mtu_entries, so the scan is O(mtu) amortized: entries whose logs turned
   // out empty are pruned as it goes, not re-visited per commit). Counting
   // live entries — not commits — keeps logs drained by a concurrent
   // aggregation from inflating the trigger into early sub-MTU batches.

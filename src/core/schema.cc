@@ -40,6 +40,8 @@ const char* OpTypeName(OpType op) {
       return "batchstat";
     case OpType::kSetAttr:
       return "setattr";
+    case OpType::kBulkInsert:
+      return "bulkinsert";
   }
   return "unknown";
 }

@@ -132,6 +132,9 @@ void SwitchServer::OnRequest(net::Packet p) {
         case OpType::kSetAttr:
           sim::Spawn(HandleSetAttr(std::move(p), std::move(v)));
           break;
+        case OpType::kBulkInsert:
+          sim::Spawn(HandleBulkInsert(std::move(p), std::move(v)));
+          break;
         case OpType::kStat:
         case OpType::kOpen:
         case OpType::kClose:
@@ -747,31 +750,45 @@ sim::Task<void> SwitchServer::HandleOpenDir(net::Packet p, VolPtr v) {
     co_return;
   }
 
-  // Snapshot the entry list under the inode lock: this is the stream's one
-  // scan (charged here); pages charge only their own marshalling. The
-  // snapshot is immune to concurrent creates/unlinks/renames — including a
-  // rename or rmdir of the directory itself: the session outlives the
-  // directory's presence here and keeps serving the pinned listing.
-  std::vector<DirEntry> entries;
-  v->kv.ScanPrefix(EntryPrefix(attr.id),
-                   [&](const std::string& k, const std::string& val) {
-                     entries.push_back(DirEntry{
-                         std::string(EntryNameFromKey(k)),
-                         DecodeEntryValue(val)});
-                     return true;
-                   });
-  co_await cpu_.Run(static_cast<sim::SimTime>(entries.size()) *
-                    costs_->kv_scan_per_entry);
-  if (v->dead) co_return;
-
-  DirSession& session = v->dir_sessions.Open(attr.id, std::move(entries), Now());
+  // Open-time cost is the A/B lever (`snapshot_sessions`): a snapshot
+  // session copies the entry list here — the stream's one O(directory)
+  // scan, charged at open — and is immune to concurrent creates/unlinks/
+  // renames, including a rename or rmdir of the directory itself (the
+  // session outlives the directory's presence and keeps serving the pinned
+  // listing). The default cursor session stores only a scan position, so
+  // OpenDir is O(1) and each page charges its own bounded seek+scan
+  // (HandleReaddirPage); pre-open entries are still never lost — the
+  // aggregation above lands them in the live keyspace the cursor walks.
+  uint64_t session_id = 0;
+  uint64_t dir_entries = 0;
+  if (config_.snapshot_sessions) {
+    std::vector<DirEntry> entries;
+    v->kv.ScanPrefix(EntryPrefix(attr.id),
+                     [&](const std::string& k, const std::string& val) {
+                       entries.push_back(DirEntry{
+                           std::string(EntryNameFromKey(k)),
+                           DecodeEntryValue(val)});
+                       return true;
+                     });
+    co_await cpu_.Run(static_cast<sim::SimTime>(entries.size()) *
+                      costs_->kv_scan_per_entry);
+    if (v->dead) co_return;
+    dir_entries = entries.size();
+    session_id = v->dir_sessions.Open(attr.id, std::move(entries), Now()).id;
+  } else {
+    // Advisory entry count from the aggregated directory size (no scan).
+    dir_entries = attr.size;
+    session_id = v->dir_sessions.OpenCursor(attr.id, Now()).id;
+  }
   stats_.dir_opens++;
-  sim::Spawn(DirSessionWatchdog(v, session.id));
+  stats_.dir_sessions_evicted +=
+      v->dir_sessions.EvictLruOverCap(config_.max_dir_sessions);
+  sim::Spawn(DirSessionWatchdog(v, session_id));
 
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
   resp->attr = attr;
-  resp->dir_session = session.id;
-  resp->dir_entries = session.entries.size();
+  resp->dir_session = session_id;
+  resp->dir_entries = dir_entries;
   co_await cpu_.Run(costs_->reply_build);
   if (v->dead) co_return;
   rpc_.Respond(p, resp);
@@ -798,35 +815,121 @@ sim::Task<void> SwitchServer::HandleReaddirPage(net::Packet p, VolPtr v) {
   co_await cpu_.Run(costs_->op_dispatch);
   if (v->dead) co_return;
 
-  DirSession* session = v->dir_sessions.Touch(req->dir_session, Now(),
-                                              config_.dir_session_ttl);
-  if (session == nullptr) {
-    // Expired, closed, or minted by a previous incarnation: the snapshot is
-    // gone and resuming mid-stream could drop or duplicate entries, so the
-    // client must re-open.
-    stats_.stale_handle_bounces++;
-    RespondStatus(p, StatusCode::kStaleHandle);
-    co_return;
+  // SwitchFS streams are page-sequenced: req->cookie is the page's sequence
+  // number, so a prefetching client can issue page p+1 while page p is in
+  // flight. A speculative page that the network delivers ahead of its turn
+  // parks in a bounded poll loop until the stream catches up. The session
+  // pointer is re-found after every suspension — the watchdog, an LRU
+  // eviction, or a crash may erase it during an await.
+  const uint64_t want = req->cookie;
+  for (int spin = 0;; ++spin) {
+    DirSession* session = v->dir_sessions.Touch(req->dir_session, Now(),
+                                                config_.dir_session_ttl);
+    if (session == nullptr) {
+      // Expired, evicted, closed, or minted by a previous incarnation:
+      // resuming mid-stream could drop or duplicate entries, so the client
+      // must re-open.
+      stats_.stale_handle_bounces++;
+      RespondStatus(p, StatusCode::kStaleHandle);
+      co_return;
+    }
+    if (want + 1 == session->next_page) {
+      // Retry of the page just served: re-serve the cached copy (the scan
+      // already happened and the stream already advanced — charging only
+      // the marshalling keeps the retry idempotent in cost too).
+      DirPage page = session->last_page;
+      co_await cpu_.Run(static_cast<sim::SimTime>(page.entries.size()) *
+                            costs_->readdir_per_entry +
+                        costs_->reply_build);
+      if (v->dead) co_return;
+      auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+      resp->entries = std::move(page.entries);
+      resp->next_cookie = page.next_cookie;
+      resp->at_end = page.at_end;
+      rpc_.Respond(p, resp);
+      co_return;
+    }
+    if (want == session->next_page) {
+      // Build the page and advance the stream state BEFORE suspending:
+      // first, the watchdog may expire the session during an await,
+      // invalidating `session`; second, advancing first lets the NEXT
+      // prefetched page start its scan on another core while this one is
+      // still paying for marshalling — the pipelining that makes the paged
+      // path beat the monolithic one.
+      DirPage page;
+      sim::SimTime scan_cost = 0;
+      if (session->at_end) {
+        // Idempotent tail re-read past the end.
+        page.at_end = true;
+      } else if (session->cursor) {
+        // Bounded KV seek from the last served key. Deletes remove entry
+        // keys outright (no tombstone rows), so a deleted cursor is skipped
+        // implicitly by upper_bound and a key is served at most once.
+        size_t used = 0;
+        bool budget_stop = false;
+        v->kv.ScanFrom(
+            EntryPrefix(session->dir), session->cursor_key,
+            [&](const std::string& k, const std::string& val) {
+              std::string name(EntryNameFromKey(k));
+              if (!PageHasRoom(used, static_cast<int>(page.entries.size()),
+                               DirEntryWireSize(name), config_.mtu_bytes,
+                               config_.mtu_entries)) {
+                budget_stop = true;
+                return false;
+              }
+              used += DirEntryWireSize(name);
+              page.entries.push_back(
+                  DirEntry{std::move(name), DecodeEntryValue(val)});
+              return true;
+            });
+        if (!page.entries.empty()) {
+          session->cursor_key =
+              EntryKey(session->dir, page.entries.back().name);
+        }
+        page.at_end = !budget_stop;
+        // Satellite of the cursor design: the scan cost moves from OpenDir
+        // (where the snapshot path pays it all at once) to the page that
+        // performs it.
+        scan_cost = static_cast<sim::SimTime>(page.entries.size()) *
+                    costs_->kv_scan_per_entry;
+      } else {
+        page = DirSessionTable::PageOf(*session, session->offset,
+                                       config_.mtu_entries, config_.mtu_bytes);
+        session->offset = page.next_cookie;
+      }
+      page.next_cookie = want + 1;
+      session->at_end = page.at_end;
+      session->next_page = want + 1;
+      session->last_page = page;
+
+      // Per-page accounting: this page's scan (cursor sessions only) plus
+      // its marshalling and reply build.
+      co_await cpu_.Run(scan_cost +
+                        static_cast<sim::SimTime>(page.entries.size()) *
+                            costs_->readdir_per_entry +
+                        costs_->reply_build);
+      if (v->dead) co_return;
+      stats_.dir_pages++;
+      stats_.dir_page_entries += page.entries.size();
+
+      auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+      resp->entries = std::move(page.entries);
+      resp->next_cookie = page.next_cookie;
+      resp->at_end = page.at_end;
+      rpc_.Respond(p, resp);
+      co_return;
+    }
+    if (want < session->next_page || spin >= 64) {
+      // A page from a past position (beyond the cached one), or a future
+      // page whose predecessors never arrived: serving it would skip or
+      // repeat entries. The client restarts the scan.
+      stats_.stale_handle_bounces++;
+      RespondStatus(p, StatusCode::kStaleHandle);
+      co_return;
+    }
+    co_await sim::Delay(sim_, 1000);  // park ~1µs; jitter reorders sub-µs
+    if (v->dead) co_return;
   }
-  // Build the page BEFORE suspending again: the watchdog may expire the
-  // session during an await, invalidating `session`.
-  DirPage page =
-      DirSessionTable::PageOf(*session, req->cookie, config_.mtu_entries);
-
-  // Per-page accounting: the snapshot scan was charged once at OpenDir; a
-  // page pays only its marshalling (readdir_per_entry) and reply build.
-  co_await cpu_.Run(static_cast<sim::SimTime>(page.entries.size()) *
-                        costs_->readdir_per_entry +
-                    costs_->reply_build);
-  if (v->dead) co_return;
-  stats_.dir_pages++;
-  stats_.dir_page_entries += page.entries.size();
-
-  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
-  resp->entries = std::move(page.entries);
-  resp->next_cookie = page.next_cookie;
-  resp->at_end = page.at_end;
-  rpc_.Respond(p, resp);
 }
 
 sim::Task<void> SwitchServer::HandleCloseDir(net::Packet p, VolPtr v) {
@@ -982,6 +1085,160 @@ sim::Task<void> SwitchServer::HandleSetAttr(net::Packet p, VolPtr v) {
   co_await cpu_.Run(costs_->reply_build);
   if (v->dead) co_return;
   rpc_.Respond(p, resp);
+}
+
+// ---------------------------------------------------------------------------
+// BulkInsert (MetadataService v2): WAL-batched multi-entry create
+// ---------------------------------------------------------------------------
+
+sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  stats_.ops++;
+  stats_.bulk_inserts++;
+  co_await cpu_.Run(costs_->op_dispatch);
+  if (v->dead) co_return;
+
+  const PathRef& ref = req->ref;  // the shared parent; names in bulk_names
+  const psw::Fingerprint pfp = ref.parent_fp;
+
+  // Locking mirrors the single-entry upsert: parent change-log group
+  // (write), then every target inode (write) — in name order, so two bulks
+  // racing on overlapping name sets cannot deadlock on the entry locks.
+  // All locks are held through the commit.
+  auto cl_lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+  if (v->dead) co_return;
+  std::vector<size_t> order(req->bulk_names.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return req->bulk_names[a] < req->bulk_names[b];
+  });
+  std::vector<LockTable::Handle> ino_locks;
+  ino_locks.reserve(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    const std::string& name = req->bulk_names[order[k]];
+    if (k > 0 && name == req->bulk_names[order[k - 1]]) {
+      continue;  // duplicate within the batch: one lock suffices
+    }
+    ino_locks.push_back(
+        co_await v->inode_locks.AcquireExclusive(InodeKey(ref.pid, name)));
+    if (v->dead) co_return;
+  }
+
+  // One validation pass for the shared parent path.
+  co_await cpu_.Run(costs_->path_check *
+                    static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+  if (v->dead) co_return;
+  auto stale = v->inval.Check(ref.ancestors);
+  if (!stale.empty()) {
+    stats_.stale_cache_bounces++;
+    RespondStale(p, std::move(stale));
+    co_return;
+  }
+
+  // Per-entry existence verdicts: a name that already exists (in the KV
+  // store or earlier in this very batch) is rejected without sinking the
+  // batch, like BatchStat's per-target verdicts.
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->batch_status.assign(req->bulk_names.size(), StatusCode::kOk);
+  resp->batch_attrs.resize(req->bulk_names.size());
+  std::set<std::string> admitted;
+  std::vector<size_t> admitted_idx;
+  for (size_t i = 0; i < req->bulk_names.size(); ++i) {
+    const std::string& name = req->bulk_names[i];
+    co_await cpu_.Run(costs_->kv_get);
+    if (v->dead) co_return;
+    if (v->kv.Get(InodeKey(ref.pid, name)).has_value() ||
+        !admitted.insert(name).second) {
+      resp->batch_status[i] = StatusCode::kAlreadyExists;
+      continue;
+    }
+    admitted_idx.push_back(i);
+  }
+  if (admitted_idx.empty()) {
+    co_await cpu_.Run(costs_->reply_build);
+    if (v->dead) co_return;
+    rpc_.Respond(p, resp);
+    co_return;
+  }
+
+  // Persistent commit: ONE WAL record covers the whole batch. The per-log
+  // append mutex pins the captured seq range across the WAL/KV suspensions
+  // (see HandleUpsert).
+  BulkCommitRecord rec;
+  rec.parent_dir = ref.pid;
+  rec.parent_fp = pfp;
+  {
+    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
+        ClAppendKey(pfp, ref.pid));
+    if (v->dead) co_return;
+    ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
+    uint64_t seq = clog.last_appended_seq();
+    const int64_t now = Now();
+    rec.items.reserve(admitted_idx.size());
+    for (size_t i : admitted_idx) {
+      const std::string& name = req->bulk_names[i];
+      Attr attr;
+      attr.id = NewInodeId();
+      attr.type = FileType::kFile;
+      attr.mode = req->mode;
+      attr.ctime = attr.mtime = attr.atime = now;
+      resp->batch_attrs[i] = attr;
+      BulkCommitRecord::Item item;
+      item.inode_key = InodeKey(ref.pid, name);
+      item.inode_value = attr.Encode();
+      item.entry.timestamp = now;
+      item.entry.name = name;
+      item.entry.op = OpType::kCreate;
+      item.entry.entry_type = FileType::kFile;
+      item.entry.size_delta = 1;
+      item.entry.seq = ++seq;
+      rec.items.push_back(std::move(item));
+    }
+    // The first item pays the full append; the rest ride at the batched
+    // marginal cost (same model as the push path's group append).
+    co_await cpu_.Run(costs_->wal_append +
+                      static_cast<sim::SimTime>(rec.items.size() - 1) *
+                          costs_->wal_append_batched);
+    if (v->dead) co_return;
+    const uint64_t lsn = durable_->wal.Append(kWalBulkCommit, rec.Encode());
+
+    co_await cpu_.Run(static_cast<sim::SimTime>(rec.items.size()) *
+                      costs_->kv_put);
+    if (v->dead) co_return;
+    for (const BulkCommitRecord::Item& item : rec.items) {
+      v->kv.Put(item.inode_key, item.inode_value);
+    }
+    co_await cpu_.Run(costs_->changelog_append);
+    if (v->dead) co_return;
+    // Entries ack in FIFO order, so the shared record may be marked applied
+    // only when its LAST entry acks — the others carry lsn 0 (a no-op for
+    // Wal::MarkApplied). A partial ack followed by a crash replays the
+    // whole batch; the owner's high-water mark dedups the applied prefix.
+    for (size_t k = 0; k < rec.items.size(); ++k) {
+      ChangeLogEntry entry = rec.items[k].entry;
+      entry.wal_lsn = k + 1 == rec.items.size() ? lsn : 0;
+      clog.Restore(std::move(entry));
+    }
+  }
+  stats_.bulk_insert_entries += rec.items.size();
+
+  if (!config_.async_updates) {
+    // Conventional synchronous update (Baseline of §7.3.1). Owner
+    // unreachable: the entries stay pending for a later push; the batch
+    // itself is committed, so report the verdicts.
+    co_await SyncParentUpdate(v, pfp, ref.pid);
+    if (v->dead) co_return;
+    rpc_.Respond(p, resp);
+    co_return;
+  }
+
+  // One deferred-update publication covers the batch (they share the
+  // parent's dirty-set slot), and at most one push is scheduled.
+  co_await PublishUpdate(&p, v, pfp, ref.pid, resp);
+  if (v->dead) co_return;
+  push_.MaybeSchedulePush(v, pfp, ref.pid);
 }
 
 // ---------------------------------------------------------------------------
@@ -1316,6 +1573,24 @@ void SwitchServer::ReplayWalInto(ServerVolatile& v) {
           tomb.installed_at = Now();
           tomb.applied = rec.moved_applied;
           v.InstallMovedTombstone(rec.moved_dir, tomb);
+        }
+        break;
+      }
+      case kWalBulkCommit: {
+        BulkCommitRecord rec = BulkCommitRecord::Decode(r.payload);
+        for (const BulkCommitRecord::Item& item : rec.items) {
+          v.kv.Put(item.inode_key, item.inode_value);
+        }
+        if (!r.applied) {
+          // The record is marked applied only once its LAST entry acked, so
+          // an un-applied record restores the whole batch; the owner's
+          // high-water mark dedups any already-applied prefix on re-push.
+          ChangeLog& clog = v.GetChangeLog(rec.parent_fp, rec.parent_dir);
+          for (size_t i = 0; i < rec.items.size(); ++i) {
+            ChangeLogEntry e = rec.items[i].entry;
+            e.wal_lsn = i + 1 == rec.items.size() ? r.lsn : 0;
+            clog.Restore(std::move(e));
+          }
         }
         break;
       }

@@ -119,6 +119,7 @@ class SwitchServer : public UpdatePublisher {
   sim::Task<void> HandleCloseDir(net::Packet p, VolPtr v);
   sim::Task<void> HandleBatchStat(net::Packet p, VolPtr v);
   sim::Task<void> HandleSetAttr(net::Packet p, VolPtr v);
+  sim::Task<void> HandleBulkInsert(net::Packet p, VolPtr v);
   // Ensures the directory group's deferred entries are applied before a
   // read: dirty-set check, then aggregation under the exclusive agg gate if
   // needed; returns a held SHARED gate handle (empty if the incarnation

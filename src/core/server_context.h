@@ -65,7 +65,16 @@ struct ServerConfig {
   bool async_updates = true;
   bool compaction = true;
 
-  int mtu_entries = 29;  // §7.5: proactive push once an MTU worth accumulates
+  // Readdir-page packing: pages fill to mtu_bytes of entry wire data
+  // (DirEntryWireSize per entry); mtu_entries is only the hard entry-count
+  // cap. BulkInsert chunks requests by the same budget.
+  int mtu_bytes = 1400;
+  int mtu_entries = 128;
+  // §7.5: proactive push once an MTU worth of change-log entries
+  // accumulates (also the per-PushReq batch bound). Kept at the historical
+  // 29-entry MTU estimate — page packing moved to mtu_bytes, but the push
+  // path still batches by entry count.
+  int push_mtu_entries = 29;
   // Batch cross-server pushes per (owner, MTU): one PushReq carries every
   // ready change-log headed to the same owner. Off = one directory per
   // packet (the pre-batching behavior, kept for the A/B bench).
@@ -100,6 +109,14 @@ struct ServerConfig {
   // kStaleHandle and the client re-opens. The watchdog reuses the responder-
   // session pattern; the TTL must dwarf the per-page RPC cadence (~µs).
   sim::SimTime dir_session_ttl = sim::Milliseconds(20);
+  // A/B lever: pin an O(directory) snapshot at OpenDir (the PR-5 behavior)
+  // instead of the default KV-cursor sessions (O(1) open, per-page bounded
+  // seek, live POSIX-readdir semantics for concurrent mutations).
+  bool snapshot_sessions = false;
+  // Table-wide session cap: past it, the least-recently-used session is
+  // evicted (kStaleHandle on its next page) so a crash-looping scanner
+  // abandoning handles cannot bloat the owner. 0 = uncapped.
+  size_t max_dir_sessions = 4096;
   uint32_t rename_coordinator = 0;  // server index of the rename coordinator
 };
 
@@ -154,10 +171,13 @@ struct ServerStats {
   uint64_t dir_pages = 0;           // ReaddirPage calls served
   uint64_t dir_page_entries = 0;    // entries across served pages
   uint64_t dir_sessions_expired = 0;  // watchdog/lazy TTL expiries
+  uint64_t dir_sessions_evicted = 0;  // LRU evictions past max_dir_sessions
   uint64_t stale_handle_bounces = 0;  // pages against dead sessions
   uint64_t batch_stats = 0;           // BatchStat requests served
   uint64_t batch_stat_targets = 0;    // targets across those requests
   uint64_t setattrs = 0;
+  uint64_t bulk_inserts = 0;          // BulkInsert requests served
+  uint64_t bulk_insert_entries = 0;   // entries across those requests
   // Dirty-set inserts whose ack retry budget ran out (the entry stays in the
   // change-log; the push path repairs tracker visibility).
   uint64_t insert_exhausted = 0;

@@ -154,6 +154,7 @@ enum class OpType : uint8_t {
   kCloseDir = 15,
   kBatchStat = 16,
   kSetAttr = 17,
+  kBulkInsert = 18,
 };
 
 const char* OpTypeName(OpType op);

@@ -27,6 +27,7 @@ namespace switchfs::core {
 enum WalRecordType : uint32_t {
   kWalOpCommit = 1,
   kWalEntryApply = 2,
+  kWalBulkCommit = 3,
 };
 
 struct OpCommitRecord {
@@ -127,6 +128,55 @@ struct OpCommitRecord {
       e.name = dec.GetString();
       e.type = static_cast<FileType>(dec.GetU8());
       r.install_entries.push_back(std::move(e));
+    }
+    return r;
+  }
+};
+
+// One WAL-committed multi-entry append (BulkInsert): every created inode
+// row plus its deferred parent-update entry, sharing a single record (and
+// so a single simulated persistence round). All items target the same
+// parent directory / fingerprint group. On replay, only the FINAL item's
+// change-log entry is stamped with the record's LSN: entries ack in FIFO
+// order, so the record may be marked applied only once its last entry is
+// acked — a partial ack followed by a crash re-pushes the whole batch and
+// the owner's high-water mark dedups the already-applied prefix.
+struct BulkCommitRecord {
+  InodeId parent_dir;
+  psw::Fingerprint parent_fp = 0;
+  struct Item {
+    std::string inode_key;
+    std::string inode_value;
+    ChangeLogEntry entry;
+  };
+  std::vector<Item> items;
+
+  std::string Encode() const {
+    Encoder enc;
+    parent_dir.EncodeTo(enc);
+    enc.PutU64(parent_fp);
+    enc.PutU32(static_cast<uint32_t>(items.size()));
+    for (const Item& it : items) {
+      enc.PutString(it.inode_key);
+      enc.PutString(it.inode_value);
+      it.entry.EncodeTo(enc);
+    }
+    return std::move(enc).Take();
+  }
+
+  static BulkCommitRecord Decode(const std::string& data) {
+    Decoder dec(data);
+    BulkCommitRecord r;
+    r.parent_dir = InodeId::DecodeFrom(dec);
+    r.parent_fp = dec.GetU64();
+    const uint32_t n = dec.GetU32();
+    r.items.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Item it;
+      it.inode_key = dec.GetString();
+      it.inode_value = dec.GetString();
+      it.entry = ChangeLogEntry::DecodeFrom(dec);
+      r.items.push_back(std::move(it));
     }
     return r;
   }

@@ -41,6 +41,22 @@ void KvStore::ScanPrefix(
   }
 }
 
+void KvStore::ScanFrom(
+    std::string_view prefix, const std::string& after,
+    const std::function<bool(const std::string&, const std::string&)>& visit)
+    const {
+  auto it = after.empty() ? map_.lower_bound(std::string(prefix))
+                          : map_.upper_bound(after);
+  for (; it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (!visit(it->first, it->second)) {
+      break;
+    }
+  }
+}
+
 size_t KvStore::CountPrefix(std::string_view prefix) const {
   size_t n = 0;
   ScanPrefix(prefix, [&n](const std::string&, const std::string&) {

@@ -34,6 +34,14 @@ class KvStore {
                                            const std::string&)>& visit) const;
   size_t CountPrefix(std::string_view prefix) const;
 
+  // Cursor variant of ScanPrefix: visits pairs with key strictly greater
+  // than `after` (still restricted to `prefix`), in key order. `after` need
+  // not exist — a deleted cursor key simply seeks to its successor. An empty
+  // `after` scans from the start of the prefix.
+  void ScanFrom(std::string_view prefix, const std::string& after,
+                const std::function<bool(const std::string&,
+                                         const std::string&)>& visit) const;
+
   size_t size() const { return map_.size(); }
   void Clear() { map_.clear(); }
 

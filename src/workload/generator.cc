@@ -67,6 +67,7 @@ enum MixOp {
   kMixPagedReaddir,
   kMixStatBurst,
   kMixSetAttr,
+  kMixBulkCreate,
 };
 
 }  // namespace
@@ -98,6 +99,7 @@ MixStream::MixStream(MixRatios ratios, std::vector<std::string> dirs,
         add(ratios.paged_readdir, kMixPagedReaddir);
         add(ratios.stat_burst, kMixStatBurst);
         add(ratios.setattr, kMixSetAttr);
+        add(ratios.bulk_create, kMixBulkCreate);
         return DiscreteSampler(weights);
       }()),
       skew_(skew),
@@ -175,6 +177,18 @@ std::optional<Op> MixStream::Next(Rng& rng) {
       op.type = core::OpType::kReaddirPage;
       op.path = dir;
       return op;
+    case kMixBulkCreate: {
+      op.type = core::OpType::kBulkInsert;
+      op.path = dir;
+      const int burst = std::max(1, bulk_create_size);
+      op.batch.reserve(burst);
+      for (int i = 0; i < burst; ++i) {
+        const std::string name = "n" + std::to_string(ds.next_fresh++);
+        ds.live.push_back(name);
+        op.batch.push_back(name);
+      }
+      return op;
+    }
     case kMixCreate:
     case kMixDataWrite: {
       const std::string name = "n" + std::to_string(ds.next_fresh++);

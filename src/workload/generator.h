@@ -136,6 +136,7 @@ struct MixRatios {
   double paged_readdir = 0;  // full OpenDir/ReaddirPage*/CloseDir scan
   double stat_burst = 0;     // one BatchStat over stat_burst_size live files
   double setattr = 0;        // explicit setattr weight (chmod also maps here)
+  double bulk_create = 0;    // one BulkInsert of bulk_create_size fresh names
 };
 
 // The PanguFS data-center mix (Tab 5 row 1 / Tab 2).
@@ -157,6 +158,8 @@ class MixStream : public OpStream {
 
   // Targets per stat_burst op (drawn from the directory's live files).
   int stat_burst_size = 8;
+  // Fresh names per bulk_create op (one BulkInsert through an open handle).
+  int bulk_create_size = 16;
 
  private:
   struct DirState {

@@ -75,6 +75,24 @@ sim::Task<Status> Execute(core::MetadataService& client, const Op& op,
       (void)co_await client.CloseDir(*handle);
       co_return result;
     }
+    case core::OpType::kBulkInsert: {
+      // Bulk create: one open handle, one multi-entry insert, close. `batch`
+      // holds bare names; `path` is the parent directory.
+      auto handle = co_await client.OpenDir(op.path);
+      if (!handle.ok()) {
+        co_return handle.status();
+      }
+      auto verdicts = co_await client.BulkInsert(*handle, op.batch);
+      Status result = OkStatus();
+      for (const Status& s : verdicts) {
+        if (!s.ok()) {
+          result = s;
+          break;
+        }
+      }
+      (void)co_await client.CloseDir(*handle);
+      co_return result;
+    }
     case core::OpType::kBatchStat: {
       auto results = co_await client.BatchStat(op.batch);
       for (const auto& r : results) {

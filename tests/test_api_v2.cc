@@ -2,17 +2,26 @@
 // lookups, and setattr — run against ALL FIVE systems (SwitchFS + the four
 // baselines) through the shared interface, plus SwitchFS-specific property
 // and fault tests:
-//  * paged streams match the monolithic listing, bound every page by
-//    mtu_entries, and neither drop a pre-open entry nor duplicate across
-//    pages under a concurrent create/unlink/rename storm (4 seeds),
-//  * sessions expire (stale cookie) and die with an owner crash mid-scan,
+//  * paged streams match the monolithic listing, fill pages to the
+//    mtu_bytes budget (mtu_entries is only a hard cap), and neither drop a
+//    pre-open entry nor duplicate across pages under a concurrent
+//    create/unlink/rename storm (4 seeds x snapshot/cursor sessions),
+//  * cursor sessions survive unlink-at-cursor and rename-of-next-entry,
+//  * sessions expire (stale cookie), die with an owner crash mid-scan, and
+//    are LRU-evicted past the table-wide cap,
+//  * the prefetching Readdir recovers from an owner crash with speculative
+//    pages in flight,
 //  * BatchStat groups by owner and returns per-target verdicts,
+//  * BulkInsert returns per-name verdicts, batches packets, and survives
+//    owner crashes with no committed entry lost,
 //  * SetAttr commits durably and round-trips through Stat.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/baselines/baseline.h"
@@ -23,7 +32,43 @@
 namespace switchfs::core {
 namespace {
 
-constexpr int kPageBound = 29;  // mtu_entries in every factory below
+// Byte-budget paging: pages fill to mtu_bytes of entry wire data
+// (DirEntryWireSize each); mtu_entries is only the hard entry-count cap.
+// Both match the config defaults in every factory below.
+constexpr int kPageEntryCap = 128;
+constexpr int kPageByteBudget = 1400;
+
+// Greedy packing over the KV-sorted name set — mirrors how every system
+// fills pages, so the stream's page count is exactly predictable.
+int ExpectedPageCount(const std::set<std::string>& names) {
+  int pages = 1;
+  size_t used = 0;
+  int count = 0;
+  for (const std::string& n : names) {
+    if (!PageHasRoom(used, count, DirEntryWireSize(n), kPageByteBudget,
+                     kPageEntryCap)) {
+      ++pages;
+      used = 0;
+      count = 0;
+    }
+    used += DirEntryWireSize(n);
+    ++count;
+  }
+  return pages;
+}
+
+// A page is over budget if it exceeds the entry cap, or packs more wire
+// bytes than mtu_bytes (a single oversized entry is always admitted).
+bool PageOverBudget(const std::vector<DirEntry>& entries) {
+  if (entries.size() > static_cast<size_t>(kPageEntryCap)) {
+    return true;
+  }
+  size_t used = 0;
+  for (const DirEntry& e : entries) {
+    used += DirEntryWireSize(e.name);
+  }
+  return entries.size() > 1 && used > static_cast<size_t>(kPageByteBudget);
+}
 
 // ---------------------------------------------------------------------------
 // Five-system harness over the shared interface
@@ -145,7 +190,7 @@ TEST_P(ApiV2Suite, PagedStreamMatchesListingAndBoundsPages) {
         co_return;
       }
       (*pages)++;
-      if (page->entries.size() > static_cast<size_t>(kPageBound)) {
+      if (PageOverBudget(page->entries)) {
         *oversize = true;
       }
       for (const DirEntry& e : page->entries) {
@@ -163,10 +208,11 @@ TEST_P(ApiV2Suite, PagedStreamMatchesListingAndBoundsPages) {
 
   EXPECT_TRUE(result.ok()) << result.ToString();
   EXPECT_FALSE(dup) << "duplicate entry across pages";
-  EXPECT_FALSE(oversize) << "page exceeded mtu_entries";
-  // PageOf sets at_end on the page that reaches the end, so the stream is
-  // exactly ceil(N / bound) pages — even for N divisible by the bound.
-  EXPECT_EQ(pages, (100 + kPageBound - 1) / kPageBound);
+  EXPECT_FALSE(oversize) << "page exceeded the mtu budget";
+  // at_end is set on the page that reaches the end, so the stream is exactly
+  // the greedy byte-budget packing of the sorted listing — no short pages,
+  // no empty tail.
+  EXPECT_EQ(pages, ExpectedPageCount(expected));
   EXPECT_EQ(got, expected);
 
   // The Readdir convenience wrapper (paged under the hood) agrees.
@@ -284,6 +330,50 @@ TEST_P(ApiV2Suite, BatchStatReturnsPerTargetVerdicts) {
   }
 }
 
+TEST_P(ApiV2Suite, BulkInsertReturnsPerNameVerdicts) {
+  V2Harness fs(MakeSystem(GetParam(), sim::Milliseconds(20)));
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/dup").ok());
+
+  // One batch mixing fresh names, a pre-existing name, and an in-batch
+  // duplicate: verdicts come back positionally, and only the admitted names
+  // commit.
+  const std::vector<std::string> names = {"a", "dup", "b", "a", "c"};
+  std::vector<Status> verdicts;
+  Status lifecycle = InternalError("not run");
+  fs.Run([](MetadataService* c, std::vector<std::string> names,
+            std::vector<Status>* verdicts, Status* out) -> sim::Task<void> {
+    auto handle = co_await c->OpenDir("/d");
+    if (!handle.ok()) {
+      *out = handle.status();
+      co_return;
+    }
+    *verdicts = co_await c->BulkInsert(*handle, names);
+    *out = co_await c->CloseDir(*handle);
+  }(fs.client.get(), names, &verdicts, &lifecycle));
+
+  ASSERT_TRUE(lifecycle.ok()) << lifecycle.ToString();
+  ASSERT_EQ(verdicts.size(), names.size());
+  EXPECT_TRUE(verdicts[0].ok()) << verdicts[0].ToString();
+  EXPECT_EQ(verdicts[1].code(), StatusCode::kAlreadyExists);  // pre-existing
+  EXPECT_TRUE(verdicts[2].ok()) << verdicts[2].ToString();
+  EXPECT_EQ(verdicts[3].code(), StatusCode::kAlreadyExists);  // in-batch dup
+  EXPECT_TRUE(verdicts[4].ok()) << verdicts[4].ToString();
+
+  // Committed entries are visible through the regular read paths.
+  for (const std::string& n : std::vector<std::string>{"a", "b", "c"}) {
+    auto st = fs.Stat("/d/" + n);
+    EXPECT_TRUE(st.ok()) << n << ": " << st.status().ToString();
+  }
+  auto listing = fs.Readdir("/d");
+  ASSERT_TRUE(listing.ok());
+  std::set<std::string> got;
+  for (const DirEntry& e : *listing) {
+    got.insert(e.name);
+  }
+  EXPECT_EQ(got, (std::set<std::string>{"a", "b", "c", "dup"}));
+}
+
 TEST_P(ApiV2Suite, SetAttrCommitsModeAndTimes) {
   V2Harness fs(MakeSystem(GetParam(), sim::Milliseconds(20)));
   ASSERT_TRUE(fs.Mkdir("/d").ok());
@@ -339,12 +429,16 @@ INSTANTIATE_TEST_SUITE_P(AllFiveSystems, ApiV2Suite,
 // SwitchFS property test: paged readdir under a create/unlink/rename storm
 // ---------------------------------------------------------------------------
 
-class PagedReaddirStorm : public ::testing::TestWithParam<uint64_t> {};
+// Parameter: (seed, snapshot_sessions) — the storm must hold under both the
+// O(1)-open KV-cursor sessions (default) and the frozen-snapshot lever.
+class PagedReaddirStorm
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
 
 TEST_P(PagedReaddirStorm, NoLostPreOpenEntryAndNoDuplicateAcrossPages) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = std::get<0>(GetParam());
   ClusterConfig cfg = SmallClusterConfig(4);
   cfg.seed = seed;
+  cfg.server_template.snapshot_sessions = std::get<1>(GetParam());
   FsHarness fs(cfg);
 
   // Phase A (quiesced): the pre-open population the stream must not lose.
@@ -382,7 +476,7 @@ TEST_P(PagedReaddirStorm, NoLostPreOpenEntryAndNoDuplicateAcrossPages) {
         *out = page.status();
         co_return;
       }
-      if (page->entries.size() > static_cast<size_t>(kPageBound)) {
+      if (PageOverBudget(page->entries)) {
         *oversize = true;
       }
       for (const DirEntry& e : page->entries) {
@@ -456,7 +550,7 @@ TEST_P(PagedReaddirStorm, NoLostPreOpenEntryAndNoDuplicateAcrossPages) {
 
   ASSERT_TRUE(scan_status.ok()) << scan_status.ToString();
   EXPECT_TRUE(renamed);
-  EXPECT_FALSE(oversize) << "page exceeded mtu_entries";
+  EXPECT_FALSE(oversize) << "page exceeded the mtu budget";
 
   // No duplicate across pages.
   std::set<std::string> unique_names(scanned.begin(), scanned.end());
@@ -480,8 +574,109 @@ TEST_P(PagedReaddirStorm, NoLostPreOpenEntryAndNoDuplicateAcrossPages) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PagedReaddirStorm,
-                         ::testing::Values(21, 22, 23, 24),
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PagedReaddirStorm,
+    ::testing::Combine(::testing::Values(21, 22, 23, 24), ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<1>(info.param) ? "snapshot" : "cursor") +
+             "_seed" + std::to_string(std::get<0>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// SwitchFS property test: cursor-session edits AT the cursor
+// ---------------------------------------------------------------------------
+
+// The KV-cursor session keys its position by the last-returned name. The two
+// sharpest edits are hitting that key directly: unlinking the exact cursor
+// entry (the resume upper_bound must not skip the successor) and renaming
+// the next, not-yet-returned entry (delete + reinsert past the cursor must
+// surface it under its new name, once).
+class CursorEditStorm : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CursorEditStorm, UnlinkAtCursorAndRenameOfNextEntry) {
+  ClusterConfig cfg = SmallClusterConfig(4);
+  cfg.seed = GetParam();
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  std::set<std::string> untouched;
+  for (int i = 0; i < 120; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "c%03d", i);
+    ASSERT_TRUE(fs.Create(std::string("/d/") + buf).ok());
+    untouched.insert(buf);
+  }
+
+  std::set<std::string> renamed_to;  // entries moved past the cursor mid-scan
+  std::vector<std::string> scanned;
+  Status status = InternalError("not run");
+  fs.Run([](sim::Simulator* sm, SwitchFsClient* c,
+            std::set<std::string>* untouched,
+            std::set<std::string>* renamed_to,
+            std::vector<std::string>* scanned, Status* out) -> sim::Task<void> {
+    auto handle = co_await c->OpenDir("/d");
+    if (!handle.ok()) {
+      *out = handle.status();
+      co_return;
+    }
+    uint64_t cookie = kDirStreamStart;
+    while (true) {
+      auto page = co_await c->ReaddirPage(*handle, cookie);
+      if (!page.ok()) {
+        *out = page.status();
+        co_return;
+      }
+      for (const DirEntry& e : page->entries) {
+        scanned->push_back(e.name);
+      }
+      if (page->at_end) {
+        break;
+      }
+      cookie = page->next_cookie;
+      if (page->entries.empty()) {
+        continue;
+      }
+      // Unlink the exact last-returned name — the session's cursor key.
+      const std::string last = page->entries.back().name;
+      if (last[0] == 'c') {
+        Status s = co_await c->Unlink("/d/" + last);
+        if (s.ok()) {
+          untouched->erase(last);
+        }
+      }
+      // Rename the next expected entry out from under the scan. "z_" sorts
+      // after every "c" name, so the entry re-enters ahead of the cursor.
+      auto it = untouched->upper_bound(last);
+      if (it != untouched->end()) {
+        const std::string next = *it;
+        Status s = co_await c->Rename("/d/" + next, "/d/z_" + next);
+        if (s.ok()) {
+          untouched->erase(next);
+          renamed_to->insert("z_" + next);
+        }
+      }
+      // Let the cross-server push flush (idle timeout 300us) so the edits
+      // are in the owner's KV before the next page: the visibility of the
+      // renamed-ahead entry is then deterministic, and the assertion tests
+      // the cursor-skip logic rather than push latency.
+      co_await sim::Delay(sm, sim::Milliseconds(1));
+    }
+    *out = co_await c->CloseDir(*handle);
+  }(&fs.cluster.sim(), fs.client.get(), &untouched, &renamed_to, &scanned,
+    &status));
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::set<std::string> unique(scanned.begin(), scanned.end());
+  EXPECT_EQ(unique.size(), scanned.size()) << "duplicate across pages";
+  for (const std::string& name : untouched) {
+    EXPECT_TRUE(unique.count(name) > 0) << "lost " << name;
+  }
+  for (const std::string& name : renamed_to) {
+    EXPECT_TRUE(unique.count(name) > 0) << "lost renamed " << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CursorEditStorm,
+                         ::testing::Values(31, 32, 33, 34),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });
@@ -543,6 +738,182 @@ TEST(PagedReaddirFaults, OwnerCrashMidScanStalesTheHandleThenRecovers) {
   EXPECT_EQ(page_after_crash.code(), StatusCode::kStaleHandle)
       << page_after_crash.ToString();
   EXPECT_EQ(rescan, expected);
+}
+
+TEST(PagedReaddirFaults, PrefetchedScanSurvivesOwnerCrashViaRescan) {
+  // The pipelined Readdir keeps speculative page RPCs in flight; an owner
+  // crash mid-scan stales the whole pipeline at once. The client must fold
+  // that into ONE restart — never splice prefetched pages from the dead
+  // session into the fresh scan (no dup, no loss in the final listing).
+  ClusterConfig cfg = SmallClusterConfig(4);
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/big").ok());
+  std::set<std::string> expected;
+  for (int i = 0; i < 300; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    ASSERT_TRUE(fs.Create("/big/" + name).ok());
+    expected.insert(name);
+  }
+  const uint32_t owner =
+      fs.cluster.ring().Owner(FingerprintOf(RootId(), "big"));
+
+  StatusOr<std::vector<DirEntry>> listing = InternalError("not run");
+  auto scanner = fs.cluster.MakeClient();
+  sim::Spawn([](SwitchFsClient* c,
+                StatusOr<std::vector<DirEntry>>* out) -> sim::Task<void> {
+    *out = co_await c->Readdir("/big");  // prefetch_pages-deep pipeline
+  }(scanner.get(), &listing));
+  sim::Spawn([](Cluster* cluster, uint32_t owner) -> sim::Task<void> {
+    // Crash while the scan has prefetched pages in flight, then recover so
+    // the client's stale-handle restart can complete.
+    co_await sim::Delay(&cluster->sim(), sim::Microseconds(30));
+    cluster->CrashServer(owner);
+    co_await cluster->RecoverServer(owner);
+  }(&fs.cluster, owner));
+  fs.cluster.sim().Run();
+
+  ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+  std::set<std::string> got;
+  for (const DirEntry& e : *listing) {
+    EXPECT_TRUE(got.insert(e.name).second) << "duplicate " << e.name;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+// ---------------------------------------------------------------------------
+// SwitchFS BulkInsert: batching, durability, eviction
+// ---------------------------------------------------------------------------
+
+TEST(BulkInsertTest, CommittedBatchSurvivesOwnerCrashes) {
+  ClusterConfig cfg = SmallClusterConfig(4);
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  std::vector<std::string> names;
+  for (int i = 0; i < 40; ++i) {
+    names.push_back("k" + std::to_string(i));
+  }
+
+  std::vector<Status> verdicts;
+  Status lifecycle = InternalError("not run");
+  fs.Run([](SwitchFsClient* c, std::vector<std::string> names,
+            std::vector<Status>* verdicts, Status* out) -> sim::Task<void> {
+    auto handle = co_await c->OpenDir("/d");
+    if (!handle.ok()) {
+      *out = handle.status();
+      co_return;
+    }
+    *verdicts = co_await c->BulkInsert(*handle, names);
+    *out = co_await c->CloseDir(*handle);
+  }(fs.client.get(), names, &verdicts, &lifecycle));
+  ASSERT_TRUE(lifecycle.ok()) << lifecycle.ToString();
+  ASSERT_EQ(verdicts.size(), names.size());
+  for (const Status& s : verdicts) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  EXPECT_EQ(fs.cluster.TotalStats().bulk_insert_entries, names.size());
+
+  // Crash + recover every server in turn: each entry owner replays its
+  // kWalBulkCommit records. No committed name may be lost.
+  fs.Run([](Cluster* cluster) -> sim::Task<void> {
+    for (uint32_t s = 0; s < 4; ++s) {
+      cluster->CrashServer(s);
+      co_await cluster->RecoverServer(s);
+    }
+  }(&fs.cluster));
+
+  auto listing = fs.Readdir("/d");
+  ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+  std::set<std::string> got;
+  for (const DirEntry& e : *listing) {
+    got.insert(e.name);
+  }
+  for (const std::string& n : names) {
+    EXPECT_TRUE(got.count(n) > 0) << "lost committed " << n;
+  }
+}
+
+TEST(BulkInsertTest, SendsFarFewerPacketsThanPerEntryCreates) {
+  ClusterConfig cfg = SmallClusterConfig(4);
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/loop").ok());
+  ASSERT_TRUE(fs.Mkdir("/bulk").ok());
+  constexpr int kN = 64;
+
+  uint64_t before = fs.cluster.network().stats().packets_sent;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(fs.Create("/loop/e" + std::to_string(i)).ok());
+  }
+  const uint64_t loop_packets =
+      fs.cluster.network().stats().packets_sent - before;
+
+  std::vector<std::string> names;
+  for (int i = 0; i < kN; ++i) {
+    names.push_back("e" + std::to_string(i));
+  }
+  std::vector<Status> verdicts;
+  Status lifecycle = InternalError("not run");
+  before = fs.cluster.network().stats().packets_sent;
+  fs.Run([](SwitchFsClient* c, std::vector<std::string> names,
+            std::vector<Status>* verdicts, Status* out) -> sim::Task<void> {
+    auto handle = co_await c->OpenDir("/bulk");
+    if (!handle.ok()) {
+      *out = handle.status();
+      co_return;
+    }
+    *verdicts = co_await c->BulkInsert(*handle, names);
+    *out = co_await c->CloseDir(*handle);
+  }(fs.client.get(), names, &verdicts, &lifecycle));
+  const uint64_t bulk_packets =
+      fs.cluster.network().stats().packets_sent - before;
+  ASSERT_TRUE(lifecycle.ok()) << lifecycle.ToString();
+  for (const Status& s : verdicts) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  // N per-entry creates are N full round trips; the bulk path is one chunk
+  // per (owner, page-fill) — a handful of packets total. 4x headroom keeps
+  // the bound robust to push/ack traffic counted in both windows.
+  EXPECT_LT(bulk_packets * 4, loop_packets)
+      << "bulk=" << bulk_packets << " loop=" << loop_packets;
+  EXPECT_GE(fs.cluster.TotalStats().bulk_inserts, 1u);
+}
+
+TEST(DirSessionEviction, TableCapEvictsLruAndSurfacesStaleHandle) {
+  ClusterConfig cfg = SmallClusterConfig(4);
+  cfg.server_template.max_dir_sessions = 2;
+  FsHarness fs(cfg);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+
+  Status oldest = InternalError("not run");
+  Status newest = InternalError("not run");
+  fs.Run([](SwitchFsClient* c, Status* oldest,
+            Status* newest) -> sim::Task<void> {
+    // Five concurrent sessions land in one owner's table; cap 2 keeps only
+    // the two most recently touched, evicting the other three LRU-first.
+    std::vector<DirHandle> handles;
+    for (int i = 0; i < 5; ++i) {
+      auto h = co_await c->OpenDir("/d");
+      if (!h.ok()) {
+        *oldest = h.status();
+        co_return;
+      }
+      handles.push_back(*h);
+    }
+    auto p_old = co_await c->ReaddirPage(handles[0], kDirStreamStart);
+    *oldest = p_old.ok() ? OkStatus() : p_old.status();
+    auto p_new = co_await c->ReaddirPage(handles[4], kDirStreamStart);
+    *newest = p_new.ok() ? OkStatus() : p_new.status();
+    for (const DirHandle& h : handles) {
+      (void)co_await c->CloseDir(h);
+    }
+  }(fs.client.get(), &oldest, &newest));
+
+  EXPECT_EQ(oldest.code(), StatusCode::kStaleHandle) << oldest.ToString();
+  EXPECT_TRUE(newest.ok()) << newest.ToString();
+  EXPECT_EQ(fs.cluster.TotalStats().dir_sessions_evicted, 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -430,7 +430,7 @@ TEST(PushEngineModule, SplitsBatchesAtMtuBoundary) {
 TEST(PushEngineModule, AggregateMtuAcrossDirsTriggersImmediateDrain) {
   PushHarness h;
   const InodeId parent = RootId();
-  const int kDirs = h.src.config.mtu_entries + 3;  // one entry each
+  const int kDirs = h.src.config.push_mtu_entries + 3;  // one entry each
   std::string prefix = "t";
   for (int d = 0; d < kDirs; ++d) {
     const std::string name = h.NameOwnedBy(parent, 1, prefix);
@@ -443,7 +443,7 @@ TEST(PushEngineModule, AggregateMtuAcrossDirsTriggersImmediateDrain) {
   h.sim.RunUntil(h.sim.Now() + h.src.config.push_idle_timeout - 1);
   EXPECT_GE(h.src.stats.pushes_sent, 1u);
   EXPECT_GE(h.src.stats.push_entries_sent,
-            static_cast<uint64_t>(h.src.config.mtu_entries));
+            static_cast<uint64_t>(h.src.config.push_mtu_entries));
   // The idle timer later flushes the remainder.
   h.sim.Run();
   EXPECT_EQ(h.owner.stats.entries_applied, static_cast<uint64_t>(kDirs));

@@ -149,7 +149,7 @@ TEST(SwitchFsFault, CrashBeforeAggregationDoesNotLoseDeferredUpdates) {
   // Very long timers: pushes/aggregations will not fire on their own.
   cfg.server_template.push_idle_timeout = sim::Seconds(100);
   cfg.server_template.owner_quiet_period = sim::Seconds(100);
-  cfg.server_template.mtu_entries = 1000000;
+  cfg.server_template.push_mtu_entries = 1000000;
   FsHarness fs(cfg);
   ASSERT_TRUE(fs.Mkdir("/d").ok());
   // Issue creates but stop the simulation before background flushes.
@@ -191,7 +191,7 @@ TEST(SwitchFsFault, SwitchCrashRecoveryRestoresConsistency) {
   ClusterConfig cfg = SmallClusterConfig();
   cfg.server_template.push_idle_timeout = sim::Seconds(100);
   cfg.server_template.owner_quiet_period = sim::Seconds(100);
-  cfg.server_template.mtu_entries = 1000000;
+  cfg.server_template.push_mtu_entries = 1000000;
   FsHarness fs(cfg);
   ASSERT_TRUE(fs.Mkdir("/d").ok());
   std::vector<Status> results(12, InternalError(""));
@@ -503,7 +503,7 @@ TEST(SwitchFsFault, ReplicatedTrackerHeadCrashMidBurstLosesNoEntries) {
   // aggregations to mask a lost tracker entry.
   cfg.server_template.push_idle_timeout = sim::Seconds(100);
   cfg.server_template.owner_quiet_period = sim::Seconds(100);
-  cfg.server_template.mtu_entries = 1000000;
+  cfg.server_template.push_mtu_entries = 1000000;
   FsHarness fs(cfg);
   auto* rep = fs.cluster.replicated_tracker();
   ASSERT_NE(rep, nullptr);
@@ -586,7 +586,7 @@ TEST(SwitchFsFault, DedicatedTrackerCrashRecoveryRebuildsDirtySet) {
   cfg.tracker = TrackerMode::kDedicatedServer;
   cfg.server_template.push_idle_timeout = sim::Seconds(100);
   cfg.server_template.owner_quiet_period = sim::Seconds(100);
-  cfg.server_template.mtu_entries = 1000000;
+  cfg.server_template.push_mtu_entries = 1000000;
   FsHarness fs(cfg);
 
   // Setup + 8 pre-crash creates whose deferred updates stay pending.

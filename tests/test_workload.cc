@@ -159,6 +159,28 @@ TEST(Generators, MixStreamEmitsV2OpKinds) {
   EXPECT_GT(setattrs, 50);
 }
 
+TEST(Generators, MixStreamEmitsBulkCreateBatches) {
+  MixRatios ratios;
+  ratios.bulk_create = 100;
+  std::vector<std::string> dirs = {"/a", "/b"};
+  MixStream stream(ratios, dirs, /*preloaded_per_dir=*/0, 0.0, 0, 9);
+  stream.bulk_create_size = 12;
+  Rng rng(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 50; ++i) {
+    auto op = stream.Next(rng);
+    ASSERT_TRUE(op.has_value());
+    ASSERT_EQ(op->type, core::OpType::kBulkInsert);
+    EXPECT_TRUE(op->path == "/a" || op->path == "/b");
+    EXPECT_EQ(op->batch.size(), 12u);
+    for (const std::string& name : op->batch) {
+      // Bare names (the runner opens op.path), fresh across the stream.
+      EXPECT_EQ(name.find('/'), std::string::npos);
+      EXPECT_TRUE(seen.insert(op->path + "/" + name).second) << name;
+    }
+  }
+}
+
 TEST(Traces, CvTrainingHasThreePhases) {
   TraceConfig cfg;
   cfg.num_dirs = 2;
@@ -246,8 +268,14 @@ TEST(Runner, ExecutesV2OpKindsOnEverySystem) {
   }
   MixRatios ratios;
   ratios.paged_readdir = 10;
-  ratios.stat_burst = 45;
-  ratios.setattr = 45;
+  ratios.stat_burst = 50;
+  ratios.setattr = 40;
+  // bulk_create runs as its own pass below: mixing it with stats would let a
+  // worker stat a fresh name before the bulk insert that creates it lands
+  // (the same inherent race as create+stat mixes), and this test asserts
+  // failed == 0.
+  MixRatios bulk_ratios;
+  bulk_ratios.bulk_create = 100;
   for (auto& world : worlds) {
     auto dirs = PreloadDirs(*world, 4);
     PreloadFiles(*world, dirs, 40);
@@ -259,6 +287,16 @@ TEST(Runner, ExecutesV2OpKindsOnEverySystem) {
     RunResult result = RunWorkload(*world, stream, rc);
     EXPECT_EQ(result.completed, 350u) << world->name();
     EXPECT_EQ(result.failed, 0u) << world->name();
+
+    MixStream bulk_stream(bulk_ratios, dirs, 0, 0.0, 0, 13);
+    bulk_stream.bulk_create_size = 12;
+    RunnerConfig brc;
+    brc.workers = 8;
+    brc.total_ops = 40;
+    brc.warmup_ops = 0;
+    RunResult bulk = RunWorkload(*world, bulk_stream, brc);
+    EXPECT_EQ(bulk.completed, 40u) << world->name();
+    EXPECT_EQ(bulk.failed, 0u) << world->name();
   }
 }
 
