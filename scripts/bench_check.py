@@ -40,6 +40,12 @@ GATED = {
         (("bulk_insert", "bulk_ms"), False, "bulk insert time"),
         (("bulk_insert", "bulk_packets"), False, "bulk insert packets"),
     ],
+    "switch_cache": [
+        (("cached", "kops"), True, "cached hot-read throughput"),
+        (("cached", "mean_us"), False, "cached hot-read mean latency"),
+        (("cached", "hit_rate"), True, "data-plane cache hit rate"),
+        (("speedup",), True, "cached vs uncached throughput ratio"),
+    ],
 }
 
 # Comparative gates evaluated on the CURRENT run alone: metric A must be
@@ -56,6 +62,14 @@ COMPARATIVE = {
          "bulk insert beats the per-entry create loop"),
         (("bulk_insert", "bulk_packets"), ("bulk_insert", "loop_packets"),
          "bulk insert sends fewer packets than the loop"),
+    ],
+    "switch_cache": [
+        (("cached", "mean_us"), ("uncached", "mean_us"),
+         "cached hot-read latency beats the owner path"),
+        (("uncached", "kops"), ("cached", "kops"),
+         "cached hot-read throughput beats the owner path"),
+        (("cached", "server_ops"), ("uncached", "server_ops"),
+         "the cache offloads requests from the metadata servers"),
     ],
 }
 

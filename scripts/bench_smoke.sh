@@ -3,15 +3,16 @@
 # runs them at SFS_BENCH_SCALE=small, and emits BENCH_<name>.json for each.
 # Opt-in from scripts/check.sh via SFS_BENCH_SMOKE=1, or run directly:
 #
-#   scripts/bench_smoke.sh            # writes ./BENCH_push_batching.json
-#                                     #    and ./BENCH_readdir_paging.json
+#   scripts/bench_smoke.sh            # writes ./BENCH_push_batching.json,
+#                                     #   ./BENCH_readdir_paging.json and
+#                                     #   ./BENCH_switch_cache.json
 #   BENCHES=bench_push_batching BENCH_JSON=/tmp/b.json scripts/bench_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
-BENCHES=${BENCHES:-"bench_push_batching bench_readdir_paging"}
+BENCHES=${BENCHES:-"bench_push_batching bench_readdir_paging bench_switch_cache"}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for bench in $BENCHES; do

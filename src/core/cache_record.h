@@ -1,0 +1,77 @@
+// Packs an attribute block (plus the owner's read timestamp) into the
+// fixed-width 32-bit-word record the switch metadata cache stores, and back.
+// The switch never interprets these words — it copies them register-to-header
+// verbatim — so the codec lives entirely on the end hosts: the owner packs on
+// install, the client unpacks on a cache hit.
+//
+// Layout (kCacheRecordWords = 21 words):
+//   [0..7]   256-bit inode id (lo/hi word per 64-bit lane)
+//   [8]      file type
+//   [9]      mode
+//   [10..11] size
+//   [12..13] ctime   [14..15] mtime   [16..17] atime
+//   [18]     nlink
+//   [19..20] owner read timestamp (AncestorRef freshness for lookups)
+#ifndef SRC_CORE_CACHE_RECORD_H_
+#define SRC_CORE_CACHE_RECORD_H_
+
+#include <cstdint>
+
+#include "src/core/types.h"
+#include "src/net/packet.h"
+
+namespace switchfs::core {
+
+namespace cache_record_detail {
+
+inline void PutU64(net::CacheRecord& r, int at, uint64_t v) {
+  r[static_cast<size_t>(at)] = static_cast<uint32_t>(v);
+  r[static_cast<size_t>(at) + 1] = static_cast<uint32_t>(v >> 32);
+}
+
+inline uint64_t GetU64(const net::CacheRecord& r, int at) {
+  return static_cast<uint64_t>(r[static_cast<size_t>(at)]) |
+         (static_cast<uint64_t>(r[static_cast<size_t>(at) + 1]) << 32);
+}
+
+}  // namespace cache_record_detail
+
+inline net::CacheRecord PackCacheRecord(const Attr& attr, int64_t read_at) {
+  using cache_record_detail::PutU64;
+  net::CacheRecord r{};
+  for (int i = 0; i < 4; ++i) {
+    PutU64(r, i * 2, attr.id.w[static_cast<size_t>(i)]);
+  }
+  r[8] = static_cast<uint32_t>(attr.type);
+  r[9] = attr.mode;
+  PutU64(r, 10, attr.size);
+  PutU64(r, 12, static_cast<uint64_t>(attr.ctime));
+  PutU64(r, 14, static_cast<uint64_t>(attr.mtime));
+  PutU64(r, 16, static_cast<uint64_t>(attr.atime));
+  r[18] = attr.nlink;
+  PutU64(r, 19, static_cast<uint64_t>(read_at));
+  return r;
+}
+
+inline Attr UnpackCacheRecord(const net::CacheRecord& r, int64_t* read_at) {
+  using cache_record_detail::GetU64;
+  Attr attr;
+  for (int i = 0; i < 4; ++i) {
+    attr.id.w[static_cast<size_t>(i)] = GetU64(r, i * 2);
+  }
+  attr.type = static_cast<FileType>(r[8]);
+  attr.mode = r[9];
+  attr.size = GetU64(r, 10);
+  attr.ctime = static_cast<int64_t>(GetU64(r, 12));
+  attr.mtime = static_cast<int64_t>(GetU64(r, 14));
+  attr.atime = static_cast<int64_t>(GetU64(r, 16));
+  attr.nlink = r[18];
+  if (read_at != nullptr) {
+    *read_at = static_cast<int64_t>(GetU64(r, 19));
+  }
+  return attr;
+}
+
+}  // namespace switchfs::core
+
+#endif  // SRC_CORE_CACHE_RECORD_H_

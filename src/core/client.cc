@@ -7,6 +7,8 @@
 
 #include "src/common/strings.h"
 #include "src/core/batch_stat.h"
+#include "src/core/cache_record.h"
+#include "src/pswitch/meta_cache.h"
 #include "src/sim/sync.h"
 #include "src/tracker/dirty_tracker.h"
 
@@ -63,10 +65,33 @@ sim::Task<StatusOr<CachedDir>> SwitchFsClient::ResolveDir(
   req->pid = parent->id;
   req->name = name;
   req->ancestors = parent->ancestors;
+  net::CallOptions opts = config_.call;
+  if (config_.switch_cache) {
+    opts.mc.op = net::McOp::kRead;
+    opts.mc.fingerprint = fp;
+  }
   auto r = co_await rpc_.Call(
-      cluster_->ServerNode(cluster_->ring().Owner(fp)), req, config_.call);
+      cluster_->ServerNode(cluster_->ring().Owner(fp)), req, opts);
   if (!r.ok()) {
     co_return r.status();
+  }
+  // A switch cache hit short-circuits the owner entirely: the data plane
+  // answered with the packed record. Decode it BEFORE the LookupResp map —
+  // MsgAs on the wrong type yields nullptr, not a crash.
+  if (const auto* hit = net::MsgAs<psw::CacheHitResp>(*r)) {
+    int64_t read_at = 0;
+    const Attr attr = UnpackCacheRecord(hit->record, &read_at);
+    if (!attr.is_dir()) {
+      co_return NotADirectoryError(path);
+    }
+    CachedDir hit_entry;
+    hit_entry.id = attr.id;
+    hit_entry.fp = fp;
+    hit_entry.mode = attr.mode;
+    hit_entry.ancestors = parent->ancestors;
+    hit_entry.ancestors.push_back(AncestorRef{hit_entry.id, read_at});
+    cache_.Put(path, hit_entry);
+    co_return hit_entry;
   }
   const auto* resp = net::MsgAs<LookupResp>(*r);
   if (resp == nullptr) {
@@ -154,6 +179,12 @@ sim::Task<SwitchFsClient::OpResult> SwitchFsClient::IssueOp(
 
     net::CallOptions opts =
         call.op == OpType::kOpenDir ? config_.opendir_call : config_.call;
+    if (config_.switch_cache &&
+        (call.op == OpType::kStat || call.op == OpType::kOpen ||
+         call.op == OpType::kStatDir)) {
+      opts.mc.op = net::McOp::kRead;
+      opts.mc.fingerprint = target_fp;
+    }
     if (call.pre_read && config_.dirty_tracker != nullptr) {
       co_await config_.dirty_tracker->ClientPreRead(rpc_, target_fp, *req,
                                                     opts);
@@ -163,6 +194,14 @@ sim::Task<SwitchFsClient::OpResult> SwitchFsClient::IssueOp(
     if (!r.ok()) {
       co_await sim::Delay(sim_, config_.retry_backoff);
       continue;
+    }
+    // Switch cache hit: the data plane synthesized the reply from its way
+    // registers; there is no MetaResp to unwrap.
+    if (const auto* hit = net::MsgAs<psw::CacheHitResp>(*r)) {
+      out.status = OkStatus();
+      out.attr = UnpackCacheRecord(hit->record, nullptr);
+      out.target_fp = target_fp;
+      co_return out;
     }
     const MetaResp* resp = UnwrapResponse(*r);
     if (resp == nullptr) {

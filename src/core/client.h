@@ -67,6 +67,10 @@ class SwitchFsClient : public MetadataService {
     // servers' mtu_bytes / mtu_entries (cluster MakeClient copies them).
     int mtu_bytes = 1400;
     int mtu_entries = 128;
+    // In-switch metadata read cache: stamp lookup/stat requests with an
+    // mc.kRead header so the data plane can answer hits without touching the
+    // owner (cluster MakeClient copies the servers' setting).
+    bool switch_cache = false;
   };
 
   SwitchFsClient(sim::Simulator* sim, net::Network* net,

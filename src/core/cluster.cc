@@ -15,6 +15,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   net_ = std::make_unique<net::Network>(&sim_, &config_.costs, config_.seed);
 
   if (config_.tracker == TrackerMode::kSwitch) {
+    config_.switch_config.cache_serve_delay = config_.costs.switch_cache_serve;
     data_plane_ = std::make_unique<psw::DataPlane>(config_.switch_config);
     net_->SetSwitch(data_plane_.get());
     dirty_tracker_ = std::make_unique<tracker::SwitchTracker>();
@@ -49,6 +50,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     }
   }
   net_->SetFaults(config_.faults);
+
+  // The metadata read cache lives in the programmable data plane; without it
+  // (alternative tracker modes) there is nothing to install into.
+  if (config_.tracker != TrackerMode::kSwitch) {
+    config_.server_template.switch_cache = false;
+  }
 
   for (uint32_t i = 0; i < config_.num_servers; ++i) {
     ring_.AddServer(i);
@@ -93,6 +100,7 @@ std::unique_ptr<SwitchFsClient> Cluster::MakeClient() {
   cc.rename_coordinator = config_.server_template.rename_coordinator;
   cc.mtu_bytes = config_.server_template.mtu_bytes;
   cc.mtu_entries = config_.server_template.mtu_entries;
+  cc.switch_cache = config_.server_template.switch_cache;
   return std::make_unique<SwitchFsClient>(&sim_, net_.get(), this,
                                           &config_.costs, cc);
 }
@@ -100,6 +108,14 @@ std::unique_ptr<SwitchFsClient> Cluster::MakeClient() {
 void Cluster::CrashServer(uint32_t i) { servers_[i]->Crash(); }
 
 sim::Task<void> Cluster::RecoverServer(uint32_t i) {
+  // The crashed incarnation's installed-set bookkeeping (cached_fps) died
+  // with it, so it can no longer evict what it installed. Control-plane
+  // flush: drop every cached entry the recovering owner is responsible for
+  // BEFORE it serves (and commits writes) again.
+  if (data_plane_ != nullptr) {
+    data_plane_->EvictCachedIf(
+        [this, i](psw::Fingerprint fp) { return ring_.Owner(fp) == i; });
+  }
   co_await servers_[i]->Recover();
 }
 
@@ -331,6 +347,11 @@ SwitchServer::Stats Cluster::TotalStats() const {
     total.batch_stats += st.batch_stats;
     total.batch_stat_targets += st.batch_stat_targets;
     total.setattrs += st.setattrs;
+    total.cache_installs += st.cache_installs;
+    total.cache_evicts += st.cache_evicts;
+    total.cache_evict_exhausted += st.cache_evict_exhausted;
+    total.push_pace_hints += st.push_pace_hints;
+    total.push_paced_drains += st.push_paced_drains;
   }
   return total;
 }

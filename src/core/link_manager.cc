@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "src/core/cache_evict.h"
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
 
@@ -122,6 +123,12 @@ sim::Task<void> LinkManager::HandleLinkConvert(net::Packet p, VolPtr v) {
     co_return;
   }
   // First link: split into reference + attributes object, both local (§5.5).
+  // The original name's row may sit in the switch cache from when it was a
+  // plain file; after the split its live attributes (nlink) move to the
+  // shared object, which later updates cannot evict by this fingerprint.
+  // Drop it before the rewrite commits, under the exclusive inode lock.
+  co_await EvictSwitchCacheEntry(ctx_, v, FingerprintOf(msg->pid, msg->name));
+  if (v->dead) co_return;
   Attr attrs = attr;
   attrs.nlink = 2;  // the original name plus the new link
   Attr ref;

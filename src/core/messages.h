@@ -230,6 +230,11 @@ struct PushResp : net::Message {
     uint64_t rename_epoch = 0;    // kMoved only
   };
   std::vector<AckedDir> acked;
+  // Adaptive pacing hint (ns): non-zero when this owner's apply backlog is
+  // deep (ServerConfig::push_busy_threshold). The source pusher defers its
+  // next MTU-triggered drain toward this owner by this long, letting the
+  // idle timer coalesce a bigger batch instead of hammering a busy owner.
+  int64_t retry_after = 0;
 };
 
 // Owner -> origin server after a synchronous fallback apply (§5.2.1): mark

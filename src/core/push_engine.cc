@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/cache_evict.h"
 #include "src/sim/sync.h"
 #include "src/tracker/dirty_tracker.h"
 
@@ -37,6 +38,17 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
   if (static_cast<int>(it->second.size()) >= ctx_.config->push_mtu_entries ||
       ReadyEntries(*v, st, ctx_.config->push_mtu_entries) >=
           ctx_.config->push_mtu_entries) {
+    if (ctx_.Now() < st.pace_until) {
+      // The owner asked for breathing room (PushResp::retry_after): defer
+      // the MTU-triggered drain to the idle timer, which waits out the
+      // pacing deadline and flushes a bigger coalesced batch.
+      ctx_.stats->push_paced_drains++;
+      if (!st.idle_timer_armed) {
+        st.idle_timer_armed = true;
+        sim::Spawn(OwnerIdleTimer(v, owner));
+      }
+      return;
+    }
     sim::Spawn(DrainOwner(v, owner));
     return;
   }
@@ -85,6 +97,9 @@ sim::Task<void> PushEngine::OwnerIdleTimer(VolPtr v, uint32_t owner) {
       co_return;
     }
     if (st.activity == seen) {
+      if (ctx_.Now() < st.pace_until) {
+        continue;  // paced by the owner: wait another interval before flushing
+      }
       // Quiet: flush the backlog (§5.3 "no new entries within an interval").
       st.idle_timer_armed = false;
       co_await DrainOwner(v, owner);
@@ -227,6 +242,12 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
       ctx_.stats->push_dirs_sent += req->dirs.size();
       ctx_.stats->push_entries_sent += batch_entries;
       acked = resp->acked;
+      if (resp->retry_after > 0) {
+        // Adaptive pacing: the owner's apply queue is deep. Remember the
+        // deadline; MaybeSchedulePush and the loop below route the next
+        // non-urgent drain through the idle timer until it passes.
+        st.pace_until = std::max(st.pace_until, ctx_.Now() + resp->retry_after);
+      }
     }
 
     // ---- trim acknowledged prefixes; re-queue logs that still hold work ---
@@ -311,6 +332,16 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
       co_return;
     }
     st.backoff_shift = 0;
+    if (!to_completion && !st.ready.empty() && ctx_.Now() < st.pace_until) {
+      // Paced by the owner: stop streaming batches and hand the remainder
+      // to the idle timer, which waits out the deadline and coalesces.
+      ctx_.stats->push_paced_drains++;
+      if (!st.idle_timer_armed) {
+        st.idle_timer_armed = true;
+        sim::Spawn(OwnerIdleTimer(v, owner));
+      }
+      break;
+    }
     if (!to_completion && !heavy_leftover && !st.ready.empty() &&
         ReadyEntries(*v, st, ctx_.config->push_mtu_entries) <
             ctx_.config->push_mtu_entries) {
@@ -363,6 +394,16 @@ sim::Task<PushResp::AckedDir> PushEngine::ApplySection(
     row.acked_seq = max_seq;
     co_return row;
   }
+  // In-switch cache: the apply is about to move the directory's attr
+  // (size/mtime) — drop any record this owner installed for it first. In
+  // async mode the entries' dirty-set inserts already evicted it at the
+  // switch in flight, so this is the sync-mode channel (and a cheap no-op
+  // otherwise: gated on cached_fps).
+  co_await EvictSwitchCacheEntry(ctx_, v, fp);
+  if (v->dead) {
+    row.acked_seq = 0;
+    co_return row;
+  }
   co_await agg_.ApplyEntries(v, dir, src, section_fp, std::move(entries), "");
   if (v->dead) {
     row.acked_seq = 0;
@@ -384,13 +425,26 @@ sim::Task<void> PushEngine::HandlePush(net::Packet p, VolPtr v) {
   if (v->dead) co_return;
   auto resp = std::make_shared<PushResp>();
   resp->status = StatusCode::kOk;
+  // Busy signal for adaptive pacing: sections are counted in-flight while
+  // they apply (each decrements as it completes, so by reply time the count
+  // reflects the OTHER pushes still applying). Dead incarnations skip the
+  // unwind — the counter is volatile and dies with them.
+  v->inflight_push_sections += static_cast<int>(msg->dirs.size());
   for (const auto& pd : msg->dirs) {
     PushResp::AckedDir row =
         co_await ApplySection(v, pd.dir, msg->src_server, pd.fp, pd.entries);
     if (v->dead) co_return;
+    v->inflight_push_sections--;
     resp->acked.push_back(row);
     v->last_push[pd.fp] = ctx_.Now();
     ArmOwnerQuietTimer(v, pd.fp);
+  }
+  if (ctx_.config->push_busy_threshold > 0 &&
+      v->inflight_push_sections > ctx_.config->push_busy_threshold) {
+    // Deep apply queue: hint the source to defer its next non-urgent drain
+    // (it coalesces a bigger batch behind its idle timer instead).
+    resp->retry_after = ctx_.config->push_pace_hint;
+    ctx_.stats->push_pace_hints++;
   }
   ctx_.rpc->Respond(p, resp);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/hash.h"
+#include "src/core/cache_evict.h"
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
 
@@ -195,6 +196,12 @@ sim::Task<void> RenameCoordinator::HandleRename(net::Packet p, VolPtr v) {
     net::Packet mc;
     mc.dst = net::kServerMulticast;
     mc.ds.origin = ctx_.node_id();
+    // Defense-in-depth evict stamp: the source commit leg already evicted
+    // the moving directory's old fingerprint; the broadcast's switch
+    // traversal re-executes it and bumps the set version against any
+    // install still in flight from a pre-rename read.
+    mc.mc.op = net::McOp::kEvict;
+    mc.mc.fingerprint = sfp;
     mc.body = bcast;
     ctx_.rpc->Send(std::move(mc));
     if (ctx_.config->moved_rebind) {
@@ -318,6 +325,13 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
       rec.moved_epoch = moved_epoch;
       rec.moved_applied = moved_applied;
     }
+
+    // In-switch cache: both legs rewrite the row at this (parent, name)
+    // fingerprint — the source leg deletes it, the destination leg creates
+    // it. Evict before the WAL commit, under the txn's prepare-held lock.
+    co_await EvictSwitchCacheEntry(
+        ctx_, v, FingerprintOf(msg->parent_dir, msg->parent_entry_name));
+    if (v->dead) co_return;
 
     // Per-log append mutex: commit legs cannot take the fp-group change-log
     // lock (it would invert the upsert's cl-then-inode order and deadlock),

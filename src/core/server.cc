@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/core/cache_evict.h"
+#include "src/core/cache_record.h"
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
 #include "src/sim/task.h"
@@ -222,6 +224,20 @@ void SwitchServer::OnRaw(net::Packet p) {
     }
     return;
   }
+  if (p.has_mc_op() && p.mc.op == net::McOp::kEvict) {
+    // Ack of our own pre-commit cache evict: the self-addressed packet made
+    // it through the switch (which executed the evict in flight) back to us.
+    // Multicast invalidations also carry an evict stamp — their token never
+    // matches a wait (it is 0), so their bodies are handled below.
+    auto it = v->cache_evict_waits.find(p.mc.token);
+    if (it != v->cache_evict_waits.end()) {
+      it->second->acked = true;
+      if (it->second->slot != nullptr) {
+        it->second->slot->Set(1);
+      }
+      return;
+    }
+  }
   if (p.body == nullptr) {
     return;
   }
@@ -335,6 +351,13 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
       RespondStatus(p, StatusCode::kInvalidArgument);
       co_return;
   }
+
+  // In-switch cache: drop any cached attr of the target before the commit
+  // becomes visible (read-your-writes; no-op for creates — negative results
+  // are never installed). Runs under the exclusive inode lock, so no read
+  // can install a pre-write record after this returns (see cache_evict.h).
+  co_await EvictSwitchCacheEntry(ctx_, v, FingerprintOf(ref.pid, ref.name));
+  if (v->dead) co_return;
 
   // Step 4: persistent commit (WAL). The per-log append mutex pins the
   // captured seq across the WAL/KV suspensions: rename and link commit legs
@@ -451,6 +474,11 @@ sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
     entries.assign(clog.pending().begin(), clog.pending().end());
   }
   if (IsOwner(fp)) {
+    // Synchronous local apply mutates the directory's attr without a
+    // dirty-set insert, so the switch never saw a kInsert evict for this
+    // fingerprint — drop any cached attr first (no-op unless installed).
+    co_await EvictSwitchCacheEntry(ctx_, v, fp);
+    if (v->dead) co_return UnavailableError();
     co_await agg_.ApplyEntries(v, dir, config_.index, fp,
                                std::move(entries), "");
     if (v->dead) co_return UnavailableError();
@@ -610,6 +638,38 @@ void SwitchServer::HandleFallbackDone(const FallbackDone& msg, VolPtr v) {
 }
 
 // ---------------------------------------------------------------------------
+// In-switch read cache: install piggyback (owner side)
+// ---------------------------------------------------------------------------
+
+// Replies to a read, piggybacking a cache install when the request traversed
+// the switch with an mc.kRead stamp (lookup / stat / statdir fast path). The
+// install echoes the set version the switch stamped on the request's miss:
+// if any write evicted the entry in between, the version moved and the
+// switch rejects the install — the read's data predates that write. Negative
+// results and hard-link references never reach here (references alias a
+// shared attributes object whose writers would not evict this fingerprint).
+void SwitchServer::RespondWithInstall(const net::Packet& p, net::MsgPtr resp,
+                                      VolPtr v, const Attr& attr,
+                                      int64_t read_at) {
+  if (!config_.switch_cache || p.mc.op != net::McOp::kRead ||
+      attr.type == FileType::kReference) {
+    rpc_.Respond(p, std::move(resp));
+    return;
+  }
+  net::Packet rp = rpc_.MakeResponsePacket(p, resp);
+  rp.mc.op = net::McOp::kInstall;
+  rp.mc.fingerprint = p.mc.fingerprint;
+  rp.mc.version = p.mc.version;  // the switch's stamp from the read's miss
+  rp.mc.record = PackCacheRecord(attr, read_at);
+  v->cached_fps.insert(p.mc.fingerprint);
+  stats_.cache_installs++;
+  // Cache for retransmit replay (replays carry no install — a fresh response
+  // packet omits the mc header, which is the safe default).
+  rpc_.RecordResponse(p, resp);
+  rpc_.Send(std::move(rp));
+}
+
+// ---------------------------------------------------------------------------
 // Directory reads: statdir / readdir (§5.2.2)
 // ---------------------------------------------------------------------------
 
@@ -683,6 +743,16 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
   }
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
   resp->attr = attr;
+  if (req->op == OpType::kStatDir) {
+    // statdir fast path: piggyback a cache install (the aggregation gate
+    // above landed every pre-read deferred entry, so the attr is as fresh as
+    // any uncached read's; later deferred updates evict via their kInsert
+    // switch traversal).
+    co_await cpu_.Run(costs_->reply_build);
+    if (v->dead) co_return;
+    RespondWithInstall(p, resp, v, attr, Now());
+    co_return;
+  }
   if (req->op == OpType::kReaddir && req->want_entries) {
     // Monolithic listing (A/B + recovery tooling): one scan AND the full
     // marshalling land on this single request — the paged path instead
@@ -1055,6 +1125,9 @@ sim::Task<void> SwitchServer::HandleSetAttr(net::Packet p, VolPtr v) {
   }
 
   if (req->delta.ApplyTo(attr, Now())) {
+    // In-switch cache: evict before the commit, under the exclusive lock.
+    co_await EvictSwitchCacheEntry(ctx_, v, FingerprintOf(ref.pid, ref.name));
+    if (v->dead) co_return;
     // Commit through the WAL like every other mutation (the legacy chmod
     // path mutated the KV row only, losing the change across a crash).
     OpCommitRecord rec;
@@ -1076,6 +1149,11 @@ sim::Task<void> SwitchServer::HandleSetAttr(net::Packet p, VolPtr v) {
       net::Packet mc;
       mc.dst = net::kServerMulticast;
       mc.ds.origin = node_id();
+      // Defense-in-depth evict stamp: the broadcast traverses the switch
+      // anyway, so it re-executes the pre-commit evict (a no-op when that
+      // evict landed) and bumps the set version against in-flight installs.
+      mc.mc.op = net::McOp::kEvict;
+      mc.mc.fingerprint = FingerprintOf(ref.pid, ref.name);
       mc.body = bcast;
       rpc_.Send(std::move(mc));
     }
@@ -1161,6 +1239,16 @@ sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
     if (v->dead) co_return;
     rpc_.Respond(p, resp);
     co_return;
+  }
+
+  // In-switch cache: drop cached attrs of the admitted targets before they
+  // become visible. Normally a no-op (creations were uncached misses); it
+  // matters for an unlink+bulk-recreate race on the same names.
+  for (size_t i : admitted_idx) {
+    const psw::Fingerprint target_cache_fp =
+        FingerprintOf(ref.pid, req->bulk_names[i]);
+    co_await EvictSwitchCacheEntry(ctx_, v, target_cache_fp);
+    if (v->dead) co_return;
   }
 
   // Persistent commit: ONE WAL record covers the whole batch. The per-log
@@ -1324,6 +1412,10 @@ sim::Task<void> SwitchServer::HandleRmdir(net::Packet p, VolPtr v) {
     co_return;
   }
 
+  // In-switch cache: the directory's attr must not survive its removal.
+  co_await EvictSwitchCacheEntry(ctx_, v, target_fp);
+  if (v->dead) co_return;
+
   // Step 8: commit (append mutex: see HandleUpsert's commit section).
   {
     auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
@@ -1436,6 +1528,10 @@ sim::Task<void> SwitchServer::HandleFileOp(net::Packet p, VolPtr v) {
     co_return;
   }
   if (req->op == OpType::kChmod) {
+    // In-switch cache: evict before the KV commit (chmod's commit point),
+    // under the exclusive lock.
+    co_await EvictSwitchCacheEntry(ctx_, v, FingerprintOf(ref.pid, ref.name));
+    if (v->dead) co_return;
     attr.mode = req->mode;
     attr.ctime = Now();
     co_await cpu_.Run(costs_->kv_put);
@@ -1451,6 +1547,9 @@ sim::Task<void> SwitchServer::HandleFileOp(net::Packet p, VolPtr v) {
       net::Packet mc;
       mc.dst = net::kServerMulticast;
       mc.ds.origin = node_id();
+      // Defense-in-depth evict stamp (see HandleSetAttr's broadcast).
+      mc.mc.op = net::McOp::kEvict;
+      mc.mc.fingerprint = FingerprintOf(ref.pid, ref.name);
       mc.body = bcast;
       rpc_.Send(std::move(mc));
     }
@@ -1459,7 +1558,9 @@ sim::Task<void> SwitchServer::HandleFileOp(net::Packet p, VolPtr v) {
   resp->attr = attr;
   co_await cpu_.Run(costs_->reply_build);
   if (v->dead) co_return;
-  rpc_.Respond(p, resp);
+  // stat/open piggyback a cache install; chmod requests carry no mc.kRead
+  // stamp, so the helper degrades to a plain respond for them.
+  RespondWithInstall(p, resp, v, attr, Now());
 }
 
 sim::Task<void> SwitchServer::HandleLookup(net::Packet p, VolPtr v) {
@@ -1485,13 +1586,16 @@ sim::Task<void> SwitchServer::HandleLookup(net::Packet p, VolPtr v) {
   if (v->dead) co_return;
   auto value = v->kv.Get(ikey);
   if (!value.has_value()) {
+    // Negative results are never installed: nothing would evict them (the
+    // create path only evicts fingerprints in cached_fps).
     resp->status = StatusCode::kNotFound;
-  } else {
-    resp->status = StatusCode::kOk;
-    resp->attr = Attr::Decode(*value);
-    resp->read_at = Now();
+    rpc_.Respond(p, resp);
+    co_return;
   }
-  rpc_.Respond(p, resp);
+  resp->status = StatusCode::kOk;
+  resp->attr = Attr::Decode(*value);
+  resp->read_at = Now();
+  RespondWithInstall(p, resp, v, resp->attr, resp->read_at);
 }
 
 // ---------------------------------------------------------------------------

@@ -149,6 +149,12 @@ class SwitchServer : public UpdatePublisher {
   sim::Task<void> HandleInvalClone(net::Packet p, VolPtr v);
   void ReplayWalInto(ServerVolatile& v);
 
+  // In-switch read cache: reply to a read, piggybacking a cache install when
+  // the request carried an mc.kRead stamp (plain Respond otherwise; see the
+  // definition for the version-echo staleness guard).
+  void RespondWithInstall(const net::Packet& p, net::MsgPtr resp, VolPtr v,
+                          const Attr& attr, int64_t read_at);
+
   void RespondStatus(const net::Packet& p, StatusCode code) {
     ctx_.RespondStatus(p, code);
   }

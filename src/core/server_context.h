@@ -118,6 +118,23 @@ struct ServerConfig {
   // abandoning handles cannot bloat the owner. 0 = uncapped.
   size_t max_dir_sessions = 4096;
   uint32_t rename_coordinator = 0;  // server index of the rename coordinator
+  // In-switch metadata read cache (requires TrackerMode::kSwitch — the cache
+  // lives in the same data plane as the dirty set). Off by default; the
+  // bench/test A/B lever. When on, owners piggyback installs on lookup/stat
+  // replies and evict cached fingerprints before every committing write.
+  bool switch_cache = false;
+  // Writer's pre-commit evict round trip: retry cadence and budget (mirrors
+  // the dirty-set insert-ack machinery). On budget exhaustion the write
+  // proceeds — the evict executed at the switch unless the switch itself is
+  // down, in which case the cache died with it.
+  sim::SimTime cache_evict_timeout = sim::Microseconds(150);
+  int cache_evict_max_attempts = 100;
+  // Adaptive push pacing: when an owner's in-flight apply backlog exceeds
+  // push_busy_threshold sections, its PushResp carries a retry_after hint of
+  // push_pace_hint and source pushers defer their next non-urgent drain by
+  // that long. 0 threshold disables the hint.
+  int push_busy_threshold = 8;
+  sim::SimTime push_pace_hint = sim::Microseconds(200);
 };
 
 // Context the cluster provides to servers and clients.
@@ -181,6 +198,16 @@ struct ServerStats {
   // Dirty-set inserts whose ack retry budget ran out (the entry stays in the
   // change-log; the push path repairs tracker visibility).
   uint64_t insert_exhausted = 0;
+  // In-switch metadata read cache (owner side): installs piggybacked on read
+  // replies, pre-commit evict round trips, and evict retry budgets that ran
+  // out (the write proceeded; see ServerConfig::cache_evict_max_attempts).
+  uint64_t cache_installs = 0;
+  uint64_t cache_evicts = 0;
+  uint64_t cache_evict_exhausted = 0;
+  // Adaptive push pacing: PushResps stamped with a retry_after hint (owner
+  // side) and drains deferred by a received hint (source side).
+  uint64_t push_pace_hints = 0;
+  uint64_t push_paced_drains = 0;
 };
 
 // Volatile state of one server incarnation (wiped on crash).
@@ -200,6 +227,10 @@ struct ServerVolatile {
   struct OpWait {  // insert-ack / overflow-fallback wait (§5.2.1 step 7)
     bool acked = false;
     bool fallback_done = false;
+    std::shared_ptr<sim::OneShot<int>> slot;  // armed per attempt
+  };
+  struct CacheEvictWait {  // switch-cache evict round trip (pre-commit)
+    bool acked = false;
     std::shared_ptr<sim::OneShot<int>> slot;  // armed per attempt
   };
   // Moved tombstone (§5.2 rename race): installed by the source leg of a
@@ -299,10 +330,25 @@ struct ServerVolatile {
     bool retry_timer_armed = false;  // failure re-arm (owner unreachable)
     uint64_t activity = 0;  // bumped per enqueue; the idle timer watches it
     int backoff_shift = 0;  // consecutive failed drains (caps the retry delay)
+    // Adaptive pacing (PushResp::retry_after): MTU-triggered drains are
+    // deferred to the idle timer until this deadline so a busy owner's apply
+    // queue can breathe (§5.3 variant).
+    int64_t pace_until = 0;
   };
   std::map<uint32_t, OwnerPusher> pushers;  // key: owner server index
   // Rename participant state: txn id -> held locks.
   std::unordered_map<uint64_t, std::vector<LockTable::Handle>> txn_locks;
+  // In-switch read cache bookkeeping (owner side). cached_fps: fingerprints
+  // this owner has (possibly) installed at the switch — the pre-commit evict
+  // is skipped for fingerprints never installed. Volatile by design: a crash
+  // forgets it, and recovery flushes the switch cache of everything this
+  // owner could have installed (Cluster::RecoverServer).
+  std::unordered_set<psw::Fingerprint> cached_fps;
+  std::unordered_map<uint64_t, std::shared_ptr<CacheEvictWait>>
+      cache_evict_waits;  // key: CacheHeader::token
+  // Owner-side in-flight PushReq sections being applied (adaptive pacing
+  // busy signal).
+  int inflight_push_sections = 0;
   uint64_t op_token_counter = 1;
   uint64_t txn_counter = 1;
 

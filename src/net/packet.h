@@ -9,6 +9,7 @@
 #ifndef SRC_NET_PACKET_H_
 #define SRC_NET_PACKET_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -38,6 +39,35 @@ struct DsHeader {
   NodeId origin = kInvalidNode;   // server that issued the dirty-set op
   NodeId notify = kInvalidNode;   // second ack target on insert (the client)
   NodeId alt_dst = kInvalidNode;  // "alternative MAC": fallback owner server
+};
+
+// Metadata-cache operations encoded in the optional read-cache header. Like
+// the dirty-set header these are switch-parsed fields, not payload bytes: the
+// switch never interprets message bodies, so everything it needs (fingerprint,
+// packed attr record, set-version echo) rides the header.
+enum class McOp : uint8_t {
+  kNone = 0,     // no cache involvement
+  kRead = 1,     // lookup/stat request: serve from the cache on a tag hit
+  kInstall = 2,  // owner's read reply: install the record (version-guarded)
+  kEvict = 3,    // writer's pre-commit invalidate (or broadcast-piggybacked)
+};
+
+// Packed attribute record stored per cache way, 32-bit register words to
+// match the Tofino register model: 256-bit id (8), type (1), mode (1),
+// size (2), ctime/mtime/atime (2 each), nlink (1), owner read timestamp (2).
+constexpr int kCacheRecordWords = 21;
+using CacheRecord = std::array<uint32_t, kCacheRecordWords>;
+
+struct CacheHeader {
+  McOp op = McOp::kNone;
+  uint64_t fingerprint = 0;  // 49 significant bits, same layout as DsHeader
+  // Per-set version echo: a kRead miss stamps the set's current version; the
+  // owner's kInstall echoes it back and the switch rejects the install if any
+  // evict bumped the version in between (prevents a stale install racing a
+  // concurrent write's invalidation).
+  uint32_t version = 0;
+  CacheRecord record{};  // kInstall: the packed attr to store
+  uint64_t token = 0;    // kEvict: writer's ack-matching token
 };
 
 // Base class for typed payloads. Each module assigns message types from its
@@ -73,11 +103,13 @@ struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   DsHeader ds;
+  CacheHeader mc;
   RpcHeader rpc;
   MsgPtr body;
   uint32_t size_bytes = 128;
 
   bool has_ds_op() const { return ds.op != DsOp::kNone; }
+  bool has_mc_op() const { return mc.op != McOp::kNone; }
 };
 
 }  // namespace switchfs::net

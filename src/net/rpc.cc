@@ -21,6 +21,7 @@ sim::Task<StatusOr<MsgPtr>> RpcEndpoint::Call(NodeId dst, MsgPtr request,
   p.src = id_;
   p.dst = dst;
   p.ds = opts.ds;
+  p.mc = opts.mc;
   p.rpc = RpcHeader{call_id, id_, /*is_response=*/false};
   p.body = std::move(request);
 

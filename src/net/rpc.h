@@ -29,6 +29,9 @@ struct CallOptions {
   // Optional dirty-set operation header stamped on every attempt's packet
   // (SwitchFS directory reads attach a kQuery the switch answers in-flight).
   DsHeader ds;
+  // Optional metadata-cache header (lookup/stat reads attach a kRead the
+  // switch may answer from its register cache without reaching the owner).
+  CacheHeader mc;
 };
 
 class RpcEndpoint : public Node {

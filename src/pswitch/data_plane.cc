@@ -14,8 +14,13 @@ DataPlane::DataPlane(const DataPlaneConfig& config) : config_(config) {
   shard.registers_per_stage =
       std::max<uint32_t>(1, shard.registers_per_stage /
                                 static_cast<uint32_t>(config_.num_pipes));
+  MetaCacheConfig cache_shard = config_.meta_cache;
+  cache_shard.num_sets =
+      std::max<uint32_t>(1, cache_shard.num_sets /
+                                static_cast<uint32_t>(config_.num_pipes));
   for (int i = 0; i < config_.num_pipes; ++i) {
     pipes_.push_back(std::make_unique<DirtySet>(shard));
+    caches_.push_back(std::make_unique<MetaCache>(cache_shard));
   }
 }
 
@@ -37,17 +42,86 @@ bool DataPlane::Contains(Fingerprint fp) const {
   return pipes_[HomePipe(fp)]->Query(fp);
 }
 
+bool DataPlane::CacheContains(Fingerprint fp) {
+  return caches_[HomePipe(fp)]->Contains(fp);
+}
+
+size_t DataPlane::EvictCachedIf(const std::function<bool(Fingerprint)>& pred) {
+  size_t dropped = 0;
+  for (auto& cache : caches_) {
+    dropped += cache->EvictIf(pred);
+  }
+  return dropped;
+}
+
 sim::SimTime DataPlane::PipelineDelay() const {
   sim::SimTime d = config_.pipeline_delay;
   if (last_crossed_pipes_) {
     d += config_.cross_pipe_mirror_delay;
     last_crossed_pipes_ = false;
   }
+  if (last_cache_served_) {
+    d += config_.cache_serve_delay;
+    last_cache_served_ = false;
+  }
   return d;
+}
+
+// Metadata-cache stage, traversed by every packet carrying an mc header
+// before the dirty-set stages. Returns true when the packet was fully
+// answered from the cache (a kRead hit): `out` then holds the synthesized
+// response and the original packet must not be forwarded.
+bool DataPlane::ProcessCacheHeader(net::Packet& p,
+                                   std::vector<net::Packet>& out) {
+  const Fingerprint fp = p.mc.fingerprint;
+  MetaCache& cache = *caches_[HomePipe(fp)];
+  switch (p.mc.op) {
+    case net::McOp::kRead: {
+      auto resp = std::make_shared<CacheHitResp>();
+      if (cache.Lookup(fp, &resp->record)) {
+        stats_.mc_hits++;
+        last_cache_served_ = true;
+        // Rewrite the request into its own response: swap the envelope
+        // around and attach the record — the owner never sees the packet.
+        net::Packet hit;
+        hit.src = p.dst;
+        hit.dst = p.src;
+        hit.rpc = net::RpcHeader{p.rpc.call_id, p.rpc.caller,
+                                 /*is_response=*/true};
+        hit.body = std::move(resp);
+        out.push_back(std::move(hit));
+        return true;
+      }
+      stats_.mc_misses++;
+      // Export the set version for the owner's install to echo: an evict
+      // between now and the install bumps it and the install is rejected.
+      p.mc.version = cache.VersionOf(fp);
+      return false;
+    }
+    case net::McOp::kInstall: {
+      if (cache.Install(fp, p.mc.record, p.mc.version)) {
+        stats_.mc_installs++;
+      } else {
+        stats_.mc_install_rejects++;
+      }
+      return false;  // the reply continues to the client untouched
+    }
+    case net::McOp::kEvict: {
+      cache.Evict(fp);
+      stats_.mc_evicts++;
+      return false;  // forwards on: self-addressed evicts become the ack
+    }
+    case net::McOp::kNone:
+      return false;
+  }
+  return false;
 }
 
 std::vector<net::Packet> DataPlane::Process(net::Packet p) {
   std::vector<net::Packet> out;
+  if (p.has_mc_op() && ProcessCacheHeader(p, out)) {
+    return out;  // answered from the cache; the owner never sees the read
+  }
   if (!p.has_ds_op()) {
     // Regular packet: route by destination MAC (server multicast is expanded
     // for baseline-system broadcasts as well).
@@ -85,6 +159,13 @@ std::vector<net::Packet> DataPlane::Process(net::Packet p) {
     }
     case net::DsOp::kInsert: {
       stats_.inserts++;
+      // A dirty directory is a cache-invalid one: drop any cached record for
+      // this fingerprint in the same traversal (both outcomes — on overflow
+      // the write still commits, via the synchronous fallback), preserving
+      // the invariant dirty(fp) => not cached(fp).
+      if (caches_[home]->Evict(fp)) {
+        stats_.mc_evicts++;
+      }
       const bool ok = !force_insert_overflow_ && ds.Insert(fp);
       if (force_insert_overflow_) {
         // Account the attempted insert for the overflow study.
@@ -138,12 +219,20 @@ void DataPlane::Reset() {
   for (auto& pipe : pipes_) {
     pipe->Clear();
   }
+  for (auto& cache : caches_) {
+    // Clear() keeps set versions monotonic so installs whose reads predate
+    // the reboot stay rejected (see MetaCache).
+    cache->Clear();
+  }
 }
 
 size_t DataPlane::MemoryBytes() const {
   size_t total = 0;
   for (const auto& pipe : pipes_) {
     total += pipe->MemoryBytes();
+  }
+  for (const auto& cache : caches_) {
+    total += cache->MemoryBytes();
   }
   return total;
 }

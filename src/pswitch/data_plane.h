@@ -25,15 +25,20 @@
 #include "src/net/network.h"
 #include "src/net/packet.h"
 #include "src/pswitch/dirty_set.h"
+#include "src/pswitch/meta_cache.h"
 #include "src/sim/time.h"
 
 namespace switchfs::psw {
 
 struct DataPlaneConfig {
   DirtySetConfig dirty_set;
+  MetaCacheConfig meta_cache;
   int num_pipes = 4;  // Tofino 6.4Tbps: 4 pipes
   sim::SimTime pipeline_delay = sim::Nanoseconds(350);
   sim::SimTime cross_pipe_mirror_delay = sim::Nanoseconds(120);
+  // Extra stages traversed when a read is answered from the metadata cache
+  // (record read + response rewrite).
+  sim::SimTime cache_serve_delay = sim::Nanoseconds(150);
 };
 
 class DataPlane : public net::SwitchBehavior {
@@ -47,13 +52,21 @@ class DataPlane : public net::SwitchBehavior {
   std::vector<net::Packet> Process(net::Packet p) override;
   sim::SimTime PipelineDelay() const override;
 
-  // Switch reboot: wipes all register state (dirty set + remove sequences).
+  // Switch reboot: wipes all register state (dirty set + remove sequences +
+  // metadata cache).
   void Reset();
 
   DirtySet& dirty_set(int pipe) { return *pipes_[pipe]; }
+  MetaCache& meta_cache(int pipe) { return *caches_[pipe]; }
   int HomePipe(Fingerprint fp) const;
   // Queries across the pipe shards (test/verification helper).
   bool Contains(Fingerprint fp) const;
+  // Metadata-cache presence across the pipe shards (test helper).
+  bool CacheContains(Fingerprint fp);
+  // Control-plane predicate flush of the metadata cache (owner recovery:
+  // drop everything a crashed owner may have installed). Returns entries
+  // dropped.
+  size_t EvictCachedIf(const std::function<bool(Fingerprint)>& pred);
 
   // Forces every insert to fail (dirty-set overflow study, §7.3.2).
   void SetForceInsertOverflow(bool v) { force_insert_overflow_ = v; }
@@ -67,20 +80,35 @@ class DataPlane : public net::SwitchBehavior {
     uint64_t stale_removes = 0;
     uint64_t multicast_packets = 0;
     uint64_t cross_pipe_mirrors = 0;
+    // Metadata read cache.
+    uint64_t mc_hits = 0;
+    uint64_t mc_misses = 0;
+    uint64_t mc_installs = 0;
+    uint64_t mc_install_rejects = 0;
+    uint64_t mc_evicts = 0;
   };
   const Stats& stats() const { return stats_; }
 
   size_t MemoryBytes() const;
 
  private:
+  // Handles the metadata-cache header; returns true when the packet was
+  // answered from the cache (kRead hit) and must not be forwarded.
+  bool ProcessCacheHeader(net::Packet& p, std::vector<net::Packet>& out);
+
   DataPlaneConfig config_;
   // One dirty-set shard per pipe (shared-nothing, §6.2).
   std::vector<std::unique_ptr<DirtySet>> pipes_;
+  // One metadata-cache shard per pipe (same shared-nothing split).
+  std::vector<std::unique_ptr<MetaCache>> caches_;
   std::vector<net::NodeId> server_group_;
   bool force_insert_overflow_ = false;
   // Set during Process() when the packet crossed pipes, consumed by
   // PipelineDelay(); the Network queries the delay right after Process().
   mutable bool last_crossed_pipes_ = false;
+  // Set when Process() answered the packet from the metadata cache; adds the
+  // record-read/rewrite stages to the next PipelineDelay() query.
+  mutable bool last_cache_served_ = false;
   Stats stats_;
 };
 

@@ -1,0 +1,173 @@
+#include "src/pswitch/meta_cache.h"
+
+#include <cassert>
+
+namespace switchfs::psw {
+
+namespace {
+
+uint32_t RoundDownPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p * 2 <= v) {
+    p *= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+MetaCache::MetaCache(const MetaCacheConfig& config)
+    : num_sets_(RoundDownPow2(config.num_sets > 0 ? config.num_sets : 1)) {
+  const int ways = config.num_ways > 0 ? config.num_ways : 1;
+  ways_.reserve(static_cast<size_t>(ways));
+  for (int i = 0; i < ways; ++i) {
+    ways_.emplace_back(num_sets_, static_cast<uint32_t>(net::kCacheRecordWords));
+  }
+  versions_.assign(num_sets_, 1);  // version 0 never occurs on the wire
+  clock_.assign(num_sets_, 0);
+  shadow_.assign(static_cast<size_t>(ways) * num_sets_, 0);
+}
+
+bool MetaCache::Lookup(Fingerprint fp, net::CacheRecord* out) {
+  const uint32_t tag = FingerprintTag(fp);
+  if (tag == 0) {
+    misses_++;
+    return false;
+  }
+  const uint32_t set = SetOf(fp);
+  for (RecordStage& way : ways_) {
+    if (way.TagAt(set) == tag) {
+      const uint32_t* words = way.RecordAt(set);
+      for (int i = 0; i < net::kCacheRecordWords; ++i) {
+        (*out)[static_cast<size_t>(i)] = words[i];
+      }
+      hits_++;
+      return true;
+    }
+  }
+  misses_++;
+  return false;
+}
+
+bool MetaCache::Contains(Fingerprint fp) const {
+  const uint32_t tag = FingerprintTag(fp);
+  if (tag == 0) {
+    return false;
+  }
+  const uint32_t set = SetOf(fp);
+  for (const RecordStage& way : ways_) {
+    if (way.TagAt(set) == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t MetaCache::VersionOf(Fingerprint fp) const {
+  return versions_[SetOf(fp)];
+}
+
+bool MetaCache::Install(Fingerprint fp, const net::CacheRecord& record,
+                        uint32_t version) {
+  const uint32_t tag = FingerprintTag(fp);
+  const uint32_t set = SetOf(fp);
+  if (tag == 0 || versions_[set] != version) {
+    install_rejects_++;
+    return false;
+  }
+  // Same tag already cached: refresh in place.
+  for (size_t w = 0; w < ways_.size(); ++w) {
+    if (ways_[w].TagAt(set) == tag) {
+      ways_[w].WriteRecord(set, record.data());
+      shadow_[w * num_sets_ + set] = fp;
+      installs_++;
+      return true;
+    }
+  }
+  // Empty way, else clock-evict one (stage-local round robin).
+  size_t victim = ways_.size();
+  for (size_t w = 0; w < ways_.size(); ++w) {
+    if (ways_[w].TagAt(set) == 0) {
+      victim = w;
+      break;
+    }
+  }
+  if (victim == ways_.size()) {
+    victim = clock_[set] % ways_.size();
+    clock_[set] = static_cast<uint32_t>(victim + 1);
+  }
+  ways_[victim].SetTag(set, tag);
+  ways_[victim].WriteRecord(set, record.data());
+  shadow_[victim * num_sets_ + set] = fp;
+  installs_++;
+  return true;
+}
+
+bool MetaCache::Evict(Fingerprint fp) {
+  const uint32_t tag = FingerprintTag(fp);
+  const uint32_t set = SetOf(fp);
+  versions_[set]++;  // unconditional: guards in-flight installs (see header)
+  evicts_++;
+  if (tag == 0) {
+    return false;
+  }
+  bool present = false;
+  for (size_t w = 0; w < ways_.size(); ++w) {
+    if (ways_[w].TagAt(set) == tag) {
+      ways_[w].SetTag(set, 0);
+      shadow_[w * num_sets_ + set] = 0;
+      present = true;
+    }
+  }
+  return present;
+}
+
+void MetaCache::Clear() {
+  for (RecordStage& way : ways_) {
+    way.Clear();
+  }
+  for (uint32_t& v : versions_) {
+    v++;
+  }
+  std::fill(clock_.begin(), clock_.end(), 0);
+  std::fill(shadow_.begin(), shadow_.end(), 0);
+}
+
+size_t MetaCache::EvictIf(const std::function<bool(Fingerprint)>& pred) {
+  size_t dropped = 0;
+  for (size_t w = 0; w < ways_.size(); ++w) {
+    for (uint32_t set = 0; set < num_sets_; ++set) {
+      const Fingerprint fp = shadow_[w * num_sets_ + set];
+      if (fp != 0 && pred(fp)) {
+        ways_[w].SetTag(set, 0);
+        shadow_[w * num_sets_ + set] = 0;
+        versions_[set]++;
+        evicts_++;
+        dropped++;
+      }
+    }
+  }
+  return dropped;
+}
+
+size_t MetaCache::MemoryBytes() const {
+  size_t bytes = (versions_.size() + clock_.size()) * sizeof(uint32_t);
+  for (const RecordStage& way : ways_) {
+    bytes += way.MemoryBytes();
+  }
+  return bytes;  // the fingerprint shadow is control-plane state, not SRAM
+}
+
+uint64_t MetaCache::Population() const {
+  uint64_t n = 0;
+  for (const RecordStage& way : ways_) {
+    for (uint32_t set = 0; set < way.size(); ++set) {
+      if (way.TagAt(set) != 0) {
+        n++;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace switchfs::psw

@@ -1,0 +1,122 @@
+// The in-switch metadata read cache (Fletch-style, PAPERS.md): a
+// set-associative register structure that stores packed attribute records for
+// hot lookup/stat fingerprints and answers matching reads on the client's
+// request path, before the packet ever reaches an owner server.
+//
+// Layout mirrors the dirty set: the fingerprint's index bits select a set,
+// its 32-bit tag is what the way stages store (tag 0 = empty), and a W-way
+// cache is W RecordStages probed in pipeline order. On top of the dirty set's
+// machinery each set carries:
+//
+//   * a version register, bumped by EVERY evict aimed at the set (present or
+//     not) and by Clear(). A read miss exports the set's current version; the
+//     owner's install echoes it and is rejected unless the set version is
+//     still the same. This closes the read-miss/install race against a
+//     concurrent write: the writer evicts (bumping the version) BEFORE its
+//     commit, so any install carrying pre-write data also carries a stale
+//     version.
+//   * a clock hand for stage-local round-robin eviction when all ways of a
+//     set are occupied.
+//
+// The control plane additionally shadows each occupied slot's full
+// fingerprint (not a data-plane register; used by predicate flushes during
+// owner recovery, when the volatile installed-set bookkeeping at the owner is
+// lost and the switch must drop everything the crashed owner installed).
+#ifndef SRC_PSWITCH_META_CACHE_H_
+#define SRC_PSWITCH_META_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/pswitch/fingerprint.h"
+#include "src/pswitch/register_stage.h"
+
+namespace switchfs::psw {
+
+struct MetaCacheConfig {
+  // Ways = RecordStages; the register budget is ways * sets * (1 tag word +
+  // kCacheRecordWords value words + amortized version/clock registers).
+  int num_ways = 4;
+  uint32_t num_sets = 4096;  // power of two; masked onto the fingerprint index
+};
+
+// The response body a cache hit is answered with. The switch itself never
+// builds or parses message bodies from header state in anything but this
+// fixed shape: the record words are copied verbatim from the way registers.
+struct CacheHitResp : net::Message {
+  static constexpr uint32_t kType = 130;
+  CacheHitResp() : Message(kType) {}
+  net::CacheRecord record{};
+};
+
+class MetaCache {
+ public:
+  explicit MetaCache(const MetaCacheConfig& config = MetaCacheConfig{});
+
+  // Probes the set for `fp`; on a tag hit copies the record words into `out`
+  // and returns true.
+  bool Lookup(Fingerprint fp, net::CacheRecord* out);
+
+  // Presence probe without counter side effects (tests / control plane).
+  bool Contains(Fingerprint fp) const;
+
+  // The set's current version (what a read miss exports for the install to
+  // echo).
+  uint32_t VersionOf(Fingerprint fp) const;
+
+  // Version-guarded install: rejected (returns false) unless the set version
+  // still equals `version`. Overwrites an existing way for the same tag,
+  // otherwise fills an empty way, otherwise clock-evicts one.
+  bool Install(Fingerprint fp, const net::CacheRecord& record,
+               uint32_t version);
+
+  // Removes `fp` if present and ALWAYS bumps the set version — the bump is
+  // the write-side half of the install guard and must happen even when the
+  // entry is absent (a racing install may be in flight). Returns whether the
+  // entry was present.
+  bool Evict(Fingerprint fp);
+
+  // Switch reboot / recovery flush: drops every entry and bumps every set
+  // version. Versions are monotonic across Clear() — resetting them would
+  // let an install that predates the reboot be accepted afterwards.
+  void Clear();
+
+  // Control-plane predicate flush (owner recovery): evicts every occupied
+  // slot whose shadowed fingerprint matches, bumping the affected set
+  // versions. Returns the number of entries dropped.
+  size_t EvictIf(const std::function<bool(Fingerprint)>& pred);
+
+  int num_ways() const { return static_cast<int>(ways_.size()); }
+  uint32_t num_sets() const { return num_sets_; }
+  size_t MemoryBytes() const;
+  uint64_t Population() const;  // occupied ways
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t installs() const { return installs_; }
+  uint64_t install_rejects() const { return install_rejects_; }
+  uint64_t evicts() const { return evicts_; }
+
+ private:
+  uint32_t SetOf(Fingerprint fp) const {
+    return FingerprintIndex(fp) & (num_sets_ - 1);
+  }
+
+  uint32_t num_sets_;
+  std::vector<RecordStage> ways_;
+  std::vector<uint32_t> versions_;    // per set, starts at 1
+  std::vector<uint32_t> clock_;       // per set, round-robin eviction hand
+  std::vector<Fingerprint> shadow_;   // [way * num_sets + set] full fp
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t installs_ = 0;
+  uint64_t install_rejects_ = 0;
+  uint64_t evicts_ = 0;
+};
+
+}  // namespace switchfs::psw
+
+#endif  // SRC_PSWITCH_META_CACHE_H_

@@ -57,6 +57,48 @@ class RegisterStage {
   std::vector<uint32_t> registers_;
 };
 
+// One pipeline stage holding fixed-width multi-word record slots (the
+// metadata read cache's way storage, Fletch-style): each slot is a 32-bit
+// tag register plus `words_per_slot` value registers written/read as one
+// stage action. A W-way cache is W consecutive RecordStages, mirroring how
+// the dirty set spreads its ways across stages.
+class RecordStage {
+ public:
+  RecordStage(uint32_t num_slots, uint32_t words_per_slot)
+      : words_per_slot_(words_per_slot),
+        tags_(num_slots, 0),
+        words_(static_cast<size_t>(num_slots) * words_per_slot, 0) {}
+
+  uint32_t TagAt(uint32_t slot) const { return tags_[slot]; }
+  void SetTag(uint32_t slot, uint32_t tag) { tags_[slot] = tag; }
+
+  const uint32_t* RecordAt(uint32_t slot) const {
+    return words_.data() + static_cast<size_t>(slot) * words_per_slot_;
+  }
+  void WriteRecord(uint32_t slot, const uint32_t* words) {
+    uint32_t* dst = words_.data() + static_cast<size_t>(slot) * words_per_slot_;
+    for (uint32_t i = 0; i < words_per_slot_; ++i) {
+      dst[i] = words[i];
+    }
+  }
+
+  void Clear() {
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(words_.begin(), words_.end(), 0);
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(tags_.size()); }
+  uint32_t words_per_slot() const { return words_per_slot_; }
+  size_t MemoryBytes() const {
+    return (tags_.size() + words_.size()) * sizeof(uint32_t);
+  }
+
+ private:
+  uint32_t words_per_slot_;
+  std::vector<uint32_t> tags_;
+  std::vector<uint32_t> words_;
+};
+
 }  // namespace switchfs::psw
 
 #endif  // SRC_PSWITCH_REGISTER_STAGE_H_

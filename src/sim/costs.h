@@ -69,6 +69,10 @@ struct CostModel {
   SimTime tracker_packet_cost = Nanoseconds(1050);
   int tracker_cores = 12;
 
+  // Extra per-packet match-action latency when the metadata read cache
+  // answers from the way registers (record copy into the reply header).
+  SimTime switch_cache_serve = Nanoseconds(150);
+
   // --- client-side costs ---
   SimTime client_op_cost = Nanoseconds(300);  // LibFS bookkeeping per op
   SimTime cache_lookup = Nanoseconds(80);

@@ -68,6 +68,7 @@ enum MixOp {
   kMixStatBurst,
   kMixSetAttr,
   kMixBulkCreate,
+  kMixHotRead,
 };
 
 }  // namespace
@@ -100,6 +101,7 @@ MixStream::MixStream(MixRatios ratios, std::vector<std::string> dirs,
         add(ratios.stat_burst, kMixStatBurst);
         add(ratios.setattr, kMixSetAttr);
         add(ratios.bulk_create, kMixBulkCreate);
+        add(ratios.hot_read, kMixHotRead);
         return DiscreteSampler(weights);
       }()),
       skew_(skew),
@@ -177,6 +179,24 @@ std::optional<Op> MixStream::Next(Rng& rng) {
       op.type = core::OpType::kReaddirPage;
       op.path = dir;
       return op;
+    case kMixHotRead: {
+      // Zipf-skewed stat over the hot directory's live files, ignoring the
+      // per-op dir draw: a few names in one directory absorb most reads,
+      // which is exactly the population the in-switch cache keeps resident.
+      DirState& hs = state_[0];
+      if (hs.live.empty()) {
+        op.type = core::OpType::kStatDir;
+        op.path = dirs_[0];
+        return op;
+      }
+      if (hot_zipf_ == nullptr || hot_zipf_->n() != hs.live.size()) {
+        hot_zipf_ =
+            std::make_unique<ZipfGenerator>(hs.live.size(), hot_read_theta);
+      }
+      op.type = core::OpType::kStat;
+      op.path = dirs_[0] + "/" + hs.live[hot_zipf_->Next(rng)];
+      return op;
+    }
     case kMixBulkCreate: {
       op.type = core::OpType::kBulkInsert;
       op.path = dir;

@@ -137,6 +137,10 @@ struct MixRatios {
   double stat_burst = 0;     // one BatchStat over stat_burst_size live files
   double setattr = 0;        // explicit setattr weight (chmod also maps here)
   double bulk_create = 0;    // one BulkInsert of bulk_create_size fresh names
+  // Zipf-skewed stat over the FIRST directory's files (the hottest names of
+  // the hottest directory): the in-switch read-cache target workload. Theta
+  // comes from MixStream::hot_read_theta.
+  double hot_read = 0;
 };
 
 // The PanguFS data-center mix (Tab 5 row 1 / Tab 2).
@@ -160,6 +164,9 @@ class MixStream : public OpStream {
   int stat_burst_size = 8;
   // Fresh names per bulk_create op (one BulkInsert through an open handle).
   int bulk_create_size = 16;
+  // Skew exponent of the hot_read name distribution (Zipf over the hot
+  // directory's live files; higher = a few names absorb most reads).
+  double hot_read_theta = 1.05;
 
  private:
   struct DirState {
@@ -177,6 +184,8 @@ class MixStream : public OpStream {
   DiscreteSampler sampler_;
   double skew_;
   uint64_t io_bytes_;
+  // Lazily (re)built when the hot directory's live population changes.
+  std::unique_ptr<ZipfGenerator> hot_zipf_;
 };
 
 // Stat bursts over a fixed population: each op is one BatchStat of

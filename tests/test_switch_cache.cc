@@ -1,0 +1,372 @@
+// In-switch metadata read cache tests:
+//  * MetaCache register-structure unit tests (set-associative layout, clock
+//    eviction, the per-set version guard that closes the read-miss/install
+//    race, control-plane predicate flushes),
+//  * end-to-end cached reads through the cluster (hit counters, read-your-
+//    writes after setattr/chmod/unlink/rename),
+//  * fault scenarios: owner crash between install and invalidate (recovery
+//    predicate flush), switch crash/recovery, lossy+reordered transport
+//    (lost InvalBroadcasts must never yield a stale cached read),
+//  * a multi-seed staleness property sweep: concurrent writers bump a
+//    strictly increasing mode on hot files while readers stat them through
+//    the cache; no read may ever observe a value older than the latest
+//    committed write at the time the read was issued.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/cache_record.h"
+#include "src/core/cluster.h"
+#include "src/pswitch/meta_cache.h"
+#include "tests/switchfs_test_util.h"
+
+namespace switchfs::psw {
+namespace {
+
+net::CacheRecord RecordWithMode(uint32_t mode) {
+  core::Attr attr;
+  attr.type = core::FileType::kFile;
+  attr.mode = mode;
+  return core::PackCacheRecord(attr, /*read_at=*/7);
+}
+
+TEST(MetaCache, InstallThenLookupHits) {
+  MetaCacheConfig cfg;
+  cfg.num_ways = 2;
+  cfg.num_sets = 16;
+  MetaCache cache(cfg);
+  const Fingerprint fp = MakeFingerprint(3, 0xabcd);
+
+  net::CacheRecord out{};
+  EXPECT_FALSE(cache.Lookup(fp, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  ASSERT_TRUE(cache.Install(fp, RecordWithMode(0712), cache.VersionOf(fp)));
+  EXPECT_TRUE(cache.Contains(fp));
+  ASSERT_TRUE(cache.Lookup(fp, &out));
+  int64_t read_at = 0;
+  const core::Attr attr = core::UnpackCacheRecord(out, &read_at);
+  EXPECT_EQ(attr.mode, 0712u);
+  EXPECT_EQ(read_at, 7);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.Population(), 1u);
+}
+
+TEST(MetaCache, EvictBumpsVersionAndRejectsStaleInstall) {
+  MetaCache cache(MetaCacheConfig{2, 16});
+  const Fingerprint fp = MakeFingerprint(5, 0x1111);
+
+  // The read-miss/install race: a read exports the version, then a writer's
+  // evict intervenes before the owner's install arrives. The install must be
+  // rejected even though the entry was never present.
+  const uint32_t pre_write_version = cache.VersionOf(fp);
+  EXPECT_FALSE(cache.Evict(fp));  // absent, but the version still bumps
+  EXPECT_NE(cache.VersionOf(fp), pre_write_version);
+  EXPECT_FALSE(cache.Install(fp, RecordWithMode(0600), pre_write_version));
+  EXPECT_FALSE(cache.Contains(fp));
+  EXPECT_EQ(cache.install_rejects(), 1u);
+
+  // A fresh read/install cycle succeeds, and a later evict removes it.
+  ASSERT_TRUE(cache.Install(fp, RecordWithMode(0601), cache.VersionOf(fp)));
+  EXPECT_TRUE(cache.Evict(fp));
+  EXPECT_FALSE(cache.Contains(fp));
+}
+
+TEST(MetaCache, ClockEvictionKeepsSetBounded) {
+  MetaCacheConfig cfg;
+  cfg.num_ways = 4;
+  cfg.num_sets = 8;
+  MetaCache cache(cfg);
+  // 10 distinct tags all mapping to set 2: population stays at the way count
+  // and the most recent installs survive the clock hand.
+  for (uint32_t t = 1; t <= 10; ++t) {
+    const Fingerprint fp = MakeFingerprint(2, 0x100 + t);
+    ASSERT_TRUE(cache.Install(fp, RecordWithMode(t), cache.VersionOf(fp)));
+  }
+  EXPECT_EQ(cache.Population(), 4u);
+  EXPECT_TRUE(cache.Contains(MakeFingerprint(2, 0x100 + 10)));
+}
+
+TEST(MetaCache, ClearDropsEntriesAndGuardsPrebootInstalls) {
+  MetaCache cache(MetaCacheConfig{2, 16});
+  const Fingerprint fp = MakeFingerprint(9, 0x2222);
+  const uint32_t pre_clear = cache.VersionOf(fp);
+  ASSERT_TRUE(cache.Install(fp, RecordWithMode(0755), pre_clear));
+  cache.Clear();
+  EXPECT_EQ(cache.Population(), 0u);
+  // Versions are monotonic across the reboot: an install stamped before the
+  // clear must not be accepted after it.
+  EXPECT_FALSE(cache.Install(fp, RecordWithMode(0755), pre_clear));
+}
+
+TEST(MetaCache, EvictIfDropsMatchingEntries) {
+  MetaCache cache(MetaCacheConfig{2, 16});
+  const Fingerprint keep = MakeFingerprint(1, 0x10);
+  const Fingerprint drop1 = MakeFingerprint(2, 0x20);
+  const Fingerprint drop2 = MakeFingerprint(3, 0x30);
+  for (Fingerprint fp : {keep, drop1, drop2}) {
+    ASSERT_TRUE(cache.Install(fp, RecordWithMode(0644), cache.VersionOf(fp)));
+  }
+  const uint32_t keep_version = cache.VersionOf(drop1);
+  EXPECT_EQ(cache.EvictIf([&](Fingerprint fp) { return fp != keep; }), 2u);
+  EXPECT_TRUE(cache.Contains(keep));
+  EXPECT_FALSE(cache.Contains(drop1));
+  EXPECT_FALSE(cache.Contains(drop2));
+  // The flush bumps the affected set versions like any other evict.
+  EXPECT_NE(cache.VersionOf(drop1), keep_version);
+}
+
+}  // namespace
+}  // namespace switchfs::psw
+
+namespace switchfs::core {
+namespace {
+
+ClusterConfig CachedClusterConfig(uint32_t servers = 4) {
+  ClusterConfig cfg = SmallClusterConfig(servers);
+  cfg.server_template.switch_cache = true;
+  return cfg;
+}
+
+Status SetMode(FsHarness& fs, const std::string& path, uint32_t mode) {
+  Status out = InternalError("not run");
+  AttrDelta delta;
+  delta.set_mode = true;
+  delta.mode = mode;
+  fs.Run([](SwitchFsClient* c, const std::string p, AttrDelta d,
+            Status* o) -> sim::Task<void> {
+    *o = co_await c->SetAttr(p, d);
+  }(fs.client.get(), path, delta, &out));
+  return out;
+}
+
+TEST(SwitchCache, HotStatServedFromDataPlane) {
+  FsHarness fs(CachedClusterConfig());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/f").ok());
+
+  auto first = fs.Stat("/d/f");
+  ASSERT_TRUE(first.ok());
+  const auto& dp = fs.cluster.data_plane()->stats();
+  EXPECT_GE(dp.mc_installs, 1u);
+  const uint64_t hits_before = dp.mc_hits;
+
+  auto second = fs.Stat("/d/f");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(dp.mc_hits, hits_before);
+  EXPECT_EQ(second->id, first->id);
+  EXPECT_EQ(second->mode, first->mode);
+  EXPECT_EQ(second->type, first->type);
+  EXPECT_GE(fs.cluster.TotalStats().cache_installs, 1u);
+}
+
+TEST(SwitchCache, SetAttrEvictsBeforeCommit) {
+  FsHarness fs(CachedClusterConfig());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());  // cached now
+
+  ASSERT_TRUE(SetMode(fs, "/d/f", 0700).ok());
+  EXPECT_GE(fs.cluster.TotalStats().cache_evicts, 1u);
+  auto after = fs.Stat("/d/f");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->mode, 0700u);  // read-your-writes through the cache
+}
+
+TEST(SwitchCache, UnlinkNeverServesDeletedFile) {
+  FsHarness fs(CachedClusterConfig());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+
+  ASSERT_TRUE(fs.Unlink("/d/f").ok());
+  auto gone = fs.Stat("/d/f");
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SwitchCache, RenameEvictsSourceEntry) {
+  FsHarness fs(CachedClusterConfig());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+
+  ASSERT_TRUE(fs.Rename("/d/f", "/d/g").ok());
+  auto gone = fs.Stat("/d/f");
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  auto moved = fs.Stat("/d/g");
+  EXPECT_TRUE(moved.ok());
+}
+
+TEST(SwitchCache, OwnerCrashBetweenInstallAndInvalidate) {
+  // The crashed owner loses its installed-set bookkeeping (cached_fps), so
+  // its next write could no longer find the entry to evict. Recovery must
+  // flush everything the owner was responsible for out of the switch BEFORE
+  // it serves again.
+  FsHarness fs(CachedClusterConfig());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/f").ok());
+  auto dir = fs.StatDir("/d");
+  ASSERT_TRUE(dir.ok());
+  const psw::Fingerprint fp = FingerprintOf(dir->id, "f");
+
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  ASSERT_TRUE(fs.cluster.data_plane()->CacheContains(fp));
+
+  const uint32_t owner = fs.cluster.ring().Owner(fp);
+  fs.cluster.CrashServer(owner);
+  EXPECT_TRUE(fs.cluster.data_plane()->CacheContains(fp));  // still resident
+  fs.Run(fs.cluster.RecoverServer(owner));
+  EXPECT_FALSE(fs.cluster.data_plane()->CacheContains(fp));
+
+  ASSERT_TRUE(SetMode(fs, "/d/f", 0711).ok());
+  auto after = fs.Stat("/d/f");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->mode, 0711u);
+}
+
+TEST(SwitchCache, SwitchCrashClearsAndRecoveryRepopulates) {
+  FsHarness fs(CachedClusterConfig());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/f").ok());
+  auto dir = fs.StatDir("/d");
+  ASSERT_TRUE(dir.ok());
+  const psw::Fingerprint fp = FingerprintOf(dir->id, "f");
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  ASSERT_TRUE(fs.cluster.data_plane()->CacheContains(fp));
+
+  fs.cluster.CrashSwitch();
+  EXPECT_FALSE(fs.cluster.data_plane()->CacheContains(fp));
+  fs.Run(fs.cluster.RecoverSwitch());
+
+  auto again = fs.Stat("/d/f");
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  EXPECT_TRUE(fs.cluster.data_plane()->CacheContains(fp));
+}
+
+TEST(SwitchCache, DisabledLeverLeavesDataPlaneCold) {
+  FsHarness fs(SmallClusterConfig());  // switch_cache defaults off
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Create("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  ASSERT_TRUE(fs.Stat("/d/f").ok());
+  const auto& dp = fs.cluster.data_plane()->stats();
+  EXPECT_EQ(dp.mc_hits, 0u);
+  EXPECT_EQ(dp.mc_installs, 0u);
+  EXPECT_EQ(fs.cluster.TotalStats().cache_installs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-seed staleness property sweep
+// ---------------------------------------------------------------------------
+
+struct CacheSweepParam {
+  uint64_t seed;
+  double loss;
+  double dup;
+  int jitter_us;
+};
+
+class SwitchCacheSweep : public ::testing::TestWithParam<CacheSweepParam> {};
+
+TEST_P(SwitchCacheSweep, NoCachedReadStalerThanCommittedWrite) {
+  const CacheSweepParam param = GetParam();
+  ClusterConfig cfg = CachedClusterConfig(4);
+  cfg.seed = param.seed;
+  cfg.faults.loss_probability = param.loss;
+  cfg.faults.duplicate_probability = param.dup;
+  cfg.faults.reorder_jitter = sim::Microseconds(param.jitter_us);
+  FsHarness fs(cfg);
+
+  constexpr int kFiles = 4;
+  ASSERT_TRUE(fs.Mkdir("/h").ok());
+  std::array<std::string, kFiles> paths;
+  for (int f = 0; f < kFiles; ++f) {
+    paths[f] = "/h/f" + std::to_string(f);
+    ASSERT_TRUE(fs.Create(paths[f]).ok());
+  }
+
+  // One writer per file bumps the mode through a strictly increasing value
+  // sequence; `committed[f]` is the latest value whose SetAttr was
+  // acknowledged. Readers snapshot committed[f] BEFORE issuing a stat: any
+  // result below the snapshot is a stale cached read. Lossy/reordered
+  // profiles specifically exercise lost and late InvalBroadcasts — the
+  // correctness anchor is the retried pre-commit evict RTT, not the
+  // broadcast stamps.
+  std::array<uint32_t, kFiles> committed{};
+  int violations = 0;
+  constexpr int kWriterOps = 20;
+  constexpr int kReaders = 6;
+  constexpr int kReaderOps = 80;
+
+  std::vector<std::unique_ptr<SwitchFsClient>> clients;
+  for (int i = 0; i < kFiles + kReaders; ++i) {
+    clients.push_back(fs.cluster.MakeClient());
+  }
+  for (int f = 0; f < kFiles; ++f) {
+    sim::Spawn([](SwitchFsClient* c, const std::string path,
+                  uint32_t* committed) -> sim::Task<void> {
+      for (int k = 1; k <= kWriterOps; ++k) {
+        AttrDelta delta;
+        delta.set_mode = true;
+        delta.mode = 1000 + static_cast<uint32_t>(k);
+        Status s = co_await c->SetAttr(path, delta);
+        if (s.ok()) {
+          *committed = delta.mode;
+        }
+      }
+    }(clients[f].get(), paths[f], &committed[f]));
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    sim::Spawn([](SwitchFsClient* c, const std::array<std::string, kFiles>* ps,
+                  const std::array<uint32_t, kFiles>* committed, uint64_t seed,
+                  int* violations) -> sim::Task<void> {
+      Rng rng(seed);
+      for (int i = 0; i < kReaderOps; ++i) {
+        const size_t f = rng.NextBelow(kFiles);
+        const uint32_t snapshot = (*committed)[f];
+        auto attr = co_await c->Stat((*ps)[f]);
+        if (attr.ok() && attr->mode < snapshot && snapshot != 0 &&
+            attr->mode >= 1000) {
+          *violations += 1;
+        }
+        if (attr.ok() && attr->mode < snapshot && attr->mode < 1000 &&
+            snapshot != 0) {
+          *violations += 1;  // pre-storm mode after a committed write
+        }
+      }
+    }(clients[kFiles + r].get(), &paths, &committed, param.seed * 31 + r,
+      &violations));
+  }
+  fs.cluster.sim().Run();
+
+  EXPECT_EQ(violations, 0);
+  // The sweep must actually exercise the cache to prove anything.
+  EXPECT_GT(fs.cluster.data_plane()->stats().mc_hits, 0u);
+  EXPECT_GT(fs.cluster.TotalStats().cache_evicts, 0u);
+  // Post-quiesce read-back: every file's final mode is at least the last
+  // acknowledged write (a timed-out final write may still have committed).
+  for (int f = 0; f < kFiles; ++f) {
+    auto attr = fs.Stat(paths[f]);
+    ASSERT_TRUE(attr.ok()) << paths[f];
+    EXPECT_GE(attr->mode, committed[f]) << paths[f];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SwitchCacheSweep,
+    ::testing::Values(CacheSweepParam{7, 0.0, 0.0, 0},
+                      CacheSweepParam{21, 0.0, 0.0, 0},
+                      CacheSweepParam{63, 0.0, 0.0, 0},
+                      CacheSweepParam{7, 0.03, 0.05, 3},
+                      CacheSweepParam{21, 0.05, 0.0, 6}));
+
+}  // namespace
+}  // namespace switchfs::core
