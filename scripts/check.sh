@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# One-command gate for SwitchFS PRs: configure, build, run the tier-1 test
-# suite AND the examples (API changes must not silently rot them), then
+# One-command gate for SwitchFS PRs: lint, configure, build, run the tier-1
+# test suite AND the examples (API changes must not silently rot them), then
 # repeat the tests under ASan/UBSan (-DCMAKE_BUILD_TYPE=Asan).
 #
-#   scripts/check.sh                    # tier-1 + examples + asan
-#   scripts/check.sh --fast             # tier-1 + examples only
+#   scripts/check.sh                    # lint + tier-1 + examples + asan
+#   scripts/check.sh --fast             # lint + tier-1 + examples only
+#   scripts/check.sh --lint-only        # sfs-lint + fixture golden, nothing else
+#   SFS_TIDY=1 scripts/check.sh --fast  # also run clang-tidy (needs clang-tidy
+#                                       # on PATH; installed in CI, not baked
+#                                       # into the dev container)
 #   SFS_BENCH_SMOKE=1 scripts/check.sh  # also run the perf smoke benches
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
+MODE=${1:-}
 
 run_suite() {
   local build_dir=$1
@@ -19,15 +24,63 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure --no-tests=error -j "$JOBS"
 }
 
+# Blocking lint stage: the fixture golden pins the analyzer's behavior, then
+# the tree itself must be clean (zero unsuppressed findings; every
+# suppression carries a reason). Runs first — it is the cheapest gate.
+echo "== lint: sfs-lint (suspension safety / lock discipline) =="
+python3 tools/lint/test_lint.py
+python3 scripts/lint/sfs_lint.py src
+
+if [[ "$MODE" == "--lint-only" ]]; then
+  echo "Lint passed."
+  exit 0
+fi
+
 echo "== tier-1: configure/build/ctest =="
 run_suite build
 
 echo "== examples: compile-and-run gate =="
+# Each example's stdout goes through a pipe; `set -o pipefail` (above) makes
+# the example's own exit status win, so a crash AFTER printing (abort,
+# SIGSEGV mid-teardown) still fails the gate instead of being masked by the
+# consumer's success. Failures are collected so one bad example doesn't hide
+# the others.
+example_failures=0
 for example in examples/*.cpp; do
   name=$(basename "$example" .cpp)
   echo "-- $name"
-  ./build/"$name" > /dev/null
+  if ! ./build/"$name" 2>&1 | tail -n 5 > /dev/null; then
+    echo "-- $name FAILED (nonzero exit propagated through the pipe)"
+    example_failures=$((example_failures + 1))
+  fi
 done
+if [[ "${SFS_CHECK_SELFTEST:-0}" == "1" ]]; then
+  # Deliberate crash-after-print pushed through the same pipe shape: proves
+  # the gate trips on an example that dies after producing output.
+  if ! bash -c 'echo some output; kill -ABRT $$' 2>&1 | tail -n 5 > /dev/null
+  then
+    echo "-- selftest: crash-after-print correctly failed the gate"
+  else
+    echo "-- selftest: crash was masked by the pipe" >&2
+    exit 1
+  fi
+fi
+if (( example_failures > 0 )); then
+  echo "examples gate: $example_failures failure(s)" >&2
+  exit 1
+fi
+
+if [[ "${SFS_TIDY:-0}" == "1" ]]; then
+  echo "== clang-tidy (SFS_TIDY=1, .clang-tidy curation) =="
+  if ! command -v clang-tidy > /dev/null; then
+    echo "SFS_TIDY=1 but clang-tidy is not on PATH" >&2
+    exit 1
+  fi
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  find src -name '*.cc' -print0 |
+    xargs -0 -P "$JOBS" -n 4 clang-tidy -p build --quiet \
+      --warnings-as-errors='*'
+fi
 
 if [[ "${SFS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== perf smoke: gated benches (SFS_BENCH_SCALE=small) =="
@@ -37,7 +90,7 @@ if [[ "${SFS_BENCH_SMOKE:-0}" == "1" ]]; then
       BENCH_readdir_paging.json BENCH_switch_cache.json
 fi
 
-if [[ "${1:-}" != "--fast" ]]; then
+if [[ "$MODE" != "--fast" ]]; then
   echo "== asan: configure/build/ctest (-DCMAKE_BUILD_TYPE=Asan) =="
   run_suite build-asan -DCMAKE_BUILD_TYPE=Asan
 fi

@@ -236,7 +236,22 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
     if (v->dead) co_return;
   }
 
-  uint64_t& high = v->hwm[{dir, src, lane_fp}];
+  // The hwm mark is tracked in a local and written through BumpHwm — not a
+  // reference: v->hwm is suspension-shared, and a rename installing a moved
+  // tombstone erases this very row (TakeHwmRows era hygiene) while the apply
+  // suspends below, which would leave a reference dangling. BumpHwm also
+  // refuses to resurrect an erased lane: its marks belong to the numbering
+  // era the erase closed, and re-inserting them would swallow the fresh
+  // era's entries as duplicates.
+  const std::tuple<InodeId, uint32_t, psw::Fingerprint> lane{dir, src, lane_fp};
+  uint64_t high = v->hwm[lane];
+  const auto bump_hwm = [&high, &lane, &v](uint64_t seq) {
+    high = std::max(high, seq);
+    auto hit = v->hwm.find(lane);
+    if (hit != v->hwm.end()) {
+      hit->second = std::max(hit->second, high);
+    }
+  };
   // Resolved-prefix bridge: every batch starts at the source log's FRONT
   // (push gather, aggregation snapshot, fallback backlog all send FIFO
   // prefixes), and a log's front only advances through resolution — an ack
@@ -248,7 +263,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
   // gap-stall forever. Stale duplicates cannot abuse this (their first seq
   // is never above the live front), and batches are single-flight per
   // (source, owner), so a bridged batch cannot overtake unresolved entries.
-  high = std::max(high, entries.front().seq - 1);
+  bump_hwm(entries.front().seq - 1);
   std::vector<ChangeLogEntry> todo;
   uint64_t next = high + 1;
   for (ChangeLogEntry& e : entries) {
@@ -320,7 +335,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
     co_await ctx_.cpu->Run(ctx_.costs->attr_merge_apply);
     if (v->dead) co_return;
     v->kv.Put(ikey, attr.Encode());
-    high = std::max(high, todo.back().seq);
+    bump_hwm(todo.back().seq);
   } else {
     // No compaction (+Async ablation): every entry is a full read-modify-
     // write of the directory inode, serialized under the inode lock.
@@ -351,7 +366,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
       attr.size = rec.result_size;
       attr.mtime = rec.result_mtime;
       v->kv.Put(ikey, attr.Encode());
-      high = std::max(high, e.seq);
+      bump_hwm(e.seq);
     }
   }
   ctx_.stats->entries_applied += todo.size();

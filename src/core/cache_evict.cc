@@ -1,16 +1,28 @@
 #include "src/core/cache_evict.h"
 
 #include <memory>
+#include <string>
 
+#include "src/sim/discipline.h"
 #include "src/sim/sync.h"
 
 namespace switchfs::core {
 
 sim::Task<void> EvictSwitchCacheEntry(ServerContext& ctx, VolPtr v,
-                                      psw::Fingerprint fp) {
+                                      psw::Fingerprint fp,
+                                      EvictLockWitness witness) {
   if (!ctx.config->switch_cache || v->cached_fps.count(fp) == 0) {
     co_return;
   }
+#if SFS_DISCIPLINE_CHECKS
+  if (witness == EvictLockWitness::kChain) {
+    sim::DisciplineChecker::CheckEvictAllowed(
+        co_await sim::discipline::CurrentChainId{},
+        "fp=" + std::to_string(fp));
+  }
+#else
+  (void)witness;
+#endif
   const uint64_t token = v->op_token_counter++;
   auto wait = std::make_shared<ServerVolatile::CacheEvictWait>();
   v->cache_evict_waits[token] = wait;

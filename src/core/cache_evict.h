@@ -11,10 +11,24 @@
 #ifndef SRC_CORE_CACHE_EVICT_H_
 #define SRC_CORE_CACHE_EVICT_H_
 
+#include "src/common/annotations.h"
 #include "src/core/server_context.h"
 #include "src/sim/task.h"
 
 namespace switchfs::core {
+
+// How the caller proves it holds the exclusive inode lock the evict requires
+// (rule evict-requires-lock).
+enum class EvictLockWitness {
+  // Default: the calling coroutine chain itself holds the lock; the
+  // DisciplineChecker verifies this at runtime in debug builds.
+  kChain,
+  // The lock is held on the caller's behalf by another chain — the rename
+  // 2PC commit leg evicts under locks its prepare phase parked in
+  // v->txn_locks. The dynamic check is skipped; the call site carries a
+  // static suppression naming the external holder.
+  kExternal,
+};
 
 // No-op unless config->switch_cache is on AND `fp` is in v->cached_fps (the
 // owner never installed it, so there is nothing to evict). Retries on the
@@ -22,8 +36,10 @@ namespace switchfs::core {
 // budget exhaustion the write proceeds and cache_evict_exhausted is counted —
 // the only way the ack is lost while the evict did not execute is a switch
 // outage, which wipes the cache anyway (DataPlane::Reset on recovery).
-sim::Task<void> EvictSwitchCacheEntry(ServerContext& ctx, VolPtr v,
-                                      psw::Fingerprint fp);
+SFS_REQUIRES_EXCLUSIVE(inode_locks)
+sim::Task<void> EvictSwitchCacheEntry(
+    ServerContext& ctx, VolPtr v, psw::Fingerprint fp,
+    EvictLockWitness witness = EvictLockWitness::kChain);
 
 }  // namespace switchfs::core
 

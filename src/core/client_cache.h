@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/core/messages.h"
 #include "src/core/types.h"
 #include "src/pswitch/fingerprint.h"
@@ -37,7 +38,7 @@ struct OpenDirState {
   uint64_t session = 0;            // owner-side session id
 };
 
-class ClientCache {
+class SFS_SUSPENSION_SHARED ClientCache {
  public:
   const CachedDir* Get(const std::string& path) const {
     auto it = map_.find(path);

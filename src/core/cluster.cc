@@ -113,6 +113,7 @@ sim::Task<void> Cluster::RecoverServer(uint32_t i) {
   // flush: drop every cached entry the recovering owner is responsible for
   // BEFORE it serves (and commits writes) again.
   if (data_plane_ != nullptr) {
+    // sfs-lint: allow(evict-requires-lock, recovery flush — the crashed owner is down and nothing serves or commits for these fps until Recover() returns)
     data_plane_->EvictCachedIf(
         [this, i](psw::Fingerprint fp) { return ring_.Owner(fp) == i; });
   }

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/core/metadata_service.h"
 #include "src/core/types.h"
 #include "src/sim/time.h"
@@ -71,7 +72,7 @@ struct DirSession {
   int64_t last_access = 0;  // inactivity-TTL base
 };
 
-class DirSessionTable {
+class SFS_SUSPENSION_SHARED DirSessionTable {
  public:
   // `epoch` disambiguates server incarnations (pass the sim time the
   // incarnation was created; only one incarnation can exist per instant).

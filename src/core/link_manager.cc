@@ -224,6 +224,7 @@ sim::Task<void> LinkManager::HandleLink(net::Packet p, VolPtr v) {
     auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
         ClAppendKey(pfp, dst.pid));
     if (v->dead) co_return;
+    // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
     ChangeLog& clog = v->GetChangeLog(pfp, dst.pid);
     ChangeLogEntry entry;
     entry.timestamp = ctx_.Now();

@@ -2,6 +2,11 @@
 // locks and change-log locks on metadata servers. Slots are created on first
 // acquisition and reclaimed when the last holder/waiter releases, so the
 // table's footprint tracks the working set rather than the filesystem size.
+//
+// Each table carries a sim::LockClass describing its role in the server's
+// lock order; in SFS_DISCIPLINE_CHECKS builds every grant is registered with
+// the DisciplineChecker under the acquiring coroutine chain, which enforces
+// the append-innermost and evict-requires-lock rules at runtime.
 #ifndef SRC_CORE_LOCK_TABLE_H_
 #define SRC_CORE_LOCK_TABLE_H_
 
@@ -11,33 +16,43 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/common/annotations.h"
+#include "src/sim/discipline.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 namespace switchfs::core {
 
-class LockTable {
+class SFS_LOCKABLE LockTable {
  public:
-  explicit LockTable(sim::Simulator* sim) : sim_(sim) {}
+  explicit LockTable(sim::Simulator* sim,
+                     sim::LockClass cls = sim::LockClass::kOther)
+      : sim_(sim), class_(cls) {}
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
   class [[nodiscard]] Handle {
    public:
     Handle() = default;
-    Handle(LockTable* table, std::string key, sim::SharedMutex::Guard guard)
-        : table_(table), key_(std::move(key)), guard_(std::move(guard)) {}
+    Handle(LockTable* table, std::string key, sim::SharedMutex::Guard guard,
+           uint64_t hold_id)
+        : table_(table),
+          key_(std::move(key)),
+          guard_(std::move(guard)),
+          hold_id_(hold_id) {}
     Handle(Handle&& o) noexcept
         : table_(std::exchange(o.table_, nullptr)),
           key_(std::move(o.key_)),
-          guard_(std::move(o.guard_)) {}
+          guard_(std::move(o.guard_)),
+          hold_id_(std::exchange(o.hold_id_, 0)) {}
     Handle& operator=(Handle&& o) noexcept {
       if (this != &o) {
         Release();
         table_ = std::exchange(o.table_, nullptr);
         key_ = std::move(o.key_);
         guard_ = std::move(o.guard_);
+        hold_id_ = std::exchange(o.hold_id_, 0);
       }
       return *this;
     }
@@ -45,6 +60,9 @@ class LockTable {
 
     void Release() {
       if (table_ != nullptr) {
+#if SFS_DISCIPLINE_CHECKS
+        sim::DisciplineChecker::OnReleased(std::exchange(hold_id_, 0));
+#endif
         guard_.Release();
         std::exchange(table_, nullptr)->Unref(key_);
       }
@@ -55,21 +73,35 @@ class LockTable {
     LockTable* table_ = nullptr;
     std::string key_;
     sim::SharedMutex::Guard guard_;
+    uint64_t hold_id_ = 0;
   };
 
   sim::Task<Handle> AcquireShared(std::string key) {
     Slot* slot = Ref(key);
     auto guard = co_await slot->mu.AcquireShared();
-    co_return Handle(this, std::move(key), std::move(guard));
+    uint64_t hold_id = 0;
+#if SFS_DISCIPLINE_CHECKS
+    hold_id = sim::DisciplineChecker::OnAcquired(
+        co_await sim::discipline::CurrentChainId{}, class_,
+        /*exclusive=*/false, key);
+#endif
+    co_return Handle(this, std::move(key), std::move(guard), hold_id);
   }
 
   sim::Task<Handle> AcquireExclusive(std::string key) {
     Slot* slot = Ref(key);
     auto guard = co_await slot->mu.AcquireExclusive();
-    co_return Handle(this, std::move(key), std::move(guard));
+    uint64_t hold_id = 0;
+#if SFS_DISCIPLINE_CHECKS
+    hold_id = sim::DisciplineChecker::OnAcquired(
+        co_await sim::discipline::CurrentChainId{}, class_,
+        /*exclusive=*/true, key);
+#endif
+    co_return Handle(this, std::move(key), std::move(guard), hold_id);
   }
 
   size_t slot_count() const { return slots_.size(); }
+  sim::LockClass lock_class() const { return class_; }
 
  private:
   struct Slot {
@@ -96,6 +128,7 @@ class LockTable {
   }
 
   sim::Simulator* sim_;
+  sim::LockClass class_;
   std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
 };
 

@@ -146,6 +146,7 @@ sim::Task<void> PushEngine::DrainOwnerBarrier(VolPtr v, uint32_t owner) {
 
 sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
                                            bool to_completion) {
+  // sfs-lint: allow(borrow-across-suspend, pushers is a std::map whose slots are never erased — the reference is node-stable across suspensions)
   auto& st = v->pushers[owner];
   if (st.draining) {
     co_return;  // a drain for this owner is already running
@@ -398,13 +399,22 @@ sim::Task<PushResp::AckedDir> PushEngine::ApplySection(
   // (size/mtime) — drop any record this owner installed for it first. In
   // async mode the entries' dirty-set inserts already evicted it at the
   // switch in flight, so this is the sync-mode channel (and a cheap no-op
-  // otherwise: gated on cached_fps).
+  // otherwise: gated on cached_fps). The exclusive inode lock is taken
+  // BEFORE the evict and held through the apply: evicting outside the lock
+  // leaves a window where a concurrent lookup re-installs the stale attr
+  // between the evict round trip and the apply's KV write.
+  auto ino_lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  if (v->dead) {
+    row.acked_seq = 0;
+    co_return row;
+  }
   co_await EvictSwitchCacheEntry(ctx_, v, fp);
   if (v->dead) {
     row.acked_seq = 0;
     co_return row;
   }
-  co_await agg_.ApplyEntries(v, dir, src, section_fp, std::move(entries), "");
+  co_await agg_.ApplyEntries(v, dir, src, section_fp, std::move(entries),
+                             ikey);
   if (v->dead) {
     row.acked_seq = 0;
     co_return row;
@@ -487,12 +497,14 @@ sim::Task<bool> PushEngine::RebindMovedLog(VolPtr v, InodeId dir,
       append_first = co_await v->changelog_append_locks.AcquireExclusive(
           ClAppendKey(old_fp, dir));
       if (v->dead) co_return false;
+      // sfs-lint: allow(append-innermost, same-class pair in ClAppendKey order — deadlock-free; the rebind must hold both ends to renumber)
       append_second = co_await v->changelog_append_locks.AcquireExclusive(
           ClAppendKey(new_fp, dir));
     } else {
       append_first = co_await v->changelog_append_locks.AcquireExclusive(
           ClAppendKey(new_fp, dir));
       if (v->dead) co_return false;
+      // sfs-lint: allow(append-innermost, same-class pair in ClAppendKey order — deadlock-free; the rebind must hold both ends to renumber)
       append_second = co_await v->changelog_append_locks.AcquireExclusive(
           ClAppendKey(old_fp, dir));
     }

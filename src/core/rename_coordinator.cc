@@ -328,9 +328,14 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
 
     // In-switch cache: both legs rewrite the row at this (parent, name)
     // fingerprint — the source leg deletes it, the destination leg creates
-    // it. Evict before the WAL commit, under the txn's prepare-held lock.
+    // it. Evict before the WAL commit, under the txn's prepare-held lock:
+    // the 2PC prepare leg acquired this key's exclusive inode lock and
+    // parked it in v->txn_locks, so the commit leg's own chain holds
+    // nothing — kExternal names that holder for the discipline checker.
+    // sfs-lint: allow(evict-requires-lock, exclusive inode lock held in v->txn_locks by the prepare leg of this txn)
     co_await EvictSwitchCacheEntry(
-        ctx_, v, FingerprintOf(msg->parent_dir, msg->parent_entry_name));
+        ctx_, v, FingerprintOf(msg->parent_dir, msg->parent_entry_name),
+        EvictLockWitness::kExternal);
     if (v->dead) co_return;
 
     // Per-log append mutex: commit legs cannot take the fp-group change-log

@@ -337,10 +337,16 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
       if (attr.type == FileType::kReference) {
         // Hard link: drop one reference; the attributes object dies when the
         // count reaches zero (§5.5).
-        co_await links_.UpdateLinkCount(v, attr.id,
-                                        static_cast<uint32_t>(attr.size), -1,
-                                        nullptr);
+        Status ls = co_await links_.UpdateLinkCount(
+            v, attr.id, static_cast<uint32_t>(attr.size), -1, nullptr);
         if (v->dead) co_return;
+        if (!ls.ok()) {
+          // A failed decrement leaves the refcount untouched; surfacing the
+          // error beats unlinking the entry and stranding the attributes
+          // object with a count it can never shed.
+          RespondStatus(p, ls.code());
+          co_return;
+        }
       }
       entry.op = OpType::kUnlink;
       entry.entry_type = FileType::kFile;
@@ -368,6 +374,7 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
     auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
         ClAppendKey(pfp, ref.pid));
     if (v->dead) co_return;
+    // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
     ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
     entry.seq = clog.last_appended_seq() + 1;
     OpCommitRecord rec;
@@ -437,7 +444,9 @@ sim::Task<void> SwitchServer::PublishUpdate(const net::Packet* client_req,
     // Tracker full or unreachable: apply the parent update synchronously at
     // its owner so the deferred entry is visible without the dirty set.
     stats_.fallbacks++;
-    co_await SyncParentUpdate(v, fp, dir);
+    // Best-effort: on failure the entries simply stay pending for a later
+    // push — the op itself is already committed.
+    (void)co_await SyncParentUpdate(v, fp, dir);
     if (v->dead) co_return;
   }
   if (res != tracker::InsertResult::kDelivered && client_req != nullptr) {
@@ -476,12 +485,29 @@ sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
   if (IsOwner(fp)) {
     // Synchronous local apply mutates the directory's attr without a
     // dirty-set insert, so the switch never saw a kInsert evict for this
-    // fingerprint — drop any cached attr first (no-op unless installed).
-    co_await EvictSwitchCacheEntry(ctx_, v, fp);
+    // fingerprint — drop any cached attr first (no-op unless installed),
+    // under the directory's exclusive inode lock spanning evict -> apply
+    // commit (handed to ApplyEntries via held_inode_key): an unlocked evict
+    // leaves a window for a lookup to re-install the pre-apply record with a
+    // post-evict version. Directory unknown here: nothing to evict (its
+    // removal evicted under its own lock) and ApplyEntries drops the
+    // entries; skip straight to classification.
+    std::string dkey;
+    psw::Fingerprint dfp = 0;
+    LockTable::Handle ino_lock;
+    if (v->LookupDirIndex(dir, &dkey, &dfp)) {
+      ino_lock = co_await v->inode_locks.AcquireExclusive(dkey);
+      if (v->dead) co_return UnavailableError();
+      co_await EvictSwitchCacheEntry(ctx_, v, fp);
+      if (v->dead) co_return UnavailableError();
+    }
+    // dkey is empty exactly when the lookup failed and no lock is held (and
+    // a conditional-operator temporary inside a co_await expression would
+    // trip the GCC 12 frame-slot miscompile noted in HandleChmod).
+    co_await agg_.ApplyEntries(v, dir, config_.index, fp, std::move(entries),
+                               dkey);
     if (v->dead) co_return UnavailableError();
-    co_await agg_.ApplyEntries(v, dir, config_.index, fp,
-                               std::move(entries), "");
-    if (v->dead) co_return UnavailableError();
+    ino_lock.Release();
     // Classify AFTER the apply: ApplyEntries drops entries silently when
     // the directory is unknown here, and a rename can commit while the
     // apply waits on the inode lock — a pre-apply check would let the
@@ -1261,6 +1287,7 @@ sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
     auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
         ClAppendKey(pfp, ref.pid));
     if (v->dead) co_return;
+    // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
     ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
     uint64_t seq = clog.last_appended_seq();
     const int64_t now = Now();
@@ -1316,7 +1343,7 @@ sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
     // Conventional synchronous update (Baseline of §7.3.1). Owner
     // unreachable: the entries stay pending for a later push; the batch
     // itself is committed, so report the verdicts.
-    co_await SyncParentUpdate(v, pfp, ref.pid);
+    (void)co_await SyncParentUpdate(v, pfp, ref.pid);
     if (v->dead) co_return;
     rpc_.Respond(p, resp);
     co_return;
@@ -1421,6 +1448,7 @@ sim::Task<void> SwitchServer::HandleRmdir(net::Packet p, VolPtr v) {
     auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
         ClAppendKey(pfp, ref.pid));
     if (v->dead) co_return;
+    // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
     ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
     ChangeLogEntry entry;
     entry.timestamp = Now();
@@ -1516,10 +1544,17 @@ sim::Task<void> SwitchServer::HandleFileOp(net::Packet p, VolPtr v) {
       delta.mode = req->mode;
     }
     Attr shared;
-    co_await links_.UpdateLinkCount(v, attr.id,
-                                    static_cast<uint32_t>(attr.size),
-                                    /*delta=*/0, &shared, delta);
+    // A failed update (attributes owner unreachable) must surface — the
+    // mutation did NOT commit, and replying kOk would hand the client a
+    // default-constructed Attr as the new truth (see HandleSetAttr's leg).
+    Status s = co_await links_.UpdateLinkCount(v, attr.id,
+                                               static_cast<uint32_t>(attr.size),
+                                               /*delta=*/0, &shared, delta);
     if (v->dead) co_return;
+    if (!s.ok()) {
+      RespondStatus(p, s.code());
+      co_return;
+    }
     auto resp2 = std::make_shared<MetaResp>(StatusCode::kOk);
     resp2->attr = shared;
     co_await cpu_.Run(costs_->reply_build);

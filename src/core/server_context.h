@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/core/change_log.h"
 #include "src/core/dir_session.h"
 #include "src/core/invalidation.h"
@@ -210,8 +211,11 @@ struct ServerStats {
   uint64_t push_paced_drains = 0;
 };
 
-// Volatile state of one server incarnation (wiped on crash).
-struct ServerVolatile {
+// Volatile state of one server incarnation (wiped on crash). Its containers
+// are mutated by concurrently-interleaved coroutine handlers, so references,
+// pointers, and iterators into them must not live across a co_await
+// (sfs-lint rule borrow-across-suspend).
+struct SFS_SUSPENSION_SHARED ServerVolatile {
   struct AggWait {  // initiator side
     uint64_t seq = 0;
     std::set<uint32_t> pending;  // server indices yet to reply for `seq`
@@ -275,10 +279,10 @@ struct ServerVolatile {
   };
 
   explicit ServerVolatile(sim::Simulator* sim)
-      : inode_locks(sim),
-        changelog_locks(sim),
-        agg_gates(sim),
-        changelog_append_locks(sim),
+      : inode_locks(sim, sim::LockClass::kInode),
+        changelog_locks(sim, sim::LockClass::kChangelogGroup),
+        agg_gates(sim, sim::LockClass::kAggGate),
+        changelog_append_locks(sim, sim::LockClass::kAppend),
         dir_sessions(sim->Now()) {}
 
   bool dead = false;
@@ -292,7 +296,7 @@ struct ServerVolatile {
   // inside. Every appender takes it — including the rename/link commit legs
   // that cannot take the fp-group lock — so a captured seq can no longer go
   // stale against a concurrent append or rebind renumber of the same log.
-  LockTable changelog_append_locks;
+  SFS_LOCK_INNERMOST LockTable changelog_append_locks;
   // Directory-stream sessions (MetadataService v2). Seeded with the
   // incarnation's creation time so a handle minted before a crash cannot
   // alias a post-recovery session.

@@ -17,9 +17,11 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/annotations.h"
+
 namespace switchfs::kv {
 
-class KvStore {
+class SFS_SUSPENSION_SHARED KvStore {
  public:
   std::optional<std::string> Get(const std::string& key) const;
   bool Contains(const std::string& key) const;

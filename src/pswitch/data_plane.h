@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/net/network.h"
 #include "src/net/packet.h"
 #include "src/pswitch/dirty_set.h"
@@ -65,7 +66,11 @@ class DataPlane : public net::SwitchBehavior {
   bool CacheContains(Fingerprint fp);
   // Control-plane predicate flush of the metadata cache (owner recovery:
   // drop everything a crashed owner may have installed). Returns entries
-  // dropped.
+  // dropped. Outside recovery, call sites must hold the exclusive inode
+  // lock of every fingerprint the predicate can match (rule
+  // evict-requires-lock), or a stale record can be re-installed between the
+  // flush and the commit.
+  SFS_REQUIRES_EXCLUSIVE(inode_locks)
   size_t EvictCachedIf(const std::function<bool(Fingerprint)>& pred);
 
   // Forces every insert to fail (dirty-set overflow study, §7.3.2).

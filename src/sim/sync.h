@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 
@@ -41,7 +42,7 @@ class Delay {
 
 // Exclusive mutex with FIFO handoff. Usage:
 //   auto guard = co_await mu.Acquire();
-class Mutex {
+class SFS_LOCKABLE Mutex {
  public:
   explicit Mutex(Simulator* sim) : sim_(sim) {}
   Mutex(const Mutex&) = delete;
@@ -116,7 +117,7 @@ class Mutex {
 // Reader/writer lock with strict FIFO admission (no reader or writer
 // starvation): a reader queued behind a writer waits for that writer;
 // consecutive queued readers are admitted as a batch.
-class SharedMutex {
+class SFS_LOCKABLE SharedMutex {
  public:
   explicit SharedMutex(Simulator* sim) : sim_(sim) {}
   SharedMutex(const SharedMutex&) = delete;

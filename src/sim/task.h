@@ -18,6 +18,8 @@
 #include <optional>
 #include <utility>
 
+#include "src/sim/discipline.h"
+
 namespace switchfs::sim {
 
 template <typename T>
@@ -29,6 +31,25 @@ template <typename T>
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+#if SFS_DISCIPLINE_CHECKS
+  // Chain identity for the dynamic discipline checker: every frame reachable
+  // from one root (spawned or test-driven) coroutine shares one id, so lock
+  // holds registered by LockTable sub-coroutines attribute to the logical
+  // operation that owns them. 0 until the frame's first co_await.
+  uint64_t chain_id = 0;
+
+  // Pass-through await_transform that publishes this frame's chain id so an
+  // awaited child Task can inherit it (Task::Awaiter::await_suspend reads it
+  // back synchronously, before any suspension can intervene).
+  template <typename A>
+  decltype(auto) await_transform(A&& awaitable) {
+    if (chain_id == 0) {
+      chain_id = discipline::FreshChainId();
+    }
+    discipline::SetCurrentChain(chain_id);
+    return std::forward<A>(awaitable);
+  }
+#endif
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -84,6 +105,9 @@ class [[nodiscard]] Task {
     bool await_ready() const noexcept { return !h || h.done(); }
     std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
       h.promise().continuation = cont;
+#if SFS_DISCIPLINE_CHECKS
+      h.promise().chain_id = discipline::CurrentChain();
+#endif
       return h;  // symmetric transfer: start (or resume into) the child
     }
     T await_resume() {
@@ -142,6 +166,9 @@ class [[nodiscard]] Task<void> {
     bool await_ready() const noexcept { return !h || h.done(); }
     std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
       h.promise().continuation = cont;
+#if SFS_DISCIPLINE_CHECKS
+      h.promise().chain_id = discipline::CurrentChain();
+#endif
       return h;
     }
     void await_resume() {
@@ -175,6 +202,15 @@ struct DetachedTask {
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() {}
     void unhandled_exception() { std::terminate(); }
+#if SFS_DISCIPLINE_CHECKS
+    // Each spawned root starts a fresh discipline chain; the awaited Task
+    // inherits the id via Task::Awaiter::await_suspend.
+    template <typename A>
+    decltype(auto) await_transform(A&& awaitable) {
+      discipline::SetCurrentChain(discipline::FreshChainId());
+      return std::forward<A>(awaitable);
+    }
+#endif
   };
 };
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/sim/sync.h"
 #include "src/tracker/dirty_tracker.h"
 #include "src/tracker/tracker_server.h"
@@ -44,7 +45,10 @@ struct ReplicatedTrackerConfig {
   int op_retry_rounds = 4;
 };
 
-class ReplicatedTracker : public DirtyTracker {
+// Chain membership (nodes_/chain_) is rewired by failover while query
+// coroutines are suspended mid-RPC, so borrows of it must not cross a
+// co_await (sfs-lint rule borrow-across-suspend).
+class SFS_SUSPENSION_SHARED ReplicatedTracker : public DirtyTracker {
  public:
   ReplicatedTracker(sim::Simulator* sim, net::Network* net,
                     core::ClusterContext* cluster, const sim::CostModel* costs,

@@ -1,0 +1,37 @@
+// R2 append-innermost fixtures.
+#include "fixture_defs.h"
+
+sim::Task<void> AppendPositiveInverted(FakeVol& v) {
+  auto a = co_await v.append_locks.AcquireExclusive(1);
+  auto g = co_await v.group_locks.AcquireExclusive(1);  // flagged
+  co_return;
+}
+
+sim::Task<void> AppendPositiveSecondAppend(FakeVol& v) {
+  auto a = co_await v.append_locks.AcquireExclusive(1);
+  // Even a same-class pair must carry the ordering argument in a
+  // suppression (the dynamic checker allows it; the static rule does not).
+  auto b = co_await v.append_locks.AcquireExclusive(2);  // flagged
+  co_return;
+}
+
+sim::Task<void> AppendSuppressed(FakeVol& v) {
+  auto a = co_await v.append_locks.AcquireExclusive(1);
+  // sfs-lint: allow(append-innermost, fixture — pair taken in key order)
+  auto b = co_await v.append_locks.AcquireExclusive(2);
+  co_return;
+}
+
+sim::Task<void> AppendNegativeInnermostLast(FakeVol& v) {
+  auto g = co_await v.group_locks.AcquireExclusive(1);
+  auto a = co_await v.append_locks.AcquireExclusive(1);  // innermost last: ok
+  co_return;
+}
+
+sim::Task<void> AppendNegativeScopeEnded(FakeVol& v) {
+  {
+    auto a = co_await v.append_locks.AcquireExclusive(1);
+  }
+  auto g = co_await v.group_locks.AcquireExclusive(1);  // append released: ok
+  co_return;
+}

@@ -1,0 +1,16 @@
+// Suppression-syntax fixtures: a reason is mandatory and the rule must be
+// one sfs-lint knows about.
+#include "fixture_defs.h"
+
+sim::Task<void> BadSuppressionEmptyReason(FakeVol& v) {
+  // sfs-lint: allow(borrow-across-suspend, )
+  int& slot = v.table[1];
+  co_await sim::Delay(10);
+  slot = 2;
+}
+
+sim::Task<void> BadSuppressionUnknownRule(FakeVol& v) {
+  // sfs-lint: allow(made-up-rule, reason text)
+  co_await sim::Delay(10);
+  Use(1);
+}

@@ -1,0 +1,60 @@
+// R1 borrow-across-suspend fixtures: positive, suppressed, and negative
+// variants. Golden line numbers live in tools/lint/expected.txt — keep edits
+// append-only or regenerate the golden.
+#include "fixture_defs.h"
+
+sim::Task<void> BorrowPositiveReference(FakeVol& v) {
+  int& slot = v.table[1];
+  co_await sim::Delay(10);
+  slot = 2;  // use after the suspension: flagged at the declaration
+}
+
+sim::Task<void> BorrowPositiveIterator(FakeVol& v) {
+  auto it = v.table.find(1);
+  co_await sim::Delay(10);
+  Use(it->second);
+}
+
+sim::Task<void> BorrowPositiveRangeFor(FakeVol& v) {
+  for (auto& kv : v.table) {
+    co_await sim::Delay(10);
+    Use(kv.second);
+  }
+}
+
+sim::Task<void> BorrowSuppressed(FakeVol& v) {
+  // sfs-lint: allow(borrow-across-suspend, fixture — pretend the slot is pinned)
+  int& slot = v.table[1];
+  co_await sim::Delay(10);
+  slot = 2;
+}
+
+sim::Task<void> BorrowNegativeCopy(FakeVol& v) {
+  int val = v.table[1];  // a copy, not a borrow
+  co_await sim::Delay(10);
+  Use(val);
+}
+
+sim::Task<void> BorrowNegativeRefind(FakeVol& v) {
+  int* p = &v.table[1];
+  co_await sim::Delay(10);
+  p = &v.table[1];  // re-found after the suspension: liveness resets
+  Use(*p);
+}
+
+sim::Task<void> BorrowNegativeShielded(FakeVol& v) {
+  while (true) {
+    int* p = &v.table[1];
+    if (*p == 0) {
+      co_await sim::Delay(10);
+      co_return;  // terminator: the await cannot flow to the use below
+    }
+    Use(*p);
+  }
+}
+
+sim::Task<void> BorrowNegativeLocalContainer(std::map<int, int> own) {
+  int& slot = own[1];  // not suspension-shared state
+  co_await sim::Delay(10);
+  slot = 2;
+}

@@ -1,0 +1,33 @@
+// R3 discarded-status fixtures.
+#include "fixture_defs.h"
+
+sim::Task<void> DiscardPositive(FakeVol& v) {
+  co_await AsyncStatusThing();  // flagged: result dropped on the floor
+  Use(1);
+}
+
+sim::Task<void> DiscardSuppressed(FakeVol& v) {
+  // sfs-lint: allow(discarded-status, fixture — failure is benign here)
+  co_await AsyncStatusThing();
+  Use(1);
+}
+
+sim::Task<void> DiscardNegativeChecked(FakeVol& v) {
+  Status s = co_await AsyncStatusThing();
+  if (!s.ok()) {
+    co_return;
+  }
+}
+
+sim::Task<void> DiscardNegativeVoidCast(FakeVol& v) {
+  (void)co_await AsyncStatusThing();  // explicit, visible discard: allowed
+}
+
+sim::Task<Status> DiscardNegativeForwarded(FakeVol& v) {
+  co_return co_await AsyncStatusThing();
+}
+
+sim::Task<void> DiscardNegativeNonStatus(FakeVol& v) {
+  co_await sim::Delay(10);  // callee does not return Status
+  co_await AsyncIntThing();  // nor does this one
+}

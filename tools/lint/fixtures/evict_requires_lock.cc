@@ -1,0 +1,30 @@
+// R4 evict-requires-lock fixtures.
+#include "fixture_defs.h"
+
+sim::Task<void> EvictPositiveNoGuard(FakeVol& v) {
+  co_await FakeEvict(v, 7);  // flagged: no exclusive inode guard live
+}
+
+sim::Task<void> EvictPositiveReleased(FakeVol& v) {
+  auto lock = co_await v.inode_locks.AcquireExclusive(7);
+  lock.Release();
+  co_await FakeEvict(v, 7);  // flagged: guard released before the call
+}
+
+sim::Task<void> EvictSuppressed(FakeVol& v) {
+  // sfs-lint: allow(evict-requires-lock, fixture — lock held out of band)
+  co_await FakeEvict(v, 7);
+}
+
+sim::Task<void> EvictNegativeGuarded(FakeVol& v) {
+  auto lock = co_await v.inode_locks.AcquireExclusive(7);
+  co_await FakeEvict(v, 7);  // guard live in the enclosing scope: ok
+}
+
+sim::Task<void> EvictNegativeLateBind(FakeVol& v, bool write) {
+  Handle lock;
+  if (write) {
+    lock = co_await v.inode_locks.AcquireExclusive(7);
+  }
+  co_await FakeEvict(v, 7);  // guard scoped to the declaration: ok
+}

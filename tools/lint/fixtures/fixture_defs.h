@@ -1,0 +1,58 @@
+// Minimal stand-ins for the sfs-lint fixtures: just enough lexical surface
+// for scripts/lint/sfs_lint.py to harvest annotated types, lock members, and
+// Status-returning signatures. The fixtures are linted, never compiled — the
+// golden test (tools/lint/test_lint.py) pins the analyzer's output on them.
+#pragma once
+
+#define SFS_SUSPENSION_SHARED
+#define SFS_LOCKABLE
+#define SFS_LOCK_INNERMOST
+#define SFS_REQUIRES_EXCLUSIVE(lock)
+
+#include <map>
+
+struct Status {
+  bool ok() const;
+  int code() const;
+};
+
+template <typename T>
+struct StatusOr {
+  bool ok() const;
+  T& operator*();
+};
+
+namespace sim {
+
+template <typename T>
+struct Task {};
+
+Task<void> Delay(int ns);
+
+}  // namespace sim
+
+struct Handle {
+  void Release();
+};
+
+class SFS_LOCKABLE LockTable {
+ public:
+  sim::Task<Handle> AcquireShared(int key);
+  sim::Task<Handle> AcquireExclusive(int key);
+};
+
+struct SFS_SUSPENSION_SHARED FakeVol {
+  std::map<int, int> table;
+  LockTable inode_locks;
+  LockTable group_locks;
+  SFS_LOCK_INNERMOST LockTable append_locks;
+};
+
+void Use(int x);
+
+Status SyncStatusThing();
+sim::Task<Status> AsyncStatusThing();
+sim::Task<int> AsyncIntThing();
+
+SFS_REQUIRES_EXCLUSIVE(inode_locks)
+sim::Task<void> FakeEvict(FakeVol& v, int fp);

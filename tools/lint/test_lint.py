@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Golden-output test for scripts/lint/sfs_lint.py.
+
+Runs the analyzer over tools/lint/fixtures/ and compares the findings
+line-for-line against tools/lint/expected.txt. The fixtures encode, per rule,
+a positive variant (must be flagged), a suppressed variant (must be silent
+and counted as suppressed), and negative variants (must be silent). A
+behavioral change to the analyzer that shifts any of these shows up as a
+golden diff here. Registered with ctest as `lint_fixtures`.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, os.pardir, os.pardir, "scripts", "lint",
+                    "sfs_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+GOLDEN = os.path.join(HERE, "expected.txt")
+
+# One suppressed variant per rule, consumed from the fixtures.
+EXPECTED_SUPPRESSED = 4
+
+
+def main():
+    proc = subprocess.run(
+        [sys.executable, LINT, FIXTURES, "--relative-to", FIXTURES],
+        capture_output=True, text=True)
+    with open(GOLDEN, "r", encoding="utf-8") as fh:
+        expected = fh.read()
+
+    failures = []
+    if proc.stdout != expected:
+        import difflib
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            proc.stdout.splitlines(keepends=True),
+            fromfile="expected.txt", tofile="sfs-lint output"))
+        failures.append("finding mismatch:\n" + diff)
+    if proc.returncode != 1:
+        failures.append("exit code: expected 1 (unsuppressed findings "
+                        "present), got %d" % proc.returncode)
+    m = re.search(r"(\d+) finding\(s\), (\d+) suppressed", proc.stderr)
+    if not m:
+        failures.append("summary line missing from stderr: %r" % proc.stderr)
+    elif int(m.group(2)) != EXPECTED_SUPPRESSED:
+        failures.append("suppressed count: expected %d, got %s" %
+                        (EXPECTED_SUPPRESSED, m.group(2)))
+
+    if failures:
+        print("FAIL: sfs-lint fixture check")
+        for f in failures:
+            print(f)
+        return 1
+    print("PASS: sfs-lint fixtures match golden "
+          "(%d findings, %d suppressed)" %
+          (len(expected.splitlines()), EXPECTED_SUPPRESSED))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
