@@ -46,6 +46,11 @@ GATED = {
         (("cached", "hit_rate"), True, "data-plane cache hit rate"),
         (("speedup",), True, "cached vs uncached throughput ratio"),
     ],
+    "shard_scaling": [
+        (("four_shard", "apply_keps"), True, "4-shard owner apply throughput"),
+        (("four_shard", "drain_ms"), False, "4-shard burst makespan"),
+        (("speedup",), True, "4-shard vs 1-shard apply speedup"),
+    ],
 }
 
 # Comparative gates evaluated on the CURRENT run alone: metric A must be
@@ -70,6 +75,12 @@ COMPARATIVE = {
          "cached hot-read throughput beats the owner path"),
         (("cached", "server_ops"), ("uncached", "server_ops"),
          "the cache offloads requests from the metadata servers"),
+    ],
+    "shard_scaling": [
+        (("speedup_floor",), ("speedup",),
+         "4-shard apply throughput at least 2x 1-shard"),
+        (("four_shard", "drain_ms"), ("one_shard", "drain_ms"),
+         "4 shards drain the skewed burst faster than 1"),
     ],
 }
 

@@ -4,15 +4,16 @@
 # Opt-in from scripts/check.sh via SFS_BENCH_SMOKE=1, or run directly:
 #
 #   scripts/bench_smoke.sh            # writes ./BENCH_push_batching.json,
-#                                     #   ./BENCH_readdir_paging.json and
-#                                     #   ./BENCH_switch_cache.json
+#                                     #   ./BENCH_readdir_paging.json,
+#                                     #   ./BENCH_switch_cache.json and
+#                                     #   ./BENCH_shard_scaling.json
 #   BENCHES=bench_push_batching BENCH_JSON=/tmp/b.json scripts/bench_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
-BENCHES=${BENCHES:-"bench_push_batching bench_readdir_paging bench_switch_cache"}
+BENCHES=${BENCHES:-"bench_push_batching bench_readdir_paging bench_switch_cache bench_shard_scaling"}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for bench in $BENCHES; do

@@ -87,7 +87,8 @@ if [[ "${SFS_BENCH_SMOKE:-0}" == "1" ]]; then
   scripts/bench_smoke.sh
   echo "== perf smoke: regression gate vs bench/baselines =="
   python3 scripts/bench_check.py BENCH_push_batching.json \
-      BENCH_readdir_paging.json BENCH_switch_cache.json
+      BENCH_readdir_paging.json BENCH_switch_cache.json \
+      BENCH_shard_scaling.json
 fi
 
 if [[ "$MODE" != "--fast" ]]; then

@@ -7,8 +7,9 @@ the bugs that actually bite this codebase: references into shared state held
 across a `co_await` (another chain mutates or erases the container while the
 frame sleeps), lock-order inversions against the innermost changelog append
 mutex, awaited Status values silently dropped, and switch-cache evicts run
-without the exclusive inode lock (PR-3/PR-4 postmortems). sfs-lint is a
-lexical/structural analyzer for exactly those four patterns. It is not a
+without the exclusive inode lock (PR-3/PR-4 postmortems), and shard-private
+state reached without going through a shard router. sfs-lint is a
+lexical/structural analyzer for exactly those five patterns. It is not a
 compiler: it tokenizes the source, tracks brace scopes, and keys off the
 annotation macros in src/common/annotations.h rather than doing real type
 resolution. libclang is deliberately not required.
@@ -38,6 +39,13 @@ Rules
       inside the live scope of an exclusive guard acquired from that member
       (`co_await ...member.AcquireExclusive(...)`), or carry a suppression
       naming the out-of-band witness.
+  cross-shard-direct     (R5)
+      A data member annotated SFS_SHARD_PRIVATE (ServerVolatile::shards)
+      partitions state by fingerprint-group shard; only functions annotated
+      SFS_SHARD_ROUTER (ShardFor/ShardAt/ShardForKey/SessionShard and the
+      constructor) may touch it. Everything else must resolve a shard
+      through a router at op entry — cross-shard work goes through the
+      handoff lane — or carry a suppression naming the handoff argument.
 
 Suppression
 -----------
@@ -62,6 +70,7 @@ RULES = (
     "append-innermost",
     "discarded-status",
     "evict-requires-lock",
+    "cross-shard-direct",
 )
 
 SUPPRESS_RE = re.compile(
@@ -224,10 +233,12 @@ class Harvest:
         self.innermost = set()        # SFS_LOCK_INNERMOST member names
         self.requires = {}            # function name -> required lock member
         self.status_funcs = set()     # names returning Status/StatusOr/...
+        self.shard_private = set()    # SFS_SHARD_PRIVATE member names
 
 
 SHARED_RE = re.compile(r"\b(?:class|struct)\s+SFS_SUSPENSION_SHARED\s+(\w+)")
 INNERMOST_RE = re.compile(r"\bSFS_LOCK_INNERMOST\s+[\w:]+\s+(\w+)\s*;")
+SHARD_PRIVATE_RE = re.compile(r"\bSFS_SHARD_PRIVATE\s+[^;{}()]*?(\w+)\s*;")
 REQUIRES_RE = re.compile(
     r"\bSFS_REQUIRES_EXCLUSIVE\(\s*(\w+)\s*\)\s*"
     r"(?:[\w:]+(?:<[^;{}()]*>)?\s+)*?(\w+)\s*\(")
@@ -241,6 +252,8 @@ def harvest_file(src, h):
         h.shared_types.add(m.group(1))
     for m in INNERMOST_RE.finditer(src.clean):
         h.innermost.add(m.group(1))
+    for m in SHARD_PRIVATE_RE.finditer(src.clean):
+        h.shard_private.add(m.group(1))
     for m in REQUIRES_RE.finditer(src.clean):
         h.requires[m.group(2)] = m.group(1)
     for m in STATUS_RE.finditer(src.clean):
@@ -353,6 +366,7 @@ class Analyzer:
     # -- analysis entry -----------------------------------------------------
 
     def run(self):
+        self.check_shard_direct()
         for open_at, close_at, header_start in coroutine_bodies(self.src):
             head = header_text(self.src, header_start, open_at)
             body = self.src.clean[open_at:close_at + 1]
@@ -365,6 +379,49 @@ class Analyzer:
             self.check_append_innermost(open_at, body)
             self.check_discarded_status(open_at, body)
             self.check_evict_lock(open_at, body)
+
+    # -- R5 -----------------------------------------------------------------
+
+    def check_shard_direct(self):
+        """Flags uses of SFS_SHARD_PRIVATE members in any function whose
+        header is not annotated SFS_SHARD_ROUTER. Runs over ALL function
+        bodies (shard state is reachable from plain helpers too, not just
+        coroutines)."""
+        if not self.h.shard_private:
+            return
+        clean = self.src.clean
+        bodies = [(m.end() - 1, self.src.enclosing_scope_end(m.end()),
+                   m.start()) for m in FUNC_BODY_RE.finditer(clean)]
+        alt = "|".join(sorted(re.escape(n) for n in self.h.shard_private))
+        # `x.shards`, `x->shards`, or bare `shards` being indexed/deref'd.
+        use_re = re.compile(
+            r"(?:\.|->)\s*(?:%s)\b|(?<![\w.>])(?:%s)\s*(?=[\[.]|->)" %
+            (alt, alt))
+        for m in use_re.finditer(clean):
+            at = m.start()
+            # The annotated declaration itself.
+            line_start = self.src.line_starts[self.src.line_of(at) - 1]
+            if "SFS_SHARD_PRIVATE" in self.src.raw[line_start:at]:
+                continue
+            # The OUTERMOST enclosing `){`-body is the function (inner
+            # matches are control-flow blocks or lambdas inside it); its
+            # header carries the router annotation when sanctioned.
+            outer = None
+            for open_at, close_at, header_start in bodies:
+                if open_at < at < close_at and \
+                        (outer is None or open_at < outer[0]):
+                    outer = (open_at, close_at, header_start)
+            if outer is None:
+                continue  # class/namespace scope: the declaration side
+            head = header_text(self.src, outer[2], outer[0])
+            if "SFS_SHARD_ROUTER" in head:
+                continue
+            self.report(
+                "cross-shard-direct", at,
+                "shard-private state accessed outside a SFS_SHARD_ROUTER "
+                "accessor; resolve the shard via ShardFor/ShardAt/"
+                "SessionShard at op entry (cross-shard work goes through "
+                "the handoff lane) or suppress naming the handoff argument")
 
     # -- R1 -----------------------------------------------------------------
 

@@ -21,6 +21,13 @@
 //                             exclusive guard of lock member `l` (or carry a
 //                             suppression); the function body itself may
 //                             assume the lock (rule evict-requires-lock).
+//  SFS_SHARD_PRIVATE          on a data member: the member partitions
+//                             per-shard state — only router functions may
+//                             index it directly (rule cross-shard-direct).
+//  SFS_SHARD_ROUTER           on a function: this function IS a shard
+//                             router/accessor and may touch SFS_SHARD_PRIVATE
+//                             members directly; everything else must go
+//                             through a router or an enqueued shard task.
 //
 // Suppressions (reason mandatory, checked by the linter):
 //   // sfs-lint: allow(<rule>, <reason>)
@@ -34,11 +41,15 @@
 #define SFS_LOCK_INNERMOST [[clang::annotate("sfs::lock_innermost")]]
 #define SFS_REQUIRES_EXCLUSIVE(lock) \
   [[clang::annotate("sfs::requires_exclusive:" #lock)]]
+#define SFS_SHARD_PRIVATE [[clang::annotate("sfs::shard_private")]]
+#define SFS_SHARD_ROUTER [[clang::annotate("sfs::shard_router")]]
 #else
 #define SFS_SUSPENSION_SHARED
 #define SFS_LOCKABLE
 #define SFS_LOCK_INNERMOST
 #define SFS_REQUIRES_EXCLUSIVE(lock)
+#define SFS_SHARD_PRIVATE
+#define SFS_SHARD_ROUTER
 #endif
 
 #endif  // SRC_COMMON_ANNOTATIONS_H_

@@ -26,7 +26,7 @@ sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
       w->pending.insert(s);
     }
   }
-  v->agg_waits[fp] = w;
+  v->ShardFor(fp).agg_waits[fp] = w;
 
   if (invalidate.has_value()) {
     v->inval.Add(*invalidate, ctx_.Now());
@@ -37,11 +37,12 @@ sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
   {
     LockTable::Handle local_lock;
     if (fp != held_cl_fp) {
-      local_lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
+      local_lock =
+          co_await v->ShardFor(fp).changelog_locks.AcquireShared(FpKey(fp));
       if (v->dead) co_return outcome;
     }
-    auto it = v->changelogs.find(fp);
-    if (it != v->changelogs.end()) {
+    auto it = v->ShardFor(fp).changelogs.find(fp);
+    if (it != v->ShardFor(fp).changelogs.end()) {
       for (auto& [dir, log] : it->second) {
         if (log.empty()) {
           continue;
@@ -144,8 +145,8 @@ sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
   }
 
   // Ack our own change-logs synchronously.
-  auto own = v->changelogs.find(fp);
-  if (own != v->changelogs.end()) {
+  auto own = v->ShardFor(fp).changelogs.find(fp);
+  if (own != v->ShardFor(fp).changelogs.end()) {
     for (auto& [dir, log] : own->second) {
       auto it = acked.find({ctx_.config->index, dir});
       if (it == acked.end()) {
@@ -183,8 +184,8 @@ sim::Task<Aggregation::Outcome> Aggregation::RunAggregation(
                                                    /*from_aggregation=*/true));
     }
   }
-  v->last_agg_complete[fp] = ctx_.Now();
-  v->agg_waits.erase(fp);
+  v->ShardFor(fp).last_agg_complete[fp] = ctx_.Now();
+  v->ShardFor(fp).agg_waits.erase(fp);
 
   outcome.ok = true;
   if (defer_done) {
@@ -207,7 +208,7 @@ void Aggregation::SendAggDone(net::MsgPtr done_msg) {
 }
 
 sim::Task<void> Aggregation::GateAndAggregate(VolPtr v, psw::Fingerprint fp) {
-  auto gate = co_await v->agg_gates.AcquireExclusive(FpKey(fp));
+  auto gate = co_await v->ShardFor(fp).agg_gates.AcquireExclusive(FpKey(fp));
   if (v->dead) co_return;
   co_await RunAggregation(v, fp, std::nullopt, 0, "", false);
 }
@@ -215,7 +216,8 @@ sim::Task<void> Aggregation::GateAndAggregate(VolPtr v, psw::Fingerprint fp) {
 sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
                                           psw::Fingerprint lane_fp,
                                           std::vector<ChangeLogEntry> entries,
-                                          const std::string& held_inode_key) {
+                                          const std::string& held_inode_key,
+                                          uint64_t batch_token) {
   if (entries.empty()) {
     co_return;
   }
@@ -232,7 +234,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
   }
   LockTable::Handle lock;
   if (ikey != held_inode_key) {
-    lock = co_await v->inode_locks.AcquireExclusive(ikey);
+    lock = co_await v->ShardFor(fp).inode_locks.AcquireExclusive(ikey);
     if (v->dead) co_return;
   }
 
@@ -310,6 +312,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
       rec.entry = e;
       rec.result_size = result_size;
       rec.result_mtime = max_ts;
+      rec.batch_token = batch_token;
       ctx_.durable->wal.Append(kWalEntryApply, rec.Encode());
       sim::Spawn([](ServerContext* ctx, VolPtr vol, InodeId d,
                     ChangeLogEntry entry,
@@ -349,6 +352,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
           std::max<int64_t>(0, static_cast<int64_t>(attr.size) + e.size_delta);
       rec.result_size = static_cast<uint64_t>(new_size);
       rec.result_mtime = std::max(attr.mtime, e.timestamp);
+      rec.batch_token = batch_token;
       co_await ctx_.cpu->Run(ctx_.costs->wal_append);
       if (v->dead) co_return;
       ctx_.durable->wal.Append(kWalEntryApply, rec.Encode());
@@ -392,19 +396,20 @@ sim::Task<void> Aggregation::HandleAggCollect(net::Packet p, VolPtr v) {
   }
 
   const psw::Fingerprint fp = msg->fp;
-  auto it = v->agg_sessions.find(fp);
-  if (it == v->agg_sessions.end()) {
-    auto lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
+  auto it = v->ShardFor(fp).agg_sessions.find(fp);
+  if (it == v->ShardFor(fp).agg_sessions.end()) {
+    auto lock =
+        co_await v->ShardFor(fp).changelog_locks.AcquireShared(FpKey(fp));
     if (v->dead) co_return;
     // Re-check: a concurrent collect may have created the session while we
     // waited for the lock; keep the first session's lock and drop ours.
-    it = v->agg_sessions.find(fp);
-    if (it == v->agg_sessions.end()) {
+    it = v->ShardFor(fp).agg_sessions.find(fp);
+    if (it == v->ShardFor(fp).agg_sessions.end()) {
       ServerVolatile::AggSession session;
       session.seq = msg->agg_seq;
       session.lock = std::move(lock);
       session.started_at = ctx_.Now();
-      it = v->agg_sessions.emplace(fp, std::move(session)).first;
+      it = v->ShardFor(fp).agg_sessions.emplace(fp, std::move(session)).first;
       sim::Spawn(ResponderSessionWatchdog(v, fp, msg->agg_seq));
     } else {
       it->second.seq = std::max(it->second.seq, msg->agg_seq);
@@ -417,8 +422,8 @@ sim::Task<void> Aggregation::HandleAggCollect(net::Packet p, VolPtr v) {
   reply->fp = fp;
   reply->agg_seq = msg->agg_seq;
   reply->src_server = ctx_.config->index;
-  auto logs = v->changelogs.find(fp);
-  if (logs != v->changelogs.end()) {
+  auto logs = v->ShardFor(fp).changelogs.find(fp);
+  if (logs != v->ShardFor(fp).changelogs.end()) {
     for (auto& [dir, log] : logs->second) {
       if (log.empty()) {
         continue;
@@ -442,8 +447,8 @@ void Aggregation::HandleAggEntries(net::Packet p, VolPtr v) {
     return;
   }
   ctx_.rpc->Respond(p, net::MakeMsg<Ack>());
-  auto it = v->agg_waits.find(msg->fp);
-  if (it == v->agg_waits.end()) {
+  auto it = v->ShardFor(msg->fp).agg_waits.find(msg->fp);
+  if (it == v->ShardFor(msg->fp).agg_waits.end()) {
     return;  // aggregation already finished
   }
   auto& w = *it->second;
@@ -473,15 +478,15 @@ void Aggregation::HandleAggDone(const AggDone& done, VolPtr v) {
                                                    /*from_aggregation=*/true));
     }
   }
-  auto it = v->agg_sessions.find(done.fp);
-  if (it == v->agg_sessions.end()) {
+  auto it = v->ShardFor(done.fp).agg_sessions.find(done.fp);
+  if (it == v->ShardFor(done.fp).agg_sessions.end()) {
     return;
   }
   if (done.agg_seq < it->second.seq) {
     return;  // stale completion of an earlier attempt
   }
-  auto logs = v->changelogs.find(done.fp);
-  if (logs != v->changelogs.end()) {
+  auto logs = v->ShardFor(done.fp).changelogs.find(done.fp);
+  if (logs != v->ShardFor(done.fp).changelogs.end()) {
     for (const auto& row : done.acked) {
       if (row.src_server != ctx_.config->index) {
         continue;
@@ -495,7 +500,7 @@ void Aggregation::HandleAggDone(const AggDone& done, VolPtr v) {
       }
     }
   }
-  v->agg_sessions.erase(it);  // releases the change-log lock (9a)
+  v->ShardFor(done.fp).agg_sessions.erase(it);  // releases the lock (9a)
 }
 
 sim::Task<void> Aggregation::ResponderSessionWatchdog(VolPtr v,
@@ -504,8 +509,8 @@ sim::Task<void> Aggregation::ResponderSessionWatchdog(VolPtr v,
   while (true) {
     co_await sim::Delay(ctx_.sim, ctx_.config->responder_session_timeout);
     if (v->dead) co_return;
-    auto it = v->agg_sessions.find(fp);
-    if (it == v->agg_sessions.end()) {
+    auto it = v->ShardFor(fp).agg_sessions.find(fp);
+    if (it == v->ShardFor(fp).agg_sessions.end()) {
       co_return;  // finished normally
     }
     if (it->second.seq != seq) {
@@ -514,7 +519,7 @@ sim::Task<void> Aggregation::ResponderSessionWatchdog(VolPtr v,
     }
     // The initiator went silent (likely crashed): release the lock. Pending
     // entries stay; recovery or the next aggregation re-collects them.
-    v->agg_sessions.erase(it);
+    v->ShardFor(fp).agg_sessions.erase(it);
     co_return;
   }
 }

@@ -61,11 +61,14 @@ class Aggregation {
   // compaction on, N entries cost one consolidated attribute write (§5.3).
   // `lane_fp` is the fingerprint the entries were logged under at the
   // source: it selects the (dir, src, fp) dedup lane — see
-  // ServerVolatile::hwm.
+  // ServerVolatile::hwm. `batch_token` (non-zero on the push path) is
+  // stamped into every kWalEntryApply record so recovery rebuilds the
+  // section's idempotency state.
   sim::Task<void> ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
                                psw::Fingerprint lane_fp,
                                std::vector<ChangeLogEntry> entries,
-                               const std::string& held_inode_key);
+                               const std::string& held_inode_key,
+                               uint64_t batch_token = 0);
   // Takes the exclusive gate and aggregates (quiet timers, rename,
   // AggregateReq RPC, recovery).
   sim::Task<void> GateAndAggregate(VolPtr v, psw::Fingerprint fp);

@@ -492,8 +492,35 @@ sim::Task<std::vector<StatusOr<Attr>>> SwitchFsClient::BatchStat(
   // the per-owner push batching. The scaffolding (grouping, multi-target
   // RPCs, per-target verdicts, retries) is shared with the baselines.
   co_return co_await RunBatchStat(
-      sim_, rpc_, cache_, paths, config_.max_op_retries,
-      config_.retry_backoff, config_.call,
+      sim_, rpc_, cache_, paths, OpType::kBatchStat, /*scattered_hint=*/false,
+      config_.max_op_retries, config_.retry_backoff, config_.call,
+      [this](const std::string& path) -> sim::Task<StatusOr<BatchTarget>> {
+        auto ref = co_await ResolveParent(path);
+        if (!ref.ok()) {
+          co_return ref.status();
+        }
+        BatchTarget target;
+        target.server =
+            cluster_->ring().Owner(FingerprintOf(ref->pid, ref->name));
+        target.ref = *std::move(ref);
+        co_return target;
+      },
+      [this](uint32_t server) { return cluster_->ServerNode(server); });
+}
+
+sim::Task<std::vector<StatusOr<Attr>>> SwitchFsClient::BatchStatDir(
+    const std::vector<std::string>& paths) {
+  co_await sim::Delay(sim_, costs_->client_op_cost);
+  // Directory flavor: same grouping and retry scaffolding, but the server
+  // runs the per-target agg-gate dance before each stat, so every returned
+  // attr reflects all updates committed before the call. A directory is
+  // owned by its own (pid, name) fingerprint, so the routing is identical.
+  // Gate deadline caveat: an aggregation per target can push a large batch
+  // past the tight default call deadline, so reuse the OpenDir-scale one.
+  co_return co_await RunBatchStat(
+      sim_, rpc_, cache_, paths, OpType::kBatchStatDir,
+      config_.batch_stat_dir_hint, config_.max_op_retries,
+      config_.retry_backoff, config_.opendir_call,
       [this](const std::string& path) -> sim::Task<StatusOr<BatchTarget>> {
         auto ref = co_await ResolveParent(path);
         if (!ref.ok()) {

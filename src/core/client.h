@@ -71,6 +71,12 @@ class SwitchFsClient : public MetadataService {
     // mc.kRead header so the data plane can answer hits without touching the
     // owner (cluster MakeClient copies the servers' setting).
     bool switch_cache = false;
+    // BatchStatDir: stamp scattered_hint on the multi-target requests so the
+    // owner runs the aggregation dance per directory target. Required for
+    // tracker modes whose dirty test is request-scoped (the batch cannot
+    // pre-query N fingerprints in one packet); owner-tracker clusters clear
+    // it and rely on the owner's precise local set (MakeClient sets this).
+    bool batch_stat_dir_hint = true;
   };
 
   SwitchFsClient(sim::Simulator* sim, net::Network* net,
@@ -93,6 +99,8 @@ class SwitchFsClient : public MetadataService {
                                            uint64_t cookie) override;
   sim::Task<Status> CloseDir(const DirHandle& handle) override;
   sim::Task<std::vector<StatusOr<Attr>>> BatchStat(
+      const std::vector<std::string>& paths) override;
+  sim::Task<std::vector<StatusOr<Attr>>> BatchStatDir(
       const std::vector<std::string>& paths) override;
   sim::Task<std::vector<Status>> BulkInsert(
       const DirHandle& handle, const std::vector<std::string>& names) override;

@@ -101,6 +101,9 @@ std::unique_ptr<SwitchFsClient> Cluster::MakeClient() {
   cc.mtu_bytes = config_.server_template.mtu_bytes;
   cc.mtu_entries = config_.server_template.mtu_entries;
   cc.switch_cache = config_.server_template.switch_cache;
+  // Owner-tracker clusters have a precise server-local dirty test per
+  // fingerprint; everything else needs the conservative batch hint.
+  cc.batch_stat_dir_hint = config_.tracker != TrackerMode::kOwnerServer;
   return std::make_unique<SwitchFsClient>(&sim_, net_.get(), this,
                                           &config_.costs, cc);
 }
@@ -347,12 +350,15 @@ SwitchServer::Stats Cluster::TotalStats() const {
     total.bulk_insert_entries += st.bulk_insert_entries;
     total.batch_stats += st.batch_stats;
     total.batch_stat_targets += st.batch_stat_targets;
+    total.batch_stat_dirs += st.batch_stat_dirs;
     total.setattrs += st.setattrs;
     total.cache_installs += st.cache_installs;
     total.cache_evicts += st.cache_evicts;
     total.cache_evict_exhausted += st.cache_evict_exhausted;
     total.push_pace_hints += st.push_pace_hints;
     total.push_paced_drains += st.push_paced_drains;
+    total.push_batches_deduped += st.push_batches_deduped;
+    total.cross_shard_handoffs += st.cross_shard_handoffs;
   }
   return total;
 }

@@ -8,6 +8,7 @@
 #include "src/core/cache_evict.h"
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
+#include "src/sim/discipline.h"
 
 namespace switchfs::core {
 
@@ -17,7 +18,14 @@ sim::Task<Status> LinkManager::UpdateLinkCount(VolPtr v, InodeId file_id,
                                                const AttrDelta& attr_delta) {
   if (attr_server == ctx_.config->index) {
     const std::string akey = AttrKey(file_id);
-    auto lock = co_await v->inode_locks.AcquireExclusive(akey);
+    // Sanctioned cross-shard handoff (hard-link split): callers hold the
+    // link's inode lock on its name's shard while this acquires the shared
+    // attributes object's lock on the object-id's shard. Deadlock-free
+    // because attr locks are only ever taken innermost (no chain holds an
+    // attr lock while waiting on a name lock).
+    sim::CrossShardScope link_xs(co_await sim::discipline::CurrentChainId{});
+    auto lock = co_await v->ShardForKey(akey).inode_locks.AcquireExclusive(akey);
+    link_xs.Release();
     if (v->dead) co_return UnavailableError();
     co_await ctx_.cpu->Run(ctx_.costs->kv_get);
     if (v->dead) co_return UnavailableError();
@@ -94,7 +102,7 @@ sim::Task<void> LinkManager::HandleLinkConvert(net::Packet p, VolPtr v) {
   if (v->dead) co_return;
   const std::string ikey = InodeKey(msg->pid, msg->name);
   auto resp = std::make_shared<LinkConvertResp>();
-  auto lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  auto lock = co_await v->ShardForKey(ikey).inode_locks.AcquireExclusive(ikey);
   if (v->dead) co_return;
   co_await ctx_.cpu->Run(ctx_.costs->kv_get);
   if (v->dead) co_return;
@@ -173,9 +181,11 @@ sim::Task<void> LinkManager::HandleLink(net::Packet p, VolPtr v) {
   const std::string ikey = InodeKey(dst.pid, dst.name);
   const psw::Fingerprint pfp = dst.parent_fp;
 
-  auto cl_lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+  auto cl_lock =
+      co_await v->ShardFor(pfp).changelog_locks.AcquireExclusive(FpKey(pfp));
   if (v->dead) co_return;
-  auto ino_lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  auto ino_lock =
+      co_await v->ShardForKey(ikey).inode_locks.AcquireExclusive(ikey);
   if (v->dead) co_return;
   co_await ctx_.cpu->Run(ctx_.costs->path_check *
                          static_cast<sim::SimTime>(1 + dst.ancestors.size()));
@@ -221,8 +231,9 @@ sim::Task<void> LinkManager::HandleLink(net::Packet p, VolPtr v) {
     // Per-log append mutex (see HandleRenameCommit): this leg appends while
     // holding only the destination inode lock, so the captured seq must be
     // pinned against concurrent appends/renumbering across the WAL await.
-    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
-        ClAppendKey(pfp, dst.pid));
+    auto append_lock =
+        co_await v->ShardFor(pfp).changelog_append_locks.AcquireExclusive(
+            ClAppendKey(pfp, dst.pid));
     if (v->dead) co_return;
     // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
     ChangeLog& clog = v->GetChangeLog(pfp, dst.pid);

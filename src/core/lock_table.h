@@ -26,9 +26,14 @@ namespace switchfs::core {
 
 class SFS_LOCKABLE LockTable {
  public:
+  // `shard` is the table's shard domain tag for the cross-shard-lock rule
+  // (src/sim/discipline.h): every per-shard table carries a process-unique
+  // tag, so a chain mixing same-class locks from two shards is caught even
+  // across server incarnations. -1 = untagged (clients, baselines, tests).
   explicit LockTable(sim::Simulator* sim,
-                     sim::LockClass cls = sim::LockClass::kOther)
-      : sim_(sim), class_(cls) {}
+                     sim::LockClass cls = sim::LockClass::kOther,
+                     int shard = -1)
+      : sim_(sim), class_(cls), shard_(shard) {}
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
@@ -83,7 +88,7 @@ class SFS_LOCKABLE LockTable {
 #if SFS_DISCIPLINE_CHECKS
     hold_id = sim::DisciplineChecker::OnAcquired(
         co_await sim::discipline::CurrentChainId{}, class_,
-        /*exclusive=*/false, key);
+        /*exclusive=*/false, key, shard_);
 #endif
     co_return Handle(this, std::move(key), std::move(guard), hold_id);
   }
@@ -95,13 +100,14 @@ class SFS_LOCKABLE LockTable {
 #if SFS_DISCIPLINE_CHECKS
     hold_id = sim::DisciplineChecker::OnAcquired(
         co_await sim::discipline::CurrentChainId{}, class_,
-        /*exclusive=*/true, key);
+        /*exclusive=*/true, key, shard_);
 #endif
     co_return Handle(this, std::move(key), std::move(guard), hold_id);
   }
 
   size_t slot_count() const { return slots_.size(); }
   sim::LockClass lock_class() const { return class_; }
+  int shard() const { return shard_; }
 
  private:
   struct Slot {
@@ -129,6 +135,7 @@ class SFS_LOCKABLE LockTable {
 
   sim::Simulator* sim_;
   sim::LockClass class_;
+  int shard_ = -1;
   std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
 };
 

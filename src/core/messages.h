@@ -193,6 +193,13 @@ struct PushReq : net::Message {
     InodeId dir;
     psw::Fingerprint fp = 0;
     std::vector<ChangeLogEntry> entries;  // FIFO prefix of the unacked backlog
+    // Per-(dir, src) idempotency token, minted monotonically by the source
+    // per section. The owner commits it with the applied section (WAL
+    // kWalEntryApply records) and no-ops + re-acks any section whose token
+    // it has already committed, so a duplicated delivery (retransmit after
+    // a lost ack, rebind replay) applies exactly once. 0 = untokened
+    // (legacy/aggregation paths; hwm-lane dedup still applies).
+    uint64_t batch_token = 0;
   };
   std::vector<PerDir> dirs;
 };

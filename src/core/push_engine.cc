@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/cache_evict.h"
+#include "src/sim/discipline.h"
 #include "src/sim/sync.h"
 #include "src/tracker/dirty_tracker.h"
 
@@ -13,13 +14,14 @@ namespace switchfs::core {
 
 void PushEngine::EnqueueBacklog(VolPtr v, psw::Fingerprint fp,
                                 const InodeId& dir) {
-  v->pushers[ctx_.OwnerOf(fp)].ready.insert({fp, dir});
+  v->ShardFor(fp).pushers[ctx_.OwnerOf(fp)].ready.insert({fp, dir});
 }
 
 void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
                                    const InodeId& dir) {
-  auto logs = v->changelogs.find(fp);
-  if (logs == v->changelogs.end()) {
+  const size_t shard = ShardIndexForFp(fp, v->num_shards());
+  auto logs = v->ShardAt(shard).changelogs.find(fp);
+  if (logs == v->ShardAt(shard).changelogs.end()) {
     return;
   }
   auto it = logs->second.find(dir);
@@ -27,7 +29,8 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
     return;
   }
   const uint32_t owner = ctx_.OwnerOf(fp);
-  auto& st = v->pushers[owner];
+  // sfs-lint: allow(borrow-across-suspend, non-coroutine function — pushers is a std::map whose slots are never erased)
+  auto& st = v->ShardAt(shard).pushers[owner];
   st.ready.insert({fp, dir});
   st.activity++;
   if (st.retry_timer_armed) {
@@ -36,7 +39,7 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
     return;
   }
   if (static_cast<int>(it->second.size()) >= ctx_.config->push_mtu_entries ||
-      ReadyEntries(*v, st, ctx_.config->push_mtu_entries) >=
+      ReadyEntries(v->ShardAt(shard), st, ctx_.config->push_mtu_entries) >=
           ctx_.config->push_mtu_entries) {
     if (ctx_.Now() < st.pace_until) {
       // The owner asked for breathing room (PushResp::retry_after): defer
@@ -45,26 +48,25 @@ void PushEngine::MaybeSchedulePush(VolPtr v, psw::Fingerprint fp,
       ctx_.stats->push_paced_drains++;
       if (!st.idle_timer_armed) {
         st.idle_timer_armed = true;
-        sim::Spawn(OwnerIdleTimer(v, owner));
+        sim::Spawn(OwnerIdleTimer(v, shard, owner));
       }
       return;
     }
-    sim::Spawn(DrainOwner(v, owner));
+    sim::Spawn(DrainOwner(v, shard, owner));
     return;
   }
   if (!st.idle_timer_armed) {
     st.idle_timer_armed = true;
-    sim::Spawn(OwnerIdleTimer(v, owner));
+    sim::Spawn(OwnerIdleTimer(v, shard, owner));
   }
 }
 
-int PushEngine::ReadyEntries(const ServerVolatile& v,
-                             ServerVolatile::OwnerPusher& st, int cap) const {
+int PushEngine::ReadyEntries(ServerShard& sh, OwnerPusher& st, int cap) const {
   int total = 0;
   for (auto it = st.ready.begin(); it != st.ready.end();) {
     const ChangeLog* log = nullptr;
-    auto logs = v.changelogs.find(it->first);
-    if (logs != v.changelogs.end()) {
+    auto logs = sh.changelogs.find(it->first);
+    if (logs != sh.changelogs.end()) {
       auto lit = logs->second.find(it->second);
       if (lit != logs->second.end()) {
         log = &lit->second;
@@ -86,12 +88,14 @@ int PushEngine::ReadyEntries(const ServerVolatile& v,
   return total;
 }
 
-sim::Task<void> PushEngine::OwnerIdleTimer(VolPtr v, uint32_t owner) {
+sim::Task<void> PushEngine::OwnerIdleTimer(VolPtr v, size_t shard,
+                                           uint32_t owner) {
   while (true) {
-    const uint64_t seen = v->pushers[owner].activity;
+    const uint64_t seen = v->ShardAt(shard).pushers[owner].activity;
     co_await sim::Delay(ctx_.sim, ctx_.config->push_idle_timeout);
     if (v->dead) co_return;
-    auto& st = v->pushers[owner];
+    // sfs-lint: allow(borrow-across-suspend, pushers is a std::map whose slots are never erased — the reference is node-stable across suspensions)
+    auto& st = v->ShardAt(shard).pushers[owner];
     if (st.ready.empty()) {
       st.idle_timer_armed = false;
       co_return;
@@ -102,52 +106,58 @@ sim::Task<void> PushEngine::OwnerIdleTimer(VolPtr v, uint32_t owner) {
       }
       // Quiet: flush the backlog (§5.3 "no new entries within an interval").
       st.idle_timer_armed = false;
-      co_await DrainOwner(v, owner);
+      co_await DrainOwner(v, shard, owner);
       co_return;
     }
   }
 }
 
-void PushEngine::ArmRetry(VolPtr v, uint32_t owner) {
-  auto& st = v->pushers[owner];
+void PushEngine::ArmRetry(VolPtr v, size_t shard, uint32_t owner) {
+  auto& st = v->ShardAt(shard).pushers[owner];
   st.backoff_shift =
       std::min(st.backoff_shift + 1, ctx_.config->push_retry_max_backoff_shift);
   if (!st.retry_timer_armed) {
     st.retry_timer_armed = true;
-    sim::Spawn(RetryTimer(v, owner));
+    sim::Spawn(RetryTimer(v, shard, owner));
   }
 }
 
-sim::Task<void> PushEngine::RetryTimer(VolPtr v, uint32_t owner) {
+sim::Task<void> PushEngine::RetryTimer(VolPtr v, size_t shard,
+                                       uint32_t owner) {
   // A successful MTU-triggered drain may reset backoff_shift while this
   // timer is pending; clamp so the shift stays well-defined.
-  const int shift = std::max(1, v->pushers[owner].backoff_shift);
+  const int shift = std::max(1, v->ShardAt(shard).pushers[owner].backoff_shift);
   const sim::SimTime delay = ctx_.config->push_retry_backoff << (shift - 1);
   co_await sim::Delay(ctx_.sim, delay);
   if (v->dead) co_return;
-  v->pushers[owner].retry_timer_armed = false;
-  co_await DrainOwner(v, owner);
+  v->ShardAt(shard).pushers[owner].retry_timer_armed = false;
+  co_await DrainOwner(v, shard, owner);
 }
 
-sim::Task<void> PushEngine::DrainOwner(VolPtr v, uint32_t owner) {
-  co_await DrainOwnerImpl(v, owner, /*to_completion=*/false);
+sim::Task<void> PushEngine::DrainOwner(VolPtr v, size_t shard,
+                                       uint32_t owner) {
+  co_await DrainOwnerImpl(v, shard, owner, /*to_completion=*/false);
 }
 
 sim::Task<void> PushEngine::DrainOwnerBarrier(VolPtr v, uint32_t owner) {
-  // Wait out an in-flight background drain: the single-flight guard would
-  // otherwise no-op and the recovery flush would return with the backlog
-  // still unapplied.
-  while (v->pushers[owner].draining) {
-    co_await sim::Delay(ctx_.sim, sim::Microseconds(20));
+  for (size_t shard = 0; shard < v->num_shards(); ++shard) {
+    // Wait out an in-flight background drain: the single-flight guard would
+    // otherwise no-op and the recovery flush would return with the backlog
+    // still unapplied.
+    while (v->ShardAt(shard).pushers[owner].draining) {
+      co_await sim::Delay(ctx_.sim, sim::Microseconds(20));
+      if (v->dead) co_return;
+    }
+    co_await DrainOwnerImpl(v, shard, owner, /*to_completion=*/true);
     if (v->dead) co_return;
   }
-  co_await DrainOwnerImpl(v, owner, /*to_completion=*/true);
 }
 
-sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
+sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, size_t shard,
+                                           uint32_t owner,
                                            bool to_completion) {
   // sfs-lint: allow(borrow-across-suspend, pushers is a std::map whose slots are never erased — the reference is node-stable across suspensions)
-  auto& st = v->pushers[owner];
+  auto& st = v->ShardAt(shard).pushers[owner];
   if (st.draining) {
     co_return;  // a drain for this owner is already running
   }
@@ -173,12 +183,13 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
     size_t i = 0;
     while (i < want.size() && budget > 0) {
       const psw::Fingerprint fp = want[i].first;
-      auto lock = co_await v->changelog_locks.AcquireShared(FpKey(fp));
+      auto lock =
+          co_await v->ShardAt(shard).changelog_locks.AcquireShared(FpKey(fp));
       if (v->dead) co_return;
       for (; i < want.size() && want[i].first == fp && budget > 0; ++i) {
         st.ready.erase(want[i]);
-        auto logs = v->changelogs.find(fp);
-        if (logs == v->changelogs.end()) {
+        auto logs = v->ShardAt(shard).changelogs.find(fp);
+        if (logs == v->ShardAt(shard).changelogs.end()) {
           continue;
         }
         auto lit = logs->second.find(want[i].second);
@@ -191,6 +202,11 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
         PushReq::PerDir pd;
         pd.dir = want[i].second;
         pd.fp = fp;
+        // Idempotency token: minted monotonically per source, one per
+        // gathered section. A replay of this batch (lost response, retry
+        // after rebind) re-presents the same token and the owner re-acks
+        // without re-applying.
+        pd.batch_token = v->push_token_counter++;
         pd.entries.assign(pending.begin(),
                           pending.begin() + static_cast<ptrdiff_t>(take));
         budget -= static_cast<int>(take);
@@ -212,12 +228,16 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
     std::vector<PushResp::AckedDir> acked;
     if (owner == ctx_.config->index) {
       ctx_.stats->pushes_local++;
+      // Every section in this batch belongs to `shard` (the queue is
+      // per-shard), so fanning out to apply lanes would serialize on the
+      // same lane anyway — apply inline.
       for (auto& pd : req->dirs) {
-        PushResp::AckedDir row = co_await ApplySection(
-            v, pd.dir, req->src_server, pd.fp, std::move(pd.entries));
+        PushResp::AckedDir row =
+            co_await ApplySection(v, pd.dir, req->src_server, pd.fp,
+                                  std::move(pd.entries), pd.batch_token);
         if (v->dead) co_return;
         acked.push_back(row);
-        v->last_push[pd.fp] = ctx_.Now();
+        v->ShardFor(pd.fp).last_push[pd.fp] = ctx_.Now();
         ArmOwnerQuietTimer(v, pd.fp);
       }
     } else {
@@ -236,7 +256,7 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
           st.ready.insert(key);
         }
         st.draining = false;
-        ArmRetry(v, owner);
+        ArmRetry(v, shard, owner);
         co_return;
       }
       ctx_.stats->pushes_sent++;
@@ -289,10 +309,11 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
         continue;
       }
       const uint64_t acked_seq = row == nullptr ? 0 : row->acked_seq;
-      auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pd.fp));
+      auto lock = co_await v->ShardAt(shard).changelog_locks.AcquireExclusive(
+          FpKey(pd.fp));
       if (v->dead) co_return;
-      auto logs = v->changelogs.find(pd.fp);
-      if (logs == v->changelogs.end()) {
+      auto logs = v->ShardAt(shard).changelogs.find(pd.fp);
+      if (logs == v->ShardAt(shard).changelogs.end()) {
         continue;
       }
       auto lit = logs->second.find(pd.dir);
@@ -329,7 +350,7 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
       // an earlier push is still missing at the owner). Back off instead of
       // spinning at simulator speed.
       st.draining = false;
-      ArmRetry(v, owner);
+      ArmRetry(v, shard, owner);
       co_return;
     }
     st.backoff_shift = 0;
@@ -339,12 +360,12 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
       ctx_.stats->push_paced_drains++;
       if (!st.idle_timer_armed) {
         st.idle_timer_armed = true;
-        sim::Spawn(OwnerIdleTimer(v, owner));
+        sim::Spawn(OwnerIdleTimer(v, shard, owner));
       }
       break;
     }
     if (!to_completion && !heavy_leftover && !st.ready.empty() &&
-        ReadyEntries(*v, st, ctx_.config->push_mtu_entries) <
+        ReadyEntries(v->ShardAt(shard), st, ctx_.config->push_mtu_entries) <
             ctx_.config->push_mtu_entries) {
       // The remainder is a sub-MTU tail that trickled in while we were
       // pushing. Hand it to the idle timer (or the aggregate MTU trigger,
@@ -353,7 +374,7 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
       // pusher exists for.
       if (!st.idle_timer_armed) {
         st.idle_timer_armed = true;
-        sim::Spawn(OwnerIdleTimer(v, owner));
+        sim::Spawn(OwnerIdleTimer(v, shard, owner));
       }
       break;
     }
@@ -363,10 +384,24 @@ sim::Task<void> PushEngine::DrainOwnerImpl(VolPtr v, uint32_t owner,
 
 sim::Task<PushResp::AckedDir> PushEngine::ApplySection(
     VolPtr v, InodeId dir, uint32_t src, psw::Fingerprint section_fp,
-    std::vector<ChangeLogEntry> entries) {
+    std::vector<ChangeLogEntry> entries, uint64_t batch_token) {
   PushResp::AckedDir row;
   row.dir = dir;
   const uint64_t max_seq = entries.empty() ? 0 : entries.back().seq;
+  // Idempotent apply: a section whose token is not above the highest token
+  // committed for (dir, src) is a duplicate — a batch replayed after a lost
+  // response, a retry that crossed its own ack, or a re-push after the
+  // owner's crash (push_tokens is rebuilt from kWalEntryApply records). Re-
+  // ack what the original apply acked so the source trims; apply nothing.
+  if (batch_token != 0) {
+    auto tok = v->push_tokens.find({dir, src});
+    if (tok != v->push_tokens.end() && tok->second.fp == section_fp &&
+        batch_token <= tok->second.token) {
+      ctx_.stats->push_batches_deduped++;
+      row.acked_seq = tok->second.acked_seq;
+      co_return row;
+    }
+  }
   std::string ikey;
   psw::Fingerprint fp = 0;
   // Directory unknown here: either removed (rmdir raced the push, or WAL
@@ -393,6 +428,16 @@ sim::Task<PushResp::AckedDir> PushEngine::ApplySection(
       }
     }
     row.acked_seq = max_seq;
+    if (batch_token != 0) {
+      auto& ts = v->push_tokens[{dir, src}];
+      if (ts.fp == section_fp) {
+        ts.token = std::max(ts.token, batch_token);
+        ts.acked_seq = std::max(ts.acked_seq, row.acked_seq);
+      } else {
+        ts = ServerVolatile::PushTokenState{batch_token, row.acked_seq,
+                                            section_fp};
+      }
+    }
     co_return row;
   }
   // In-switch cache: the apply is about to move the directory's attr
@@ -403,7 +448,7 @@ sim::Task<PushResp::AckedDir> PushEngine::ApplySection(
   // BEFORE the evict and held through the apply: evicting outside the lock
   // leaves a window where a concurrent lookup re-installs the stale attr
   // between the evict round trip and the apply's KV write.
-  auto ino_lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  auto ino_lock = co_await v->ShardFor(fp).inode_locks.AcquireExclusive(ikey);
   if (v->dead) {
     row.acked_seq = 0;
     co_return row;
@@ -414,14 +459,43 @@ sim::Task<PushResp::AckedDir> PushEngine::ApplySection(
     co_return row;
   }
   co_await agg_.ApplyEntries(v, dir, src, section_fp, std::move(entries),
-                             ikey);
+                             ikey, batch_token);
   if (v->dead) {
     row.acked_seq = 0;
     co_return row;
   }
   auto it = v->hwm.find({dir, src, section_fp});
   row.acked_seq = it == v->hwm.end() ? 0 : it->second;
+  // Commit the section's token AFTER the apply: the WAL records carrying it
+  // are durable by now, so a crash between apply and ack replays to the same
+  // {token, acked_seq} and the duplicate still no-ops.
+  if (batch_token != 0) {
+    auto& ts = v->push_tokens[{dir, src}];
+    if (ts.fp == section_fp) {
+      ts.token = std::max(ts.token, batch_token);
+      ts.acked_seq = std::max(ts.acked_seq, row.acked_seq);
+    } else {
+      ts = ServerVolatile::PushTokenState{batch_token, row.acked_seq,
+                                          section_fp};
+    }
+  }
   co_return row;
+}
+
+sim::Task<void> PushEngine::ApplySectionTask(
+    VolPtr v, PushReq::PerDir pd, uint32_t src,
+    std::shared_ptr<std::vector<PushResp::AckedDir>> rows, size_t slot,
+    std::shared_ptr<sim::JoinCounter> jc) {
+  (*rows)[slot] = co_await ApplySection(v, pd.dir, src, pd.fp,
+                                        std::move(pd.entries), pd.batch_token);
+  if (!v->dead) {
+    v->inflight_push_sections--;
+    v->ShardFor(pd.fp).last_push[pd.fp] = ctx_.Now();
+    ArmOwnerQuietTimer(v, pd.fp);
+  }
+  // Unconditional, dead or not: HandlePush's join must resolve so its frame
+  // (and the captured shared state) unwinds.
+  jc->Done();
 }
 
 sim::Task<void> PushEngine::HandlePush(net::Packet p, VolPtr v) {
@@ -440,15 +514,29 @@ sim::Task<void> PushEngine::HandlePush(net::Packet p, VolPtr v) {
   // reflects the OTHER pushes still applying). Dead incarnations skip the
   // unwind — the counter is volatile and dies with them.
   v->inflight_push_sections += static_cast<int>(msg->dirs.size());
-  for (const auto& pd : msg->dirs) {
-    PushResp::AckedDir row =
-        co_await ApplySection(v, pd.dir, msg->src_server, pd.fp, pd.entries);
-    if (v->dead) co_return;
-    v->inflight_push_sections--;
-    resp->acked.push_back(row);
-    v->last_push[pd.fp] = ctx_.Now();
-    ArmOwnerQuietTimer(v, pd.fp);
+  // Fan the sections out onto their shards' apply lanes: each lane applies
+  // serially, lanes run concurrently on the CpuPool, and rows land at their
+  // section's index so the response preserves SECTION ORDER (the source
+  // matches rows by index — a same-owner rename can put the same dir in one
+  // batch twice under two fingerprints).
+  auto rows = std::make_shared<std::vector<PushResp::AckedDir>>(
+      msg->dirs.size());
+  auto jc = std::make_shared<sim::JoinCounter>(
+      ctx_.sim, static_cast<int>(msg->dirs.size()));
+  for (size_t i = 0; i < msg->dirs.size(); ++i) {
+    const size_t shard = ShardIndexForFp(msg->dirs[i].fp, v->num_shards());
+    // Plain-callable thunk: captures copies, builds the coroutine only when
+    // the lane runs it (a coroutine lambda's captures would dangle once the
+    // lambda object queued in the lane is destroyed).
+    EnqueueShardTask(
+        v, shard, ShardLane::kApply,
+        [this, v, pd = msg->dirs[i], src = msg->src_server, rows, i, jc]() {
+          return ApplySectionTask(v, pd, src, rows, i, jc);
+        });
   }
+  co_await jc->Wait();
+  if (v->dead) co_return;
+  resp->acked = std::move(*rows);
   if (ctx_.config->push_busy_threshold > 0 &&
       v->inflight_push_sections > ctx_.config->push_busy_threshold) {
     // Deep apply queue: hint the source to defer its next non-urgent drain
@@ -472,18 +560,28 @@ sim::Task<bool> PushEngine::RebindMovedLog(VolPtr v, InodeId dir,
   }
   size_t moved_entries = 0;
   {
+    // The (old, new) pairs below straddle two shard domains when the rename
+    // changed the fingerprint's shard — one of the two sanctioned cross-
+    // shard handoffs. The witness sanctions the same-class pairs for the
+    // discipline checker; ordering by fingerprint value stays globally
+    // consistent across shards, so the pairs remain deadlock-free.
+    sim::CrossShardScope xs(co_await sim::discipline::CurrentChainId{});
     // Two group locks in fingerprint order (the rmdir discipline) — the
     // rebind reads the old group's log and appends into the new group's.
     LockTable::Handle first;
     LockTable::Handle second;
     if (old_fp < new_fp) {
-      first = co_await v->changelog_locks.AcquireExclusive(FpKey(old_fp));
+      first = co_await v->ShardFor(old_fp).changelog_locks.AcquireExclusive(
+          FpKey(old_fp));
       if (v->dead) co_return false;
-      second = co_await v->changelog_locks.AcquireExclusive(FpKey(new_fp));
+      second = co_await v->ShardFor(new_fp).changelog_locks.AcquireExclusive(
+          FpKey(new_fp));
     } else {
-      first = co_await v->changelog_locks.AcquireExclusive(FpKey(new_fp));
+      first = co_await v->ShardFor(new_fp).changelog_locks.AcquireExclusive(
+          FpKey(new_fp));
       if (v->dead) co_return false;
-      second = co_await v->changelog_locks.AcquireExclusive(FpKey(old_fp));
+      second = co_await v->ShardFor(old_fp).changelog_locks.AcquireExclusive(
+          FpKey(old_fp));
     }
     if (v->dead) co_return false;
 
@@ -494,24 +592,28 @@ sim::Task<bool> PushEngine::RebindMovedLog(VolPtr v, InodeId dir,
     LockTable::Handle append_first;
     LockTable::Handle append_second;
     if (old_fp < new_fp) {
-      append_first = co_await v->changelog_append_locks.AcquireExclusive(
-          ClAppendKey(old_fp, dir));
+      append_first =
+          co_await v->ShardFor(old_fp).changelog_append_locks.AcquireExclusive(
+              ClAppendKey(old_fp, dir));
       if (v->dead) co_return false;
       // sfs-lint: allow(append-innermost, same-class pair in ClAppendKey order — deadlock-free; the rebind must hold both ends to renumber)
-      append_second = co_await v->changelog_append_locks.AcquireExclusive(
-          ClAppendKey(new_fp, dir));
+      append_second =
+          co_await v->ShardFor(new_fp).changelog_append_locks.AcquireExclusive(
+              ClAppendKey(new_fp, dir));
     } else {
-      append_first = co_await v->changelog_append_locks.AcquireExclusive(
-          ClAppendKey(new_fp, dir));
+      append_first =
+          co_await v->ShardFor(new_fp).changelog_append_locks.AcquireExclusive(
+              ClAppendKey(new_fp, dir));
       if (v->dead) co_return false;
       // sfs-lint: allow(append-innermost, same-class pair in ClAppendKey order — deadlock-free; the rebind must hold both ends to renumber)
-      append_second = co_await v->changelog_append_locks.AcquireExclusive(
-          ClAppendKey(old_fp, dir));
+      append_second =
+          co_await v->ShardFor(old_fp).changelog_append_locks.AcquireExclusive(
+              ClAppendKey(old_fp, dir));
     }
     if (v->dead) co_return false;
 
-    auto logs = v->changelogs.find(old_fp);
-    if (logs == v->changelogs.end()) {
+    auto logs = v->ShardFor(old_fp).changelogs.find(old_fp);
+    if (logs == v->ShardFor(old_fp).changelogs.end()) {
       co_return false;  // already rebound (push and aggregation verdicts race)
     }
     auto lit = logs->second.find(dir);
@@ -527,7 +629,8 @@ sim::Task<bool> PushEngine::RebindMovedLog(VolPtr v, InodeId dir,
       ctx_.durable->wal.MarkApplied(lsn);
     }
     const size_t trimmed = before - from->size();
-    v->pushers[ctx_.OwnerOf(old_fp)].ready.erase({old_fp, dir});
+    v->ShardFor(old_fp).pushers[ctx_.OwnerOf(old_fp)].ready.erase(
+        {old_fp, dir});
     if (!from->empty()) {
       // Seqs are re-assigned to continue the new-fingerprint log's FIFO:
       // entries committed under the new fingerprint after clients refreshed
@@ -583,10 +686,11 @@ sim::Task<void> PushEngine::EagerRebindMoved(VolPtr v, InodeId dir,
                                              psw::Fingerprint new_fp) {
   (void)new_fp;
   {
-    auto lock = co_await v->changelog_locks.AcquireExclusive(FpKey(old_fp));
+    auto lock = co_await v->ShardFor(old_fp).changelog_locks.AcquireExclusive(
+        FpKey(old_fp));
     if (v->dead) co_return;
-    auto logs = v->changelogs.find(old_fp);
-    if (logs == v->changelogs.end()) {
+    auto logs = v->ShardFor(old_fp).changelogs.find(old_fp);
+    if (logs == v->ShardFor(old_fp).changelogs.end()) {
       co_return;
     }
     auto lit = logs->second.find(dir);
@@ -611,16 +715,18 @@ sim::Task<void> PushEngine::EagerRebindMoved(VolPtr v, InodeId dir,
     // round trip from now — still ahead of any client op through the new
     // path, which needs the rename response plus at least one resolution
     // RPC first.
-    v->pushers[ctx_.OwnerOf(old_fp)].ready.insert({old_fp, dir});
+    v->ShardFor(old_fp).pushers[ctx_.OwnerOf(old_fp)].ready.insert(
+        {old_fp, dir});
   }
-  co_await DrainOwner(v, ctx_.OwnerOf(old_fp));
+  co_await DrainOwner(v, ShardIndexForFp(old_fp, v->num_shards()),
+                      ctx_.OwnerOf(old_fp));
 }
 
 void PushEngine::ArmOwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
   if (!ctx_.config->async_updates) {
     return;  // synchronous mode never defers
   }
-  if (v->quiet_timer_armed.insert(fp).second) {
+  if (v->ShardFor(fp).quiet_timer_armed.insert(fp).second) {
     sim::Spawn(OwnerQuietTimer(v, fp));
   }
 }
@@ -631,16 +737,17 @@ sim::Task<void> PushEngine::OwnerQuietTimer(VolPtr v, psw::Fingerprint fp) {
     if (v->dead) {
       // Dead incarnation: unwind the armed marker so the state carries no
       // phantom timer (the replacement incarnation starts fresh anyway).
-      v->quiet_timer_armed.erase(fp);
+      v->ShardFor(fp).quiet_timer_armed.erase(fp);
       co_return;
     }
-    auto it = v->last_push.find(fp);
-    const int64_t last = it == v->last_push.end() ? 0 : it->second;
+    auto it = v->ShardFor(fp).last_push.find(fp);
+    const int64_t last =
+        it == v->ShardFor(fp).last_push.end() ? 0 : it->second;
     if (ctx_.Now() - last >= ctx_.config->owner_quiet_period) {
       break;
     }
   }
-  v->quiet_timer_armed.erase(fp);
+  v->ShardFor(fp).quiet_timer_armed.erase(fp);
   // Quiet period elapsed: aggregate proactively so the next read finds the
   // directory in normal state (§5.3).
   co_await agg_.GateAndAggregate(v, fp);

@@ -3,22 +3,34 @@
 // accumulates or a log has been idle; the owner aggregates after a quiet
 // period so the next read finds the directory in normal state.
 //
-// Pushes are scheduled per OWNER, not per directory: every source server
-// keeps one outbound queue per owner server (ServerVolatile::OwnerPusher)
-// and a drain coroutine coalesces all ready (fp, dir) logs for that owner
-// into batched PushReqs of up to push_mtu_entries entries (overflow splits across
-// packets). A failed push re-queues its sections and re-arms a retry timer
-// with exponential backoff, so an unreachable owner can never strand a
-// backlog.
+// Pushes are scheduled per (SHARD, OWNER), not per directory: every source
+// server keeps one outbound queue per owner server in each of its shards
+// (ServerShard::pushers) and a drain coroutine per queue coalesces all ready
+// (fp, dir) logs for that owner into batched PushReqs of up to
+// push_mtu_entries entries (overflow splits across packets). Sharding the
+// queue turns the former single-flight-per-owner pipe into num_shards
+// concurrent pipes toward a hot owner — the multi-core scaling the shard
+// refactor exists for. A failed push re-queues its sections and re-arms a
+// retry timer with exponential backoff, so an unreachable owner can never
+// strand a backlog.
+//
+// Idempotent apply: every gathered section is stamped with a source-minted
+// monotonic batch_token (ServerVolatile::push_token_counter). The owner
+// remembers the highest committed {token, acked_seq} per (dir, src)
+// (ServerVolatile::push_tokens, rebuilt from kWalEntryApply records on
+// replay) and re-acks a duplicate section — a batch replayed after packet
+// loss, a rebind, or an owner crash — without re-applying it.
 #ifndef SRC_CORE_PUSH_ENGINE_H_
 #define SRC_CORE_PUSH_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/aggregation.h"
 #include "src/core/server_context.h"
 #include "src/net/packet.h"
+#include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 namespace switchfs::core {
@@ -37,15 +49,16 @@ class PushEngine {
   // Queues a log on its owner's pusher without arming timers (recovery
   // flush path; pair with DrainOwnerBarrier).
   void EnqueueBacklog(VolPtr v, psw::Fingerprint fp, const InodeId& dir);
-  // Background drain: pushes ready logs headed to `owner` in MTU-bounded
-  // batches; a sub-MTU tail that trickles in mid-drain is handed back to
-  // the idle timer. Single-flight per owner; on failure the sections are
-  // re-queued and a backoff retry timer is armed. No-ops when a drain for
-  // the owner is already running.
-  sim::Task<void> DrainOwner(VolPtr v, uint32_t owner);
-  // Recovery barrier (§5.4.2 flush): waits out any in-flight drain, then
-  // drains to completion with no tail handoff. Returns with entries still
-  // queued only if the owner is unreachable (the armed retry keeps at it).
+  // Background drain of one shard's queue toward `owner`: pushes ready logs
+  // in MTU-bounded batches; a sub-MTU tail that trickles in mid-drain is
+  // handed back to the idle timer. Single-flight per (shard, owner); on
+  // failure the sections are re-queued and a backoff retry timer is armed.
+  // No-ops when a drain for the pair is already running.
+  sim::Task<void> DrainOwner(VolPtr v, size_t shard, uint32_t owner);
+  // Recovery barrier (§5.4.2 flush): for every shard, waits out any
+  // in-flight drain, then drains to completion with no tail handoff.
+  // Returns with entries still queued only if the owner is unreachable (the
+  // armed retry keeps at it).
   sim::Task<void> DrainOwnerBarrier(VolPtr v, uint32_t owner);
 
   // ---- owner side ----
@@ -87,9 +100,10 @@ class PushEngine {
                                    psw::Fingerprint new_fp);
 
  private:
-  sim::Task<void> DrainOwnerImpl(VolPtr v, uint32_t owner, bool to_completion);
-  sim::Task<void> OwnerIdleTimer(VolPtr v, uint32_t owner);
-  sim::Task<void> RetryTimer(VolPtr v, uint32_t owner);
+  sim::Task<void> DrainOwnerImpl(VolPtr v, size_t shard, uint32_t owner,
+                                 bool to_completion);
+  sim::Task<void> OwnerIdleTimer(VolPtr v, size_t shard, uint32_t owner);
+  sim::Task<void> RetryTimer(VolPtr v, size_t shard, uint32_t owner);
   sim::Task<void> OwnerQuietTimer(VolPtr v, psw::Fingerprint fp);
   // Owner-side application of one pushed section; the returned row carries
   // the seq the source may trim to. For a directory that no longer exists:
@@ -98,19 +112,30 @@ class PushEngine {
   // obsolete and must not be re-pushed forever).
   // `section_fp` is the fingerprint the pushed section is keyed under
   // (scopes a moved tombstone's applied marks to the right era).
+  // `batch_token`: non-zero sections whose token is <= the committed token
+  // for (dir, src) are duplicates — re-acked without re-applying.
   sim::Task<PushResp::AckedDir> ApplySection(VolPtr v, InodeId dir,
                                              uint32_t src,
                                              psw::Fingerprint section_fp,
-                                             std::vector<ChangeLogEntry> entries);
-  void ArmRetry(VolPtr v, uint32_t owner);
-  // Exact count of live pending entries across the owner's ready logs,
-  // saturating at `cap` (the aggregate-MTU trigger only compares against
-  // push_mtu_entries, so the scan is O(mtu) amortized: entries whose logs turned
-  // out empty are pruned as it goes, not re-visited per commit). Counting
-  // live entries — not commits — keeps logs drained by a concurrent
-  // aggregation from inflating the trigger into early sub-MTU batches.
-  int ReadyEntries(const ServerVolatile& v, ServerVolatile::OwnerPusher& st,
-                   int cap) const;
+                                             std::vector<ChangeLogEntry> entries,
+                                             uint64_t batch_token);
+  // One pushed section routed onto its shard's apply lane (HandlePush fans a
+  // batch out through these): applies, records the row at `slot`, bumps the
+  // shard's push clock, and signals `jc` unconditionally — even on a dead
+  // incarnation — so the response assembly never hangs.
+  sim::Task<void> ApplySectionTask(
+      VolPtr v, PushReq::PerDir pd, uint32_t src,
+      std::shared_ptr<std::vector<PushResp::AckedDir>> rows, size_t slot,
+      std::shared_ptr<sim::JoinCounter> jc);
+  void ArmRetry(VolPtr v, size_t shard, uint32_t owner);
+  // Exact count of live pending entries across the pusher's ready logs
+  // (whose fingerprints all belong to `sh`), saturating at `cap` (the
+  // aggregate-MTU trigger only compares against push_mtu_entries, so the
+  // scan is O(mtu) amortized: entries whose logs turned out empty are pruned
+  // as it goes, not re-visited per commit). Counting live entries — not
+  // commits — keeps logs drained by a concurrent aggregation from inflating
+  // the trigger into early sub-MTU batches.
+  int ReadyEntries(ServerShard& sh, OwnerPusher& st, int cap) const;
 
   ServerContext& ctx_;
   Aggregation& agg_;

@@ -220,7 +220,7 @@ sim::Task<void> RenameCoordinator::HandleRenamePrepare(net::Packet p,
   if (v->dead) co_return;
   const std::string ikey = InodeKey(msg->pid, msg->name);
   auto resp = std::make_shared<RenamePrepareResp>();
-  auto ino = co_await v->inode_locks.AcquireExclusive(ikey);
+  auto ino = co_await v->ShardForKey(ikey).inode_locks.AcquireExclusive(ikey);
   if (v->dead) co_return;
   co_await ctx_.cpu->Run(ctx_.costs->kv_get);
   if (v->dead) co_return;
@@ -346,8 +346,10 @@ sim::Task<void> RenameCoordinator::HandleRenameCommit(net::Packet p, VolPtr v) {
     LockTable::Handle append_lock;
     ChangeLog* clog = nullptr;
     if (msg->log_parent_update) {
-      append_lock = co_await v->changelog_append_locks.AcquireExclusive(
-          ClAppendKey(msg->parent_fp, msg->parent_dir));
+      append_lock =
+          co_await v->ShardFor(msg->parent_fp)
+              .changelog_append_locks.AcquireExclusive(
+                  ClAppendKey(msg->parent_fp, msg->parent_dir));
       if (v->dead) co_return;
       clog = &v->GetChangeLog(msg->parent_fp, msg->parent_dir);
       entry.seq = clog->last_appended_seq() + 1;

@@ -42,6 +42,8 @@ const char* OpTypeName(OpType op) {
       return "setattr";
     case OpType::kBulkInsert:
       return "bulkinsert";
+    case OpType::kBatchStatDir:
+      return "batchstatdir";
   }
   return "unknown";
 }

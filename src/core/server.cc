@@ -8,6 +8,7 @@
 #include "src/core/cache_record.h"
 #include "src/core/schema.h"
 #include "src/core/wal_records.h"
+#include "src/sim/discipline.h"
 #include "src/sim/task.h"
 #include "src/tracker/dirty_tracker.h"
 
@@ -26,7 +27,7 @@ SwitchServer::SwitchServer(sim::Simulator* sim, net::Network* net,
       config_(config),
       cpu_(sim, config.cores),
       rpc_(sim, net),
-      vol_(std::make_shared<ServerVolatile>(sim)),
+      vol_(std::make_shared<ServerVolatile>(sim, config.shard_count)),
       ctx_{sim_,    net_,  cluster_, durable_, costs_,
            &config_, &cpu_, &rpc_,    &stats_,  dirty_tracker},
       agg_(ctx_),
@@ -37,7 +38,15 @@ SwitchServer::SwitchServer(sim::Simulator* sim, net::Network* net,
   rpc_.SetCpu(&cpu_);
   rpc_.SetRequestHandler([this](net::Packet p) { OnRequest(std::move(p)); });
   rpc_.SetRawHandler([this](net::Packet p) { OnRaw(std::move(p)); });
+  // Run-while-work-pending: the shard run queues hold work the event queue
+  // cannot see. The lambdas read vol_ at call time, so one registration
+  // covers every incarnation across crashes.
+  work_source_id_ = sim_->RegisterWorkSource(sim::Simulator::WorkSource{
+      [this]() { return PendingShardTasks(*vol_); },
+      [this]() { KickShardDrains(vol_); }});
 }
+
+SwitchServer::~SwitchServer() { sim_->UnregisterWorkSource(work_source_id_); }
 
 int64_t SwitchServer::Now() const { return sim_->Now(); }
 
@@ -82,9 +91,11 @@ void SwitchServer::PreloadDirIndex(const InodeId& id,
 
 size_t SwitchServer::PendingChangeLogEntries() const {
   size_t total = 0;
-  for (const auto& [fp, dirs] : vol_->changelogs) {
-    for (const auto& [dir, log] : dirs) {
-      total += log.size();
+  for (size_t i = 0; i < vol_->num_shards(); ++i) {
+    for (const auto& [fp, dirs] : vol_->ShardAt(i).changelogs) {
+      for (const auto& [dir, log] : dirs) {
+        total += log.size();
+      }
     }
   }
   return total;
@@ -131,6 +142,9 @@ void SwitchServer::OnRequest(net::Packet p) {
         case OpType::kBatchStat:
           sim::Spawn(HandleBatchStat(std::move(p), std::move(v)));
           break;
+        case OpType::kBatchStatDir:
+          sim::Spawn(HandleBatchStatDir(std::move(p), std::move(v)));
+          break;
         case OpType::kSetAttr:
           sim::Spawn(HandleSetAttr(std::move(p), std::move(v)));
           break;
@@ -170,7 +184,7 @@ void SwitchServer::OnRequest(net::Packet p) {
       break;
     case MarkScattered::kType: {
       const auto* msg = static_cast<const MarkScattered*>(p.body.get());
-      v->owner_scattered.insert(msg->fp);
+      v->ShardFor(msg->fp).owner_scattered.insert(msg->fp);
       rpc_.Respond(p, net::MakeMsg<Ack>());
       break;
     }
@@ -179,11 +193,13 @@ void SwitchServer::OnRequest(net::Packet p) {
       // holds pending change-log entries (answered even while !serving_ —
       // the rebuilt tracker must not wait out our recovery).
       auto resp = std::make_shared<ScatteredSnapshotResp>();
-      for (const auto& [fp, dirs] : v->changelogs) {
-        for (const auto& [dir, log] : dirs) {
-          if (!log.empty()) {
-            resp->fps.push_back(fp);
-            break;
+      for (size_t i = 0; i < v->num_shards(); ++i) {
+        for (const auto& [fp, dirs] : v->ShardAt(i).changelogs) {
+          for (const auto& [dir, log] : dirs) {
+            if (!log.empty()) {
+              resp->fps.push_back(fp);
+              break;
+            }
           }
         }
       }
@@ -193,18 +209,47 @@ void SwitchServer::OnRequest(net::Packet p) {
     case AggregateReq::kType:
       sim::Spawn(rename_.HandleAggregateReq(std::move(p), std::move(v)));
       break;
-    case RenamePrepare::kType:
-      sim::Spawn(rename_.HandleRenamePrepare(std::move(p), std::move(v)));
+    case RenamePrepare::kType: {
+      // Cross-shard handoff (sanctioned flow #1, rename legs): the prepare
+      // locks the leg's inode key, which lives on the (pid, name)
+      // fingerprint's shard — route the whole leg there as a handoff task.
+      const auto* msg = static_cast<const RenamePrepare*>(p.body.get());
+      const size_t shard = ShardIndexForFp(
+          FingerprintOf(msg->pid, msg->name), v->num_shards());
+      stats_.cross_shard_handoffs++;
+      EnqueueShardTask(v, shard, ShardLane::kHandoff, [this, p, v]() {
+        return rename_.HandleRenamePrepare(p, v);
+      });
       break;
-    case RenameCommit::kType:
-      sim::Spawn(rename_.HandleRenameCommit(std::move(p), std::move(v)));
+    }
+    case RenameCommit::kType: {
+      // Commit leg routes by the leg's (parent, name) key — the shard whose
+      // inode lock the prepare leg parked in txn_locks.
+      const auto* msg = static_cast<const RenameCommit*>(p.body.get());
+      const size_t shard = ShardIndexForFp(
+          FingerprintOf(msg->parent_dir, msg->parent_entry_name),
+          v->num_shards());
+      stats_.cross_shard_handoffs++;
+      EnqueueShardTask(v, shard, ShardLane::kHandoff, [this, p, v]() {
+        return rename_.HandleRenameCommit(p, v);
+      });
       break;
+    }
     case InvalCloneReq::kType:
       sim::Spawn(HandleInvalClone(std::move(p), std::move(v)));
       break;
-    case LinkConvert::kType:
-      sim::Spawn(links_.HandleLinkConvert(std::move(p), std::move(v)));
+    case LinkConvert::kType: {
+      // Cross-shard handoff (sanctioned flow #2, hard-link splits): the
+      // convert rewrites the source name's inode row under its shard's lock.
+      const auto* msg = static_cast<const LinkConvert*>(p.body.get());
+      const size_t shard = ShardIndexForFp(
+          FingerprintOf(msg->pid, msg->name), v->num_shards());
+      stats_.cross_shard_handoffs++;
+      EnqueueShardTask(v, shard, ShardLane::kHandoff, [this, p, v]() {
+        return links_.HandleLinkConvert(p, v);
+      });
       break;
+    }
     case LinkRefUpdate::kType:
       sim::Spawn(links_.HandleLinkRefUpdate(std::move(p), std::move(v)));
       break;
@@ -284,9 +329,15 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
   const psw::Fingerprint pfp = ref.parent_fp;
 
   // Step 2: locking — parent change-log (write) + target inode (write).
-  auto cl_lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+  // Both route to the target's shard: the inode key's fingerprint is
+  // exactly pfp's group only for the parent's own row; here the target key
+  // hashes to its own group, which the ring maps to this server and the
+  // shard router maps to one shard — same fp, same shard for both tables.
+  auto cl_lock =
+      co_await v->ShardFor(pfp).changelog_locks.AcquireExclusive(FpKey(pfp));
   if (v->dead) co_return;
-  auto ino_lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  auto ino_lock =
+      co_await v->ShardForKey(ikey).inode_locks.AcquireExclusive(ikey);
   if (v->dead) co_return;
 
   // Step 3: validation — invalidation list, then existence.
@@ -371,8 +422,9 @@ sim::Task<void> SwitchServer::HandleUpsert(net::Packet p, VolPtr v) {
   // the cl-then-inode order), so the group lock alone does not serialize
   // sequence assignment.
   {
-    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
-        ClAppendKey(pfp, ref.pid));
+    auto append_lock =
+        co_await v->ShardFor(pfp).changelog_append_locks.AcquireExclusive(
+            ClAppendKey(pfp, ref.pid));
     if (v->dead) co_return;
     // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
     ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
@@ -460,8 +512,9 @@ sim::Task<void> SwitchServer::PublishUpdate(const net::Packet* client_req,
 // co_await must not be reused for the trim.
 void SwitchServer::AckChangeLogUpTo(VolPtr v, psw::Fingerprint fp,
                                     const InodeId& dir, uint64_t acked_seq) {
-  auto logs = v->changelogs.find(fp);
-  if (logs == v->changelogs.end()) {
+  auto& shard_logs = v->ShardFor(fp).changelogs;
+  auto logs = shard_logs.find(fp);
+  if (logs == shard_logs.end()) {
     return;
   }
   auto lit = logs->second.find(dir);
@@ -496,7 +549,16 @@ sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
     psw::Fingerprint dfp = 0;
     LockTable::Handle ino_lock;
     if (v->LookupDirIndex(dir, &dkey, &dfp)) {
-      ino_lock = co_await v->inode_locks.AcquireExclusive(dkey);
+      // Sanctioned cross-shard pair: the awaiting op chain (sync-mode
+      // create/unlink, tracker-overflow fallback) still holds ITS target's
+      // inode lock on that key's shard, and the parent directory's group
+      // can live on another shard. The pair is deadlock-free — op chains
+      // always lock child-then-parent, and parent keys are distinct from
+      // child keys — so witness it instead of handing off the apply.
+      sim::CrossShardScope sync_xs(
+          co_await sim::discipline::CurrentChainId{});
+      ino_lock =
+          co_await v->ShardForKey(dkey).inode_locks.AcquireExclusive(dkey);
       if (v->dead) co_return UnavailableError();
       co_await EvictSwitchCacheEntry(ctx_, v, fp);
       if (v->dead) co_return UnavailableError();
@@ -544,6 +606,10 @@ sim::Task<Status> SwitchServer::SyncParentUpdate(VolPtr v, psw::Fingerprint fp,
   pd.dir = dir;
   pd.fp = fp;
   pd.entries = std::move(entries);
+  // Idempotency token, as on the batched path: if the RPC layer retransmits
+  // after a lost ack, the owner re-acks the committed section instead of
+  // re-applying it.
+  pd.batch_token = v->push_token_counter++;
   push->dirs.push_back(std::move(pd));
   auto r = co_await rpc_.Call(cluster_->ServerNode(OwnerOf(fp)), push);
   if (v->dead) co_return UnavailableError();
@@ -699,29 +765,39 @@ void SwitchServer::RespondWithInstall(const net::Packet& p, net::MsgPtr resp,
 // Directory reads: statdir / readdir (§5.2.2)
 // ---------------------------------------------------------------------------
 
-sim::Task<LockTable::Handle> SwitchServer::GateDirRead(VolPtr v,
-                                                       const net::Packet& p,
-                                                       const MetaReq& req,
-                                                       psw::Fingerprint dir_fp) {
-  bool scattered = ctx_.dirty_tracker->ReadScattered(ctx_, *v, p, req, dir_fp);
+sim::Task<LockTable::Handle> SwitchServer::GateDirRead(
+    VolPtr v, const net::Packet& p, const MetaReq& req,
+    psw::Fingerprint dir_fp, bool force_scattered) {
+  bool scattered =
+      force_scattered ||
+      ctx_.dirty_tracker->ReadScattered(ctx_, *v, p, req, dir_fp);
   const int64_t observed_at = Now();
 
   LockTable::Handle gate;
   while (true) {
-    gate = co_await v->agg_gates.AcquireShared(FpKey(dir_fp));
+    gate = co_await v->ShardFor(dir_fp).agg_gates.AcquireShared(FpKey(dir_fp));
     if (v->dead) co_return LockTable::Handle();
     if (!scattered) {
       break;
     }
-    auto last = v->last_agg_complete.find(dir_fp);
-    if (last != v->last_agg_complete.end() && last->second > observed_at) {
-      break;  // someone aggregated after our dirty-set observation
+    {
+      auto& complete = v->ShardFor(dir_fp).last_agg_complete;
+      auto last = complete.find(dir_fp);
+      if (last != complete.end() && last->second > observed_at) {
+        break;  // someone aggregated after our dirty-set observation
+      }
     }
     gate.Release();
-    auto xgate = co_await v->agg_gates.AcquireExclusive(FpKey(dir_fp));
+    auto xgate =
+        co_await v->ShardFor(dir_fp).agg_gates.AcquireExclusive(FpKey(dir_fp));
     if (v->dead) co_return LockTable::Handle();
-    last = v->last_agg_complete.find(dir_fp);
-    if (last == v->last_agg_complete.end() || last->second <= observed_at) {
+    bool need_agg = false;
+    {
+      auto& complete = v->ShardFor(dir_fp).last_agg_complete;
+      auto last = complete.find(dir_fp);
+      need_agg = last == complete.end() || last->second <= observed_at;
+    }
+    if (need_agg) {
       co_await agg_.RunAggregation(v, dir_fp, std::nullopt, 0, "", false);
       if (v->dead) co_return LockTable::Handle();
     }
@@ -744,7 +820,7 @@ sim::Task<void> SwitchServer::HandleDirRead(net::Packet p, VolPtr v) {
   LockTable::Handle gate = co_await GateDirRead(v, p, *req, dir_fp);
   if (v->dead) co_return;
 
-  auto ino = co_await v->inode_locks.AcquireShared(ikey);
+  auto ino = co_await v->ShardForKey(ikey).inode_locks.AcquireShared(ikey);
   if (v->dead) co_return;
   co_await cpu_.Run(costs_->path_check *
                     static_cast<sim::SimTime>(1 + ref.ancestors.size()));
@@ -822,7 +898,7 @@ sim::Task<void> SwitchServer::HandleOpenDir(net::Packet p, VolPtr v) {
   LockTable::Handle gate = co_await GateDirRead(v, p, *req, dir_fp);
   if (v->dead) co_return;
 
-  auto ino = co_await v->inode_locks.AcquireShared(ikey);
+  auto ino = co_await v->ShardForKey(ikey).inode_locks.AcquireShared(ikey);
   if (v->dead) co_return;
   co_await cpu_.Run(costs_->path_check *
                     static_cast<sim::SimTime>(1 + ref.ancestors.size()));
@@ -855,6 +931,12 @@ sim::Task<void> SwitchServer::HandleOpenDir(net::Packet p, VolPtr v) {
   // OpenDir is O(1) and each page charges its own bounded seek+scan
   // (HandleReaddirPage); pre-open entries are still never lost — the
   // aggregation above lands them in the live keyspace the cursor walks.
+  // Sessions are minted by (and live on) the directory fingerprint's shard;
+  // the session id embeds the shard index so page/close/watchdog route back
+  // without knowing the fingerprint. The LRU cap divides across shards (at
+  // least 1 each) so one hot directory's scanners cannot evict every other
+  // shard's cursors; the shard-local counter feeds the per-shard satellite
+  // test, the global stat keeps the historical aggregate visible.
   uint64_t session_id = 0;
   uint64_t dir_entries = 0;
   if (config_.snapshot_sessions) {
@@ -870,15 +952,23 @@ sim::Task<void> SwitchServer::HandleOpenDir(net::Packet p, VolPtr v) {
                       costs_->kv_scan_per_entry);
     if (v->dead) co_return;
     dir_entries = entries.size();
-    session_id = v->dir_sessions.Open(attr.id, std::move(entries), Now()).id;
+    session_id = v->ShardFor(dir_fp)
+                     .dir_sessions.Open(attr.id, std::move(entries), Now())
+                     .id;
   } else {
     // Advisory entry count from the aggregated directory size (no scan).
     dir_entries = attr.size;
-    session_id = v->dir_sessions.OpenCursor(attr.id, Now()).id;
+    session_id = v->ShardFor(dir_fp).dir_sessions.OpenCursor(attr.id, Now()).id;
   }
   stats_.dir_opens++;
-  stats_.dir_sessions_evicted +=
-      v->dir_sessions.EvictLruOverCap(config_.max_dir_sessions);
+  const size_t shard_cap =
+      config_.max_dir_sessions == 0
+          ? 0
+          : std::max<size_t>(1, config_.max_dir_sessions / v->num_shards());
+  const uint64_t evicted =
+      v->ShardFor(dir_fp).dir_sessions.EvictLruOverCap(shard_cap);
+  v->ShardFor(dir_fp).dir_sessions_evicted += evicted;
+  stats_.dir_sessions_evicted += evicted;
   sim::Spawn(DirSessionWatchdog(v, session_id));
 
   auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
@@ -894,10 +984,11 @@ sim::Task<void> SwitchServer::DirSessionWatchdog(VolPtr v, uint64_t session_id) 
   while (true) {
     co_await sim::Delay(sim_, config_.dir_session_ttl);
     if (v->dead) co_return;
-    const size_t before = v->dir_sessions.size();
-    if (v->dir_sessions.ExpireIfIdle(session_id, Now(),
-                                     config_.dir_session_ttl)) {
-      if (v->dir_sessions.size() < before) {
+    const size_t before = v->SessionShard(session_id).dir_sessions.size();
+    if (v->SessionShard(session_id)
+            .dir_sessions.ExpireIfIdle(session_id, Now(),
+                                       config_.dir_session_ttl)) {
+      if (v->SessionShard(session_id).dir_sessions.size() < before) {
         stats_.dir_sessions_expired++;
       }
       co_return;
@@ -919,8 +1010,9 @@ sim::Task<void> SwitchServer::HandleReaddirPage(net::Packet p, VolPtr v) {
   // eviction, or a crash may erase it during an await.
   const uint64_t want = req->cookie;
   for (int spin = 0;; ++spin) {
-    DirSession* session = v->dir_sessions.Touch(req->dir_session, Now(),
-                                                config_.dir_session_ttl);
+    DirSession* session = v->SessionShard(req->dir_session)
+                              .dir_sessions.Touch(req->dir_session, Now(),
+                                                  config_.dir_session_ttl);
     if (session == nullptr) {
       // Expired, evicted, closed, or minted by a previous incarnation:
       // resuming mid-stream could drop or duplicate entries, so the client
@@ -1033,7 +1125,7 @@ sim::Task<void> SwitchServer::HandleCloseDir(net::Packet p, VolPtr v) {
   stats_.ops++;
   co_await cpu_.Run(costs_->op_dispatch);
   if (v->dead) co_return;
-  v->dir_sessions.Close(req->dir_session);
+  v->SessionShard(req->dir_session).dir_sessions.Close(req->dir_session);
   RespondStatus(p, StatusCode::kOk);
 }
 
@@ -1055,7 +1147,8 @@ sim::Task<void> SwitchServer::HandleBatchStat(net::Packet p, VolPtr v) {
     const PathRef& ref = req->targets[i];
     stats_.batch_stat_targets++;
     const std::string ikey = InodeKey(ref.pid, ref.name);
-    auto lock = co_await v->inode_locks.AcquireShared(ikey);
+    auto lock =
+        co_await v->ShardForKey(ikey).inode_locks.AcquireShared(ikey);
     if (v->dead) co_return;
     co_await cpu_.Run(costs_->path_check *
                       static_cast<sim::SimTime>(1 + ref.ancestors.size()));
@@ -1101,6 +1194,66 @@ sim::Task<void> SwitchServer::HandleBatchStat(net::Packet p, VolPtr v) {
   rpc_.Respond(p, resp);
 }
 
+sim::Task<void> SwitchServer::HandleBatchStatDir(net::Packet p, VolPtr v) {
+  const auto* req = static_cast<const MetaReq*>(p.body.get());
+  stats_.ops++;
+  stats_.batch_stat_dirs++;
+  co_await cpu_.Run(costs_->op_dispatch);
+  if (v->dead) co_return;
+
+  auto resp = std::make_shared<MetaResp>(StatusCode::kOk);
+  resp->batch_status.reserve(req->targets.size());
+  resp->batch_attrs.resize(req->targets.size());
+  for (size_t i = 0; i < req->targets.size(); ++i) {
+    const PathRef& ref = req->targets[i];
+    stats_.batch_stat_targets++;
+    const psw::Fingerprint dir_fp = FingerprintOf(ref.pid, ref.name);
+    const std::string ikey = InodeKey(ref.pid, ref.name);
+    // Per-target agg-gate dance: the gate and inode locks are scoped to the
+    // iteration, so a slow aggregation for one target never pins another
+    // target's shard (an "i" key's shard is its own (pid, name) group, the
+    // same shard the gate routes to — no cross-shard pair is held).
+    // scattered_hint forces the dance for tracker modes whose hint channel
+    // is single-fingerprint (the batch could not pre-query N groups).
+    LockTable::Handle gate =
+        co_await GateDirRead(v, p, *req, dir_fp, req->scattered_hint);
+    if (v->dead) co_return;
+    auto ino = co_await v->ShardForKey(ikey).inode_locks.AcquireShared(ikey);
+    if (v->dead) co_return;
+    co_await cpu_.Run(costs_->path_check *
+                      static_cast<sim::SimTime>(1 + ref.ancestors.size()));
+    if (v->dead) co_return;
+    auto stale = v->inval.Check(ref.ancestors);
+    if (!stale.empty()) {
+      // Per-target verdict, as in HandleBatchStat: healthy targets still
+      // resolve; stale_ids accumulates the union for the client.
+      stats_.stale_cache_bounces++;
+      for (InodeId& id : stale) {
+        resp->stale_ids.push_back(id);
+      }
+      resp->batch_status.push_back(StatusCode::kStaleCache);
+      continue;
+    }
+    co_await cpu_.Run(costs_->kv_get);
+    if (v->dead) co_return;
+    auto value = v->kv.Get(ikey);
+    if (!value.has_value()) {
+      resp->batch_status.push_back(StatusCode::kNotFound);
+      continue;
+    }
+    Attr attr = Attr::Decode(*value);
+    if (!attr.is_dir()) {
+      resp->batch_status.push_back(StatusCode::kNotADirectory);
+      continue;
+    }
+    resp->batch_attrs[i] = attr;
+    resp->batch_status.push_back(StatusCode::kOk);
+  }
+  co_await cpu_.Run(costs_->reply_build);
+  if (v->dead) co_return;
+  rpc_.Respond(p, resp);
+}
+
 sim::Task<void> SwitchServer::HandleSetAttr(net::Packet p, VolPtr v) {
   const auto* req = static_cast<const MetaReq*>(p.body.get());
   stats_.ops++;
@@ -1110,7 +1263,8 @@ sim::Task<void> SwitchServer::HandleSetAttr(net::Packet p, VolPtr v) {
 
   const PathRef& ref = req->ref;
   const std::string ikey = InodeKey(ref.pid, ref.name);
-  auto lock = co_await v->inode_locks.AcquireExclusive(ikey);
+  auto lock =
+      co_await v->ShardForKey(ikey).inode_locks.AcquireExclusive(ikey);
   if (v->dead) co_return;
   co_await cpu_.Run(costs_->path_check *
                     static_cast<sim::SimTime>(1 + ref.ancestors.size()));
@@ -1209,7 +1363,8 @@ sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
   // (write), then every target inode (write) — in name order, so two bulks
   // racing on overlapping name sets cannot deadlock on the entry locks.
   // All locks are held through the commit.
-  auto cl_lock = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+  auto cl_lock =
+      co_await v->ShardFor(pfp).changelog_locks.AcquireExclusive(FpKey(pfp));
   if (v->dead) co_return;
   std::vector<size_t> order(req->bulk_names.size());
   for (size_t i = 0; i < order.size(); ++i) {
@@ -1218,6 +1373,12 @@ sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return req->bulk_names[a] < req->bulk_names[b];
   });
+  // The admitted names hash to independent fingerprints, so their inode
+  // locks may live on different shards — one chain holding same-class locks
+  // from two shards is exactly what the cross-shard-lock rule flags. The
+  // batch is a sanctioned multi-shard writer (name-ordered acquisition
+  // keeps it deadlock-free), witnessed by the scope below.
+  sim::CrossShardScope bulk_xs(co_await sim::discipline::CurrentChainId{});
   std::vector<LockTable::Handle> ino_locks;
   ino_locks.reserve(order.size());
   for (size_t k = 0; k < order.size(); ++k) {
@@ -1225,10 +1386,13 @@ sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
     if (k > 0 && name == req->bulk_names[order[k - 1]]) {
       continue;  // duplicate within the batch: one lock suffices
     }
+    const std::string name_key = InodeKey(ref.pid, name);
     ino_locks.push_back(
-        co_await v->inode_locks.AcquireExclusive(InodeKey(ref.pid, name)));
+        co_await v->ShardForKey(name_key).inode_locks.AcquireExclusive(
+            name_key));
     if (v->dead) co_return;
   }
+  bulk_xs.Release();
 
   // One validation pass for the shared parent path.
   co_await cpu_.Run(costs_->path_check *
@@ -1284,8 +1448,9 @@ sim::Task<void> SwitchServer::HandleBulkInsert(net::Packet p, VolPtr v) {
   rec.parent_dir = ref.pid;
   rec.parent_fp = pfp;
   {
-    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
-        ClAppendKey(pfp, ref.pid));
+    auto append_lock =
+        co_await v->ShardFor(pfp).changelog_append_locks.AcquireExclusive(
+            ClAppendKey(pfp, ref.pid));
     if (v->dead) co_return;
     // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
     ChangeLog& clog = v->GetChangeLog(pfp, ref.pid);
@@ -1372,24 +1537,43 @@ sim::Task<void> SwitchServer::HandleRmdir(net::Packet p, VolPtr v) {
   const std::string ikey = InodeKey(ref.pid, ref.name);
 
   // Lock order: agg gate -> change-log locks (fp order) -> target inode.
-  auto gate = co_await v->agg_gates.AcquireExclusive(FpKey(target_fp));
+  // pfp and target_fp are independent hashes, so their group locks may live
+  // on different shards: rmdir is a sanctioned two-group writer (global fp
+  // order keeps it deadlock-free across shards), witnessed by the scope —
+  // which also spans RunAggregation below, whose snapshot takes the target
+  // group's shared lock while the parent's is still held.
+  auto gate =
+      co_await v->ShardFor(target_fp).agg_gates.AcquireExclusive(
+          FpKey(target_fp));
   if (v->dead) co_return;
+  sim::CrossShardScope rmdir_xs(co_await sim::discipline::CurrentChainId{});
   LockTable::Handle cl_first;
   LockTable::Handle cl_second;
   if (pfp == target_fp) {
-    cl_first = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+    cl_first = co_await v->ShardFor(pfp).changelog_locks.AcquireExclusive(
+        FpKey(pfp));
   } else if (pfp < target_fp) {
-    cl_first = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+    cl_first = co_await v->ShardFor(pfp).changelog_locks.AcquireExclusive(
+        FpKey(pfp));
     if (v->dead) co_return;
-    cl_second = co_await v->changelog_locks.AcquireExclusive(FpKey(target_fp));
+    cl_second =
+        co_await v->ShardFor(target_fp).changelog_locks.AcquireExclusive(
+            FpKey(target_fp));
   } else {
-    cl_first = co_await v->changelog_locks.AcquireExclusive(FpKey(target_fp));
+    cl_first =
+        co_await v->ShardFor(target_fp).changelog_locks.AcquireExclusive(
+            FpKey(target_fp));
     if (v->dead) co_return;
-    cl_second = co_await v->changelog_locks.AcquireExclusive(FpKey(pfp));
+    cl_second = co_await v->ShardFor(pfp).changelog_locks.AcquireExclusive(
+        FpKey(pfp));
   }
   if (v->dead) co_return;
-  auto ino = co_await v->inode_locks.AcquireExclusive(ikey);
+  auto ino = co_await v->ShardForKey(ikey).inode_locks.AcquireExclusive(ikey);
   if (v->dead) co_return;
+  // Everything further this chain locks (RunAggregation's applies, the
+  // append mutex) stays on the target group's shard or changes class, so
+  // the witness can end here.
+  rmdir_xs.Release();
 
   co_await cpu_.Run(costs_->path_check *
                     static_cast<sim::SimTime>(1 + ref.ancestors.size()));
@@ -1445,7 +1629,7 @@ sim::Task<void> SwitchServer::HandleRmdir(net::Packet p, VolPtr v) {
 
   // Step 8: commit (append mutex: see HandleUpsert's commit section).
   {
-    auto append_lock = co_await v->changelog_append_locks.AcquireExclusive(
+    auto append_lock = co_await v->ShardFor(pfp).changelog_append_locks.AcquireExclusive(
         ClAppendKey(pfp, ref.pid));
     if (v->dead) co_return;
     // sfs-lint: allow(borrow-across-suspend, log slot pinned by the held append mutex — a rebind erase needs this key's append lock, and changelog map nodes are reference-stable)
@@ -1514,9 +1698,9 @@ sim::Task<void> SwitchServer::HandleFileOp(net::Packet p, VolPtr v) {
   // branch temporaries corrupt RAII state).
   LockTable::Handle lock;
   if (write) {
-    lock = co_await v->inode_locks.AcquireExclusive(ikey);
+    lock = co_await v->ShardForKey(ikey).inode_locks.AcquireExclusive(ikey);
   } else {
-    lock = co_await v->inode_locks.AcquireShared(ikey);
+    lock = co_await v->ShardForKey(ikey).inode_locks.AcquireShared(ikey);
   }
   if (v->dead) co_return;
   co_await cpu_.Run(costs_->path_check *
@@ -1603,7 +1787,7 @@ sim::Task<void> SwitchServer::HandleLookup(net::Packet p, VolPtr v) {
   co_await cpu_.Run(costs_->op_dispatch);
   if (v->dead) co_return;
   const std::string ikey = InodeKey(req->pid, req->name);
-  auto lock = co_await v->inode_locks.AcquireShared(ikey);
+  auto lock = co_await v->ShardForKey(ikey).inode_locks.AcquireShared(ikey);
   if (v->dead) co_return;
   co_await cpu_.Run(costs_->path_check *
                     static_cast<sim::SimTime>(1 + req->ancestors.size()));
@@ -1639,7 +1823,7 @@ sim::Task<void> SwitchServer::HandleLookup(net::Packet p, VolPtr v) {
 
 void SwitchServer::Crash() {
   vol_->dead = true;
-  vol_ = std::make_shared<ServerVolatile>(sim_);
+  vol_ = std::make_shared<ServerVolatile>(sim_, config_.shard_count);
   vol_->dead = true;  // stays dead until Recover() finishes the replay
   serving_ = false;
   rpc_.SetEnabled(false);
@@ -1735,6 +1919,20 @@ void SwitchServer::ReplayWalInto(ServerVolatile& v) {
       }
       case kWalEntryApply: {
         EntryApplyRecord rec = EntryApplyRecord::Decode(r.payload);
+        if (rec.batch_token != 0) {
+          // Rebuild the duplicate-push filter with ApplySection's commit
+          // logic: era-scoped max-merge of {token, acked_seq} per (dir,
+          // src). Runs before the hwm dedup below — a replayed duplicate
+          // record still names the committed token.
+          auto& ts = v.push_tokens[{rec.dir, rec.src_server}];
+          if (ts.fp == rec.fp && ts.token != 0) {
+            ts.token = std::max(ts.token, rec.batch_token);
+            ts.acked_seq = std::max(ts.acked_seq, rec.entry.seq);
+          } else if (rec.batch_token > ts.token) {
+            ts = ServerVolatile::PushTokenState{rec.batch_token,
+                                                rec.entry.seq, rec.fp};
+          }
+        }
         uint64_t& high = v.hwm[{rec.dir, rec.src_server, rec.fp}];
         if (rec.entry.seq <= high) {
           break;  // already applied (idempotent redo)
@@ -1770,7 +1968,7 @@ void SwitchServer::ReplayWalInto(ServerVolatile& v) {
 
 sim::Task<void> SwitchServer::Recover() {
   // Fresh volatile incarnation.
-  auto v = std::make_shared<ServerVolatile>(sim_);
+  auto v = std::make_shared<ServerVolatile>(sim_, config_.shard_count);
   ReplayWalInto(*v);
   vol_ = v;
   rpc_.SetEnabled(true);
@@ -1823,11 +2021,13 @@ sim::Task<void> SwitchServer::HandleInvalClone(net::Packet p, VolPtr v) {
 sim::Task<void> SwitchServer::FlushAllChangeLogs() {
   VolPtr v = vol_;
   std::set<uint32_t> owners;
-  for (const auto& [fp, dirs] : v->changelogs) {
-    for (const auto& [dir, log] : dirs) {
-      if (!log.empty()) {
-        push_.EnqueueBacklog(v, fp, dir);
-        owners.insert(OwnerOf(fp));
+  for (size_t i = 0; i < v->num_shards(); ++i) {
+    for (const auto& [fp, dirs] : v->ShardAt(i).changelogs) {
+      for (const auto& [dir, log] : dirs) {
+        if (!log.empty()) {
+          push_.EnqueueBacklog(v, fp, dir);
+          owners.insert(OwnerOf(fp));
+        }
       }
     }
   }

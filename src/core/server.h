@@ -43,6 +43,7 @@ class SwitchServer : public UpdatePublisher {
   SwitchServer(sim::Simulator* sim, net::Network* net, ClusterContext* cluster,
                DurableState* durable, const sim::CostModel* costs,
                tracker::DirtyTracker* dirty_tracker, ServerConfig config);
+  ~SwitchServer() override;  // unregisters the shard-queue work source
 
   net::NodeId node_id() const { return rpc_.id(); }
   uint32_t index() const { return config_.index; }
@@ -68,11 +69,13 @@ class SwitchServer : public UpdatePublisher {
   const Stats& stats() const { return stats_; }
   size_t PendingChangeLogEntries() const;
   size_t KvSize() const { return vol_->kv.size(); }
-  const kv::KvStore& kv_for_test() const { return vol_->kv; }
+  const ShardedKv& kv_for_test() const { return vol_->kv; }
   InvalidationList& invalidation_for_test() { return vol_->inval; }
   bool OwnerScatteredForTest(psw::Fingerprint fp) const {
-    return vol_->owner_scattered.count(fp) > 0;
+    return vol_->ShardFor(fp).owner_scattered.count(fp) > 0;
   }
+  // Read-only shard-state access (per-shard counters, session tables).
+  const ServerVolatile& vol_for_test() const { return *vol_; }
 
   // Direct KV injection used by cluster preload (bench setup fast path).
   void PreloadInode(const std::string& key, const Attr& attr);
@@ -118,15 +121,23 @@ class SwitchServer : public UpdatePublisher {
   sim::Task<void> HandleReaddirPage(net::Packet p, VolPtr v);
   sim::Task<void> HandleCloseDir(net::Packet p, VolPtr v);
   sim::Task<void> HandleBatchStat(net::Packet p, VolPtr v);
+  // BatchStat flavor for directory targets: one multi-target RPC that runs
+  // the per-target agg-gate dance (dirty check + aggregation + shared gate)
+  // before each stat, so a scan over N subdirectories costs one round trip.
+  sim::Task<void> HandleBatchStatDir(net::Packet p, VolPtr v);
   sim::Task<void> HandleSetAttr(net::Packet p, VolPtr v);
   sim::Task<void> HandleBulkInsert(net::Packet p, VolPtr v);
   // Ensures the directory group's deferred entries are applied before a
   // read: dirty-set check, then aggregation under the exclusive agg gate if
   // needed; returns a held SHARED gate handle (empty if the incarnation
-  // died). Shared by statdir/readdir and OpenDir.
+  // died). Shared by statdir/readdir, OpenDir and BatchStatDir.
+  // `force_scattered` skips the tracker consult and treats the directory as
+  // dirty (multi-target requests whose tracker hint channel is
+  // single-fingerprint).
   sim::Task<LockTable::Handle> GateDirRead(VolPtr v, const net::Packet& p,
                                            const MetaReq& req,
-                                           psw::Fingerprint dir_fp);
+                                           psw::Fingerprint dir_fp,
+                                           bool force_scattered = false);
   // Expires an idle directory-stream session after dir_session_ttl
   // (responder-watchdog pattern; the table also expires lazily on access).
   sim::Task<void> DirSessionWatchdog(VolPtr v, uint64_t session_id);
@@ -173,6 +184,7 @@ class SwitchServer : public UpdatePublisher {
   VolPtr vol_;
   bool serving_ = true;
   Stats stats_;
+  uint64_t work_source_id_ = 0;  // shard run queues (RunWhileWorkPending)
 
   // Shared view + protocol modules (declaration order matters: ctx_ views
   // the members above; the modules hold references to ctx_ and each other).

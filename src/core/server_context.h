@@ -33,6 +33,7 @@
 #include "src/core/messages.h"
 #include "src/core/placement.h"
 #include "src/core/schema.h"
+#include "src/core/shard.h"
 #include "src/core/types.h"
 #include "src/kv/kvstore.h"
 #include "src/kv/wal.h"
@@ -61,6 +62,12 @@ enum class TrackerMode {
 struct ServerConfig {
   uint32_t index = 0;
   int cores = 4;
+  // Fingerprint-group shards per server (clamped to [1, kMaxShards]). Each
+  // shard owns its slice of the KV namespace, its lock tables, change logs,
+  // pushers, and dir sessions, and drains its apply lane serially — so the
+  // owner's apply throughput scales with min(shard_count, cores). 1 restores
+  // the pre-sharding single-owner behavior (the bench_shard_scaling A/B).
+  int shard_count = 4;
   // Feature flags for the Fig 14 ablation: Baseline = async_updates off;
   // +Async = async on, compaction off; +Compaction = both on.
   bool async_updates = true;
@@ -193,6 +200,7 @@ struct ServerStats {
   uint64_t stale_handle_bounces = 0;  // pages against dead sessions
   uint64_t batch_stats = 0;           // BatchStat requests served
   uint64_t batch_stat_targets = 0;    // targets across those requests
+  uint64_t batch_stat_dirs = 0;       // BatchStatDir requests served
   uint64_t setattrs = 0;
   uint64_t bulk_inserts = 0;          // BulkInsert requests served
   uint64_t bulk_insert_entries = 0;   // entries across those requests
@@ -209,25 +217,31 @@ struct ServerStats {
   // side) and drains deferred by a received hint (source side).
   uint64_t push_pace_hints = 0;
   uint64_t push_paced_drains = 0;
+  // Sharded owner: push-batch sections whose (dir, src) idempotency token
+  // was already committed (duplicate delivery no-oped and re-acked), and
+  // cross-shard handoff tasks enqueued (rename legs, hard-link splits).
+  uint64_t push_batches_deduped = 0;
+  uint64_t cross_shard_handoffs = 0;
 };
 
 // Volatile state of one server incarnation (wiped on crash). Its containers
 // are mutated by concurrently-interleaved coroutine handlers, so references,
 // pointers, and iterators into them must not live across a co_await
 // (sfs-lint rule borrow-across-suspend).
+//
+// Most hot-path state now lives on the fingerprint-group shards
+// (src/core/shard.h): lock tables, change logs, pushers, agg sessions, dir
+// sessions, and the KV slices. What remains here is genuinely server-global:
+// crash/incarnation state, the invalidation list, hwm dedup lanes and moved
+// tombstones (consulted across rename-era fingerprints), rename transaction
+// locks, switch-cache bookkeeping, and the push idempotency tokens.
 struct SFS_SUSPENSION_SHARED ServerVolatile {
-  struct AggWait {  // initiator side
-    uint64_t seq = 0;
-    std::set<uint32_t> pending;  // server indices yet to reply for `seq`
-    std::vector<AggEntries::PerDir> collected;
-    std::vector<uint32_t> collected_src;  // parallel to `collected`
-    std::shared_ptr<sim::OneShot<bool>> slot;  // armed per attempt
-  };
-  struct AggSession {  // responder side
-    uint64_t seq = 0;
-    LockTable::Handle lock;
-    int64_t started_at = 0;
-  };
+  // Relocated to shard.h (the shards own them); aliases keep module
+  // signatures readable.
+  using AggWait = core::AggWait;
+  using AggSession = core::AggSession;
+  using OwnerPusher = core::OwnerPusher;
+
   struct OpWait {  // insert-ack / overflow-fallback wait (§5.2.1 step 7)
     bool acked = false;
     bool fallback_done = false;
@@ -278,31 +292,57 @@ struct SFS_SUSPENSION_SHARED ServerVolatile {
     }
   };
 
-  explicit ServerVolatile(sim::Simulator* sim)
-      : inode_locks(sim, sim::LockClass::kInode),
-        changelog_locks(sim, sim::LockClass::kChangelogGroup),
-        agg_gates(sim, sim::LockClass::kAggGate),
-        changelog_append_locks(sim, sim::LockClass::kAppend),
-        dir_sessions(sim->Now()) {}
+  // `shard_count` is clamped to [1, kMaxShards]; dir-session ids only have
+  // kShardIdBits of routing space. Each shard's lock tables carry a
+  // process-unique discipline tag, and each shard's DirSessionTable is
+  // seeded with the incarnation's creation time so a handle minted before a
+  // crash cannot alias a post-recovery session.
+  SFS_SHARD_ROUTER ServerVolatile(sim::Simulator* sim, int shard_count = 1)
+      : kv(&shards),
+        push_token_counter(static_cast<uint64_t>(sim->Now()) + 1) {
+    if (shard_count < 1) {
+      shard_count = 1;
+    }
+    if (shard_count > static_cast<int>(kMaxShards)) {
+      shard_count = static_cast<int>(kMaxShards);
+    }
+    const int64_t epoch = sim->Now();
+    shards.reserve(static_cast<size_t>(shard_count));
+    for (int i = 0; i < shard_count; ++i) {
+      shards.push_back(std::make_unique<ServerShard>(sim, i, epoch));
+    }
+  }
 
   bool dead = false;
-  kv::KvStore kv;
-  LockTable inode_locks;      // key: inode key
-  LockTable changelog_locks;  // key: FpKey(fp) — one per fingerprint group
-  LockTable agg_gates;        // key: FpKey(fp) — owner-side read/agg gate
-  // Per-change-log append mutex (key: ClAppendKey(fp, dir)), innermost in
-  // the lock order: held only across {seq capture -> WAL append -> Restore}
-  // (or a rebind's renumbering DrainInto) with no other lock acquired
-  // inside. Every appender takes it — including the rename/link commit legs
-  // that cannot take the fp-group lock — so a captured seq can no longer go
-  // stale against a concurrent append or rebind renumber of the same log.
-  SFS_LOCK_INNERMOST LockTable changelog_append_locks;
-  // Directory-stream sessions (MetadataService v2). Seeded with the
-  // incarnation's creation time so a handle minted before a crash cannot
-  // alias a post-recovery session.
-  DirSessionTable dir_sessions;
-  std::unordered_map<psw::Fingerprint, std::map<InodeId, ChangeLog>>
-      changelogs;
+  // The fingerprint-group shards. Never index directly outside the router
+  // helpers below (sfs-lint rule cross-shard-direct): resolve a shard at op
+  // entry via ShardFor/ShardForKey/SessionShard and route cross-shard work
+  // through the handoff lane (EnqueueShardTask).
+  SFS_SHARD_PRIVATE std::vector<std::unique_ptr<ServerShard>> shards;
+  // Key-routing view over the shards' KV slices (point ops route, short
+  // prefixes gather) — the one sanctioned way to reach another shard's rows.
+  ShardedKv kv;
+
+  SFS_SHARD_ROUTER size_t num_shards() const { return shards.size(); }
+  SFS_SHARD_ROUTER ServerShard& ShardAt(size_t i) { return *shards[i]; }
+  SFS_SHARD_ROUTER const ServerShard& ShardAt(size_t i) const {
+    return *shards[i];
+  }
+  SFS_SHARD_ROUTER ServerShard& ShardFor(psw::Fingerprint fp) {
+    return *shards[ShardIndexForFp(fp, shards.size())];
+  }
+  SFS_SHARD_ROUTER const ServerShard& ShardFor(psw::Fingerprint fp) const {
+    return *shards[ShardIndexForFp(fp, shards.size())];
+  }
+  SFS_SHARD_ROUTER ServerShard& ShardForKey(std::string_view key) {
+    return *shards[ShardIndexForKey(key, shards.size())];
+  }
+  // Shard that minted a directory-stream session id (the id's low bits; a
+  // garbage handle clamps to a valid shard and misses in its table).
+  SFS_SHARD_ROUTER ServerShard& SessionShard(uint64_t session_id) {
+    return *shards[(session_id & (kMaxShards - 1)) % shards.size()];
+  }
+
   InvalidationList inval;
   // Owner-side applied high-water marks: (dir, src server, fingerprint the
   // entries were logged under) -> seq. The fingerprint is part of the key
@@ -314,32 +354,7 @@ struct SFS_SUSPENSION_SHARED ServerVolatile {
   std::map<std::tuple<InodeId, uint32_t, psw::Fingerprint>, uint64_t> hwm;
   // Old-owner-side moved tombstones, keyed by the renamed directory's id.
   std::map<InodeId, MovedDir> moved_dirs;
-  std::unordered_map<psw::Fingerprint, std::shared_ptr<AggWait>> agg_waits;
-  std::unordered_map<psw::Fingerprint, AggSession> agg_sessions;
   std::unordered_map<uint64_t, std::shared_ptr<OpWait>> op_waits;
-  // Owner-side: completion time of the last aggregation per fingerprint.
-  std::unordered_map<psw::Fingerprint, int64_t> last_agg_complete;
-  // Owner-side: last push arrival per fingerprint (quiet-period timer).
-  std::unordered_map<psw::Fingerprint, int64_t> last_push;
-  std::unordered_set<psw::Fingerprint> quiet_timer_armed;
-  // Owner-server tracker mode: local scattered set.
-  std::unordered_set<psw::Fingerprint> owner_scattered;
-  // Source-side per-owner pusher (§5.3 batching): one outbound queue per
-  // owner server. `ready` holds the (fp, dir) change-logs awaiting a push;
-  // the drain coroutine coalesces them into MTU-bounded PushReq batches.
-  struct OwnerPusher {
-    std::set<std::pair<psw::Fingerprint, InodeId>> ready;
-    bool draining = false;          // single-flight drain per owner
-    bool idle_timer_armed = false;  // quiet-log flush timer
-    bool retry_timer_armed = false;  // failure re-arm (owner unreachable)
-    uint64_t activity = 0;  // bumped per enqueue; the idle timer watches it
-    int backoff_shift = 0;  // consecutive failed drains (caps the retry delay)
-    // Adaptive pacing (PushResp::retry_after): MTU-triggered drains are
-    // deferred to the idle timer until this deadline so a busy owner's apply
-    // queue can breathe (§5.3 variant).
-    int64_t pace_until = 0;
-  };
-  std::map<uint32_t, OwnerPusher> pushers;  // key: owner server index
   // Rename participant state: txn id -> held locks.
   std::unordered_map<uint64_t, std::vector<LockTable::Handle>> txn_locks;
   // In-switch read cache bookkeeping (owner side). cached_fps: fingerprints
@@ -356,14 +371,33 @@ struct SFS_SUSPENSION_SHARED ServerVolatile {
   uint64_t op_token_counter = 1;
   uint64_t txn_counter = 1;
 
-  // The per-directory change-log within `fp`'s group, created on demand.
+  // Push-batch idempotency (owner side, §5.3 loss recovery): the highest
+  // (dir, src) batch token whose section committed, plus the acked seq it
+  // reported — a duplicated delivery (RPC retransmit after a lost ack,
+  // rebind replay) no-ops and re-acks instead of re-running the apply.
+  // Tokens are minted monotonically per source (push_token_counter below is
+  // seeded from sim time, so it stays monotonic across source crashes) and
+  // persisted in the owner's kWalEntryApply records, so recovery rebuilds
+  // this map and a pre-crash duplicate still dedups post-recovery.
+  // `fp` scopes the state to the fingerprint era the token was committed
+  // under: after a rename, old- and new-era sections for the same (dir,
+  // src) travel different shard pipes and can arrive out of mint order — a
+  // cross-era token must never dedup (nor re-ack into) the other era's
+  // sections, whose acked_seq lives in a different numbering.
+  struct PushTokenState {
+    uint64_t token = 0;
+    uint64_t acked_seq = 0;
+    psw::Fingerprint fp = 0;
+  };
+  std::map<std::pair<InodeId, uint32_t>, PushTokenState> push_tokens;
+  // Source side: next batch token to mint (per-server, shared by all
+  // (dir, src) lanes — per-lane monotonicity is all the owner checks).
+  uint64_t push_token_counter = 1;
+
+  // The per-directory change-log within `fp`'s group, created on demand
+  // (routes to fp's shard; call sites are shard-agnostic).
   ChangeLog& GetChangeLog(psw::Fingerprint fp, const InodeId& dir) {
-    auto& per_dir = changelogs[fp];
-    auto it = per_dir.find(dir);
-    if (it == per_dir.end()) {
-      it = per_dir.emplace(dir, ChangeLog(dir, fp)).first;
-    }
-    return it->second;
+    return ShardFor(fp).GetChangeLog(fp, dir);
   }
 
   // Resolves a directory id to its inode key + fingerprint via the "d" index.
@@ -420,6 +454,35 @@ struct SFS_SUSPENSION_SHARED ServerVolatile {
   }
 };
 using VolPtr = std::shared_ptr<ServerVolatile>;
+
+// ---- shard run queues (defined in shard.cc) --------------------------------
+
+enum class ShardLane {
+  kApply,    // serial per-shard drain (push-batch section applies)
+  kHandoff,  // cross-shard handoff (rename legs, hard-link splits): FIFO
+             // dispatch, each task its own chain
+};
+
+// Enqueues `fn` on shard `shard`'s lane and ensures a drain is running.
+// Tasks are retained (and still drained) across `v->dead` — the thunks
+// themselves no-op on a dead incarnation, and draining keeps their captured
+// completion state (JoinCounters, response slots) from leaking.
+//
+// `fn` must be a PLAIN (non-coroutine) callable that builds its Task from a
+// coroutine function taking the state as parameters (copied into the
+// frame). A capturing coroutine lambda would dangle: lambda captures live
+// in the lambda object, not the coroutine frame, and the handoff lane
+// destroys `fn` right after spawning the task.
+void EnqueueShardTask(VolPtr v, size_t shard, ShardLane lane,
+                      std::function<sim::Task<void>()> fn);
+
+// Queued-but-undrained tasks across all lanes of all shards (the
+// simulator's run-while-work-pending predicate for this server).
+size_t PendingShardTasks(const ServerVolatile& v);
+
+// Re-spawns drains for any lane with queued work (the simulator's kick
+// hook: work enqueued from outside a running event needs a fresh drainer).
+void KickShardDrains(VolPtr v);
 
 // Non-owning view over one server's fixed parts, shared by all protocol
 // modules. All pointers outlive the modules (SwitchServer owns both).

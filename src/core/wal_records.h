@@ -190,6 +190,10 @@ struct EntryApplyRecord {
   // Resulting absolute directory attributes (idempotent redo).
   uint64_t result_size = 0;
   int64_t result_mtime = 0;
+  // Push-batch idempotency token of the section this apply belonged to
+  // (0 = untokened path). Replay rebuilds ServerVolatile::push_tokens from
+  // it, so a duplicate delivered after the owner's crash still no-ops.
+  uint64_t batch_token = 0;
 
   std::string Encode() const {
     Encoder enc;
@@ -199,6 +203,7 @@ struct EntryApplyRecord {
     entry.EncodeTo(enc);
     enc.PutU64(result_size);
     enc.PutI64(result_mtime);
+    enc.PutU64(batch_token);
     return std::move(enc).Take();
   }
 
@@ -211,6 +216,7 @@ struct EntryApplyRecord {
     r.entry = ChangeLogEntry::DecodeFrom(dec);
     r.result_size = dec.GetU64();
     r.result_mtime = dec.GetI64();
+    r.batch_token = dec.GetU64();
     return r;
   }
 };

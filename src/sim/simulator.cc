@@ -41,4 +41,47 @@ SimTime Simulator::RunUntil(SimTime deadline) {
   return now_;
 }
 
+uint64_t Simulator::RegisterWorkSource(WorkSource source) {
+  const uint64_t id = next_source_id_++;
+  sources_.emplace(id, std::move(source));
+  return id;
+}
+
+void Simulator::UnregisterWorkSource(uint64_t id) { sources_.erase(id); }
+
+size_t Simulator::pending_source_work() const {
+  size_t n = 0;
+  for (const auto& [id, source] : sources_) {
+    n += source.pending();
+  }
+  return n;
+}
+
+SimTime Simulator::RunWhileWorkPending(SimTime deadline) {
+  for (;;) {
+    // Drain the visible event queue first (bounded by the deadline).
+    while (!queue_.empty() && queue_.top().at <= deadline) {
+      Step();
+    }
+    if (!queue_.empty()) {
+      return now_;  // remaining events are all past the deadline
+    }
+    const size_t before = pending_source_work();
+    if (before == 0) {
+      return now_;  // quiescent: no events, no parked work
+    }
+    // Kick every source with parked work; their drains schedule events.
+    for (auto& [id, source] : sources_) {
+      if (source.pending() > 0) {
+        source.kick();
+      }
+    }
+    // Livelock guard: a kick that schedules nothing and shrinks nothing is
+    // a stuck source — stop rather than spin forever.
+    if (queue_.empty() && pending_source_work() >= before) {
+      return now_;
+    }
+  }
+}
+
 }  // namespace switchfs::sim

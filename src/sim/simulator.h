@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -37,8 +38,27 @@ class Simulator {
   // Executes at most one event; returns false if the queue was empty.
   bool Step();
 
-  size_t pending_events() const { return queue_.size(); }
-  uint64_t executed_events() const { return executed_; }
+  // ---- work sources (run-while-work-pending mode) -------------------------
+  // A work source is a component holding work the event queue cannot see:
+  // tasks parked in per-shard run queues, standing control-plane backlogs.
+  // `pending` reports how much is queued; `kick` starts drains for it
+  // (scheduling events). Sources let RunWhileWorkPending make background
+  // work progress without an external op driving it.
+  struct WorkSource {
+    std::function<size_t()> pending;
+    std::function<void()> kick;
+  };
+  uint64_t RegisterWorkSource(WorkSource source);
+  void UnregisterWorkSource(uint64_t id);
+  size_t pending_source_work() const;
+
+  // Like Run()/RunUntil(deadline), but after the event queue drains, polls
+  // the registered work sources: if any reports pending work, kicks them
+  // all and keeps running. Returns when (a) the queue is empty AND every
+  // source reports zero pending, (b) the deadline passes, or (c) a kick
+  // round makes no progress (no events scheduled and pending unchanged —
+  // a stuck source must not livelock the loop).
+  SimTime RunWhileWorkPending(SimTime deadline = kSimTimeMax);
 
  private:
   struct Event {
@@ -59,6 +79,8 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  uint64_t next_source_id_ = 1;
+  std::map<uint64_t, WorkSource> sources_;  // ordered: deterministic kicks
 };
 
 }  // namespace switchfs::sim

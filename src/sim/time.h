@@ -10,6 +10,7 @@ namespace switchfs::sim {
 using SimTime = int64_t;  // nanoseconds since simulation start
 
 constexpr SimTime kNanosecond = 1;
+constexpr SimTime kSimTimeMax = INT64_MAX;
 constexpr SimTime kMicrosecond = 1000;
 constexpr SimTime kMillisecond = 1000 * 1000;
 constexpr SimTime kSecond = 1000LL * 1000 * 1000;

@@ -880,7 +880,10 @@ TEST(BulkInsertTest, SendsFarFewerPacketsThanPerEntryCreates) {
 
 TEST(DirSessionEviction, TableCapEvictsLruAndSurfacesStaleHandle) {
   ClusterConfig cfg = SmallClusterConfig(4);
-  cfg.server_template.max_dir_sessions = 2;
+  // The configured cap divides across the server's fingerprint-group shards
+  // (sessions for one directory all land on its group's shard): 8 over the
+  // default 4 shards = 2 sessions per shard.
+  cfg.server_template.max_dir_sessions = 8;
   FsHarness fs(cfg);
   ASSERT_TRUE(fs.Mkdir("/d").ok());
   for (int i = 0; i < 10; ++i) {

@@ -51,11 +51,13 @@ class TrackerHarness {
     rpc.SetRequestHandler([this](net::Packet p) {
       if (p.body != nullptr && p.body->type == core::ScatteredSnapshotReq::kType) {
         auto resp = std::make_shared<core::ScatteredSnapshotResp>();
-        for (const auto& [fp, dirs] : vol->changelogs) {
-          for (const auto& [dir, log] : dirs) {
-            if (!log.empty()) {
-              resp->fps.push_back(fp);
-              break;
+        for (size_t i = 0; i < vol->num_shards(); ++i) {
+          for (const auto& [fp, dirs] : vol->ShardAt(i).changelogs) {
+            for (const auto& [dir, log] : dirs) {
+              if (!log.empty()) {
+                resp->fps.push_back(fp);
+                break;
+              }
             }
           }
         }

@@ -1,0 +1,19 @@
+// R5 cross-shard-direct fixtures.
+#include "fixture_defs.h"
+
+int ShardDirectPositive(FakeSharded& s) {
+  return s.shard_vec[0];  // flagged: direct index outside a router
+}
+
+void ShardDirectPointerPositive(FakeSharded* s) {
+  Use(s->shard_vec[1]);  // flagged: -> access outside a router
+}
+
+int ShardDirectSuppressed(FakeSharded& s) {
+  // sfs-lint: allow(cross-shard-direct, fixture — op handed off to the owning shard's lane)
+  return s.shard_vec[2];
+}
+
+SFS_SHARD_ROUTER int RouterNegative(FakeSharded& s) {
+  return s.shard_vec.size();  // router accessor: ok
+}

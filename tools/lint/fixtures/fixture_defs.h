@@ -8,6 +8,8 @@
 #define SFS_LOCKABLE
 #define SFS_LOCK_INNERMOST
 #define SFS_REQUIRES_EXCLUSIVE(lock)
+#define SFS_SHARD_PRIVATE
+#define SFS_SHARD_ROUTER
 
 #include <map>
 
@@ -56,3 +58,10 @@ sim::Task<int> AsyncIntThing();
 
 SFS_REQUIRES_EXCLUSIVE(inode_locks)
 sim::Task<void> FakeEvict(FakeVol& v, int fp);
+
+// Shard-partitioned stand-in for R5: the vector is shard-private; only the
+// annotated router accessor may index it.
+struct FakeSharded {
+  SFS_SHARD_PRIVATE std::map<int, int> shard_vec;
+  SFS_SHARD_ROUTER int RouterAt(int i) { return shard_vec[i]; }
+};

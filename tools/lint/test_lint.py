@@ -21,7 +21,7 @@ FIXTURES = os.path.join(HERE, "fixtures")
 GOLDEN = os.path.join(HERE, "expected.txt")
 
 # One suppressed variant per rule, consumed from the fixtures.
-EXPECTED_SUPPRESSED = 4
+EXPECTED_SUPPRESSED = 5
 
 
 def main():
