@@ -1,0 +1,119 @@
+// Geo-replication demo: two SwitchFS clusters sharing a namespace over a
+// simulated WAN link. The link is partitioned, both sites keep accepting
+// writes to the same directory — including creates of the SAME names — and
+// after the heal the change-log batches ship both ways and every conflict
+// settles by per-entry last-writer-wins. The demo prints both sites'
+// listings before and after the heal, plus the replication counters.
+//
+//   $ ./examples/wan_two_clusters
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/wan/geo.h"
+
+using namespace switchfs;
+
+namespace {
+
+// Serialized sorted listing of `path` as cluster `i` sees it.
+std::string Listing(wan::GeoCluster& geo, core::SwitchFsClient* client,
+                    const std::string& path) {
+  StatusOr<std::vector<core::DirEntry>> out = InternalError("not run");
+  sim::Spawn([](core::SwitchFsClient* c, std::string p,
+                StatusOr<std::vector<core::DirEntry>>* o) -> sim::Task<void> {
+    *o = co_await c->Readdir(p);
+  }(client, path, &out));
+  // A bounded drive, not Run(): while the WAN is partitioned, ship retries
+  // keep the event queue alive forever, but the local readdir completes in
+  // well under this window.
+  geo.sim().RunUntil(geo.sim().Now() + sim::Milliseconds(100));
+  if (!out.ok()) {
+    return "<readdir failed>";
+  }
+  std::vector<std::string> names;
+  for (const core::DirEntry& e : *out) {
+    names.push_back(e.name);
+  }
+  std::sort(names.begin(), names.end());
+  std::string s;
+  for (const std::string& n : names) {
+    s += n;
+    s += ' ';
+  }
+  return s;
+}
+
+sim::Task<void> SiteWrites(sim::Simulator* sm, core::SwitchFsClient* c,
+                           uint32_t site) {
+  Rng rng(0x9e37ULL * (site + 1));
+  // Three names BOTH sites create while partitioned (the conflicts) plus
+  // three site-unique files (plain replication volume).
+  for (int k = 0; k < 3; ++k) {
+    co_await sim::Delay(sm, sim::Microseconds(5 + rng.NextBelow(40)));
+    (void)co_await c->Create("/shared/conflict" + std::to_string(k));
+  }
+  for (int k = 0; k < 3; ++k) {
+    co_await sim::Delay(sm, sim::Microseconds(5 + rng.NextBelow(40)));
+    (void)co_await c->Create("/shared/site" + std::to_string(site) + "_" +
+                             std::to_string(k));
+  }
+}
+
+}  // namespace
+
+int main() {
+  wan::GeoConfig g;
+  g.num_clusters = 2;
+  g.cluster_template.num_servers = 4;
+  g.link.latency = sim::Milliseconds(20);
+  wan::GeoCluster geo(g);
+  geo.PreloadDirAll("/shared");
+
+  std::vector<std::unique_ptr<core::SwitchFsClient>> clients;
+  for (uint32_t i = 0; i < 2; ++i) {
+    clients.push_back(geo.cluster(i).MakeClient());
+    geo.cluster(i).WarmClient(*clients.back());
+  }
+
+  std::printf("phase 1: partition the WAN link, write at both sites\n");
+  geo.SetPartitioned(0, 1, true);
+  for (uint32_t i = 0; i < 2; ++i) {
+    sim::Spawn(SiteWrites(&geo.sim(), clients[i].get(), i));
+  }
+  // Ship retries keep the event queue alive while partitioned: drive with a
+  // deadline instead of Run().
+  geo.sim().RunUntil(sim::Seconds(1));
+  for (uint32_t i = 0; i < 2; ++i) {
+    std::printf("  site %u sees: %s\n", i,
+                Listing(geo, clients[i].get(), "/shared").c_str());
+  }
+
+  std::printf("\nphase 2: heal the link and let the batches ship\n");
+  geo.SetPartitioned(0, 1, false);
+  geo.sim().Run();  // one-shot timers only: a synced world drains out
+
+  const auto st = geo.TotalStats();
+  std::printf("  batches shipped %llu, entries applied %llu, LWW conflicts "
+              "%llu, catch-up replays %llu\n",
+              static_cast<unsigned long long>(st.wan_batches_shipped),
+              static_cast<unsigned long long>(st.wan_entries_applied),
+              static_cast<unsigned long long>(st.wan_conflicts_lww),
+              static_cast<unsigned long long>(st.wan_catchup_replays));
+
+  std::printf("\nphase 3: verify convergence\n");
+  const std::string l0 = Listing(geo, clients[0].get(), "/shared");
+  const std::string l1 = Listing(geo, clients[1].get(), "/shared");
+  std::printf("  site 0 sees: %s\n", l0.c_str());
+  std::printf("  site 1 sees: %s\n", l1.c_str());
+  const bool converged = !l0.empty() && l0 == l1 && geo.WanIdle() &&
+                         st.wan_conflicts_lww > 0;
+  std::printf("  %s\n", converged
+                            ? "converged: listings byte-identical, conflicts "
+                              "settled by LWW"
+                            : "FAILED to converge");
+  return converged ? 0 : 1;
+}

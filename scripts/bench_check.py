@@ -51,6 +51,13 @@ GATED = {
         (("four_shard", "drain_ms"), False, "4-shard burst makespan"),
         (("speedup",), True, "4-shard vs 1-shard apply speedup"),
     ],
+    "wan_replication": [
+        (("lag5", "conv_ms"), False, "convergence time at 5 ms WAN lag"),
+        (("lag20", "conv_ms"), False, "convergence time at 20 ms WAN lag"),
+        (("lag80", "conv_ms"), False, "convergence time at 80 ms WAN lag"),
+        (("lag20", "applied"), True, "entries replicated cross-site"),
+        (("volume_ratio",), False, "2x-volume convergence blowup"),
+    ],
 }
 
 # Comparative gates evaluated on the CURRENT run alone: metric A must be
@@ -81,6 +88,16 @@ COMPARATIVE = {
          "4-shard apply throughput at least 2x 1-shard"),
         (("four_shard", "drain_ms"), ("one_shard", "drain_ms"),
          "4 shards drain the skewed burst faster than 1"),
+    ],
+    "wan_replication": [
+        (("lag5", "conv_ms"), ("lag20", "conv_ms"),
+         "convergence grows with WAN lag (5 vs 20 ms)"),
+        (("lag20", "conv_ms"), ("lag80", "conv_ms"),
+         "convergence grows with WAN lag (20 vs 80 ms)"),
+        (("volume_ratio",), ("volume_ratio_budget",),
+         "convergence tracks WAN lag, not write volume"),
+        (("conflict_off", "conflicts"), ("conflict_heavy", "conflicts"),
+         "cross-site same-name writes settle by LWW"),
     ],
 }
 

@@ -5,15 +5,16 @@
 #
 #   scripts/bench_smoke.sh            # writes ./BENCH_push_batching.json,
 #                                     #   ./BENCH_readdir_paging.json,
-#                                     #   ./BENCH_switch_cache.json and
-#                                     #   ./BENCH_shard_scaling.json
+#                                     #   ./BENCH_switch_cache.json,
+#                                     #   ./BENCH_shard_scaling.json and
+#                                     #   ./BENCH_wan_replication.json
 #   BENCHES=bench_push_batching BENCH_JSON=/tmp/b.json scripts/bench_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
-BENCHES=${BENCHES:-"bench_push_batching bench_readdir_paging bench_switch_cache bench_shard_scaling"}
+BENCHES=${BENCHES:-"bench_push_batching bench_readdir_paging bench_switch_cache bench_shard_scaling bench_wan_replication"}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for bench in $BENCHES; do

@@ -88,7 +88,7 @@ if [[ "${SFS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== perf smoke: regression gate vs bench/baselines =="
   python3 scripts/bench_check.py BENCH_push_batching.json \
       BENCH_readdir_paging.json BENCH_switch_cache.json \
-      BENCH_shard_scaling.json
+      BENCH_shard_scaling.json BENCH_wan_replication.json
 fi
 
 if [[ "$MODE" != "--fast" ]]; then

@@ -283,6 +283,55 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
     co_return;
   }
 
+  // Per-entry commit-stamp LWW (lww_resolve): each name's last applied write
+  // keeps a stamp row, and an entry whose (ts, origin, src, seq) stamp is
+  // older than the row no-ops. Within one lane seqs are FIFO with
+  // non-decreasing timestamps, so this never fires for plain traffic — it
+  // resolves the cross-era case (a rebound old-era entry arriving after a
+  // same-name new-era entry; the hwm lanes are per-fingerprint and cannot
+  // see that inversion) and WAN-replayed conflicts (the stamp a WAN apply
+  // left carries its origin cluster). Runs BEFORE the WAL appends so records
+  // exist only for winners — replay then re-applies unconditionally and
+  // max-merges the stamps. Losers still resolve the lane: final_seq is
+  // bumped into the hwm after the apply either way.
+  //
+  // Winners get a presence-aware size delta: a write that wins over an
+  // already-applied same-name entry from another era or cluster replaces the
+  // entry row rather than adding one, and the directory's entry count must
+  // say so (the size half of the phantom-dirent gap).
+  const uint64_t final_seq = todo.back().seq;
+  if (ctx_.config->lww_resolve) {
+    std::vector<ChangeLogEntry> kept;
+    kept.reserve(todo.size());
+    std::map<std::string, bool> present_override;  // in-batch sequences
+    for (ChangeLogEntry& e : todo) {
+      const LwwStamp incoming{e.timestamp, ctx_.config->cluster_id, src,
+                              e.seq};
+      const std::string skey = LwwStampKey(dir, e.name);
+      auto row = v->kv.Get(skey);
+      if (row.has_value() && incoming < LwwStamp::Decode(*row)) {
+        ctx_.stats->wan_conflicts_lww++;
+        continue;  // a newer write already resolved this name
+      }
+      const bool creates =
+          e.op == OpType::kCreate || e.op == OpType::kMkdir;
+      auto ov = present_override.find(e.name);
+      const bool present =
+          ov != present_override.end()
+              ? ov->second
+              : v->kv.Get(EntryKey(dir, e.name)).has_value();
+      e.size_delta = creates ? (present ? 0 : 1) : (present ? -1 : 0);
+      present_override[e.name] = creates;
+      v->kv.Put(skey, incoming.Encode());
+      kept.push_back(std::move(e));
+    }
+    todo = std::move(kept);
+    if (todo.empty()) {
+      bump_hwm(final_seq);
+      co_return;
+    }
+  }
+
   co_await ctx_.cpu->Run(ctx_.costs->kv_get);
   if (v->dead) co_return;
   auto value = v->kv.Get(ikey);
@@ -338,7 +387,7 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
     co_await ctx_.cpu->Run(ctx_.costs->attr_merge_apply);
     if (v->dead) co_return;
     v->kv.Put(ikey, attr.Encode());
-    bump_hwm(todo.back().seq);
+    bump_hwm(final_seq);
   } else {
     // No compaction (+Async ablation): every entry is a full read-modify-
     // write of the directory inode, serialized under the inode lock.
@@ -372,8 +421,25 @@ sim::Task<void> Aggregation::ApplyEntries(VolPtr v, InodeId dir, uint32_t src,
       v->kv.Put(ikey, attr.Encode());
       bump_hwm(e.seq);
     }
+    bump_hwm(final_seq);  // LWW-dropped tail entries are resolved too
   }
   ctx_.stats->entries_applied += todo.size();
+
+  // WAN capture: publish every locally-committed dirent apply to the
+  // replicator (null without a WAN tier). Only this path feeds the sink —
+  // WAN replays enter through SwitchServer::EnqueueWanApply instead, so a
+  // shipped batch cannot echo back out of the cluster that applied it.
+  if (ctx_.wan_sink != nullptr) {
+    for (const ChangeLogEntry& e : todo) {
+      WanEntry we;
+      we.dir = dir;
+      we.dir_fp = fp;
+      we.origin_cluster = ctx_.config->cluster_id;
+      we.src_server = src;
+      we.entry = e;
+      ctx_.wan_sink->OnEntryApplied(we);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

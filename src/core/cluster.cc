@@ -12,7 +12,13 @@
 namespace switchfs::core {
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
-  net_ = std::make_unique<net::Network>(&sim_, &config_.costs, config_.seed);
+  if (config_.shared_sim != nullptr) {
+    sim_ = config_.shared_sim;  // multi-cluster world: one shared clock
+  } else {
+    owned_sim_ = std::make_unique<sim::Simulator>();
+    sim_ = owned_sim_.get();
+  }
+  net_ = std::make_unique<net::Network>(sim_, &config_.costs, config_.seed);
 
   if (config_.tracker == TrackerMode::kSwitch) {
     config_.switch_config.cache_serve_delay = config_.costs.switch_cache_serve;
@@ -25,10 +31,10 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     net_->SetSwitch(plain_switch_.get());
     switch (config_.tracker) {
       case TrackerMode::kDedicatedServer: {
-        tracker_ = std::make_unique<tracker::TrackerServer>(&sim_, net_.get(),
+        tracker_ = std::make_unique<tracker::TrackerServer>(sim_, net_.get(),
                                                             &config_.costs);
         auto dedicated = std::make_unique<tracker::DedicatedTracker>(
-            &sim_, net_.get(), this, &config_.costs, tracker_.get());
+            sim_, net_.get(), this, &config_.costs, tracker_.get());
         dedicated_ = dedicated.get();
         dirty_tracker_ = std::move(dedicated);
         break;
@@ -40,7 +46,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         tracker::ReplicatedTrackerConfig rc;
         rc.replicas = static_cast<int>(config_.tracker_replicas);
         auto replicated = std::make_unique<tracker::ReplicatedTracker>(
-            &sim_, net_.get(), this, &config_.costs, rc);
+            sim_, net_.get(), this, &config_.costs, rc);
         replicated_ = replicated.get();
         dirty_tracker_ = std::move(replicated);
         break;
@@ -67,8 +73,9 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     sc.cores = config_.cores_per_server;
     sc.async_updates = config_.async_updates;
     sc.compaction = config_.compaction;
+    sc.cluster_id = config_.cluster_id;
     servers_.push_back(std::make_unique<SwitchServer>(
-        &sim_, net_.get(), this, durables_.back().get(), &config_.costs,
+        sim_, net_.get(), this, durables_.back().get(), &config_.costs,
         dirty_tracker_.get(), sc));
   }
   std::vector<net::NodeId> group;
@@ -104,7 +111,7 @@ std::unique_ptr<SwitchFsClient> Cluster::MakeClient() {
   // Owner-tracker clusters have a precise server-local dirty test per
   // fingerprint; everything else needs the conservative batch hint.
   cc.batch_stat_dir_hint = config_.tracker != TrackerMode::kOwnerServer;
-  return std::make_unique<SwitchFsClient>(&sim_, net_.get(), this,
+  return std::make_unique<SwitchFsClient>(sim_, net_.get(), this,
                                           &config_.costs, cc);
 }
 
@@ -168,9 +175,11 @@ sim::Task<void> Cluster::AddServerAndRebalance() {
   sc.cores = config_.cores_per_server;
   sc.async_updates = config_.async_updates;
   sc.compaction = config_.compaction;
+  sc.cluster_id = config_.cluster_id;
   servers_.push_back(std::make_unique<SwitchServer>(
-      &sim_, net_.get(), this, durables_.back().get(), &config_.costs,
+      sim_, net_.get(), this, durables_.back().get(), &config_.costs,
       dirty_tracker_.get(), sc));
+  servers_.back()->SetWanSink(wan_sink_);
   ring_.AddServer(new_index);
 
   std::vector<net::NodeId> group;
@@ -317,48 +326,66 @@ void Cluster::Checkpoint() {
   }
 }
 
+void AccumulateServerStats(ServerStats& total, const ServerStats& st) {
+  total.ops += st.ops;
+  total.aggregations += st.aggregations;
+  total.agg_retries += st.agg_retries;
+  total.entries_applied += st.entries_applied;
+  total.entries_deduped += st.entries_deduped;
+  total.pushes_sent += st.pushes_sent;
+  total.pushes_local += st.pushes_local;
+  total.push_failures += st.push_failures;
+  total.push_dirs_sent += st.push_dirs_sent;
+  total.push_entries_sent += st.push_entries_sent;
+  total.pushes_received += st.pushes_received;
+  total.pushes_rebound += st.pushes_rebound;
+  total.entries_rebound += st.entries_rebound;
+  total.agg_rebinds += st.agg_rebinds;
+  total.agg_entries_rebound += st.agg_entries_rebound;
+  total.fallbacks += st.fallbacks;
+  total.stale_cache_bounces += st.stale_cache_bounces;
+  total.wal_replayed += st.wal_replayed;
+  total.insert_exhausted += st.insert_exhausted;
+  total.dir_opens += st.dir_opens;
+  total.dir_pages += st.dir_pages;
+  total.dir_page_entries += st.dir_page_entries;
+  total.dir_sessions_expired += st.dir_sessions_expired;
+  total.dir_sessions_evicted += st.dir_sessions_evicted;
+  total.stale_handle_bounces += st.stale_handle_bounces;
+  total.bulk_inserts += st.bulk_inserts;
+  total.bulk_insert_entries += st.bulk_insert_entries;
+  total.batch_stats += st.batch_stats;
+  total.batch_stat_targets += st.batch_stat_targets;
+  total.batch_stat_dirs += st.batch_stat_dirs;
+  total.setattrs += st.setattrs;
+  total.cache_installs += st.cache_installs;
+  total.cache_evicts += st.cache_evicts;
+  total.cache_evict_exhausted += st.cache_evict_exhausted;
+  total.push_pace_hints += st.push_pace_hints;
+  total.push_paced_drains += st.push_paced_drains;
+  total.push_batches_deduped += st.push_batches_deduped;
+  total.cross_shard_handoffs += st.cross_shard_handoffs;
+  total.wan_batches_shipped += st.wan_batches_shipped;
+  total.wan_entries_applied += st.wan_entries_applied;
+  total.wan_conflicts_lww += st.wan_conflicts_lww;
+  total.wan_catchup_replays += st.wan_catchup_replays;
+  total.wan_entries_dropped += st.wan_entries_dropped;
+}
+
+void Cluster::SetWanSink(WanSink* sink) {
+  wan_sink_ = sink;
+  for (auto& s : servers_) {
+    s->SetWanSink(sink);
+  }
+}
+
 SwitchServer::Stats Cluster::TotalStats() const {
   SwitchServer::Stats total;
   for (const auto& s : servers_) {
-    const auto& st = s->stats();
-    total.ops += st.ops;
-    total.aggregations += st.aggregations;
-    total.agg_retries += st.agg_retries;
-    total.entries_applied += st.entries_applied;
-    total.entries_deduped += st.entries_deduped;
-    total.pushes_sent += st.pushes_sent;
-    total.pushes_local += st.pushes_local;
-    total.push_failures += st.push_failures;
-    total.push_dirs_sent += st.push_dirs_sent;
-    total.push_entries_sent += st.push_entries_sent;
-    total.pushes_received += st.pushes_received;
-    total.pushes_rebound += st.pushes_rebound;
-    total.entries_rebound += st.entries_rebound;
-    total.agg_rebinds += st.agg_rebinds;
-    total.agg_entries_rebound += st.agg_entries_rebound;
-    total.fallbacks += st.fallbacks;
-    total.stale_cache_bounces += st.stale_cache_bounces;
-    total.wal_replayed += st.wal_replayed;
-    total.insert_exhausted += st.insert_exhausted;
-    total.dir_opens += st.dir_opens;
-    total.dir_pages += st.dir_pages;
-    total.dir_page_entries += st.dir_page_entries;
-    total.dir_sessions_expired += st.dir_sessions_expired;
-    total.dir_sessions_evicted += st.dir_sessions_evicted;
-    total.stale_handle_bounces += st.stale_handle_bounces;
-    total.bulk_inserts += st.bulk_inserts;
-    total.bulk_insert_entries += st.bulk_insert_entries;
-    total.batch_stats += st.batch_stats;
-    total.batch_stat_targets += st.batch_stat_targets;
-    total.batch_stat_dirs += st.batch_stat_dirs;
-    total.setattrs += st.setattrs;
-    total.cache_installs += st.cache_installs;
-    total.cache_evicts += st.cache_evicts;
-    total.cache_evict_exhausted += st.cache_evict_exhausted;
-    total.push_pace_hints += st.push_pace_hints;
-    total.push_paced_drains += st.push_paced_drains;
-    total.push_batches_deduped += st.push_batches_deduped;
-    total.cross_shard_handoffs += st.cross_shard_handoffs;
+    AccumulateServerStats(total, s->stats());
+  }
+  for (const ServerStats* st : extra_stats_) {
+    AccumulateServerStats(total, *st);
   }
   return total;
 }

@@ -32,6 +32,13 @@ namespace switchfs::core {
 struct ClusterConfig {
   uint32_t num_servers = 8;
   int cores_per_server = 4;
+  // Geo-replication (src/wan/): this cluster's identity in LWW commit
+  // stamps, and an optional externally-owned simulator so several clusters
+  // share one event loop and virtual clock (the multi-cluster harness owns
+  // it). Null = the cluster owns a private simulator (the default, and the
+  // single-cluster behavior).
+  uint32_t cluster_id = 0;
+  sim::Simulator* shared_sim = nullptr;
   bool async_updates = true;
   bool compaction = true;
   TrackerMode tracker = TrackerMode::kSwitch;
@@ -51,7 +58,7 @@ class Cluster : public ClusterContext, public FsWorld {
   ~Cluster() override;
 
   // --- FsWorld ---
-  sim::Simulator& world_sim() override { return sim_; }
+  sim::Simulator& world_sim() override { return *sim_; }
   std::unique_ptr<MetadataService> NewClient(bool warm) override {
     auto client = MakeClient();
     if (warm) {
@@ -72,7 +79,7 @@ class Cluster : public ClusterContext, public FsWorld {
     return static_cast<uint32_t>(servers_.size());
   }
 
-  sim::Simulator& sim() { return sim_; }
+  sim::Simulator& sim() { return *sim_; }
   net::Network& network() { return *net_; }
   const sim::CostModel& costs() const { return config_.costs; }
   psw::DataPlane* data_plane() { return data_plane_.get(); }
@@ -118,6 +125,17 @@ class Cluster : public ClusterContext, public FsWorld {
   // Truncates the applied prefix of every server's WAL (checkpoint).
   void Checkpoint();
 
+  // --- WAN replication wiring (src/wan/) ---
+  // Points every server's capture hook at the cluster's replicator (null
+  // detaches; servers added later by AddServerAndRebalance inherit it).
+  void SetWanSink(WanSink* sink);
+  // Registers an externally-owned counter block (replicator/applier-side
+  // wan_* counters) to be summed into TotalStats. The pointer must outlive
+  // the cluster.
+  void RegisterExtraStats(const ServerStats* stats) {
+    extra_stats_.push_back(stats);
+  }
+
   // Aggregate totals across servers (bench reporting).
   SwitchServer::Stats TotalStats() const;
   size_t TotalPendingChangeLogEntries() const;
@@ -126,7 +144,10 @@ class Cluster : public ClusterContext, public FsWorld {
   void BumpPreloadedDirSize(const std::string& dir_path);
 
   ClusterConfig config_;
-  sim::Simulator sim_;
+  // Owned unless ClusterConfig::shared_sim points at an external simulator
+  // (multi-cluster worlds share one event loop); sim_ is the working alias.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator* sim_ = nullptr;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<psw::DataPlane> data_plane_;
   std::unique_ptr<net::PlainSwitch> plain_switch_;
@@ -138,6 +159,8 @@ class Cluster : public ClusterContext, public FsWorld {
   std::vector<std::unique_ptr<SwitchServer>> servers_;
   HashRing ring_;
   std::unordered_map<std::string, PreloadedDir> preloaded_;
+  WanSink* wan_sink_ = nullptr;
+  std::vector<const ServerStats*> extra_stats_;
 };
 
 }  // namespace switchfs::core

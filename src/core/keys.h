@@ -7,6 +7,7 @@
 
 #include <cstring>
 #include <string>
+#include <string_view>
 
 #include "src/common/bytes.h"
 #include "src/core/types.h"
@@ -58,6 +59,61 @@ inline constexpr const char* kDirIndexPrefix = "d";
 // Key of a baseline system's authoritative directory content record, kept at
 // the directory's home server (src/baselines).
 inline std::string ContentKey(const InodeId& dir) { return IdKey('c', dir); }
+
+// ---- per-entry LWW commit stamps (WAN replication + cross-era ordering) ----
+//
+// One row per (directory, name) at the directory's owner: the commit stamp of
+// the last dirent write applied for that name. Writes (local change-log
+// applies and WAN replays alike) compare their stamp against the row and
+// no-op when they lose — last-writer-wins with a total order of
+// (timestamp, origin cluster, source server, seq). The row persists across an
+// unlink (a delete tombstone), so a late create carrying an older stamp
+// cannot resurrect a name a newer delete removed. Rebuilt from the WAL on
+// recovery (kWalEntryApply / kWalWanApply records carry the stamp fields).
+
+// Key of a name's LWW stamp row: "w" + dir(32B) + name.
+inline std::string LwwStampKey(const InodeId& dir, std::string_view name) {
+  std::string key;
+  key.reserve(33 + name.size());
+  key.push_back('w');
+  key += dir.ToKeyBytes();
+  key.append(name.data(), name.size());
+  return key;
+}
+
+struct LwwStamp {
+  int64_t ts = 0;           // commit timestamp at the origin
+  uint32_t origin = 0;      // origin cluster id (ServerConfig::cluster_id)
+  uint32_t src = 0;         // origin source server (tie-break)
+  uint64_t seq = 0;         // origin change-log seq (tie-break)
+
+  // Strict total order; equal stamps are the same write (idempotent re-apply
+  // is allowed, so callers drop only on Less(incoming, existing)).
+  friend bool operator<(const LwwStamp& a, const LwwStamp& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.origin != b.origin) return a.origin < b.origin;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  }
+
+  std::string Encode() const {
+    Encoder enc;
+    enc.PutI64(ts);
+    enc.PutU32(origin);
+    enc.PutU32(src);
+    enc.PutU64(seq);
+    return std::move(enc).Take();
+  }
+  static LwwStamp Decode(const std::string& value) {
+    Decoder dec(value);
+    LwwStamp s;
+    s.ts = dec.GetI64();
+    s.origin = dec.GetU32();
+    s.src = dec.GetU32();
+    s.seq = dec.GetU64();
+    return s;
+  }
+};
 
 // Encoded value of a dir-index row: (inode key, fingerprint).
 inline std::string EncodeDirIndex(const std::string& inode_key,

@@ -642,7 +642,10 @@ sim::Task<bool> PushEngine::RebindMovedLog(VolPtr v, InodeId dir,
       // escape its seq dedup. The resulting old-era-after-new-era inversion
       // is bounded to the same-name case and to sources whose eager verdict
       // fetch (EagerRebindMoved) lost the race with a client op through the
-      // new path — see the InvalBroadcast note in messages.h.
+      // new path — and it is settled at the apply: the per-name LWW stamp
+      // (ServerConfig::lww_resolve) drops the stale old-era entry when it
+      // arrives after the newer same-name write, so the inversion can no
+      // longer materialize a phantom dirent or resurrect a deleted one.
       moved_entries = from->DrainInto(v->GetChangeLog(new_fp, dir));
     }
     // The drained slot is KEPT, numbering intact: a straggler commit that

@@ -1954,6 +1954,54 @@ void SwitchServer::ReplayWalInto(ServerVolatile& v) {
         } else {
           v.kv.Delete(ekey);
         }
+        // Rebuild the name's LWW stamp (max-merge). Records exist only for
+        // entries that won their comparison at runtime, so replay applies
+        // them unconditionally; the stamps only need to be correct for
+        // FUTURE arrivals (a late cross-era or WAN entry after recovery).
+        if (config_.lww_resolve) {
+          const LwwStamp stamp{rec.entry.timestamp, config_.cluster_id,
+                               rec.src_server, rec.entry.seq};
+          const std::string skey = LwwStampKey(rec.dir, rec.entry.name);
+          auto srow = v.kv.Get(skey);
+          if (!srow.has_value() || LwwStamp::Decode(*srow) < stamp) {
+            v.kv.Put(skey, stamp.Encode());
+          }
+        }
+        Attr attr = Attr::Decode(*value);
+        attr.size = rec.result_size;
+        attr.mtime = std::max(attr.mtime, rec.result_mtime);
+        v.kv.Put(ikey, attr.Encode());
+        break;
+      }
+      case kWalWanApply: {
+        // Geo-replicated apply (idempotent redo, mirroring kWalEntryApply):
+        // re-apply the entry, restore the absolute directory attributes the
+        // runtime apply computed, and max-merge the origin's LWW stamp so
+        // post-recovery arrivals still resolve against it.
+        WanApplyRecord rec = WanApplyRecord::Decode(r.payload);
+        std::string ikey;
+        psw::Fingerprint fp = 0;
+        if (!v.LookupDirIndex(rec.dir, &ikey, &fp)) {
+          break;  // directory removed later in the log
+        }
+        auto value = v.kv.Get(ikey);
+        if (!value.has_value()) {
+          break;
+        }
+        const std::string ekey = EntryKey(rec.dir, rec.entry.name);
+        if (rec.entry.op == OpType::kCreate ||
+            rec.entry.op == OpType::kMkdir) {
+          v.kv.Put(ekey, EncodeEntryValue(rec.entry.entry_type));
+        } else {
+          v.kv.Delete(ekey);
+        }
+        const LwwStamp stamp{rec.entry.timestamp, rec.origin_cluster,
+                             rec.src_server, rec.entry.seq};
+        const std::string skey = LwwStampKey(rec.dir, rec.entry.name);
+        auto srow = v.kv.Get(skey);
+        if (!srow.has_value() || LwwStamp::Decode(*srow) < stamp) {
+          v.kv.Put(skey, stamp.Encode());
+        }
         Attr attr = Attr::Decode(*value);
         attr.size = rec.result_size;
         attr.mtime = std::max(attr.mtime, rec.result_mtime);
@@ -2008,6 +2056,118 @@ sim::Task<void> SwitchServer::Recover() {
     }
   }
   serving_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// WAN replay (geo-replication apply leg, src/wan/)
+// ---------------------------------------------------------------------------
+
+void SwitchServer::EnqueueWanApply(const WanEntry& entry,
+                                   std::shared_ptr<WanApplyResult> result,
+                                   std::shared_ptr<sim::JoinCounter> jc) {
+  VolPtr v = vol_;
+  const size_t shard = ShardIndexForFp(entry.dir_fp, v->num_shards());
+  // Plain-callable thunk (EnqueueShardTask contract): copies only, the
+  // coroutine is built when the lane runs it.
+  EnqueueShardTask(v, shard, ShardLane::kApply,
+                   [this, v, entry, result, jc]() {
+                     return ApplyWanEntryTask(v, entry, result, jc);
+                   });
+}
+
+sim::Task<void> SwitchServer::ApplyWanEntryTask(
+    VolPtr v, WanEntry we, std::shared_ptr<WanApplyResult> result,
+    std::shared_ptr<sim::JoinCounter> jc) {
+  // The WAN analog of PushEngine::ApplySection, minus the change-log ack
+  // machinery: resolve the directory, take its inode lock, settle the entry
+  // through the per-name LWW stamp, and persist a kWalWanApply record before
+  // mutating. jc->Done() is unconditional (dead or not) so the applier's
+  // join always resolves.
+  if (v->dead) {
+    result->failed++;
+    jc->Done();
+    co_return;
+  }
+  std::string ikey;
+  psw::Fingerprint fp = 0;
+  if (!v->LookupDirIndex(we.dir, &ikey, &fp) ||
+      !v->kv.Get(ikey).has_value()) {
+    // Unknown or removed here: not replicable at this cluster. Acked — a
+    // re-ship cannot make it applicable (a later mkdir of the same path
+    // mints a fresh id at its own cluster).
+    stats_.wan_entries_dropped++;
+    result->dropped++;
+    jc->Done();
+    co_return;
+  }
+  auto lock = co_await v->ShardFor(fp).inode_locks.AcquireExclusive(ikey);
+  if (v->dead) {
+    result->failed++;
+    jc->Done();
+    co_return;
+  }
+  const LwwStamp incoming{we.entry.timestamp, we.origin_cluster,
+                          we.src_server, we.entry.seq};
+  const std::string skey = LwwStampKey(we.dir, we.entry.name);
+  auto srow = v->kv.Get(skey);
+  if (srow.has_value() && incoming < LwwStamp::Decode(*srow)) {
+    // A newer write (local or from another origin) already resolved this
+    // name — the conflict settles the same way at every cluster.
+    stats_.wan_conflicts_lww++;
+    result->conflicts++;
+    jc->Done();
+    co_return;
+  }
+  co_await EvictSwitchCacheEntry(ctx_, v, fp);
+  if (v->dead) {
+    result->failed++;
+    jc->Done();
+    co_return;
+  }
+  auto value = v->kv.Get(ikey);
+  if (!value.has_value()) {
+    stats_.wan_entries_dropped++;
+    result->dropped++;
+    jc->Done();
+    co_return;
+  }
+  Attr attr = Attr::Decode(*value);
+  const bool creates =
+      we.entry.op == OpType::kCreate || we.entry.op == OpType::kMkdir;
+  // Presence-aware size delta: a replicated create that lands on a name this
+  // cluster also created replaces the entry row, it does not add one — both
+  // clusters converge on the same entry count.
+  const bool present = v->kv.Get(EntryKey(we.dir, we.entry.name)).has_value();
+  const int64_t delta = creates ? (present ? 0 : 1) : (present ? -1 : 0);
+  WanApplyRecord rec;
+  rec.origin_cluster = we.origin_cluster;
+  rec.dir = we.dir;
+  rec.src_server = we.src_server;
+  rec.entry = we.entry;
+  rec.result_size = static_cast<uint64_t>(
+      std::max<int64_t>(0, static_cast<int64_t>(attr.size) + delta));
+  rec.result_mtime = std::max(attr.mtime, we.entry.timestamp);
+  durable_->wal.Append(kWalWanApply, rec.Encode());
+  co_await cpu_.Run(costs_->wal_append_batched + costs_->changelog_apply_entry);
+  if (v->dead) {
+    result->failed++;
+    jc->Done();
+    co_return;
+  }
+  const std::string ekey = EntryKey(we.dir, we.entry.name);
+  if (creates) {
+    v->kv.Put(ekey, EncodeEntryValue(we.entry.entry_type));
+  } else {
+    v->kv.Delete(ekey);
+  }
+  v->kv.Put(skey, incoming.Encode());
+  attr.size = rec.result_size;
+  attr.mtime = rec.result_mtime;
+  attr.atime = std::max(attr.atime, rec.result_mtime);
+  v->kv.Put(ikey, attr.Encode());
+  stats_.wan_entries_applied++;
+  result->applied++;
+  jc->Done();
 }
 
 sim::Task<void> SwitchServer::HandleInvalClone(net::Packet p, VolPtr v) {

@@ -83,6 +83,18 @@ class SwitchServer : public UpdatePublisher {
   void PreloadDirIndex(const InodeId& id, const std::string& inode_key,
                        psw::Fingerprint fp);
 
+  // --- WAN replication (src/wan/) ---
+  // Points the capture hook at the cluster's replicator (null detaches).
+  void SetWanSink(WanSink* sink) { ctx_.wan_sink = sink; }
+  // Queues one WAN-replicated entry onto its directory's shard apply lane
+  // (the same serial lanes push-batch sections apply through). Outcomes are
+  // tallied into `result`; `jc` resolves when the entry has been applied,
+  // LWW-dropped, or abandoned by a dead incarnation (counted as `failed`, so
+  // the applier withholds the batch ack and the origin re-ships).
+  void EnqueueWanApply(const WanEntry& entry,
+                       std::shared_ptr<WanApplyResult> result,
+                       std::shared_ptr<sim::JoinCounter> jc);
+
   // Metadata migration support (cluster reconfiguration, §5.5/A.3).
   struct MigrationBatch {
     std::vector<std::pair<std::string, std::string>> pairs;  // raw kv pairs
@@ -159,6 +171,11 @@ class SwitchServer : public UpdatePublisher {
   // ---- recovery helpers ----
   sim::Task<void> HandleInvalClone(net::Packet p, VolPtr v);
   void ReplayWalInto(ServerVolatile& v);
+
+  // ---- WAN replay (geo-replication apply leg) ----
+  sim::Task<void> ApplyWanEntryTask(VolPtr v, WanEntry we,
+                                    std::shared_ptr<WanApplyResult> result,
+                                    std::shared_ptr<sim::JoinCounter> jc);
 
   // In-switch read cache: reply to a read, piggybacking a cache install when
   // the request carried an mc.kRead stamp (plain Respond otherwise; see the

@@ -143,6 +143,19 @@ struct ServerConfig {
   // that long. 0 threshold disables the hint.
   int push_busy_threshold = 8;
   sim::SimTime push_pace_hint = sim::Microseconds(200);
+  // Geo-replication identity: which cluster this server belongs to. Part of
+  // every LWW commit stamp (the tie-break after the timestamp), so two
+  // clusters stamping the same simulated instant still resolve
+  // deterministically and identically everywhere.
+  uint32_t cluster_id = 0;
+  // Per-entry commit-timestamp last-writer-wins at the apply: each dirent
+  // write keeps a stamp row ("w" + dir + name) and an incoming entry whose
+  // stamp is older no-ops. Closes the phantom-dirent old-era/new-era
+  // ordering gap (a rebound old-era entry can arrive after a same-name
+  // new-era entry; seq dedup lanes are per-fingerprint and cannot see the
+  // inversion) and is the conflict resolver for WAN replays. Off restores
+  // the pre-LWW arrival-order behavior (A/B lever for the regression test).
+  bool lww_resolve = true;
 };
 
 // Context the cluster provides to servers and clients.
@@ -152,6 +165,45 @@ class ClusterContext {
   virtual const HashRing& ring() const = 0;
   virtual net::NodeId ServerNode(uint32_t server_index) const = 0;
   virtual uint32_t ServerCount() const = 0;
+};
+
+// One dirent mutation as it travels between clusters (src/wan/): the
+// directory's identity (ids and fingerprints of preloaded shared-namespace
+// directories derive from path hashes, so they are identical in every
+// cluster), the origin coordinates that make up the LWW stamp, and the
+// change-log entry itself. Defined in core so SwitchServer can apply one
+// without depending on the WAN tier.
+struct WanEntry {
+  InodeId dir;
+  psw::Fingerprint dir_fp = 0;   // the directory's own fingerprint (owner key)
+  uint32_t origin_cluster = 0;
+  uint32_t src_server = 0;
+  ChangeLogEntry entry;
+};
+
+// Where an owner publishes every committed dirent apply (the WAN
+// replicator's capture hook; see Aggregation::ApplyEntries). Null when the
+// cluster has no WAN tier. Only locally-originated applies flow through the
+// sink — WAN replays use SwitchServer::EnqueueWanApply, which bypasses it,
+// so batches cannot echo between clusters.
+class WanSink {
+ public:
+  virtual ~WanSink() = default;
+  virtual void OnEntryApplied(const WanEntry& entry) = 0;
+};
+
+// Shared tally of one WAN batch's fan-out across owner shard lanes
+// (src/wan/applier.cc joins on it). `failed` counts entries a dead server
+// incarnation dropped — the applier refuses to ack the batch so the origin
+// re-ships it after recovery (per-entry LWW + idempotent redo absorb the
+// overlap). `dropped` counts directories unknown at this cluster (outside
+// the shared namespace, or removed here) — those ARE acked; re-shipping
+// cannot make them applicable.
+struct WanApplyResult {
+  int applied = 0;
+  int conflicts = 0;
+  int dropped = 0;
+  int failed = 0;
 };
 
 // Durable per-server state: survives crashes (owned by the cluster).
@@ -222,7 +274,24 @@ struct ServerStats {
   // cross-shard handoff tasks enqueued (rename legs, hard-link splits).
   uint64_t push_batches_deduped = 0;
   uint64_t cross_shard_handoffs = 0;
+  // WAN replication (src/wan/). Shipped/catch-up counters are bumped by the
+  // cluster-level replicator (registered into Cluster::TotalStats as an
+  // extra stats block); applied/conflict counters are bumped by the owner
+  // server applying (or LWW-dropping) an entry. wan_conflicts_lww also
+  // counts LOCAL cross-era LWW drops (the phantom-dirent resolver) — the
+  // same comparison at the same apply point.
+  uint64_t wan_batches_shipped = 0;
+  uint64_t wan_entries_applied = 0;
+  uint64_t wan_conflicts_lww = 0;
+  uint64_t wan_catchup_replays = 0;
+  // WAN entries dropped because the directory is unknown at this cluster
+  // (outside the shared replicated namespace, or removed here).
+  uint64_t wan_entries_dropped = 0;
 };
+
+// Member-wise counter sum — the one place that enumerates every ServerStats
+// field (Cluster::TotalStats, the geo harness). Defined in cluster.cc.
+void AccumulateServerStats(ServerStats& total, const ServerStats& add);
 
 // Volatile state of one server incarnation (wiped on crash). Its containers
 // are mutated by concurrently-interleaved coroutine handlers, so references,
@@ -499,6 +568,8 @@ struct ServerContext {
   // The cluster's dirty-set tracker (src/tracker/): where "directory X has
   // scattered deferred updates" is recorded, queried, and removed.
   tracker::DirtyTracker* dirty_tracker = nullptr;
+  // WAN capture hook (null without a WAN tier; see WanSink above).
+  WanSink* wan_sink = nullptr;
 
   int64_t Now() const { return sim->Now(); }
   net::NodeId node_id() const { return rpc->id(); }

@@ -28,6 +28,7 @@ enum WalRecordType : uint32_t {
   kWalOpCommit = 1,
   kWalEntryApply = 2,
   kWalBulkCommit = 3,
+  kWalWanApply = 4,
 };
 
 struct OpCommitRecord {
@@ -217,6 +218,47 @@ struct EntryApplyRecord {
     r.result_size = dec.GetU64();
     r.result_mtime = dec.GetI64();
     r.batch_token = dec.GetU64();
+    return r;
+  }
+};
+
+// One WAN-replicated dirent apply persisted at the receiving owner before it
+// mutates the directory (the geo-replication analog of EntryApply). The
+// record carries the entry's origin identity — the LWW stamp rebuilds from
+// it on replay — and the resulting absolute directory attributes so redo is
+// idempotent. Records exist only for entries that WON their LWW comparison
+// at runtime, so replay applies them unconditionally in WAL order (a
+// later-logged record always carries a stamp >= every earlier record for the
+// same name; see WanApplier).
+struct WanApplyRecord {
+  uint32_t origin_cluster = 0;
+  InodeId dir;
+  uint32_t src_server = 0;
+  ChangeLogEntry entry;
+  // Resulting absolute directory attributes (idempotent redo).
+  uint64_t result_size = 0;
+  int64_t result_mtime = 0;
+
+  std::string Encode() const {
+    Encoder enc;
+    enc.PutU32(origin_cluster);
+    dir.EncodeTo(enc);
+    enc.PutU32(src_server);
+    entry.EncodeTo(enc);
+    enc.PutU64(result_size);
+    enc.PutI64(result_mtime);
+    return std::move(enc).Take();
+  }
+
+  static WanApplyRecord Decode(const std::string& data) {
+    Decoder dec(data);
+    WanApplyRecord r;
+    r.origin_cluster = dec.GetU32();
+    r.dir = InodeId::DecodeFrom(dec);
+    r.src_server = dec.GetU32();
+    r.entry = ChangeLogEntry::DecodeFrom(dec);
+    r.result_size = dec.GetU64();
+    r.result_mtime = dec.GetI64();
     return r;
   }
 };

@@ -1,0 +1,57 @@
+#include "src/wan/applier.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace switchfs::wan {
+
+void WanApplier::Deliver(WanBatch batch, std::function<void()> ack) {
+  const uint32_t origin = batch.origin_cluster;
+  const uint64_t seq = batch.batch_seq;
+  auto wm = applied_wm_.find(origin);
+  if (wm != applied_wm_.end() && seq <= wm->second) {
+    // Retransmit or post-recovery catch-up re-ship of a batch this cluster
+    // already holds. Idempotent: ack it so the origin can retire it.
+    stats_.wan_catchup_replays++;
+    ack();
+    return;
+  }
+  if (!in_progress_.insert({origin, seq}).second) {
+    // Same batch already mid-apply (the origin's retry fired while our
+    // shard lanes were still working). Drop; the next retry sees the
+    // watermark.
+    return;
+  }
+  sim::Spawn(ApplyBatch(std::move(batch), std::move(ack)));
+}
+
+sim::Task<void> WanApplier::ApplyBatch(WanBatch batch,
+                                       std::function<void()> ack) {
+  const uint32_t origin = batch.origin_cluster;
+  const uint64_t seq = batch.batch_seq;
+  auto result = std::make_shared<core::WanApplyResult>();
+  auto jc = std::make_shared<sim::JoinCounter>(
+      sim_, static_cast<int>(batch.entries.size()));
+  for (const core::WanEntry& e : batch.entries) {
+    const uint32_t owner = cluster_->ring().Owner(e.dir_fp);
+    cluster_->server(owner).EnqueueWanApply(e, result, jc);
+  }
+  co_await jc->Wait();
+  in_progress_.erase({origin, seq});
+  if (result->failed > 0) {
+    // An owner incarnation died mid-apply. No ack: the origin re-ships and
+    // the LWW stamps make the second pass idempotent.
+    co_return;
+  }
+  uint64_t& wm = applied_wm_[origin];
+  wm = std::max(wm, seq);
+  if (on_applied_ && origin != cluster_id_) {
+    on_applied_(batch);  // hub: forward to the other spokes
+  }
+  ack();
+}
+
+}  // namespace switchfs::wan

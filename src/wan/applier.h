@@ -1,0 +1,67 @@
+// The destination-side WAN apply leg (one per cluster).
+//
+// WanApplier receives WanBatches off the fabric, dedups them on a
+// per-origin batch watermark (single-flight in-order shipping means a
+// batch below the watermark is a retransmit or a post-recovery catch-up
+// re-ship — acked immediately, counted as wan_catchup_replays), and fans
+// the entries to their owning servers' shard apply lanes
+// (SwitchServer::EnqueueWanApply). The ack is withheld unless every entry
+// settled — applied, LWW-dropped, or not-replicable-here — so a batch that
+// raced a crashing owner incarnation is re-shipped by the origin and
+// re-applied idempotently.
+#ifndef SRC_WAN_APPLIER_H_
+#define SRC_WAN_APPLIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/core/cluster.h"
+#include "src/wan/wan_batch.h"
+
+namespace switchfs::wan {
+
+class WanApplier {
+ public:
+  WanApplier(sim::Simulator* sim, core::Cluster* cluster, uint32_t cluster_id)
+      : sim_(sim), cluster_(cluster), cluster_id_(cluster_id) {}
+
+  // Runs at this cluster, post-fabric. `ack` is invoked (possibly much
+  // later) iff the batch is fully settled here — the caller routes it back
+  // to the origin over the fabric.
+  void Deliver(WanBatch batch, std::function<void()> ack);
+
+  // Hub wiring: called after a FOREIGN batch fully applies, so the hub's
+  // replicator can forward it to the other spokes.
+  void SetOnApplied(std::function<void(const WanBatch&)> on_applied) {
+    on_applied_ = std::move(on_applied);
+  }
+
+  const core::ServerStats& stats() const { return stats_; }
+  const core::ServerStats* stats_block() const { return &stats_; }
+  // True while a delivered batch is still fanned out over the apply lanes.
+  bool busy() const { return !in_progress_.empty(); }
+  uint64_t watermark(uint32_t origin) const {
+    auto it = applied_wm_.find(origin);
+    return it == applied_wm_.end() ? 0 : it->second;
+  }
+
+ private:
+  sim::Task<void> ApplyBatch(WanBatch batch, std::function<void()> ack);
+
+  sim::Simulator* sim_;
+  core::Cluster* cluster_;
+  const uint32_t cluster_id_;
+  std::map<uint32_t, uint64_t> applied_wm_;  // origin -> highest applied seq
+  // Batches being applied right now; a retransmit of one is dropped (no
+  // ack — the origin's retry finds the watermark advanced by then).
+  std::set<std::pair<uint32_t, uint64_t>> in_progress_;
+  std::function<void(const WanBatch&)> on_applied_;
+  core::ServerStats stats_;
+};
+
+}  // namespace switchfs::wan
+
+#endif  // SRC_WAN_APPLIER_H_

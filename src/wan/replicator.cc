@@ -1,0 +1,269 @@
+#include "src/wan/replicator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/core/keys.h"
+#include "src/wan/applier.h"
+
+namespace switchfs::wan {
+
+WanReplicator::WanReplicator(sim::Simulator* sim, WanFabric* fabric,
+                             WanDurable* durable, uint32_t cluster_id,
+                             std::vector<uint32_t> peers,
+                             WanReplicatorConfig config)
+    : sim_(sim),
+      fabric_(fabric),
+      durable_(durable),
+      cluster_id_(cluster_id),
+      peers_(std::move(peers)),
+      config_(config) {
+  for (uint32_t p : peers_) {
+    durable_->peer_acked.emplace(p, 0);
+    lanes_[p].backoff = config_.ack_timeout;
+  }
+}
+
+void WanReplicator::SetPeerApplier(uint32_t dst, WanApplier* applier) {
+  peer_appliers_[dst] = applier;
+}
+
+void WanReplicator::OnEntryApplied(const core::WanEntry& entry) {
+  if (durable_->open.empty()) {
+    durable_->open_created_ts = sim_->Now();
+  }
+  durable_->open.push_back(entry);
+  if (!running_) {
+    return;  // durable capture continues; the recovered daemon drains it
+  }
+  if (durable_->open.size() >= config_.max_batch_entries && CanClose()) {
+    CloseOpenBatch();
+    KickAllPeers();
+    return;
+  }
+  ArmCloseTimer();
+}
+
+bool WanReplicator::CanClose() const {
+  return durable_->closed.size() < config_.max_closed_batches;
+}
+
+void WanReplicator::ArmCloseTimer() {
+  if (close_timer_armed_) {
+    return;
+  }
+  close_timer_armed_ = true;
+  const uint64_t inc = incarnation_;
+  sim_->ScheduleAfter(config_.batch_interval, [this, inc] {
+    if (inc != incarnation_) {
+      return;  // armed by a dead incarnation; Recover() re-arms
+    }
+    close_timer_armed_ = false;
+    if (!running_ || durable_->open.empty()) {
+      return;
+    }
+    if (!CanClose()) {
+      // Acks are not keeping up (long lag or partition): let the open batch
+      // absorb the backlog and check again next interval. See
+      // WanReplicatorConfig::max_closed_batches.
+      ArmCloseTimer();
+      return;
+    }
+    CloseOpenBatch();
+    KickAllPeers();
+  });
+}
+
+void WanReplicator::CloseOpenBatch() {
+  if (durable_->open.empty()) {
+    return;
+  }
+  WanBatch batch;
+  batch.origin_cluster = cluster_id_;
+  batch.era = durable_->era;
+  batch.batch_seq = durable_->next_batch_seq++;
+  batch.created_ts = durable_->open_created_ts;
+  batch.closed_ts = sim_->Now();
+  // In-batch dedup: one entry per (dir, name), the LWW-newest. Shipping the
+  // older writes would be harmless (they lose the same stamp comparison at
+  // every applier) — just wasted WAN bytes.
+  std::map<std::string, size_t> newest;  // stamp key -> index into entries
+  for (core::WanEntry& e : durable_->open) {
+    const core::LwwStamp stamp{e.entry.timestamp, e.origin_cluster,
+                               e.src_server, e.entry.seq};
+    const std::string key = core::LwwStampKey(e.dir, e.entry.name);
+    auto it = newest.find(key);
+    if (it == newest.end()) {
+      newest.emplace(key, batch.entries.size());
+      batch.entries.push_back(std::move(e));
+      continue;
+    }
+    core::WanEntry& kept = batch.entries[it->second];
+    const core::LwwStamp kept_stamp{kept.entry.timestamp, kept.origin_cluster,
+                                    kept.src_server, kept.entry.seq};
+    if (kept_stamp < stamp) {
+      kept = std::move(e);  // newer write for the same name wins in place
+    }
+  }
+  durable_->open.clear();
+  durable_->closed.push_back(std::move(batch));
+}
+
+void WanReplicator::ForwardBatch(const WanBatch& batch) {
+  for (uint32_t p : peers_) {
+    if (p == batch.origin_cluster) {
+      continue;
+    }
+    durable_->forward[p].push_back(batch);
+    if (running_) {
+      KickPeer(p);
+    }
+  }
+}
+
+void WanReplicator::KickAllPeers() {
+  for (uint32_t p : peers_) {
+    KickPeer(p);
+  }
+}
+
+void WanReplicator::KickPeer(uint32_t peer) {
+  if (!running_ || lanes_[peer].inflight) {
+    return;
+  }
+  // Own batches first (lowest unacked), then forwarded foreign batches.
+  const uint64_t acked = durable_->peer_acked[peer];
+  for (const WanBatch& b : durable_->closed) {
+    if (b.batch_seq > acked) {
+      Ship(peer, b);
+      return;
+    }
+  }
+  auto fit = durable_->forward.find(peer);
+  if (fit != durable_->forward.end() && !fit->second.empty()) {
+    Ship(peer, fit->second.front());
+  }
+}
+
+void WanReplicator::Ship(uint32_t peer, const WanBatch& batch) {
+  PeerLane& lane = lanes_[peer];
+  lane.inflight = true;
+  lane.origin = batch.origin_cluster;
+  lane.seq = batch.batch_seq;
+  stats_.wan_batches_shipped++;
+
+  WanApplier* applier = peer_appliers_.at(peer);
+  const uint32_t me = cluster_id_;
+  const uint32_t origin = batch.origin_cluster;
+  const uint64_t seq = batch.batch_seq;
+  const uint64_t inc = incarnation_;
+  // Delivery runs at the destination after the one-way link delay; the ack
+  // closes the loop over the same fabric (equally partition/loss-prone).
+  // The inner incarnation check drops acks addressed to a crashed daemon.
+  fabric_->Send(me, peer, [this, applier, peer, me, origin, seq, inc,
+                           copy = batch]() mutable {
+    applier->Deliver(std::move(copy), [this, peer, me, origin, seq, inc] {
+      fabric_->Send(peer, me, [this, peer, origin, seq, inc] {
+        if (inc != incarnation_) {
+          return;
+        }
+        OnAck(peer, origin, seq);
+      });
+    });
+  });
+
+  // One-shot retry: if the unit is still unacked when this fires, abandon
+  // the flight and re-ship with doubled backoff (bounded). Acked units make
+  // this a no-op, so a synced origin has no standing timers.
+  sim_->ScheduleAfter(lane.backoff, [this, peer, origin, seq, inc] {
+    if (inc != incarnation_ || !running_) {
+      return;
+    }
+    PeerLane& l = lanes_[peer];
+    if (!l.inflight || l.origin != origin || l.seq != seq) {
+      return;  // already acked (or a different unit is up)
+    }
+    l.inflight = false;
+    l.backoff = std::min(l.backoff * 2, config_.max_backoff);
+    KickPeer(peer);
+  });
+}
+
+void WanReplicator::OnAck(uint32_t peer, uint32_t origin, uint64_t batch_seq) {
+  if (origin == cluster_id_) {
+    uint64_t& acked = durable_->peer_acked[peer];
+    acked = std::max(acked, batch_seq);
+    TrimSynced();
+  } else {
+    auto fit = durable_->forward.find(peer);
+    if (fit != durable_->forward.end() && !fit->second.empty() &&
+        fit->second.front().origin_cluster == origin &&
+        fit->second.front().batch_seq == batch_seq) {
+      fit->second.pop_front();
+    }
+  }
+  PeerLane& lane = lanes_[peer];
+  if (lane.inflight && lane.origin == origin && lane.seq == batch_seq) {
+    lane.inflight = false;
+    lane.backoff = config_.ack_timeout;  // the link works again
+  }
+  KickPeer(peer);
+}
+
+void WanReplicator::TrimSynced() {
+  while (!durable_->closed.empty()) {
+    const uint64_t seq = durable_->closed.front().batch_seq;
+    bool synced = true;
+    for (uint32_t p : peers_) {
+      if (durable_->peer_acked[p] < seq) {
+        synced = false;
+        break;
+      }
+    }
+    if (!synced) {
+      return;
+    }
+    durable_->closed.pop_front();
+  }
+}
+
+void WanReplicator::Crash() {
+  running_ = false;
+  incarnation_++;  // timers and in-flight acks die with the daemon
+  close_timer_armed_ = false;
+  for (auto& [peer, lane] : lanes_) {
+    lane.inflight = false;
+  }
+}
+
+void WanReplicator::Recover() {
+  assert(!running_ && "Recover() without a preceding Crash()");
+  running_ = true;
+  incarnation_++;
+  durable_->era++;  // batches closed from here on are a new incarnation's
+  for (auto& [peer, lane] : lanes_) {
+    lane.inflight = false;
+    lane.backoff = config_.ack_timeout;
+  }
+  if (!durable_->open.empty()) {
+    ArmCloseTimer();
+  }
+  // Catch-up: re-ship everything unacked. Peers whose ack got lost see a
+  // duplicate and count wan_catchup_replays.
+  KickAllPeers();
+}
+
+bool WanReplicator::Idle() const {
+  if (!durable_->open.empty() || !durable_->closed.empty()) {
+    return false;
+  }
+  for (const auto& [peer, q] : durable_->forward) {
+    if (!q.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace switchfs::wan

@@ -1,0 +1,109 @@
+// The origin-side WAN replication daemon (one per cluster).
+//
+// WanReplicator is the cluster's core::WanSink: every committed change-log
+// apply on the local servers lands in the durable spool (WanDurable::open)
+// through OnEntryApplied. The daemon closes batches (timer or fill), ships
+// them over the WanFabric to its peers — spokes ship to the hub only, the
+// hub ships its own batches to every spoke AND forwards foreign batches it
+// has applied (star topology, origin identity preserved) — and retires a
+// batch once every peer acked it.
+//
+// Timer discipline: every timer is a one-shot armed only while there is
+// work it could progress (an open batch to close, an unacked batch to
+// retry). A fully-synced origin schedules nothing, so a quiescent
+// multi-cluster world drains out of sim::Simulator::Run() — standing
+// periodic timers would keep it alive forever.
+//
+// Crash/recovery: Crash() stops the daemon and invalidates its timers and
+// pending acks via an incarnation counter (the WanDurable spool, including
+// per-peer ack watermarks, survives — it is the origin's durable state).
+// Recover() bumps the era, resets the per-peer lanes, and re-ships
+// everything unacked; peers dedup the re-ships on their per-origin batch
+// watermark (wan_catchup_replays).
+#ifndef SRC_WAN_REPLICATOR_H_
+#define SRC_WAN_REPLICATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/server_context.h"
+#include "src/sim/simulator.h"
+#include "src/wan/wan_batch.h"
+#include "src/wan/wan_fabric.h"
+
+namespace switchfs::wan {
+
+class WanApplier;
+
+class WanReplicator : public core::WanSink {
+ public:
+  WanReplicator(sim::Simulator* sim, WanFabric* fabric, WanDurable* durable,
+                uint32_t cluster_id, std::vector<uint32_t> peers,
+                WanReplicatorConfig config);
+
+  // Wires the destination applier for peer `dst` (geo harness setup).
+  void SetPeerApplier(uint32_t dst, WanApplier* applier);
+
+  // core::WanSink — the capture hook. Spool writes always happen (durable
+  // capture); batching and shipping only while the daemon runs.
+  void OnEntryApplied(const core::WanEntry& entry) override;
+
+  // Hub only: queue a foreign batch for every peer except its origin (and
+  // the hub itself), preserving origin identity and batch_seq.
+  void ForwardBatch(const WanBatch& batch);
+
+  void Crash();
+  void Recover();
+  bool running() const { return running_; }
+
+  // True when nothing is pending at this origin: no open entries, no
+  // unsynced own batches, no unforwarded foreign batches.
+  bool Idle() const;
+
+  uint32_t cluster_id() const { return cluster_id_; }
+  const core::ServerStats& stats() const { return stats_; }
+  // Registered into Cluster::TotalStats by the geo harness.
+  const core::ServerStats* stats_block() const { return &stats_; }
+
+ private:
+  struct PeerLane {
+    bool inflight = false;
+    uint32_t origin = 0;  // identity of the inflight batch
+    uint64_t seq = 0;
+    sim::SimTime backoff = 0;  // current retry delay
+  };
+
+  void ArmCloseTimer();
+  // False while the closed-batch backlog is at max_closed_batches — the
+  // open batch keeps absorbing entries until acks drain the backlog.
+  bool CanClose() const;
+  void CloseOpenBatch();
+  // Ships the next unacked unit to `peer` (lowest own unacked batch first,
+  // then the forward queue) unless one is already in flight.
+  void KickPeer(uint32_t peer);
+  void KickAllPeers();
+  void Ship(uint32_t peer, const WanBatch& batch);
+  void OnAck(uint32_t peer, uint32_t origin, uint64_t batch_seq);
+  // Retires own batches acked by every peer (CLOSED -> SYNCED).
+  void TrimSynced();
+
+  sim::Simulator* sim_;
+  WanFabric* fabric_;
+  WanDurable* durable_;
+  const uint32_t cluster_id_;
+  const std::vector<uint32_t> peers_;
+  const WanReplicatorConfig config_;
+  std::map<uint32_t, WanApplier*> peer_appliers_;
+  std::map<uint32_t, PeerLane> lanes_;
+  bool running_ = true;
+  bool close_timer_armed_ = false;
+  // Bumped by Crash() and Recover(); scheduled callbacks capture the value
+  // and no-op when it moved on (the daemon that armed them is gone).
+  uint64_t incarnation_ = 0;
+  core::ServerStats stats_;
+};
+
+}  // namespace switchfs::wan
+
+#endif  // SRC_WAN_REPLICATOR_H_

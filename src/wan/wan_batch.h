@@ -1,0 +1,87 @@
+// Geo-replication data model (docs/architecture.md "WAN replication").
+//
+// A WanBatch is the shipping unit between clusters: a run of committed
+// change-log applies captured at one origin cluster, closed either on a
+// timer (WanReplicatorConfig::batch_interval) or when it fills
+// (max_batch_entries). Batches carry the origin's identity, an era (the
+// replicator incarnation that closed them — bumped on recovery so peers can
+// tell a catch-up re-ship from fresh traffic), and a dense per-origin
+// batch_seq the receiving applier dedups on.
+//
+// Lifecycle: OPEN (accumulating in WanDurable::open) -> CLOSED (sequenced,
+// in WanDurable::closed, being shipped) -> SYNCED (acked by every peer and
+// retired from the spool). The spool is durable at the origin: a replicator
+// daemon crash loses in-flight ships and pending acks, never captured
+// entries.
+#ifndef SRC_WAN_WAN_BATCH_H_
+#define SRC_WAN_WAN_BATCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/core/server_context.h"
+#include "src/sim/time.h"
+
+namespace switchfs::wan {
+
+struct WanBatch {
+  uint32_t origin_cluster = 0;
+  // Replicator incarnation that closed the batch (catch-up forensics; the
+  // applier dedups on batch_seq alone, which is stable across eras).
+  uint32_t era = 0;
+  uint64_t batch_seq = 0;   // dense, per-origin
+  sim::SimTime created_ts = 0;  // first entry captured
+  sim::SimTime closed_ts = 0;
+  std::vector<core::WanEntry> entries;
+};
+
+// The origin-side durable spool. Owned by the multi-cluster harness (like
+// core::DurableState it survives simulated replicator crashes); the
+// WanReplicator is the daemon that drains it.
+struct WanDurable {
+  std::vector<core::WanEntry> open;     // accumulating (OPEN) batch
+  sim::SimTime open_created_ts = 0;
+  std::deque<WanBatch> closed;          // CLOSED, not yet synced everywhere
+  uint64_t next_batch_seq = 1;
+  uint32_t era = 0;                     // bumped by WanReplicator::Recover
+  // Highest batch_seq each peer has acked (origin-minted batches).
+  std::map<uint32_t, uint64_t> peer_acked;
+  // Hub only: foreign batches to forward to the other spokes, per
+  // destination, FIFO. Origin identity and batch_seq are preserved, so the
+  // spoke applier's per-origin watermark dedups forwarded duplicates too.
+  std::map<uint32_t, std::deque<WanBatch>> forward;
+};
+
+// The simulated WAN link model (one config shared by every pair).
+struct WanLinkConfig {
+  sim::SimTime latency = sim::Milliseconds(20);  // one way
+  sim::SimTime jitter = sim::Microseconds(500);  // uniform [0, jitter]
+  double loss_rate = 0.0;                        // per one-way message
+};
+
+struct WanReplicatorConfig {
+  // Close the open batch this long after its first entry (one-shot timer,
+  // armed only while entries are pending — a quiescent origin schedules
+  // nothing and lets the simulator drain).
+  sim::SimTime batch_interval = sim::Milliseconds(5);
+  size_t max_batch_entries = 256;  // close early when the batch fills
+  // Re-ship an unacked batch after this long; backs off exponentially to
+  // max_backoff while the link is lossy or partitioned.
+  sim::SimTime ack_timeout = sim::Milliseconds(50);
+  sim::SimTime max_backoff = sim::Milliseconds(400);
+  // Adaptive sizing: while this many CLOSED batches are waiting for acks,
+  // the close timer re-arms instead of closing — the open batch absorbs the
+  // backlog and the next close ships it as ONE unit. Shipping is
+  // single-flight per peer (one batch per WAN round trip), so without this
+  // a long-lag link would drain a large write burst one small batch per
+  // RTT and convergence time would scale with write volume; with it, the
+  // per-RTT transfer grows to match the backlog and convergence stays a
+  // small multiple of the lag.
+  size_t max_closed_batches = 4;
+};
+
+}  // namespace switchfs::wan
+
+#endif  // SRC_WAN_WAN_BATCH_H_

@@ -1,0 +1,41 @@
+#include "src/wan/wan_fabric.h"
+
+namespace switchfs::wan {
+
+void WanFabric::SetPartitioned(uint32_t a, uint32_t b, bool on) {
+  if (on) {
+    partitioned_.insert(Key(a, b));
+  } else {
+    partitioned_.erase(Key(a, b));
+  }
+}
+
+bool WanFabric::Partitioned(uint32_t a, uint32_t b) const {
+  return partitioned_.count(Key(a, b)) > 0;
+}
+
+void WanFabric::Send(uint32_t from, uint32_t to,
+                     std::function<void()> deliver) {
+  messages_sent_++;
+  if (Partitioned(from, to) ||
+      (config_.loss_rate > 0.0 && rng_.NextBool(config_.loss_rate))) {
+    messages_dropped_++;
+    return;
+  }
+  sim::SimTime delay = config_.latency;
+  if (config_.jitter > 0) {
+    delay += static_cast<sim::SimTime>(
+        rng_.NextBelow(static_cast<uint64_t>(config_.jitter) + 1));
+  }
+  sim_->ScheduleAfter(
+      delay, [this, from, to, deliver = std::move(deliver)]() {
+        if (Partitioned(from, to)) {
+          // The partition started while this message was in flight.
+          messages_dropped_++;
+          return;
+        }
+        deliver();
+      });
+}
+
+}  // namespace switchfs::wan

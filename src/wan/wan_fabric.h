@@ -1,0 +1,55 @@
+// The simulated wide-area fabric between clusters: point-to-point links
+// with configurable one-way latency, uniform jitter, random loss, and a
+// partition matrix for split-brain experiments. Deliberately NOT
+// net::Network — WAN messages are whole batches between daemon processes,
+// not switch-mediated packets, and the partition matrix must be orthogonal
+// to each cluster's intra-DC fault config.
+#ifndef SRC_WAN_WAN_FABRIC_H_
+#define SRC_WAN_WAN_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "src/common/random.h"
+#include "src/sim/simulator.h"
+#include "src/wan/wan_batch.h"
+
+namespace switchfs::wan {
+
+class WanFabric {
+ public:
+  WanFabric(sim::Simulator* sim, WanLinkConfig config, uint64_t seed)
+      : sim_(sim), config_(config), rng_(seed ^ 0x3a4db17ce5f0a9ULL) {}
+
+  // Severs (or heals) the bidirectional link between clusters a and b.
+  void SetPartitioned(uint32_t a, uint32_t b, bool on);
+  bool Partitioned(uint32_t a, uint32_t b) const;
+
+  // Delivers `deliver` at the destination after the link delay. The message
+  // is dropped — `deliver` never runs — if the pair is partitioned at send
+  // OR arrival time (a partition kills in-flight traffic), or on a loss
+  // roll. Acks traverse the fabric the same way, so they are equally
+  // droppable.
+  void Send(uint32_t from, uint32_t to, std::function<void()> deliver);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  static std::pair<uint32_t, uint32_t> Key(uint32_t a, uint32_t b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  sim::Simulator* sim_;
+  WanLinkConfig config_;
+  Rng rng_;
+  std::set<std::pair<uint32_t, uint32_t>> partitioned_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace switchfs::wan
+
+#endif  // SRC_WAN_WAN_FABRIC_H_

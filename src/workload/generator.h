@@ -89,6 +89,44 @@ class FreshNameStream : public OpStream {
   uint64_t counter_ = 0;
 };
 
+// Geo-replication workload (src/wan/): creates over a namespace shared by
+// several sites. With probability `conflict_rate` the name comes from a
+// bounded pool every site draws from identically (cross-site same-name
+// writes — LWW conflicts once the batches meet); otherwise it is a fresh
+// site-unique name (pure replication volume). `site` disambiguates the
+// unique names, so two sites running the same stream config never collide
+// outside the conflict pool.
+class SharedNamespaceStream : public OpStream {
+ public:
+  SharedNamespaceStream(std::vector<std::string> shared_dirs, uint32_t site,
+                        double conflict_rate, size_t conflict_pool = 32)
+      : dirs_(std::move(shared_dirs)),
+        site_(site),
+        conflict_rate_(conflict_rate),
+        conflict_pool_(conflict_pool) {}
+
+  std::optional<Op> Next(Rng& rng) override {
+    Op op;
+    op.type = core::OpType::kCreate;
+    const std::string& dir = dirs_[rng.NextBelow(dirs_.size())];
+    std::string name;
+    if (conflict_pool_ > 0 && rng.NextBool(conflict_rate_)) {
+      name = "c" + std::to_string(rng.NextBelow(conflict_pool_));
+    } else {
+      name = "s" + std::to_string(site_) + "_" + std::to_string(counter_++);
+    }
+    op.path = dir + (dir.back() == '/' ? "" : "/") + name;
+    return op;
+  }
+
+ private:
+  std::vector<std::string> dirs_;
+  uint32_t site_;
+  double conflict_rate_;
+  size_t conflict_pool_;
+  uint64_t counter_ = 0;
+};
+
 // Fig 17: bursts of `burst_size` consecutive creates in one directory, then
 // the next burst targets the next directory (round-robin).
 class BurstCreateStream : public OpStream {
